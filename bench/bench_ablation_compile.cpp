@@ -1,0 +1,147 @@
+// Ablation C: what compilation buys over direct symbolic evaluation.
+//
+// The paper's "compiled set of operations" claim: evaluating the symbolic
+// forms must be a short straight-line program, not a term-by-term walk of
+// the polynomial expressions.  This bench compares three evaluation paths
+// for the same symbolic moments:
+//   1. compiled register program (CSE + Horner + register recycling),
+//   2. uncompiled term-by-term polynomial evaluation,
+//   3. full AWE re-analysis (no symbolic preprocessing at all),
+// across models with growing symbol counts.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "awe/awe.hpp"
+#include "bench_util.hpp"
+#include "circuits/ladders.hpp"
+#include "circuits/opamp741.hpp"
+#include "core/awesymbolic.hpp"
+
+namespace {
+
+using namespace awe;
+
+struct Setup {
+  circuit::Netlist netlist;
+  circuit::NodeId out;
+  std::vector<std::string> symbols;
+  std::vector<double> nominal;
+};
+
+Setup ladder_setup(std::size_t nsymbols) {
+  circuits::LadderValues v;
+  v.segments = 64;
+  auto lad = circuits::make_rc_ladder(v);
+  const std::vector<std::string> pool{"r5", "c10", "r20", "c30", "r40", "c50"};
+  Setup s;
+  s.out = lad.out;
+  s.symbols.assign(pool.begin(), pool.begin() + nsymbols);
+  for (const auto& name : s.symbols)
+    s.nominal.push_back(lad.netlist.elements()[*lad.netlist.find_element(name)].value);
+  s.netlist = std::move(lad.netlist);
+  return s;
+}
+
+void print_tables() {
+  using benchutil::time_median;
+  std::printf("== Ablation C: compiled program vs term-by-term evaluation ==\n\n");
+  std::printf("%-9s %10s %14s %14s %14s %10s\n", "#symbols", "instrs",
+              "compiled/pt", "uncompiled/pt", "full AWE/pt", "speedup");
+  for (std::size_t k = 1; k <= 5; ++k) {
+    auto s = ladder_setup(k);
+    const auto model = core::CompiledModel::build(
+        s.netlist, s.symbols, circuits::LadderCircuit::kInput, s.out, {.order = 2});
+    auto ws = model.make_workspace();
+    auto vals = s.nominal;
+
+    const double t_comp = time_median(3, [&] {
+      double acc = 0.0;
+      for (int i = 0; i < 2048; ++i) {
+        vals[0] *= 1.0000001;
+        model.moments_at(vals, ws);
+        acc += ws.moments[0];
+      }
+      benchmark::DoNotOptimize(acc);
+    }) / 2048.0;
+
+    const double t_unc = time_median(3, [&] {
+      double acc = 0.0;
+      for (int i = 0; i < 64; ++i) {
+        vals[0] *= 1.0000001;
+        acc += model.moments_uncompiled(vals)[0];
+      }
+      benchmark::DoNotOptimize(acc);
+    }) / 64.0;
+
+    const double t_awe = time_median(3, [&] {
+      for (std::size_t j = 0; j < s.symbols.size(); ++j)
+        s.netlist.set_value(s.symbols[j], vals[j]);
+      const auto rom = engine::run_awe(s.netlist, circuits::LadderCircuit::kInput,
+                                       s.out, {.order = 2});
+      benchmark::DoNotOptimize(rom.dc_gain());
+    });
+
+    std::printf("%-9zu %10zu %11.3f us %11.3f us %11.3f us %9.1fx\n", k,
+                model.instruction_count(), t_comp * 1e6, t_unc * 1e6, t_awe * 1e6,
+                t_unc / t_comp);
+  }
+
+  // The 741 headline numbers (paper: 0.37 us per symbolic evaluation).
+  auto amp = circuits::make_opamp741();
+  const std::vector<std::string> symbols{circuits::Opamp741Circuit::kSymbolGout,
+                                         circuits::Opamp741Circuit::kSymbolCcomp};
+  const auto model = core::CompiledModel::build(
+      amp.netlist, symbols, circuits::Opamp741Circuit::kInput, amp.out, {.order = 2});
+  auto ws = model.make_workspace();
+  const circuits::Opamp741Values nom;
+  std::vector<double> vals{nom.gout_q14, nom.c_comp};
+  const double t = time_median(5, [&] {
+    double acc = 0.0;
+    for (int i = 0; i < 4096; ++i) {
+      vals[1] *= 1.0000001;
+      model.moments_at(vals, ws);
+      acc += ws.moments[0];
+    }
+    benchmark::DoNotOptimize(acc);
+  }) / 4096.0;
+  std::printf("\n741 compiled moment evaluation: %.3f us/point "
+              "(paper: 0.37 us on a DECstation 5000)\n\n",
+              t * 1e6);
+}
+
+void BM_CompiledMoments(benchmark::State& state) {
+  auto s = ladder_setup(static_cast<std::size_t>(state.range(0)));
+  const auto model = core::CompiledModel::build(
+      s.netlist, s.symbols, circuits::LadderCircuit::kInput, s.out, {.order = 2});
+  auto ws = model.make_workspace();
+  auto vals = s.nominal;
+  for (auto _ : state) {
+    vals[0] *= 1.0000001;
+    model.moments_at(vals, ws);
+    benchmark::DoNotOptimize(ws.moments[0]);
+  }
+}
+BENCHMARK(BM_CompiledMoments)->DenseRange(1, 5);
+
+void BM_UncompiledMoments(benchmark::State& state) {
+  auto s = ladder_setup(static_cast<std::size_t>(state.range(0)));
+  const auto model = core::CompiledModel::build(
+      s.netlist, s.symbols, circuits::LadderCircuit::kInput, s.out, {.order = 2});
+  auto vals = s.nominal;
+  for (auto _ : state) {
+    vals[0] *= 1.0000001;
+    benchmark::DoNotOptimize(model.moments_uncompiled(vals)[0]);
+  }
+}
+BENCHMARK(BM_UncompiledMoments)->DenseRange(1, 5)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

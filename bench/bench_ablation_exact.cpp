@@ -1,0 +1,114 @@
+// Ablation E: exact symbolic analysis (the traditional baseline the paper
+// argues against) vs AWEsymbolic, as circuit size grows.
+//
+// The paper, §1: exact methods "compute an exact form of the network
+// functions ... For high order systems, this can lead to complex symbolic
+// forms, even when the number of symbols is low."  This bench measures
+// that blowup directly — exact-form term counts and setup times explode
+// (and the method hits its structural size limit almost immediately),
+// while the AWEsymbolic compiled model stays port-sized no matter how
+// large the numeric circuit grows.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuit/netlist.hpp"
+#include "core/awesymbolic.hpp"
+#include "exact/exact_symbolic.hpp"
+
+namespace {
+
+using namespace awe;
+
+struct Ladder {
+  circuit::Netlist netlist;
+  circuit::NodeId out;
+};
+
+Ladder ladder(std::size_t nodes) {
+  Ladder l;
+  auto prev = l.netlist.node("in");
+  l.netlist.add_voltage_source("vin", prev, circuit::kGround, 1.0);
+  circuit::NodeId last = prev;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto n = l.netlist.node("n" + std::to_string(i));
+    l.netlist.add_resistor("r" + std::to_string(i), last, n, 100.0 * (i + 1));
+    l.netlist.add_capacitor("c" + std::to_string(i), n, circuit::kGround,
+                            1e-12 * (i + 1));
+    last = n;
+  }
+  l.out = last;
+  return l;
+}
+
+void print_tables() {
+  using benchutil::time_median;
+  std::printf("== Ablation E: exact symbolic forms vs AWEsymbolic ==\n\n");
+  std::printf("(RC ladder, 2 symbols {c0, r1}; exact H(s,e) by Cramer on the full\n"
+              " symbolic MNA matrix vs order-2 compiled AWEsymbolic model)\n\n");
+  std::printf("%-8s %14s %14s %14s %14s\n", "nodes", "exact terms", "exact setup",
+              "AWEsym instrs", "AWEsym setup");
+  for (const std::size_t nodes : {3u, 6u, 9u, 12u, 14u}) {
+    auto l = ladder(nodes);
+    const std::vector<std::string> symbols{"c0", "r1"};
+    std::size_t exact_terms = 0;
+    double t_exact = -1.0;
+    std::string exact_note;
+    try {
+      t_exact = time_median(2, [&] {
+        const auto xf =
+            exact::exact_symbolic_transfer(l.netlist, symbols, "vin", l.out);
+        exact_terms = xf.h.num().term_count() + xf.h.den().term_count();
+      });
+    } catch (const std::exception&) {
+      exact_note = "REFUSED (>16 MNA unknowns)";
+    }
+    std::size_t instrs = 0;
+    const double t_sym = time_median(2, [&] {
+      const auto m = core::CompiledModel::build(l.netlist, symbols, "vin", l.out,
+                                                {.order = 2});
+      instrs = m.instruction_count();
+    });
+    if (exact_note.empty())
+      std::printf("%-8zu %14zu %11.3f ms %14zu %11.3f ms\n", nodes, exact_terms,
+                  t_exact * 1e3, instrs, t_sym * 1e3);
+    else
+      std::printf("%-8zu %14s %14s %14zu %11.3f ms\n", nodes, "-", exact_note.c_str(),
+                  instrs, t_sym * 1e3);
+  }
+  std::printf("\n(the AWEsymbolic column keeps growing only with the PORT count —\n"
+              " run bench_ablation_partitioning for the circuit-size sweep to 2048)\n\n");
+}
+
+void BM_ExactSetup(benchmark::State& state) {
+  auto l = ladder(static_cast<std::size_t>(state.range(0)));
+  const std::vector<std::string> symbols{"c0", "r1"};
+  for (auto _ : state) {
+    const auto xf = exact::exact_symbolic_transfer(l.netlist, symbols, "vin", l.out);
+    benchmark::DoNotOptimize(xf.h.den().term_count());
+  }
+}
+BENCHMARK(BM_ExactSetup)->Arg(3)->Arg(6)->Arg(9)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_AwesymbolicSetup(benchmark::State& state) {
+  auto l = ladder(static_cast<std::size_t>(state.range(0)));
+  const std::vector<std::string> symbols{"c0", "r1"};
+  for (auto _ : state) {
+    const auto m =
+        core::CompiledModel::build(l.netlist, symbols, "vin", l.out, {.order = 2});
+    benchmark::DoNotOptimize(m.instruction_count());
+  }
+}
+BENCHMARK(BM_AwesymbolicSetup)->Arg(3)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

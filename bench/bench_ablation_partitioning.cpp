@@ -1,0 +1,132 @@
+// Ablation A: what moment-level partitioning buys (paper §2.4).
+//
+// The decoupling claim: after partitioning, the symbolic work depends on
+// the number of PORTS (≈ symbols), not on circuit size — so the compiled
+// model's incremental cost stays flat as the numeric circuit grows, while
+// a full AWE re-analysis scales with circuit size.  Also measures how the
+// symbolic solve cost grows with the number of symbols (the det/adjugate
+// of the port matrix), which is the quantity partitioning keeps small.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "awe/awe.hpp"
+#include "bench_util.hpp"
+#include "circuits/ladders.hpp"
+#include "core/awesymbolic.hpp"
+
+namespace {
+
+using namespace awe;
+
+circuits::LadderCircuit ladder(std::size_t segments) {
+  circuits::LadderValues v;
+  v.segments = segments;
+  return circuits::make_rc_ladder(v);
+}
+
+void print_tables() {
+  using benchutil::time_median;
+  std::printf("== Ablation A: decoupling of numeric size from symbolic cost ==\n\n");
+  std::printf("%-10s %16s %16s %16s %10s\n", "segments", "AWE/point", "sym setup",
+              "sym incr/point", "ports");
+  for (const std::size_t n : {32u, 128u, 512u, 2048u}) {
+    auto lad = ladder(n);
+    const std::vector<std::string> symbols{"rdrv", "cload"};
+    circuits::LadderValues v;
+    v.segments = n;
+    v.c_load = 2e-12;
+    lad = circuits::make_rc_ladder(v);
+
+    const double t_awe = time_median(3, [&] {
+      const auto rom = engine::run_awe(lad.netlist, circuits::LadderCircuit::kInput,
+                                       lad.out, {.order = 2});
+      benchmark::DoNotOptimize(rom.dc_gain());
+    });
+    const double t_setup = time_median(3, [&] {
+      const auto m = core::CompiledModel::build(lad.netlist, symbols,
+                                                circuits::LadderCircuit::kInput, lad.out,
+                                                {.order = 2});
+      benchmark::DoNotOptimize(m.port_count());
+    });
+    const auto model = core::CompiledModel::build(
+        lad.netlist, symbols, circuits::LadderCircuit::kInput, lad.out, {.order = 2});
+    const double t_inc = time_median(3, [&] {
+      double acc = 0.0;
+      for (int i = 0; i < 256; ++i) {
+        const auto rom =
+            model.evaluate(std::vector<double>{40.0 + i, 1e-12 * (1 + 0.01 * i)});
+        acc += rom.dc_gain();
+      }
+      benchmark::DoNotOptimize(acc);
+    }) / 256.0;
+    std::printf("%-10zu %13.3f ms %13.3f ms %13.3f us %10zu\n", n, t_awe * 1e3,
+                t_setup * 1e3, t_inc * 1e6, model.port_count());
+  }
+
+  std::printf("\nsymbolic solve cost vs number of symbols (128-segment ladder):\n");
+  std::printf("%-10s %16s %16s %14s\n", "#symbols", "setup", "incr/point", "instrs");
+  auto lad = ladder(128);
+  std::vector<std::string> all_symbols{"r10", "c20", "r40", "c60", "r80"};
+  for (std::size_t k = 1; k <= all_symbols.size(); ++k) {
+    const std::vector<std::string> symbols(all_symbols.begin(),
+                                           all_symbols.begin() + k);
+    const double t_setup = time_median(3, [&] {
+      const auto m = core::CompiledModel::build(lad.netlist, symbols,
+                                                circuits::LadderCircuit::kInput, lad.out,
+                                                {.order = 2});
+      benchmark::DoNotOptimize(m.instruction_count());
+    });
+    const auto model = core::CompiledModel::build(
+        lad.netlist, symbols, circuits::LadderCircuit::kInput, lad.out, {.order = 2});
+    std::vector<double> vals;
+    for (const auto& s : symbols)
+      vals.push_back(lad.netlist.elements()[*lad.netlist.find_element(s)].value);
+    const double t_inc = time_median(3, [&] {
+      double acc = 0.0;
+      for (int i = 0; i < 256; ++i) {
+        vals[0] *= 1.0001;
+        acc += model.evaluate(vals).dc_gain();
+      }
+      benchmark::DoNotOptimize(acc);
+    }) / 256.0;
+    std::printf("%-10zu %13.3f ms %13.3f us %14zu\n", k, t_setup * 1e3, t_inc * 1e6,
+                model.instruction_count());
+  }
+  std::printf("\n");
+}
+
+void BM_SymbolicIncremental_BySize(benchmark::State& state) {
+  auto lad = ladder(static_cast<std::size_t>(state.range(0)));
+  const std::vector<std::string> symbols{"rdrv", "c0"};
+  const auto model = core::CompiledModel::build(
+      lad.netlist, symbols, circuits::LadderCircuit::kInput, lad.out, {.order = 2});
+  int i = 0;
+  for (auto _ : state) {
+    const auto rom =
+        model.evaluate(std::vector<double>{40.0 + (i++ % 100), 1e-12});
+    benchmark::DoNotOptimize(rom.dc_gain());
+  }
+}
+BENCHMARK(BM_SymbolicIncremental_BySize)->Arg(32)->Arg(512)->Arg(2048);
+
+void BM_FullAwe_BySize(benchmark::State& state) {
+  auto lad = ladder(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto rom = engine::run_awe(lad.netlist, circuits::LadderCircuit::kInput,
+                                     lad.out, {.order = 2});
+    benchmark::DoNotOptimize(rom.dc_gain());
+  }
+}
+BENCHMARK(BM_FullAwe_BySize)->Arg(32)->Arg(512)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

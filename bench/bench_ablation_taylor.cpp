@@ -1,0 +1,114 @@
+// Ablation D: exact compiled symbolic model vs first-order Taylor moment
+// expansion (the cheap "partial" alternative, cf. the paper's partial
+// Padé remark in §3.1).
+//
+// Shape: the Taylor model is cheaper to set up (one AWE run + adjoint
+// chain, no partitioning/compilation) and as fast to evaluate, but its
+// accuracy collapses away from the expansion point while the symbolic
+// model stays exact over the whole symbol range — the reason AWEsymbolic
+// is the right tool for wide-range design-space exploration.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "awe/moments.hpp"
+#include "bench_util.hpp"
+#include "circuits/opamp741.hpp"
+#include "core/awesymbolic.hpp"
+#include "core/taylor_model.hpp"
+
+namespace {
+
+using namespace awe;
+
+const std::vector<std::string> kSymbols{circuits::Opamp741Circuit::kSymbolGout,
+                                        circuits::Opamp741Circuit::kSymbolCcomp};
+
+void print_tables() {
+  using benchutil::time_median;
+  auto amp = circuits::make_opamp741();
+  const circuits::Opamp741Values nominal;
+
+  const double t_setup_sym = time_median(3, [&] {
+    const auto m = core::CompiledModel::build(
+        amp.netlist, kSymbols, circuits::Opamp741Circuit::kInput, amp.out, {.order = 2});
+    benchmark::DoNotOptimize(m.port_count());
+  });
+  const double t_setup_taylor = time_median(3, [&] {
+    const auto m = core::TaylorMomentModel::build(
+        amp.netlist, kSymbols, circuits::Opamp741Circuit::kInput, amp.out, {.order = 2});
+    benchmark::DoNotOptimize(m.expansion_point().size());
+  });
+
+  const auto sym = core::CompiledModel::build(
+      amp.netlist, kSymbols, circuits::Opamp741Circuit::kInput, amp.out, {.order = 2});
+  const auto taylor = core::TaylorMomentModel::build(
+      amp.netlist, kSymbols, circuits::Opamp741Circuit::kInput, amp.out, {.order = 2});
+
+  std::printf("== Ablation D: compiled symbolic vs first-order Taylor model (741) ==\n\n");
+  benchutil::print_time("symbolic setup", t_setup_sym);
+  benchutil::print_time("Taylor setup", t_setup_taylor);
+
+  std::printf("\nmoment accuracy vs distance from the expansion point (both symbols\n"
+              "scaled by the factor; reference = full AWE at that point):\n");
+  std::printf("%-10s %18s %18s\n", "factor", "Taylor max rel err", "symbolic max rel err");
+  for (const double f : {1.01, 1.1, 1.25, 1.5, 2.0, 4.0}) {
+    const std::vector<double> vals{nominal.gout_q14 * f, nominal.c_comp * f};
+    amp.netlist.set_value(kSymbols[0], vals[0]);
+    amp.netlist.set_value(kSymbols[1], vals[1]);
+    const auto m_ref =
+        engine::MomentGenerator(amp.netlist)
+            .transfer_moments(circuits::Opamp741Circuit::kInput, amp.out, 4);
+    const auto m_taylor = taylor.moments_at(vals);
+    const auto m_sym = sym.moments_at(vals);
+    double e_taylor = 0.0, e_sym = 0.0;
+    for (std::size_t k = 0; k < 4; ++k) {
+      const double scale = std::abs(m_ref[k]) + 1e-30;
+      e_taylor = std::max(e_taylor, std::abs(m_taylor[k] - m_ref[k]) / scale);
+      e_sym = std::max(e_sym, std::abs(m_sym[k] - m_ref[k]) / scale);
+    }
+    std::printf("%-10.2f %18.3e %18.3e\n", f, e_taylor, e_sym);
+  }
+  std::printf("\n");
+}
+
+void BM_TaylorEvaluate(benchmark::State& state) {
+  auto amp = circuits::make_opamp741();
+  const auto taylor = core::TaylorMomentModel::build(
+      amp.netlist, kSymbols, circuits::Opamp741Circuit::kInput, amp.out, {.order = 2});
+  const circuits::Opamp741Values nominal;
+  int i = 0;
+  for (auto _ : state) {
+    const double f = 0.9 + 0.0001 * (i++ % 1000);
+    const auto rom = taylor.evaluate(
+        std::vector<double>{nominal.gout_q14 * f, nominal.c_comp * f});
+    benchmark::DoNotOptimize(rom.dc_gain());
+  }
+}
+BENCHMARK(BM_TaylorEvaluate)->Unit(benchmark::kMicrosecond);
+
+void BM_SymbolicEvaluate(benchmark::State& state) {
+  auto amp = circuits::make_opamp741();
+  const auto sym = core::CompiledModel::build(
+      amp.netlist, kSymbols, circuits::Opamp741Circuit::kInput, amp.out, {.order = 2});
+  const circuits::Opamp741Values nominal;
+  int i = 0;
+  for (auto _ : state) {
+    const double f = 0.9 + 0.0001 * (i++ % 1000);
+    const auto rom =
+        sym.evaluate(std::vector<double>{nominal.gout_q14 * f, nominal.c_comp * f});
+    benchmark::DoNotOptimize(rom.dc_gain());
+  }
+}
+BENCHMARK(BM_SymbolicEvaluate)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

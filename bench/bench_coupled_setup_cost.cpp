@@ -1,0 +1,121 @@
+// Paper §3.2 run-time comparison on the coupled-line timing model:
+//
+//   "A single AWE analysis for this circuit requires on average 1.12
+//    seconds on a DECStation5000, while the AWEsymbolic analysis requires
+//    5.41 seconds ... However, the incremental cost, which is crucial in
+//    iterative applications, is 0.11 milliseconds for AWEsymbolic.  This
+//    is four orders of magnitude faster than a numeric analysis with AWE."
+//
+// Shape to reproduce: symbolic setup costs a small multiple of one AWE
+// run, but the incremental evaluation is orders of magnitude cheaper.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "awe/awe.hpp"
+#include "bench_util.hpp"
+#include "circuits/coupled_lines.hpp"
+#include "core/awesymbolic.hpp"
+
+namespace {
+
+using namespace awe;
+
+const std::vector<std::string> kSymbols{circuits::CoupledLinesCircuit::kSymbolRdriver,
+                                        circuits::CoupledLinesCircuit::kSymbolCload};
+
+void print_comparison() {
+  using benchutil::time_median;
+  circuits::CoupledLineValues v;  // 1000 segments, as in the paper
+  auto c = circuits::make_coupled_lines(v);
+
+  std::printf("== coupled-line timing model: setup vs incremental cost ==\n");
+  std::printf("(2 x %zu segments, %zu elements; symbols: driver R, load C)\n\n",
+              v.segments, c.netlist.elements().size());
+
+  const double t_awe = time_median(3, [&] {
+    const auto rom = engine::run_awe(c.netlist, circuits::CoupledLinesCircuit::kInput,
+                                     c.line2_out, {.order = 2});
+    benchmark::DoNotOptimize(rom.dc_gain());
+  });
+  const double t_setup = time_median(3, [&] {
+    const auto model = core::CompiledModel::build(
+        c.netlist, kSymbols, circuits::CoupledLinesCircuit::kInput, c.line2_out,
+        {.order = 2});
+    benchmark::DoNotOptimize(model.instruction_count());
+  });
+  const auto model = core::CompiledModel::build(
+      c.netlist, kSymbols, circuits::CoupledLinesCircuit::kInput, c.line2_out,
+      {.order = 2});
+  const double t_inc = time_median(5, [&] {
+    double acc = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+      const auto rom = model.evaluate(
+          std::vector<double>{50.0 + 0.5 * i, 1e-12 * (0.5 + 0.001 * i)});
+      acc += rom.step_response(10e-9);
+    }
+    benchmark::DoNotOptimize(acc);
+  }) / 1000.0;
+
+  benchutil::print_time("single full AWE analysis", t_awe);
+  benchutil::print_time("AWEsymbolic setup (partition+symbolic+compile)", t_setup);
+  benchutil::print_time("AWEsymbolic incremental cost per evaluation", t_inc);
+  std::printf("\nsetup ratio   : symbolic/AWE = %.2fx   (paper: 5.41s/1.12s = 4.8x)\n",
+              t_setup / t_awe);
+  std::printf("incremental   : AWE/symbolic = %.0fx    (paper: ~1e4x)\n\n", t_awe / t_inc);
+}
+
+void BM_FullAwe_CoupledLines(benchmark::State& state) {
+  circuits::CoupledLineValues v;
+  v.segments = static_cast<std::size_t>(state.range(0));
+  auto c = circuits::make_coupled_lines(v);
+  for (auto _ : state) {
+    const auto rom = engine::run_awe(c.netlist, circuits::CoupledLinesCircuit::kInput,
+                                     c.line2_out, {.order = 2});
+    benchmark::DoNotOptimize(rom.dc_gain());
+  }
+}
+BENCHMARK(BM_FullAwe_CoupledLines)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_SymbolicSetup_CoupledLines(benchmark::State& state) {
+  circuits::CoupledLineValues v;
+  v.segments = static_cast<std::size_t>(state.range(0));
+  auto c = circuits::make_coupled_lines(v);
+  for (auto _ : state) {
+    const auto model = core::CompiledModel::build(
+        c.netlist, kSymbols, circuits::CoupledLinesCircuit::kInput, c.line2_out,
+        {.order = 2});
+    benchmark::DoNotOptimize(model.instruction_count());
+  }
+}
+BENCHMARK(BM_SymbolicSetup_CoupledLines)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_SymbolicIncremental_CoupledLines(benchmark::State& state) {
+  circuits::CoupledLineValues v;
+  v.segments = static_cast<std::size_t>(state.range(0));
+  auto c = circuits::make_coupled_lines(v);
+  const auto model = core::CompiledModel::build(
+      c.netlist, kSymbols, circuits::CoupledLinesCircuit::kInput, c.line2_out,
+      {.order = 2});
+  int i = 0;
+  for (auto _ : state) {
+    const auto rom = model.evaluate(
+        std::vector<double>{50.0 + 0.5 * (i % 500), 1e-12 * (0.5 + 0.001 * (i % 500))});
+    ++i;
+    benchmark::DoNotOptimize(rom.step_response(10e-9));
+  }
+}
+BENCHMARK(BM_SymbolicIncremental_CoupledLines)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Figures 4 and 5 of the paper: 3-D surfaces of the first pole p1 and the
+// DC gain of the 741 as functions of the two symbolic elements
+// (gout_q14, c_comp), generated from the *first-order* symbolic form.
+//
+// The printed grids are the figure data; the registered benchmarks time
+// one surface point through the compiled model (the quantity that makes
+// surface generation cheap) and, for contrast, through a full AWE run.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "awe/awe.hpp"
+#include "bench_util.hpp"
+#include "circuits/opamp741.hpp"
+#include "core/awesymbolic.hpp"
+
+namespace {
+
+using namespace awe;
+
+const std::vector<std::string> kSymbols{circuits::Opamp741Circuit::kSymbolGout,
+                                        circuits::Opamp741Circuit::kSymbolCcomp};
+
+core::CompiledModel build_model(std::size_t order) {
+  auto amp = circuits::make_opamp741();
+  return core::CompiledModel::build(amp.netlist, kSymbols,
+                                    circuits::Opamp741Circuit::kInput, amp.out,
+                                    {.order = order});
+}
+
+void print_figures() {
+  const auto model = build_model(1);
+  const circuits::Opamp741Values nominal;
+  constexpr int kGrid = 9;
+  auto gval = [&](int i) {
+    return nominal.gout_q14 * (0.4 + 1.6 * i / double(kGrid - 1));
+  };
+  auto cval = [&](int j) {
+    return nominal.c_comp * (0.4 + 1.6 * j / double(kGrid - 1));
+  };
+
+  std::printf("== Figure 4: first pole p1/2pi [Hz] from the 1st-order symbolic form ==\n\n");
+  std::printf("%11s", "gout\\cc");
+  for (int j = 0; j < kGrid; ++j) std::printf(" %8.1fp", cval(j) * 1e12);
+  std::printf("\n");
+  for (int i = 0; i < kGrid; ++i) {
+    std::printf("%9.2fmS", gval(i) * 1e3);
+    for (int j = 0; j < kGrid; ++j) {
+      const auto rom = model.evaluate(std::vector<double>{gval(i), cval(j)});
+      std::printf(" %9.3f", rom.dominant_pole()->real() / (2 * M_PI));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n== Figure 5: DC gain from the 1st-order symbolic form ==\n\n");
+  for (int i = 0; i < kGrid; ++i) {
+    std::printf("%9.2fmS", gval(i) * 1e3);
+    for (int j = 0; j < kGrid; ++j) {
+      const auto rom = model.evaluate(std::vector<double>{gval(i), cval(j)});
+      std::printf(" %9.0f", std::abs(rom.dc_gain()));
+    }
+    std::printf("\n");
+  }
+
+  // Identity with full AWE at the grid corners (the paper's "data is
+  // identical to that obtained from a pure numerical AWE analysis").
+  std::printf("\nidentity check vs full AWE (order 1) at grid corners:\n");
+  auto amp = circuits::make_opamp741();
+  double max_rel = 0.0;
+  for (const int i : {0, kGrid - 1})
+    for (const int j : {0, kGrid - 1}) {
+      const auto rs = model.evaluate(std::vector<double>{gval(i), cval(j)});
+      amp.netlist.set_value(kSymbols[0], gval(i));
+      amp.netlist.set_value(kSymbols[1], cval(j));
+      const auto rr = engine::run_awe(amp.netlist, circuits::Opamp741Circuit::kInput,
+                                      amp.out, {.order = 1});
+      max_rel = std::max(max_rel, std::abs(rs.dc_gain() / rr.dc_gain() - 1.0));
+      max_rel = std::max(max_rel, std::abs(rs.dominant_pole()->real() /
+                                               rr.dominant_pole()->real() -
+                                           1.0));
+    }
+  std::printf("max relative deviation over corners: %.3e\n\n", max_rel);
+}
+
+void BM_SurfacePoint_Symbolic(benchmark::State& state) {
+  const auto model = build_model(1);
+  const circuits::Opamp741Values nominal;
+  int i = 0;
+  for (auto _ : state) {
+    const double f = 0.5 + 0.001 * (i++ % 1000);
+    const auto rom =
+        model.evaluate(std::vector<double>{nominal.gout_q14 * f, nominal.c_comp * f});
+    benchmark::DoNotOptimize(rom.dc_gain());
+  }
+}
+BENCHMARK(BM_SurfacePoint_Symbolic)->Unit(benchmark::kMicrosecond);
+
+void BM_SurfacePoint_FullAwe(benchmark::State& state) {
+  auto amp = circuits::make_opamp741();
+  const circuits::Opamp741Values nominal;
+  int i = 0;
+  for (auto _ : state) {
+    const double f = 0.5 + 0.001 * (i++ % 1000);
+    amp.netlist.set_value(kSymbols[0], nominal.gout_q14 * f);
+    amp.netlist.set_value(kSymbols[1], nominal.c_comp * f);
+    const auto rom = engine::run_awe(amp.netlist, circuits::Opamp741Circuit::kInput,
+                                     amp.out, {.order = 1});
+    benchmark::DoNotOptimize(rom.dc_gain());
+  }
+}
+BENCHMARK(BM_SurfacePoint_FullAwe)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

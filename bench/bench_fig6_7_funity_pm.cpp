@@ -1,0 +1,113 @@
+// Figures 6 and 7 of the paper: unity-gain frequency and phase margin of
+// the 741 as functions of (gout_q14, c_comp), from the *second-order*
+// symbolic form.  The DC-gain surface from the second-order form is also
+// checked against the first-order one (the paper notes they are identical
+// because the first moment is always exact).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuits/opamp741.hpp"
+#include "core/awesymbolic.hpp"
+
+namespace {
+
+using namespace awe;
+
+const std::vector<std::string> kSymbols{circuits::Opamp741Circuit::kSymbolGout,
+                                        circuits::Opamp741Circuit::kSymbolCcomp};
+
+core::CompiledModel build_model(std::size_t order) {
+  auto amp = circuits::make_opamp741();
+  return core::CompiledModel::build(amp.netlist, kSymbols,
+                                    circuits::Opamp741Circuit::kInput, amp.out,
+                                    {.order = order});
+}
+
+void print_figures() {
+  const auto model2 = build_model(2);
+  const auto model1 = build_model(1);
+  const circuits::Opamp741Values nominal;
+  constexpr int kGrid = 9;
+  auto gval = [&](int i) {
+    return nominal.gout_q14 * (0.4 + 1.6 * i / double(kGrid - 1));
+  };
+  auto cval = [&](int j) {
+    return nominal.c_comp * (0.4 + 1.6 * j / double(kGrid - 1));
+  };
+
+  std::printf("== Figure 6: unity-gain frequency [MHz], 2nd-order symbolic form ==\n\n");
+  std::printf("%11s", "gout\\cc");
+  for (int j = 0; j < kGrid; ++j) std::printf(" %8.1fp", cval(j) * 1e12);
+  std::printf("\n");
+  for (int i = 0; i < kGrid; ++i) {
+    std::printf("%9.2fmS", gval(i) * 1e3);
+    for (int j = 0; j < kGrid; ++j) {
+      const auto rom = model2.evaluate(std::vector<double>{gval(i), cval(j)});
+      std::printf(" %9.4f", rom.unity_gain_frequency() / 1e6);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n== Figure 7: phase margin [deg], 2nd-order symbolic form ==\n\n");
+  for (int i = 0; i < kGrid; ++i) {
+    std::printf("%9.2fmS", gval(i) * 1e3);
+    for (int j = 0; j < kGrid; ++j) {
+      const auto rom = model2.evaluate(std::vector<double>{gval(i), cval(j)});
+      std::printf(" %9.2f", rom.phase_margin_deg());
+    }
+    std::printf("\n");
+  }
+
+  // Paper: "The DC gain plot from the second order form is identical to
+  // that of the first order form ... the first moment computed by AWE is
+  // always an exact form of the DC gain."
+  double max_rel = 0.0;
+  for (int i = 0; i < kGrid; i += 2)
+    for (int j = 0; j < kGrid; j += 2) {
+      const std::vector<double> v{gval(i), cval(j)};
+      max_rel = std::max(max_rel, std::abs(model2.evaluate(v).dc_gain() /
+                                               model1.evaluate(v).dc_gain() -
+                                           1.0));
+    }
+  std::printf("\nDC gain: 2nd-order vs 1st-order surfaces, max relative deviation %.2e\n\n",
+              max_rel);
+}
+
+void BM_Funity_SurfacePoint(benchmark::State& state) {
+  const auto model = build_model(2);
+  const circuits::Opamp741Values nominal;
+  int i = 0;
+  for (auto _ : state) {
+    const double f = 0.5 + 0.001 * (i++ % 1000);
+    const auto rom =
+        model.evaluate(std::vector<double>{nominal.gout_q14 * f, nominal.c_comp * f});
+    benchmark::DoNotOptimize(rom.unity_gain_frequency());
+  }
+}
+BENCHMARK(BM_Funity_SurfacePoint)->Unit(benchmark::kMicrosecond);
+
+void BM_PhaseMargin_SurfacePoint(benchmark::State& state) {
+  const auto model = build_model(2);
+  const circuits::Opamp741Values nominal;
+  int i = 0;
+  for (auto _ : state) {
+    const double f = 0.5 + 0.001 * (i++ % 1000);
+    const auto rom =
+        model.evaluate(std::vector<double>{nominal.gout_q14 * f, nominal.c_comp * f});
+    benchmark::DoNotOptimize(rom.phase_margin_deg());
+  }
+}
+BENCHMARK(BM_PhaseMargin_SurfacePoint)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Figures 9 and 10 of the paper: cross-talk step-response transients of
+// the coupled-line pair as the driver resistance (Fig. 9) and the victim
+// load capacitance (Fig. 10) are varied, generated from the second-order
+// compiled symbolic model.  A transient-simulator reference validates the
+// curve at the nominal point.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuits/coupled_lines.hpp"
+#include "core/awesymbolic.hpp"
+#include "transim/transim.hpp"
+
+namespace {
+
+using namespace awe;
+
+const std::vector<std::string> kSymbols{circuits::CoupledLinesCircuit::kSymbolRdriver,
+                                        circuits::CoupledLinesCircuit::kSymbolCload};
+
+void print_figures() {
+  circuits::CoupledLineValues v;  // 1000 segments
+  auto c = circuits::make_coupled_lines(v);
+  const auto model = core::CompiledModel::build(
+      c.netlist, kSymbols, circuits::CoupledLinesCircuit::kInput, c.line2_out,
+      {.order = 2});
+
+  std::printf("== Figure 9: cross-talk transient as R_driver is varied ==\n\n");
+  const std::vector<double> rdrvs{25, 50, 100, 200, 400};
+  std::printf("%8s", "t[ns]");
+  for (const double r : rdrvs) std::printf("   R=%5.0f", r);
+  std::printf("\n");
+  std::vector<engine::ReducedOrderModel> roms;
+  for (const double r : rdrvs)
+    roms.push_back(model.evaluate(std::vector<double>{r, v.c_load}));
+  for (double t = 0; t <= 100e-9; t += 5e-9) {
+    std::printf("%8.1f", t * 1e9);
+    for (const auto& rom : roms) std::printf(" %9.5f", rom.step_response(t));
+    std::printf("\n");
+  }
+
+  std::printf("\n== Figure 10: cross-talk transient as C_load is varied ==\n\n");
+  const std::vector<double> cloads{0.25e-12, 0.5e-12, 1e-12, 2e-12, 4e-12};
+  std::printf("%8s", "t[ns]");
+  for (const double cl : cloads) std::printf("  C=%5.2fp", cl * 1e12);
+  std::printf("\n");
+  roms.clear();
+  for (const double cl : cloads)
+    roms.push_back(model.evaluate(std::vector<double>{v.r_driver, cl}));
+  for (double t = 0; t <= 100e-9; t += 5e-9) {
+    std::printf("%8.1f", t * 1e9);
+    for (const auto& rom : roms) std::printf(" %9.5f", rom.step_response(t));
+    std::printf("\n");
+  }
+
+  // Validation at the nominal corner against the transient baseline
+  // (on a reduced 100-segment version to keep the check quick).
+  circuits::CoupledLineValues vs;
+  vs.segments = 100;
+  auto cs = circuits::make_coupled_lines(vs);
+  const auto model_s = core::CompiledModel::build(
+      cs.netlist, kSymbols, circuits::CoupledLinesCircuit::kInput, cs.line2_out,
+      {.order = 2});
+  const auto rom = model_s.evaluate(std::vector<double>{vs.r_driver, vs.c_load});
+  transim::TransientSimulator sim(cs.netlist);
+  sim.set_waveform(circuits::CoupledLinesCircuit::kInput, transim::step(1.0));
+  transim::TransientOptions topts;
+  topts.t_stop = 100e-9;
+  topts.dt = 0.1e-9;
+  const auto res = sim.run(topts);
+  const auto vt = res.node_voltage(sim.layout(), cs.line2_out);
+  double peak_sim = 0.0, peak_rom = 0.0;
+  for (std::size_t k = 0; k < vt.size(); ++k) {
+    peak_sim = std::max(peak_sim, std::abs(vt[k]));
+    peak_rom = std::max(peak_rom, std::abs(rom.step_response(res.time[k])));
+  }
+  std::printf("\nvalidation (100 segments): cross-talk peak %.5f (model) vs %.5f "
+              "(transient), ratio %.3f\n\n",
+              peak_rom, peak_sim, peak_rom / peak_sim);
+}
+
+void BM_CrosstalkCurve_Symbolic(benchmark::State& state) {
+  // One full figure curve (model evaluation + 64 time points).
+  circuits::CoupledLineValues v;
+  auto c = circuits::make_coupled_lines(v);
+  const auto model = core::CompiledModel::build(
+      c.netlist, kSymbols, circuits::CoupledLinesCircuit::kInput, c.line2_out,
+      {.order = 2});
+  int i = 0;
+  for (auto _ : state) {
+    const auto rom =
+        model.evaluate(std::vector<double>{50.0 + (i++ % 400), v.c_load});
+    double acc = 0.0;
+    for (int k = 0; k < 64; ++k) acc += rom.step_response(2e-9 * k);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CrosstalkCurve_Symbolic)->Unit(benchmark::kMicrosecond);
+
+void BM_CrosstalkCurve_Transient100(benchmark::State& state) {
+  // The traditional-simulator cost of one such curve (100 segments only;
+  // the 1000-segment version is ~10x this).
+  circuits::CoupledLineValues v;
+  v.segments = 100;
+  auto c = circuits::make_coupled_lines(v);
+  transim::TransientSimulator sim(c.netlist);
+  sim.set_waveform(circuits::CoupledLinesCircuit::kInput, transim::step(1.0));
+  transim::TransientOptions topts;
+  topts.t_stop = 100e-9;
+  topts.dt = 0.5e-9;
+  for (auto _ : state) {
+    const auto res = sim.run(topts);
+    benchmark::DoNotOptimize(res.samples.back()[0]);
+  }
+}
+BENCHMARK(BM_CrosstalkCurve_Transient100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+namespace awe::benchutil {
+
+/// Wall-clock seconds of one invocation.
+inline double time_once(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Median-of-`reps` wall-clock seconds (cheap robust timing for the
+/// headline tables; the registered google-benchmark cases provide the
+/// statistically rigorous numbers).
+inline double time_median(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) best = std::min(best, time_once(fn));
+  return best;
+}
+
+/// Pretty seconds with sensible units.
+inline void print_time(const char* label, double seconds) {
+  if (seconds >= 1.0)
+    std::printf("%-44s %10.3f s\n", label, seconds);
+  else if (seconds >= 1e-3)
+    std::printf("%-44s %10.3f ms\n", label, seconds * 1e3);
+  else
+    std::printf("%-44s %10.3f us\n", label, seconds * 1e6);
+}
+
+}  // namespace awe::benchutil

@@ -1,0 +1,92 @@
+// Clock-tree skew modeling with a multi-output compiled symbolic model.
+//
+// The paper's closing motivation: "AWEsymbolic should serve as a useful
+// mechanism for modeling interconnect delay in physical CAD design tools."
+// This example builds a balanced RC clock tree, treats the driver
+// resistance and a leaf load capacitance as symbols, compiles ONE model
+// observing every leaf, and then explores skew (max leaf-to-leaf delay
+// difference) across the design space — each design point costing
+// microseconds instead of a full re-simulation.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "awe/tree_moments.hpp"
+#include "circuits/ladders.hpp"
+#include "core/awesymbolic.hpp"
+
+int main() {
+  using namespace awe;
+  circuits::TreeValues tv;
+  tv.depth = 3;  // 8 leaves — every leaf becomes a preserved port, and the
+                 // symbolic port system is capped at 16 unknowns
+  auto tree = circuits::make_rc_tree(tv);
+  auto& nl = tree.netlist;
+  std::printf("== clock-tree skew model (depth %zu, %zu elements) ==\n\n", tv.depth,
+              nl.elements().size());
+
+  // Unbalance one leaf's load so there is real skew to model, then treat
+  // the driver resistance and that leaf's extra load as the symbols.
+  const std::size_t leaves = std::size_t{1} << tv.depth;
+  nl.set_value("cl1", 5e-12);  // leaf0's extra load (element names are 1-based)
+  const std::vector<std::string> symbols{"rdrv", "cl1"};
+
+  std::vector<circuit::NodeId> leaf_nodes;
+  for (std::size_t i = 0; i < leaves; ++i)
+    leaf_nodes.push_back(*nl.find_node("leaf" + std::to_string(i)));
+
+  const auto model = core::MultiOutputModel::build(
+      nl, symbols, circuits::TreeCircuit::kInput, leaf_nodes, {.order = 2});
+  std::printf("one compiled model for %zu leaf outputs: %zu instructions, %zu ports\n\n",
+              model.output_count(), model.instruction_count(), model.port_count());
+
+  // O(n) tree-moment cross-check of the nominal Elmore delays.
+  const auto pt = engine::RcTreeAnalyzer::build(nl, circuits::TreeCircuit::kInput);
+  if (pt) {
+    const auto all = pt->all_node_moments(2);
+    std::printf("nominal Elmore delays (path-tracing, O(n)):\n");
+    for (std::size_t i = 0; i < 4; ++i)
+      std::printf("  leaf%-3zu %8.4f ns\n", i, -all[1][leaf_nodes[i]] * 1e9);
+    std::printf("  ...\n\n");
+  }
+
+  auto skew_at = [&](double rdrv, double cl) {
+    std::vector<double> t50(model.output_count());
+    for (std::size_t o = 0; o < model.output_count(); ++o) {
+      const auto rom = model.evaluate(o, std::vector<double>{rdrv, cl});
+      t50[o] = *rom.step_crossing_time(0.5, 1e-6);
+    }
+    const auto [lo, hi] = std::minmax_element(t50.begin(), t50.end());
+    return std::pair<double, double>(*hi - *lo, *hi);
+  };
+
+  std::printf("skew and max insertion delay vs (driver R, leaf0 extra load):\n");
+  std::printf("%12s", "Rdrv\\Cl1");
+  for (const double cl : {1e-12, 2e-12, 5e-12, 10e-12})
+    std::printf("   %7.0fpF", cl * 1e12);
+  std::printf("\n");
+  for (const double r : {20.0, 50.0, 100.0, 200.0}) {
+    std::printf("%10.0f", r);
+    for (const double cl : {1e-12, 2e-12, 5e-12, 10e-12}) {
+      const auto [skew, max_delay] = skew_at(r, cl);
+      std::printf("  %5.3f/%4.2f", skew * 1e9, max_delay * 1e9);
+    }
+    std::printf("   (skew/max, ns)\n");
+  }
+
+  std::printf("\nbalancing experiment: find the leaf0 load that nulls the skew at "
+              "Rdrv = 50:\n");
+  double best_cl = 1e-12, best_skew = 1e9;
+  for (double cl = 0.5e-12; cl <= 4e-12; cl += 0.125e-12) {
+    const auto [skew, unused] = skew_at(50.0, cl);
+    (void)unused;
+    if (skew < best_skew) {
+      best_skew = skew;
+      best_cl = cl;
+    }
+  }
+  std::printf("  min skew %.4f ns at Cl1 = %.3f pF "
+              "(every probe reused the same compiled model)\n",
+              best_skew * 1e9, best_cl * 1e12);
+  return 0;
+}

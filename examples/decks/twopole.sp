@@ -1,0 +1,11 @@
+* two-pole RC demo deck for awesym_cli
+Vin in 0 1
+R1 in a 1k
+C1 a 0 10p
+R2 a out 2k
+C2 out 0 5p
+.symbol R2
+.symbol C2
+.input vin
+.output out
+.end

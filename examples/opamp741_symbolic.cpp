@@ -1,0 +1,117 @@
+// Frequency-domain symbolic analysis of the 741 op-amp (paper §3.1).
+//
+// Workflow exactly as in the paper:
+//   1. AWEsensitivity ranks elements; gout_q14 and c_comp come out on top
+//      and are chosen as symbols.
+//   2. A first-order AWEsymbolic model gives closed forms for the DC gain
+//      and dominant pole (eqn (14) analogues) — plotted as grids over the
+//      symbol values (Figures 4 and 5).
+//   3. A second-order model produces unity-gain frequency and phase
+//      margin surfaces (Figures 6 and 7), identical to full AWE.
+#include <cmath>
+#include <cstdio>
+
+#include "awe/awe.hpp"
+#include "awe/sensitivity.hpp"
+#include "circuits/opamp741.hpp"
+#include "core/awesymbolic.hpp"
+
+int main() {
+  using namespace awe;
+  auto amp = circuits::make_opamp741();
+  const auto& nl = amp.netlist;
+  std::printf("== 741 operational amplifier, AWEsymbolic analysis ==\n\n");
+  std::printf("linearized circuit: %zu linear elements, %zu energy-storage elements\n\n",
+              nl.elements().size(), nl.num_storage_elements());
+
+  // -- 1. automatic symbol selection via AWEsensitivity ------------------
+  const auto ranked = engine::rank_symbol_candidates(
+      nl, circuits::Opamp741Circuit::kInput, amp.out, 2);
+  std::printf("top-5 normalized pole sensitivities (symbol candidates):\n");
+  for (std::size_t i = 0; i < 5 && i < ranked.size(); ++i)
+    std::printf("  %-12s %.3e\n", ranked[i].name.c_str(),
+                ranked[i].normalized_sensitivity);
+
+  const std::vector<std::string> symbols{circuits::Opamp741Circuit::kSymbolGout,
+                                         circuits::Opamp741Circuit::kSymbolCcomp};
+  std::printf("\nchosen symbols: %s, %s\n\n", symbols[0].c_str(), symbols[1].c_str());
+
+  // -- 2. first-order closed forms (Figures 4, 5) ------------------------
+  const auto model1 = core::CompiledModel::build(
+      nl, symbols, circuits::Opamp741Circuit::kInput, amp.out, {.order = 1});
+  std::printf("first-order symbolic forms (internal symbols g = gout_q14, c = c_comp):\n");
+  const std::vector<std::string> names{"g", "c"};
+  std::printf("  A0(g,c) = %s\n",
+              model1.dc_gain_expression().to_string(names).c_str());
+  std::printf("  p1(g,c) = %s\n\n",
+              model1.first_order_pole_expression().to_string(names).c_str());
+
+  const circuits::Opamp741Values nominal;
+  const double g0 = nominal.gout_q14, c0 = nominal.c_comp;
+
+  std::printf("Figure 4 — first pole p1/2pi [Hz] vs (gout_q14, c_comp), 1st-order form:\n");
+  std::printf("%12s", "gout\\c_comp");
+  for (int jc = 0; jc < 5; ++jc) std::printf(" %9.1fpF", c0 * (0.5 + 0.25 * jc) * 1e12);
+  std::printf("\n");
+  for (int jg = 0; jg < 5; ++jg) {
+    const double g = g0 * (0.5 + 0.25 * jg);
+    std::printf("%10.2fmS", g * 1e3);
+    for (int jc = 0; jc < 5; ++jc) {
+      const double c = c0 * (0.5 + 0.25 * jc);
+      const auto rom = model1.evaluate(std::vector<double>{g, c});
+      std::printf(" %11.3f", rom.dominant_pole()->real() / (2 * M_PI));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nFigure 5 — DC gain vs (gout_q14, c_comp), 1st-order form:\n");
+  for (int jg = 0; jg < 5; ++jg) {
+    const double g = g0 * (0.5 + 0.25 * jg);
+    std::printf("%10.2fmS", g * 1e3);
+    for (int jc = 0; jc < 5; ++jc) {
+      const double c = c0 * (0.5 + 0.25 * jc);
+      const auto rom = model1.evaluate(std::vector<double>{g, c});
+      std::printf(" %11.0f", std::abs(rom.dc_gain()));
+    }
+    std::printf("\n");
+  }
+
+  // -- 3. second-order model (Figures 6, 7) ------------------------------
+  const auto model2 = core::CompiledModel::build(
+      nl, symbols, circuits::Opamp741Circuit::kInput, amp.out, {.order = 2});
+  std::printf("\nFigure 6 — unity-gain frequency [MHz] vs (gout_q14, c_comp), 2nd order:\n");
+  for (int jg = 0; jg < 5; ++jg) {
+    const double g = g0 * (0.5 + 0.25 * jg);
+    std::printf("%10.2fmS", g * 1e3);
+    for (int jc = 0; jc < 5; ++jc) {
+      const double c = c0 * (0.5 + 0.25 * jc);
+      const auto rom = model2.evaluate(std::vector<double>{g, c});
+      std::printf(" %11.4f", rom.unity_gain_frequency() / 1e6);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nFigure 7 — phase margin [deg] vs (gout_q14, c_comp), 2nd order:\n");
+  for (int jg = 0; jg < 5; ++jg) {
+    const double g = g0 * (0.5 + 0.25 * jg);
+    std::printf("%10.2fmS", g * 1e3);
+    for (int jc = 0; jc < 5; ++jc) {
+      const double c = c0 * (0.5 + 0.25 * jc);
+      const auto rom = model2.evaluate(std::vector<double>{g, c});
+      std::printf(" %11.2f", rom.phase_margin_deg());
+    }
+    std::printf("\n");
+  }
+
+  // -- identity with a full AWE analysis at nominal ----------------------
+  const auto rom_sym = model2.evaluate(std::vector<double>{g0, c0});
+  const auto rom_awe = engine::run_awe(nl, circuits::Opamp741Circuit::kInput, amp.out,
+                                       {.order = 2});
+  std::printf("\nidentity check at nominal values (symbolic vs full AWE):\n");
+  std::printf("  DC gain : %.8g vs %.8g\n", rom_sym.dc_gain(), rom_awe.dc_gain());
+  std::printf("  f_unity : %.8g vs %.8g Hz\n", rom_sym.unity_gain_frequency(),
+              rom_awe.unity_gain_frequency());
+  std::printf("  PM      : %.6g vs %.6g deg\n", rom_sym.phase_margin_deg(),
+              rom_awe.phase_margin_deg());
+  return 0;
+}

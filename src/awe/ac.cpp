@@ -1,0 +1,75 @@
+#include "awe/ac.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/mna.hpp"
+#include "linalg/sparse_lu.hpp"
+
+namespace awe::engine {
+
+AcAnalysis::AcAnalysis(const circuit::Netlist& netlist, std::string input_source,
+                       circuit::NodeId output_node)
+    : assembler_(netlist) {
+  g_ = assembler_.build_g();
+  c_ = assembler_.build_c();
+  rhs_ = assembler_.rhs(input_source, 1.0);
+  out_index_ = assembler_.layout().node_unknown(output_node);
+}
+
+std::complex<double> AcAnalysis::transfer(double freq_hz) const {
+  const std::size_t n = g_.rows();
+  const double w = 2.0 * M_PI * freq_hz;
+
+  // Augmented real system [[G, -wC], [wC, G]].
+  linalg::TripletMatrix t(2 * n, 2 * n);
+  for (std::size_t col = 0; col < n; ++col) {
+    for (std::size_t k = g_.col_ptr()[col]; k < g_.col_ptr()[col + 1]; ++k) {
+      const std::size_t r = g_.row_idx()[k];
+      const double v = g_.values()[k];
+      t.add(r, col, v);
+      t.add(n + r, n + col, v);
+    }
+    for (std::size_t k = c_.col_ptr()[col]; k < c_.col_ptr()[col + 1]; ++k) {
+      const std::size_t r = c_.row_idx()[k];
+      const double v = w * c_.values()[k];
+      if (v == 0.0) continue;
+      t.add(r, n + col, -v);
+      t.add(n + r, col, v);
+    }
+  }
+  auto lu = linalg::SparseLu::factor(t.compress());
+  if (!lu) throw std::runtime_error("AcAnalysis: singular system at f = " +
+                                    std::to_string(freq_hz));
+  linalg::Vector b(2 * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) b[i] = rhs_[i];
+  const auto x = lu->solve(std::move(b));
+  return {x[out_index_], x[n + out_index_]};
+}
+
+std::vector<AcPoint> AcAnalysis::sweep(std::span<const double> freqs_hz) const {
+  std::vector<AcPoint> pts;
+  pts.reserve(freqs_hz.size());
+  for (const double f : freqs_hz) pts.push_back({f, transfer(f)});
+  return pts;
+}
+
+std::vector<double> AcAnalysis::log_space(double f_start_hz, double f_stop_hz,
+                                          std::size_t points) {
+  if (points == 0) return {};
+  if (f_start_hz <= 0.0 || f_stop_hz < f_start_hz)
+    throw std::invalid_argument("log_space: need 0 < f_start <= f_stop");
+  std::vector<double> f;
+  f.reserve(points);
+  if (points == 1) {
+    f.push_back(f_start_hz);
+    return f;
+  }
+  const double ratio = std::log(f_stop_hz / f_start_hz);
+  for (std::size_t i = 0; i < points; ++i)
+    f.push_back(f_start_hz * std::exp(ratio * static_cast<double>(i) /
+                                      static_cast<double>(points - 1)));
+  return f;
+}
+
+}  // namespace awe::engine

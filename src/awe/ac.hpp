@@ -1,0 +1,50 @@
+// Exact AC (frequency-domain) analysis.
+//
+// Solves (G + jwC) x = b directly at each frequency via the equivalent
+// real 2n x 2n system  [[G, -wC], [wC, G]] [Re x; Im x] = [b; 0], reusing
+// the real sparse LU machinery.  This is the exact reference the AWE
+// reduced-order models are validated against in the tests and benches
+// (the role a long SPICE .AC run plays in the paper's ecosystem).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "circuit/netlist.hpp"
+#include "linalg/sparse.hpp"
+
+namespace awe::engine {
+
+struct AcPoint {
+  double freq_hz = 0.0;
+  std::complex<double> response;  ///< H(j 2*pi*f) from input to output
+};
+
+class AcAnalysis {
+ public:
+  /// Builds G and C once; each sweep point costs one 2n x 2n sparse solve.
+  AcAnalysis(const circuit::Netlist& netlist, std::string input_source,
+             circuit::NodeId output_node);
+
+  /// Exact transfer function value at one frequency.
+  std::complex<double> transfer(double freq_hz) const;
+
+  /// Sweep an arbitrary frequency list.
+  std::vector<AcPoint> sweep(std::span<const double> freqs_hz) const;
+
+  /// Logarithmically spaced frequency grid (inclusive endpoints).
+  static std::vector<double> log_space(double f_start_hz, double f_stop_hz,
+                                       std::size_t points);
+
+ private:
+  circuit::MnaAssembler assembler_;
+  linalg::SparseMatrix g_;
+  linalg::SparseMatrix c_;
+  linalg::Vector rhs_;
+  std::size_t out_index_ = 0;
+};
+
+}  // namespace awe::engine

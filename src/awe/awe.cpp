@@ -1,0 +1,28 @@
+#include "awe/awe.hpp"
+
+#include <stdexcept>
+
+namespace awe::engine {
+
+ReducedOrderModel run_awe(const circuit::Netlist& netlist, const std::string& input_source,
+                          circuit::NodeId output_node, const AweOptions& opts) {
+  MomentGenerator gen(netlist, opts.expansion_point);
+  const auto moments = gen.transfer_moments(input_source, output_node, 2 * opts.order);
+  RomOptions rom_opts;
+  rom_opts.order = opts.order;
+  rom_opts.enforce_stability = opts.enforce_stability;
+  rom_opts.allow_order_fallback = opts.allow_order_fallback;
+  if (opts.expansion_point == 0.0)
+    return ReducedOrderModel::from_moments(moments, rom_opts);
+  return ReducedOrderModel::from_shifted_moments(moments, rom_opts,
+                                                 opts.expansion_point);
+}
+
+ReducedOrderModel run_awe(const circuit::Netlist& netlist, const std::string& input_source,
+                          const std::string& output_node, const AweOptions& opts) {
+  const auto node = netlist.find_node(output_node);
+  if (!node) throw std::invalid_argument("run_awe: unknown output node '" + output_node + "'");
+  return run_awe(netlist, input_source, *node, opts);
+}
+
+}  // namespace awe::engine

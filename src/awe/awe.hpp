@@ -1,0 +1,37 @@
+// Top-level numeric AWE driver.
+//
+// One call runs the full pipeline of Pillage & Rohrer's Asymptotic
+// Waveform Evaluation on a netlist: MNA assembly, one sparse LU of the DC
+// matrix, 2q moment solves, Padé, pole/residue extraction.  This is the
+// "full AWE analysis" whose per-iteration cost AWEsymbolic's compiled
+// models are benchmarked against (paper Table 1).
+#pragma once
+
+#include <string>
+
+#include "awe/moments.hpp"
+#include "awe/rom.hpp"
+#include "circuit/netlist.hpp"
+
+namespace awe::engine {
+
+struct AweOptions {
+  std::size_t order = 2;
+  bool enforce_stability = true;
+  bool allow_order_fallback = true;
+  /// Real expansion point s0 for the moment series (0 = classic Maclaurin
+  /// about DC).  A positive s0 rescues circuits with singular G and can
+  /// improve accuracy away from DC.
+  double expansion_point = 0.0;
+};
+
+/// Reduced-order model of the transfer from `input_source` (unit
+/// amplitude) to v(`output_node`).
+ReducedOrderModel run_awe(const circuit::Netlist& netlist, const std::string& input_source,
+                          circuit::NodeId output_node, const AweOptions& opts = {});
+
+/// Convenience overload resolving the output node by name.
+ReducedOrderModel run_awe(const circuit::Netlist& netlist, const std::string& input_source,
+                          const std::string& output_node, const AweOptions& opts = {});
+
+}  // namespace awe::engine

@@ -1,0 +1,84 @@
+#include "awe/moments.hpp"
+
+#include <stdexcept>
+
+namespace awe::engine {
+
+MomentGenerator::MomentGenerator(const circuit::Netlist& netlist, double expansion_point)
+    : assembler_(netlist), s0_(expansion_point) {
+  g_ = assembler_.build_g();
+  c_ = assembler_.build_c();
+  std::optional<linalg::SparseLu> lu;
+  if (s0_ == 0.0) {
+    lu = linalg::SparseLu::factor(g_);
+  } else {
+    // Assemble G + s0*C.
+    linalg::TripletMatrix t(g_.rows(), g_.cols());
+    for (std::size_t col = 0; col < g_.cols(); ++col) {
+      for (std::size_t k = g_.col_ptr()[col]; k < g_.col_ptr()[col + 1]; ++k)
+        t.add(g_.row_idx()[k], col, g_.values()[k]);
+      for (std::size_t k = c_.col_ptr()[col]; k < c_.col_ptr()[col + 1]; ++k)
+        t.add(c_.row_idx()[k], col, s0_ * c_.values()[k]);
+    }
+    lu = linalg::SparseLu::factor(t.compress());
+  }
+  if (!lu)
+    throw std::runtime_error(
+        "MomentGenerator: expansion matrix G + s0*C is singular (for s0 = 0: some "
+        "node has no DC path; try a shifted expansion point)");
+  lu_ = std::move(lu);
+}
+
+std::vector<linalg::Vector> MomentGenerator::state_moments(const std::string& input_source,
+                                                           std::size_t count) const {
+  std::vector<linalg::Vector> xs;
+  if (count == 0) return xs;
+  xs.reserve(count);
+  linalg::Vector x = lu_->solve(assembler_.rhs(input_source, 1.0));
+  xs.push_back(x);
+  for (std::size_t k = 1; k < count; ++k) {
+    linalg::Vector rhs = c_.multiply(xs.back());
+    for (double& v : rhs) v = -v;
+    lu_->solve_in_place(rhs);
+    xs.push_back(std::move(rhs));
+  }
+  return xs;
+}
+
+std::vector<double> MomentGenerator::transfer_moments(const std::string& input_source,
+                                                      circuit::NodeId output_node,
+                                                      std::size_t count) const {
+  const std::size_t out = assembler_.layout().node_unknown(output_node);
+  std::vector<double> moments;
+  moments.reserve(count);
+  // Stream the recursion without storing all state vectors.
+  if (count == 0) return moments;
+  linalg::Vector x = lu_->solve(assembler_.rhs(input_source, 1.0));
+  moments.push_back(x[out]);
+  for (std::size_t k = 1; k < count; ++k) {
+    linalg::Vector rhs = c_.multiply(x);
+    for (double& v : rhs) v = -v;
+    lu_->solve_in_place(rhs);
+    x = std::move(rhs);
+    moments.push_back(x[out]);
+  }
+  return moments;
+}
+
+std::vector<linalg::Vector> MomentGenerator::adjoint_moments(circuit::NodeId output_node,
+                                                             std::size_t count) const {
+  std::vector<linalg::Vector> zs;
+  if (count == 0) return zs;
+  zs.reserve(count);
+  linalg::Vector z = lu_->solve_transposed(assembler_.output_selector(output_node));
+  zs.push_back(z);
+  for (std::size_t k = 1; k < count; ++k) {
+    linalg::Vector rhs = c_.multiply_transposed(zs.back());
+    for (double& v : rhs) v = -v;
+    lu_->solve_transposed_in_place(rhs);
+    zs.push_back(std::move(rhs));
+  }
+  return zs;
+}
+
+}  // namespace awe::engine

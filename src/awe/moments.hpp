@@ -1,0 +1,59 @@
+// Moment generation for Asymptotic Waveform Evaluation.
+//
+// The moments of H(s) = c^T (G + sC)^{-1} b are the Maclaurin coefficients
+//   m_k = c^T x_k,   x_0 = G^{-1} b,   x_k = -G^{-1} C x_{k-1},
+// each computed from a DC solve against the same LU factorization — the
+// "DC circuit related simply to the original system" of the paper.  The
+// generator retains the state-moment vectors x_k because the adjoint
+// sensitivity analysis consumes them.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "linalg/sparse_lu.hpp"
+
+namespace awe::engine {
+
+class MomentGenerator {
+ public:
+  /// Factors the expansion matrix (G + s0*C) once.  The default s0 = 0 is
+  /// the classic Maclaurin expansion; a positive real s0 shifts the
+  /// expansion point (standard AWE practice when the s = 0 expansion is
+  /// ill-conditioned or G is singular — a shifted expansion exists for any
+  /// circuit whose pencil is regular).  Throws std::runtime_error when
+  /// G + s0*C is singular.
+  explicit MomentGenerator(const circuit::Netlist& netlist, double expansion_point = 0.0);
+
+  /// Moments m_0..m_{count-1} of the transfer from `input_source` (unit
+  /// amplitude) to the voltage of `output_node`.
+  std::vector<double> transfer_moments(const std::string& input_source,
+                                       circuit::NodeId output_node,
+                                       std::size_t count) const;
+
+  /// State-moment vectors x_0..x_{count-1} for the given input.
+  std::vector<linalg::Vector> state_moments(const std::string& input_source,
+                                            std::size_t count) const;
+
+  /// Adjoint-moment vectors z_0..z_{count-1}:
+  ///   z_0 = G^{-T} c,  z_i = -G^{-T} C^T z_{i-1}.
+  std::vector<linalg::Vector> adjoint_moments(circuit::NodeId output_node,
+                                              std::size_t count) const;
+
+  const circuit::MnaAssembler& assembler() const { return assembler_; }
+  const linalg::SparseMatrix& g_matrix() const { return g_; }
+  const linalg::SparseMatrix& c_matrix() const { return c_; }
+  double expansion_point() const { return s0_; }
+
+ private:
+  circuit::MnaAssembler assembler_;
+  linalg::SparseMatrix g_;
+  linalg::SparseMatrix c_;
+  double s0_ = 0.0;
+  std::optional<linalg::SparseLu> lu_;  // factorization of G + s0*C
+};
+
+}  // namespace awe::engine

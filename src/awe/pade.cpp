@@ -1,0 +1,119 @@
+#include "awe/pade.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include "linalg/polyroots.hpp"
+
+namespace awe::engine {
+namespace {
+
+/// Pick a frequency scale w0 so the scaled moments mu_k = m_k * w0^k have
+/// comparable magnitudes.  The ratio of consecutive moment magnitudes
+/// estimates the dominant time constant.
+double moment_scale(std::span<const double> m) {
+  double ratio_sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t k = 0; k + 1 < m.size(); ++k) {
+    if (m[k] != 0.0 && m[k + 1] != 0.0) {
+      ratio_sum += std::log(std::abs(m[k] / m[k + 1]));
+      ++n;
+    }
+  }
+  if (n == 0) return 1.0;
+  return std::exp(ratio_sum / static_cast<double>(n));
+}
+
+}  // namespace
+
+PadeResult pade_from_moments(std::span<const double> moments, std::size_t order) {
+  const std::size_t q = order;
+  if (q == 0) throw std::invalid_argument("pade: order must be >= 1");
+  if (moments.size() < 2 * q)
+    throw std::invalid_argument("pade: need 2q moments for an order-q approximant");
+
+  PadeResult result;
+  result.order = q;
+  result.scale = moment_scale(moments.subspan(0, 2 * q));
+  const double w0 = result.scale;
+
+  // Scaled moments mu_k = m_k * w0^k correspond to s_hat = s / w0.
+  std::vector<double> mu(2 * q);
+  double pw = 1.0;
+  for (std::size_t k = 0; k < 2 * q; ++k) {
+    mu[k] = moments[k] * pw;
+    pw *= w0;
+  }
+
+  // Hankel system for denominator coefficients (ascending b_1..b_q):
+  //   sum_{j=1..q} b_j mu_{k-j} = -mu_k   for k = q..2q-1.
+  linalg::Matrix h(q, q);
+  linalg::Vector rhs(q);
+  for (std::size_t row = 0; row < q; ++row) {
+    const std::size_t k = q + row;
+    for (std::size_t j = 1; j <= q; ++j) h(row, j - 1) = mu[k - j];
+    rhs[row] = -mu[k];
+  }
+  auto lu = linalg::LuFactorization::factor(std::move(h));
+  if (!lu)
+    throw std::runtime_error(
+        "pade: singular Hankel system (moment degeneracy; try a lower order)");
+  const linalg::Vector b = lu->solve(std::move(rhs));
+
+  // Numerator by matching the first q moments:
+  //   a_k = mu_k + sum_{j=1..k} b_j mu_{k-j},  k = 0..q-1.
+  std::vector<double> a(q);
+  for (std::size_t k = 0; k < q; ++k) {
+    double s = mu[k];
+    for (std::size_t j = 1; j <= k; ++j) s += b[j - 1] * mu[k - j];
+    a[k] = s;
+  }
+
+  // Unscale: coefficient of s^k divides by w0^k.
+  result.numerator.resize(q);
+  result.denominator.resize(q + 1);
+  result.denominator[0] = 1.0;
+  pw = 1.0;
+  for (std::size_t k = 0; k < q; ++k) {
+    result.numerator[k] = a[k] / pw;
+    result.denominator[k + 1] = b[k] / (pw * w0);
+    pw *= w0;
+  }
+
+  result.poles = linalg::poly_roots(result.denominator);
+  result.residues.resize(result.poles.size());
+  for (std::size_t i = 0; i < result.poles.size(); ++i) {
+    const auto p = result.poles[i];
+    const auto num = linalg::poly_eval(result.numerator, p);
+    const auto dden = linalg::poly_eval_derivative(result.denominator, p);
+    if (std::abs(dden) == 0.0)
+      throw std::runtime_error("pade: repeated pole; residue expansion invalid");
+    result.residues[i] = num / dden;
+  }
+  return result;
+}
+
+std::size_t max_feasible_order(std::span<const double> moments) {
+  std::size_t best = 0;
+  for (std::size_t q = 1; 2 * q <= moments.size(); ++q) {
+    const double w0 = moment_scale(moments.subspan(0, 2 * q));
+    std::vector<double> mu(2 * q);
+    double pw = 1.0;
+    for (std::size_t k = 0; k < 2 * q; ++k) {
+      mu[k] = moments[k] * pw;
+      pw *= w0;
+    }
+    linalg::Matrix h(q, q);
+    for (std::size_t row = 0; row < q; ++row)
+      for (std::size_t j = 1; j <= q; ++j) h(row, j - 1) = mu[q + row - j];
+    if (linalg::LuFactorization::factor(std::move(h), 1e-10)) best = q;
+  }
+  return best;
+}
+
+std::complex<double> evaluate_pade(const PadeResult& pade, std::complex<double> s) {
+  return linalg::poly_eval(pade.numerator, s) / linalg::poly_eval(pade.denominator, s);
+}
+
+}  // namespace awe::engine

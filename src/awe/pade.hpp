@@ -1,0 +1,47 @@
+// Padé approximation from moments (the AWE core, Pillage & Rohrer 1990).
+//
+// Given 2q moments of H(s), compute the order-q Padé approximant
+//   H(s) ~= N(s)/D(s),  deg N = q-1, deg D = q, D(0) = 1,
+// by solving the q x q Hankel moment system for the denominator and
+// back-substituting the numerator.  Moments are frequency-scaled before
+// the solve (s -> s/w0) to control the notorious conditioning of moment
+// matrices; poles are scaled back afterwards.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace awe::engine {
+
+struct PadeResult {
+  std::size_t order = 0;
+  /// Numerator coefficients a_0..a_{q-1} (ascending powers of s).
+  std::vector<double> numerator;
+  /// Denominator coefficients 1, b_1..b_q (ascending powers of s).
+  std::vector<double> denominator;
+  /// Frequency scale used internally (poles already unscaled).
+  double scale = 1.0;
+  /// Poles (roots of the denominator), conjugate pairs adjacent.
+  linalg::CVector poles;
+  /// Residues r_i = N(p_i)/D'(p_i) of the pole-residue expansion
+  /// H(s) = sum_i r_i / (s - p_i).
+  linalg::CVector residues;
+};
+
+/// Compute the order-q Padé approximant from at least 2q moments.
+/// Throws std::invalid_argument when too few moments are supplied and
+/// std::runtime_error when the Hankel system is singular (moment
+/// degeneracy — retry with a lower order).
+PadeResult pade_from_moments(std::span<const double> moments, std::size_t order);
+
+/// Largest order q such that the q x q Hankel system of these moments is
+/// numerically nonsingular; useful for automatic order selection.
+std::size_t max_feasible_order(std::span<const double> moments);
+
+/// Evaluate N(s)/D(s) at complex s.
+std::complex<double> evaluate_pade(const PadeResult& pade, std::complex<double> s);
+
+}  // namespace awe::engine

@@ -1,0 +1,273 @@
+#include "awe/rom.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace awe::engine {
+
+linalg::CVector solve_complex_dense(std::vector<std::complex<double>> a, linalg::CVector b) {
+  const std::size_t n = b.size();
+  if (a.size() != n * n) throw std::invalid_argument("solve_complex_dense: shape mismatch");
+  auto at = [&](std::size_t r, std::size_t c) -> std::complex<double>& {
+    return a[r * n + c];
+  };
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    double best = std::abs(at(k, k));
+    for (std::size_t i = k + 1; i < n; ++i)
+      if (std::abs(at(i, k)) > best) {
+        best = std::abs(at(i, k));
+        piv = i;
+      }
+    if (best < 1e-300) throw std::runtime_error("solve_complex_dense: singular system");
+    if (piv != k) {
+      for (std::size_t j = k; j < n; ++j) std::swap(at(k, j), at(piv, j));
+      std::swap(b[k], b[piv]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const auto m = at(i, k) / at(k, k);
+      if (m == std::complex<double>{}) continue;
+      for (std::size_t j = k; j < n; ++j) at(i, j) -= m * at(k, j);
+      b[i] -= m * b[k];
+    }
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    auto s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= at(ii, j) * b[j];
+    b[ii] = s / at(ii, ii);
+  }
+  return b;
+}
+
+namespace {
+
+/// Re-fit residues of the kept poles to the leading moments:
+///   m_j = -sum_i r_i / p_i^{j+1},  j = 0..q-1.
+linalg::CVector refit_residues(const linalg::CVector& poles,
+                               std::span<const double> moments) {
+  const std::size_t q = poles.size();
+  std::vector<std::complex<double>> a(q * q);
+  linalg::CVector rhs(q);
+  for (std::size_t j = 0; j < q; ++j) {
+    for (std::size_t i = 0; i < q; ++i) {
+      // -1 / p_i^{j+1}
+      std::complex<double> inv = -1.0 / poles[i];
+      std::complex<double> term = inv;
+      for (std::size_t e = 0; e < j; ++e) term *= 1.0 / poles[i];
+      a[j * q + i] = term;
+    }
+    rhs[j] = moments[j];
+  }
+  return solve_complex_dense(std::move(a), std::move(rhs));
+}
+
+}  // namespace
+
+ReducedOrderModel ReducedOrderModel::from_shifted_moments(std::span<const double> moments,
+                                                          const RomOptions& opts,
+                                                          double s0) {
+  // Padé in the sigma domain, without stability filtering (stability is a
+  // property of the s-domain poles).
+  RomOptions sigma_opts = opts;
+  sigma_opts.enforce_stability = false;
+  ReducedOrderModel rom = from_moments(moments, sigma_opts);
+  for (auto& p : rom.poles_) p += s0;
+
+  if (opts.enforce_stability) {
+    linalg::CVector stable;
+    for (const auto& p : rom.poles_)
+      if (p.real() < 0.0) stable.push_back(p);
+    if (stable.empty())
+      throw std::runtime_error(
+          "ReducedOrderModel: all shifted Padé poles unstable; circuit/order invalid");
+    if (stable.size() != rom.poles_.size()) {
+      rom.poles_ = stable;
+      // Re-fit in the sigma domain where the moments live.
+      linalg::CVector sigma_poles = stable;
+      for (auto& p : sigma_poles) p -= s0;
+      rom.residues_ = refit_residues(sigma_poles, moments);
+    }
+  }
+  return rom;
+}
+
+ReducedOrderModel ReducedOrderModel::from_moments(std::span<const double> moments,
+                                                  const RomOptions& opts) {
+  std::size_t order = opts.order;
+  if (opts.allow_order_fallback) {
+    const std::size_t feasible = max_feasible_order(moments.subspan(
+        0, std::min(moments.size(), 2 * order)));
+    if (feasible == 0)
+      throw std::runtime_error("ReducedOrderModel: no feasible Padé order");
+    order = std::min(order, feasible);
+  }
+  PadeResult pade = pade_from_moments(moments, order);
+
+  ReducedOrderModel rom;
+  rom.moments_.assign(moments.begin(), moments.begin() + static_cast<std::ptrdiff_t>(2 * order));
+  rom.poles_ = pade.poles;
+  rom.residues_ = pade.residues;
+
+  // Direct (feedthrough) term.  When the Padé's trailing denominator
+  // coefficient vanishes (order collapse), numerator and denominator end
+  // up with equal degree and H(inf) = lead(N)/lead(D) != 0 — e.g. pure
+  // capacitive feedthrough paths or purely resistive transfers (no poles
+  // at all, H = m0).  The residues r_i = N(p_i)/D'(p_i) remain correct in
+  // the decomposition H = d + sum r_i/(s - p_i).
+  {
+    std::size_t nd = pade.numerator.size();
+    while (nd > 0 && pade.numerator[nd - 1] == 0.0) --nd;
+    std::size_t dd = pade.denominator.size();
+    while (dd > 0 && pade.denominator[dd - 1] == 0.0) --dd;
+    if (nd != 0 && nd == dd)
+      rom.direct_ = pade.numerator[nd - 1] / pade.denominator[dd - 1];
+  }
+
+  if (opts.enforce_stability) {
+    linalg::CVector stable;
+    for (const auto& p : rom.poles_)
+      if (p.real() < 0.0) stable.push_back(p);
+    if (stable.size() != rom.poles_.size()) {
+      if (stable.empty())
+        throw std::runtime_error(
+            "ReducedOrderModel: all Padé poles unstable; circuit/order invalid");
+      rom.poles_ = stable;
+      // Re-fit with the direct term removed from the zeroth moment
+      // (m_0 = d - sum r/p).
+      std::vector<double> adj(moments.begin(), moments.end());
+      adj[0] -= rom.direct_;
+      rom.residues_ = refit_residues(rom.poles_, adj);
+    }
+  }
+  return rom;
+}
+
+bool ReducedOrderModel::is_stable() const {
+  return std::all_of(poles_.begin(), poles_.end(),
+                     [](const std::complex<double>& p) { return p.real() < 0.0; });
+}
+
+std::complex<double> ReducedOrderModel::transfer(std::complex<double> s) const {
+  std::complex<double> h{direct_, 0.0};
+  for (std::size_t i = 0; i < poles_.size(); ++i) h += residues_[i] / (s - poles_[i]);
+  return h;
+}
+
+double ReducedOrderModel::magnitude(double freq_hz) const {
+  return std::abs(transfer({0.0, 2.0 * M_PI * freq_hz}));
+}
+
+double ReducedOrderModel::phase_deg(double freq_hz) const {
+  return std::arg(transfer({0.0, 2.0 * M_PI * freq_hz})) * 180.0 / M_PI;
+}
+
+double ReducedOrderModel::dc_gain() const { return transfer({0.0, 0.0}).real(); }
+
+std::optional<std::complex<double>> ReducedOrderModel::dominant_pole() const {
+  if (poles_.empty()) return std::nullopt;
+  return *std::min_element(poles_.begin(), poles_.end(),
+                           [](const auto& a, const auto& b) {
+                             return std::abs(a.real()) < std::abs(b.real());
+                           });
+}
+
+double ReducedOrderModel::unity_gain_frequency() const {
+  if (std::abs(dc_gain()) <= 1.0) return 0.0;
+  // Bracket the crossing on a log-frequency grid anchored at the dominant
+  // pole, then bisect.
+  const auto dom = dominant_pole();
+  double f_lo = dom ? std::abs(dom->real()) / (2.0 * M_PI) * 1e-3 : 1e-3;
+  if (f_lo <= 0.0) f_lo = 1e-3;
+  double f_hi = f_lo;
+  for (int i = 0; i < 400 && magnitude(f_hi) > 1.0; ++i) f_hi *= 2.0;
+  if (magnitude(f_hi) > 1.0) return 0.0;  // never crosses in range
+  for (int i = 0; i < 200; ++i) {
+    const double mid = std::sqrt(f_lo * f_hi);
+    if (magnitude(mid) > 1.0)
+      f_lo = mid;
+    else
+      f_hi = mid;
+  }
+  return std::sqrt(f_lo * f_hi);
+}
+
+double ReducedOrderModel::phase_margin_deg() const {
+  const double fu = unity_gain_frequency();
+  if (fu <= 0.0) return 180.0;
+  // Phase accumulated between DC and the unity-gain frequency.  Measuring
+  // relative to the DC phase makes the margin convention-independent for
+  // inverting amplifiers (arg H(0) = 180 deg).
+  double shift = phase_deg(fu) - std::arg(transfer({0.0, 0.0})) * 180.0 / M_PI;
+  while (shift > 0.0) shift -= 360.0;
+  while (shift <= -360.0) shift += 360.0;
+  return 180.0 + shift;
+}
+
+double ReducedOrderModel::impulse_response(double t) const {
+  double h = 0.0;
+  for (std::size_t i = 0; i < poles_.size(); ++i)
+    h += (residues_[i] * std::exp(poles_[i] * t)).real();
+  return h;
+}
+
+double ReducedOrderModel::step_response(double t) const {
+  double y = (t >= 0.0) ? direct_ : 0.0;
+  for (std::size_t i = 0; i < poles_.size(); ++i)
+    y += ((residues_[i] / poles_[i]) * (std::exp(poles_[i] * t) - 1.0)).real();
+  return y;
+}
+
+double ReducedOrderModel::ramp_response(double t) const {
+  // Integral of the step response:
+  //   int_0^t (r/p)(e^{p tau} - 1) dtau = (r/p)((e^{p t} - 1)/p - t).
+  double y = direct_ * t;
+  for (std::size_t i = 0; i < poles_.size(); ++i) {
+    const auto rp = residues_[i] / poles_[i];
+    y += (rp * ((std::exp(poles_[i] * t) - 1.0) / poles_[i] - t)).real();
+  }
+  return y;
+}
+
+double ReducedOrderModel::elmore_delay() const {
+  if (moments_.size() < 2 || moments_[0] == 0.0) return 0.0;
+  return -moments_[1] / moments_[0];
+}
+
+std::vector<double> ReducedOrderModel::step_response(std::span<const double> times) const {
+  std::vector<double> y;
+  y.reserve(times.size());
+  for (const double t : times) y.push_back(step_response(t));
+  return y;
+}
+
+double ReducedOrderModel::step_final_value() const { return dc_gain(); }
+
+std::optional<double> ReducedOrderModel::step_crossing_time(double fraction,
+                                                            double t_max) const {
+  const double target = fraction * step_final_value();
+  const double y0 = step_response(0.0);
+  // Scan for a bracket, then bisect.
+  constexpr int kScan = 4096;
+  double prev_t = 0.0, prev_y = y0;
+  for (int i = 1; i <= kScan; ++i) {
+    const double t = t_max * static_cast<double>(i) / kScan;
+    const double y = step_response(t);
+    if ((prev_y - target) * (y - target) <= 0.0 && prev_y != y) {
+      double lo = prev_t, hi = t;
+      for (int it = 0; it < 100; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if ((step_response(mid) - target) * (prev_y - target) > 0.0)
+          lo = mid;
+        else
+          hi = mid;
+      }
+      return 0.5 * (lo + hi);
+    }
+    prev_t = t;
+    prev_y = y;
+  }
+  return std::nullopt;
+}
+
+}  // namespace awe::engine

@@ -1,0 +1,102 @@
+// Reduced-order model: the object an AWE analysis produces.
+//
+// A pole/residue form  H(s) = sum_i r_i / (s - p_i)  that can be evaluated
+// in closed form in both domains — frequency sweeps, impulse and step
+// responses, and the amplifier performance measures used throughout the
+// paper's examples (DC gain, dominant pole, unity-gain frequency, phase
+// margin, delay).  Optionally enforces stability by discarding
+// right-half-plane Padé artifacts and re-fitting residues to the leading
+// moments (standard AWE practice; the paper notes accurate orders are
+// "often less than five" exactly because high orders go unstable).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "awe/pade.hpp"
+#include "linalg/dense.hpp"
+
+namespace awe::engine {
+
+struct RomOptions {
+  std::size_t order = 2;
+  /// Drop unstable (Re >= 0) poles and re-fit residues to the leading
+  /// moments.  A stable circuit with an accurate order never triggers it.
+  bool enforce_stability = true;
+  /// If the requested order's Hankel system is singular, fall back to the
+  /// largest feasible order instead of throwing.
+  bool allow_order_fallback = true;
+};
+
+class ReducedOrderModel {
+ public:
+  /// Build from >= 2*order moments.
+  static ReducedOrderModel from_moments(std::span<const double> moments,
+                                        const RomOptions& opts);
+
+  /// Build from moments of the expansion about a real shift point s0
+  /// (i.e. Maclaurin coefficients of H(s0 + sigma) in sigma).  Poles are
+  /// shifted back to the s-domain; residues are shift-invariant.  The
+  /// stored moments() remain the sigma-domain moments.
+  static ReducedOrderModel from_shifted_moments(std::span<const double> moments,
+                                                const RomOptions& opts, double s0);
+
+  std::size_t order() const { return poles_.size(); }
+  const linalg::CVector& poles() const { return poles_; }
+  const linalg::CVector& residues() const { return residues_; }
+  /// Direct feedthrough term: nonzero only for pole-free (purely
+  /// resistive) transfers, where H(s) = d exactly.
+  double direct() const { return direct_; }
+  /// The moments this model was built from (unscaled).
+  const std::vector<double>& moments() const { return moments_; }
+  bool is_stable() const;
+
+  // -- frequency domain -------------------------------------------------
+  std::complex<double> transfer(std::complex<double> s) const;
+  double magnitude(double freq_hz) const;
+  double phase_deg(double freq_hz) const;
+  double dc_gain() const;
+  /// Pole with the smallest |Re| (slowest), if any.
+  std::optional<std::complex<double>> dominant_pole() const;
+  /// Frequency (Hz) where |H| crosses 1 (0 when |H(0)| <= 1).
+  double unity_gain_frequency() const;
+  /// 180 + phase(H) at the unity-gain frequency, in degrees.
+  double phase_margin_deg() const;
+
+  // -- time domain --------------------------------------------------------
+  /// h(t) = sum_i Re[r_i e^{p_i t}]  (unit impulse response).
+  double impulse_response(double t) const;
+  /// y(t) = sum_i Re[(r_i/p_i)(e^{p_i t} - 1)]  (unit step response).
+  double step_response(double t) const;
+  /// Response to a unit-slope ramp input (integral of the step response) —
+  /// the excitation used by the ramp-input delay-model literature that
+  /// builds on AWE.
+  double ramp_response(double t) const;
+  /// Elmore delay estimate -m_1/m_0 (first moment of the normalized
+  /// impulse response) — the classic interconnect delay metric.
+  double elmore_delay() const;
+  std::vector<double> step_response(std::span<const double> times) const;
+  /// Final value of the step response (= H(0)).
+  double step_final_value() const;
+  /// First time the step response crosses `fraction` of its final value
+  /// (bisection on the analytic form); nullopt if never within t_max.
+  std::optional<double> step_crossing_time(double fraction, double t_max) const;
+
+ private:
+  ReducedOrderModel() = default;
+
+  linalg::CVector poles_;
+  linalg::CVector residues_;
+  std::vector<double> moments_;
+  double direct_ = 0.0;
+};
+
+/// Dense complex linear solve by Gaussian elimination with partial
+/// pivoting; used for the residue re-fit (tiny systems).  Exposed for
+/// testing.  a is row-major n x n.
+linalg::CVector solve_complex_dense(std::vector<std::complex<double>> a, linalg::CVector b);
+
+}  // namespace awe::engine

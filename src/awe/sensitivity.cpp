@@ -1,0 +1,214 @@
+#include "awe/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "awe/pade.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/polyroots.hpp"
+
+namespace awe::engine {
+namespace {
+
+bool value_differentiable(circuit::ElementKind kind) {
+  using circuit::ElementKind;
+  switch (kind) {
+    case ElementKind::kResistor:
+    case ElementKind::kConductance:
+    case ElementKind::kCapacitor:
+    case ElementKind::kInductor:
+    case ElementKind::kVccs:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// z^T * M * x where M is given as triplets.
+double bilinear(const linalg::TripletMatrix& m, const linalg::Vector& z,
+                const linalg::Vector& x) {
+  const auto sm = m.compress();
+  double s = 0.0;
+  for (std::size_t c = 0; c < sm.cols(); ++c)
+    for (std::size_t k = sm.col_ptr()[c]; k < sm.col_ptr()[c + 1]; ++k)
+      s += z[sm.row_idx()[k]] * sm.values()[k] * x[c];
+  return s;
+}
+
+}  // namespace
+
+MomentSensitivities moment_sensitivities(const MomentGenerator& gen,
+                                         const std::string& input_source,
+                                         circuit::NodeId output_node, std::size_t count) {
+  const auto& assembler = gen.assembler();
+  const auto& netlist = assembler.netlist();
+  const std::size_t dim = assembler.layout().dim();
+  const std::size_t ne = netlist.elements().size();
+
+  const auto xs = gen.state_moments(input_source, count);
+  const auto zs = gen.adjoint_moments(output_node, count);
+
+  MomentSensitivities out;
+  out.dm.assign(count, std::vector<double>(ne, 0.0));
+  out.differentiable.assign(ne, false);
+
+  for (std::size_t e = 0; e < ne; ++e) {
+    if (!value_differentiable(netlist.elements()[e].kind)) continue;
+    out.differentiable[e] = true;
+    linalg::TripletMatrix dg(dim, dim), dc(dim, dim);
+    assembler.stamp_value_derivative(e, dg, dc);
+    const bool has_dg = dg.entry_count() > 0;
+    const bool has_dc = dc.entry_count() > 0;
+    // Precompute the bilinear forms z_i^T dG x_j and z_i^T dC x_j lazily:
+    // each is O(nnz(stamp)) so we just evaluate on demand.
+    for (std::size_t k = 0; k < count; ++k) {
+      double s = 0.0;
+      if (has_dg)
+        for (std::size_t j = 0; j <= k; ++j) s -= bilinear(dg, zs[k - j], xs[j]);
+      if (has_dc && k >= 1)
+        for (std::size_t j = 0; j <= k - 1; ++j) s -= bilinear(dc, zs[k - 1 - j], xs[j]);
+      out.dm[k][e] = s;
+    }
+  }
+  return out;
+}
+
+PoleZeroSensitivities pole_zero_sensitivities(std::span<const double> moments,
+                                              const MomentSensitivities& ms,
+                                              std::size_t order) {
+  const std::size_t q = order;
+  if (moments.size() < 2 * q || ms.dm.size() < 2 * q)
+    throw std::invalid_argument("pole_zero_sensitivities: need 2q moments + sensitivities");
+  const std::size_t ne = ms.dm.empty() ? 0 : ms.dm[0].size();
+
+  // Unscaled Hankel system:  sum_j b_j m_{k-j} = -m_k,  k = q..2q-1.
+  linalg::Matrix h(q, q);
+  linalg::Vector rhs(q);
+  for (std::size_t row = 0; row < q; ++row) {
+    const std::size_t k = q + row;
+    for (std::size_t j = 1; j <= q; ++j) h(row, j - 1) = moments[k - j];
+    rhs[row] = -moments[k];
+  }
+  auto lu = linalg::LuFactorization::factor(h);
+  if (!lu) throw std::runtime_error("pole_zero_sensitivities: singular Hankel system");
+  const linalg::Vector b = lu->solve(rhs);
+
+  // Denominator D(s) = 1 + sum b_j s^j and numerator coefficients.
+  std::vector<double> den(q + 1);
+  den[0] = 1.0;
+  for (std::size_t j = 1; j <= q; ++j) den[j] = b[j - 1];
+  std::vector<double> num(q);
+  for (std::size_t k = 0; k < q; ++k) {
+    double s = moments[k];
+    for (std::size_t j = 1; j <= k; ++j) s += b[j - 1] * moments[k - j];
+    num[k] = s;
+  }
+
+  PoleZeroSensitivities out;
+  out.poles = linalg::poly_roots(den);
+  out.zeros = num.size() >= 2 ? linalg::poly_roots(num) : linalg::CVector{};
+
+  // db/dv_e: differentiate the Hankel rows:
+  //   sum_j db_j m_{k-j} = -dm_k - sum_j b_j dm_{k-j}.
+  std::vector<linalg::Vector> db(ne, linalg::Vector(q, 0.0));
+  for (std::size_t e = 0; e < ne; ++e) {
+    if (!ms.differentiable[e]) continue;
+    linalg::Vector r(q);
+    for (std::size_t row = 0; row < q; ++row) {
+      const std::size_t k = q + row;
+      double s = -ms.dm[k][e];
+      for (std::size_t j = 1; j <= q; ++j) s -= b[j - 1] * ms.dm[k - j][e];
+      r[row] = s;
+    }
+    db[e] = lu->solve(std::move(r));
+  }
+
+  // Pole sensitivity: D(p_i; b) = 0 =>
+  //   dp_i/dv = -(sum_j db_j p_i^j) / D'(p_i).
+  out.dpole.assign(out.poles.size(), linalg::CVector(ne, {0.0, 0.0}));
+  for (std::size_t i = 0; i < out.poles.size(); ++i) {
+    const auto p = out.poles[i];
+    const auto dd = linalg::poly_eval_derivative(den, p);
+    if (std::abs(dd) == 0.0) continue;  // repeated pole: sensitivity undefined
+    for (std::size_t e = 0; e < ne; ++e) {
+      if (!ms.differentiable[e]) continue;
+      std::complex<double> s{0.0, 0.0};
+      std::complex<double> pw = p;
+      for (std::size_t j = 1; j <= q; ++j) {
+        s += db[e][j - 1] * pw;
+        pw *= p;
+      }
+      out.dpole[i][e] = -s / dd;
+    }
+  }
+
+  // Zero sensitivity: numerator a_k = m_k + sum_j b_j m_{k-j}, so
+  //   da_k = dm_k + sum_j (db_j m_{k-j} + b_j dm_{k-j});
+  //   dz_i/dv = -(sum_k da_k z_i^k) / N'(z_i).
+  out.dzero.assign(out.zeros.size(), linalg::CVector(ne, {0.0, 0.0}));
+  for (std::size_t i = 0; i < out.zeros.size(); ++i) {
+    const auto z = out.zeros[i];
+    const auto dn = linalg::poly_eval_derivative(num, z);
+    if (std::abs(dn) == 0.0) continue;
+    for (std::size_t e = 0; e < ne; ++e) {
+      if (!ms.differentiable[e]) continue;
+      std::complex<double> s{0.0, 0.0};
+      std::complex<double> pw{1.0, 0.0};
+      for (std::size_t k = 0; k < q; ++k) {
+        double da = ms.dm[k][e];
+        for (std::size_t j = 1; j <= k; ++j)
+          da += db[e][j - 1] * moments[k - j] + b[j - 1] * ms.dm[k - j][e];
+        s += da * pw;
+        pw *= z;
+      }
+      out.dzero[i][e] = -s / dn;
+    }
+  }
+  return out;
+}
+
+std::vector<SymbolCandidate> rank_symbol_candidates(const circuit::Netlist& netlist,
+                                                    const std::string& input_source,
+                                                    circuit::NodeId output_node,
+                                                    std::size_t order,
+                                                    RankingMeasure measure) {
+  MomentGenerator gen(netlist);
+  const auto moments = gen.transfer_moments(input_source, output_node, 2 * order);
+  const auto ms = moment_sensitivities(gen, input_source, output_node, 2 * order);
+  const auto pz = pole_zero_sensitivities(moments, ms, order);
+
+  std::vector<SymbolCandidate> ranked;
+  for (std::size_t e = 0; e < netlist.elements().size(); ++e) {
+    if (!ms.differentiable[e]) continue;
+    const double value = netlist.elements()[e].value;
+    double score = 0.0;
+    switch (measure) {
+      case RankingMeasure::kPoles:
+        for (std::size_t i = 0; i < pz.poles.size(); ++i) {
+          const double pmag = std::abs(pz.poles[i]);
+          if (pmag == 0.0) continue;
+          score += std::abs(pz.dpole[i][e]) * std::abs(value) / pmag;
+        }
+        break;
+      case RankingMeasure::kZeros:
+        for (std::size_t i = 0; i < pz.zeros.size(); ++i) {
+          const double zmag = std::abs(pz.zeros[i]);
+          if (zmag == 0.0) continue;
+          score += std::abs(pz.dzero[i][e]) * std::abs(value) / zmag;
+        }
+        break;
+      case RankingMeasure::kDcGain:
+        if (moments[0] != 0.0)
+          score = std::abs(ms.dm[0][e]) * std::abs(value) / std::abs(moments[0]);
+        break;
+    }
+    ranked.push_back({e, netlist.elements()[e].name, score});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.normalized_sensitivity > b.normalized_sensitivity;
+  });
+  return ranked;
+}
+
+}  // namespace awe::engine

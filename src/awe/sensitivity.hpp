@@ -1,0 +1,78 @@
+// AWEsensitivity: adjoint pole/zero sensitivity analysis (Lee, Huang,
+// Rohrer, ICCAD).
+//
+// Moment sensitivities come from the adjoint (transposed) system: with the
+// state-moment chain x_j and the adjoint chain z_i, every element's
+// contribution is a handful of sparse inner products through its local
+// dG/dC stamp pattern —
+//   d m_k / dp = - sum_{j<=k} z_{k-j}^T dG_p x_j
+//                - sum_{j<=k-1} z_{k-1-j}^T dC_p x_j.
+// Pole (and zero) sensitivities then follow by differentiating the Hankel
+// system and the characteristic polynomial.  The paper uses the resulting
+// normalized sensitivities to pick which elements deserve symbolic
+// treatment (§2.3); rank_symbol_candidates implements that selection.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "awe/moments.hpp"
+#include "circuit/netlist.hpp"
+
+namespace awe::engine {
+
+/// dm[k][e] = d m_k / d(value of element e); zero columns for elements
+/// whose value is not differentiable (independent sources, VCVS, ...).
+struct MomentSensitivities {
+  std::vector<std::vector<double>> dm;       ///< [moment][element]
+  std::vector<bool> differentiable;          ///< per element
+};
+
+MomentSensitivities moment_sensitivities(const MomentGenerator& gen,
+                                         const std::string& input_source,
+                                         circuit::NodeId output_node, std::size_t count);
+
+/// Sensitivities of the order-q Padé poles and zeros with respect to every
+/// element value, via the chain rule through the moment Hankel system.
+struct PoleZeroSensitivities {
+  linalg::CVector poles;
+  linalg::CVector zeros;
+  /// dpole[i][e] = d p_i / d v_e
+  std::vector<linalg::CVector> dpole;
+  /// dzero[i][e] = d z_i / d v_e
+  std::vector<linalg::CVector> dzero;
+};
+
+PoleZeroSensitivities pole_zero_sensitivities(std::span<const double> moments,
+                                              const MomentSensitivities& ms,
+                                              std::size_t order);
+
+/// One candidate for symbolic treatment.
+struct SymbolCandidate {
+  std::size_t element_index = 0;
+  std::string name;
+  /// Sum over poles of the normalized sensitivity |dp/dv * v / p|.
+  double normalized_sensitivity = 0.0;
+};
+
+/// What the normalized-sensitivity ranking targets.  The paper: "Since it
+/// is possible to express all behavior of a linear system in terms of the
+/// poles and zeros, the pruning mechanism is easily extended to
+/// performance measures such as gain, ringing, phase margin, etc."
+enum class RankingMeasure {
+  kPoles,   ///< sum over poles of |dp/dv * v / p|
+  kZeros,   ///< sum over zeros of |dz/dv * v / z|
+  kDcGain,  ///< |dm0/dv * v / m0|
+};
+
+/// Rank the differentiable elements of the circuit by normalized
+/// sensitivity of the chosen measure, descending — the paper's automatic
+/// mechanism for choosing symbolic elements.
+std::vector<SymbolCandidate> rank_symbol_candidates(
+    const circuit::Netlist& netlist, const std::string& input_source,
+    circuit::NodeId output_node, std::size_t order,
+    RankingMeasure measure = RankingMeasure::kPoles);
+
+}  // namespace awe::engine

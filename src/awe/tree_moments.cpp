@@ -1,0 +1,121 @@
+#include "awe/tree_moments.hpp"
+
+#include <algorithm>
+
+namespace awe::engine {
+
+using circuit::Element;
+using circuit::ElementKind;
+using circuit::kGround;
+using circuit::Netlist;
+using circuit::NodeId;
+
+std::optional<RcTreeAnalyzer> RcTreeAnalyzer::build(const Netlist& netlist,
+                                                    const std::string& input_source) {
+  const auto input_idx = netlist.find_element(input_source);
+  if (!input_idx) return std::nullopt;
+  const Element& src = netlist.elements()[*input_idx];
+  if (src.kind != ElementKind::kVoltageSource || src.neg != kGround ||
+      src.pos == kGround)
+    return std::nullopt;
+
+  const std::size_t n = netlist.num_nodes() + 1;  // node ids are 1..num_nodes
+  RcTreeAnalyzer tree;
+  tree.parent_.assign(n, 0);
+  tree.r_up_.assign(n, 0.0);
+  tree.cap_.assign(n, 0.0);
+  tree.root_ = src.pos;
+
+  // Resistor adjacency; reject anything that is not {this V source,
+  // resistor between non-ground nodes, capacitor to ground}.
+  std::vector<std::vector<std::pair<NodeId, double>>> adj(n);
+  std::size_t resistor_count = 0;
+  for (std::size_t i = 0; i < netlist.elements().size(); ++i) {
+    const Element& e = netlist.elements()[i];
+    if (i == *input_idx) continue;
+    switch (e.kind) {
+      case ElementKind::kResistor:
+        if (e.pos == kGround || e.neg == kGround) return std::nullopt;  // leak to ground
+        adj[e.pos].emplace_back(e.neg, e.value);
+        adj[e.neg].emplace_back(e.pos, e.value);
+        ++resistor_count;
+        break;
+      case ElementKind::kCapacitor: {
+        NodeId node;
+        if (e.neg == kGround)
+          node = e.pos;
+        else if (e.pos == kGround)
+          node = e.neg;
+        else
+          return std::nullopt;  // floating/coupling capacitor
+        if (node != kGround) tree.cap_[node] += e.value;
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // A spanning tree over the non-ground nodes has exactly n-1 edges;
+  // anything else (parallel resistors, cycles, islands) is not a tree.
+  if (resistor_count + 1 != netlist.num_nodes()) return std::nullopt;
+
+  // BFS from the root; every non-ground node must be reached exactly once.
+  std::vector<bool> seen(n, false);
+  seen[tree.root_] = true;
+  tree.parent_[tree.root_] = tree.root_;
+  tree.topo_order_.push_back(tree.root_);
+  for (std::size_t head = 0; head < tree.topo_order_.size(); ++head) {
+    const NodeId u = tree.topo_order_[head];
+    for (const auto& [v, r] : adj[u]) {
+      if (v == tree.parent_[u] && u != tree.root_) continue;  // edge to parent
+      if (seen[v]) return std::nullopt;                       // cycle
+      seen[v] = true;
+      tree.parent_[v] = u;
+      tree.r_up_[v] = r;
+      tree.topo_order_.push_back(v);
+    }
+  }
+  for (NodeId v = 1; v < n; ++v)
+    if (!seen[v]) return std::nullopt;  // disconnected node
+  return tree;
+}
+
+std::vector<std::vector<double>> RcTreeAnalyzer::all_node_moments(std::size_t count) const {
+  const std::size_t n = parent_.size();
+  std::vector<std::vector<double>> m(count, std::vector<double>(n, 0.0));
+  if (count == 0) return m;
+
+  // k = 0: unit DC everywhere (no resistive drop without cap currents).
+  for (const NodeId v : topo_order_) m[0][v] = 1.0;
+
+  std::vector<double> subtree_q(n, 0.0);
+  for (std::size_t k = 1; k < count; ++k) {
+    // Upward pass: subtree cap charge against the previous moments.
+    for (std::size_t i = topo_order_.size(); i-- > 0;) {
+      const NodeId v = topo_order_[i];
+      subtree_q[v] = cap_[v] * m[k - 1][v];
+    }
+    for (std::size_t i = topo_order_.size(); i-- > 1;) {  // root excluded
+      const NodeId v = topo_order_[i];
+      subtree_q[parent_[v]] += subtree_q[v];
+    }
+    // Downward pass: the source holds 0 for k >= 1.
+    m[k][root_] = 0.0;
+    for (std::size_t i = 1; i < topo_order_.size(); ++i) {
+      const NodeId v = topo_order_[i];
+      m[k][v] = m[k][parent_[v]] - r_up_[v] * subtree_q[v];
+    }
+  }
+  return m;
+}
+
+std::vector<double> RcTreeAnalyzer::transfer_moments(NodeId output,
+                                                     std::size_t count) const {
+  const auto all = all_node_moments(count);
+  std::vector<double> m(count);
+  for (std::size_t k = 0; k < count; ++k) m[k] = all[k].at(output);
+  return m;
+}
+
+}  // namespace awe::engine

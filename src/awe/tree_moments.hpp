@@ -1,0 +1,58 @@
+// Path-tracing moment computation for RC trees (RICE-style).
+//
+// For the dominant AWE workload — RC interconnect trees (one driver,
+// resistor tree, grounded capacitors) — the moment recursion
+//   G x_k = -C x_{k-1}
+// does not need a matrix factorization at all: the k-th voltage moments
+// follow from two O(n) tree traversals,
+//   upward:    I_e^{(k)} = sum_{j in subtree(e)} C_j V_j^{(k-1)}
+//   downward:  V_child^{(k)} = V_parent^{(k)} - R_e I_e^{(k)}
+// with V^{(0)} = V_source everywhere and V_source^{(k>=1)} = 0.  This is
+// the linear-time engine of RICE (Ratzlaff & Pillage) and friends; here it
+// serves as the fast path for tree workloads and as an independent
+// cross-check of the sparse-LU moment generator.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace awe::engine {
+
+class RcTreeAnalyzer {
+ public:
+  /// Recognizes an RC tree driven by `input_source` (a V source): every
+  /// non-source element must be a resistor (forming a tree rooted at the
+  /// source's positive node) or a capacitor to ground.  Returns
+  /// std::nullopt when the netlist is not such a tree (cycles, floating
+  /// parts, inductors, controlled sources, multiple sources, ...).
+  static std::optional<RcTreeAnalyzer> build(const circuit::Netlist& netlist,
+                                             const std::string& input_source);
+
+  std::size_t node_count() const { return parent_.size(); }
+
+  /// Moments m_0..m_{count-1} of v(output)/v_in — identical (to round-off)
+  /// to MomentGenerator::transfer_moments, but O(n * count).
+  std::vector<double> transfer_moments(circuit::NodeId output, std::size_t count) const;
+
+  /// Moments of every node at once (the RICE use case: one pass gives the
+  /// delay model of every sink).  moments[k][node] with node indexed by
+  /// the original NodeId (entry 0 / ground unused).
+  std::vector<std::vector<double>> all_node_moments(std::size_t count) const;
+
+ private:
+  RcTreeAnalyzer() = default;
+
+  // Tree arrays indexed by original NodeId (0 = ground unused except that
+  // the source node's parent edge has the driver resistance).
+  std::vector<std::size_t> parent_;        // parent node id (root: itself)
+  std::vector<double> r_up_;               // resistance of edge to parent
+  std::vector<double> cap_;                // grounded cap at node
+  std::vector<std::size_t> topo_order_;    // root first, children after parents
+  std::size_t root_ = 0;                   // node driven through the source
+};
+
+}  // namespace awe::engine

@@ -1,0 +1,268 @@
+#include "circuit/mna.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace awe::circuit {
+
+std::size_t MnaLayout::node_unknown(NodeId node) const {
+  if (node == kGround) throw std::invalid_argument("ground has no MNA unknown");
+  if (node > num_nodes) throw std::out_of_range("node index out of range");
+  return node - 1;
+}
+
+std::size_t MnaLayout::aux_unknown(std::size_t element_index) const {
+  const std::ptrdiff_t aux = aux_of_element.at(element_index);
+  if (aux < 0) throw std::invalid_argument("element has no auxiliary current");
+  return num_nodes + static_cast<std::size_t>(aux);
+}
+
+namespace {
+
+bool needs_aux(ElementKind kind) {
+  return kind == ElementKind::kVoltageSource || kind == ElementKind::kInductor ||
+         kind == ElementKind::kVcvs || kind == ElementKind::kCcvs;
+}
+
+}  // namespace
+
+MnaAssembler::MnaAssembler(const Netlist& netlist) : netlist_(&netlist) {
+  layout_.num_nodes = netlist.num_nodes();
+  layout_.aux_of_element.assign(netlist.elements().size(), -1);
+  std::size_t aux = 0;
+  for (std::size_t i = 0; i < netlist.elements().size(); ++i) {
+    const Element& e = netlist.elements()[i];
+    if (needs_aux(e.kind)) layout_.aux_of_element[i] = static_cast<std::ptrdiff_t>(aux++);
+    if (e.kind == ElementKind::kCccs || e.kind == ElementKind::kCcvs) {
+      const auto ctrl = netlist.find_element(e.ctrl_source);
+      if (!ctrl || netlist.elements()[*ctrl].kind != ElementKind::kVoltageSource)
+        throw std::invalid_argument("element '" + e.name +
+                                    "' controlling source missing or not a V source");
+    }
+    if (e.kind == ElementKind::kMutual) {
+      for (const auto* ref : {&e.ctrl_source, &e.ctrl_source2}) {
+        const auto l = netlist.find_element(*ref);
+        if (!l || netlist.elements()[*l].kind != ElementKind::kInductor)
+          throw std::invalid_argument("mutual '" + e.name + "' reference '" + *ref +
+                                      "' is not an inductor");
+      }
+    }
+  }
+  layout_.num_aux = aux;
+}
+
+void MnaAssembler::stamp_all(linalg::TripletMatrix& g, linalg::TripletMatrix& c) const {
+  for (std::size_t i = 0; i < netlist_->elements().size(); ++i) stamp_element(i, g, c);
+}
+
+void MnaAssembler::stamp_element(std::size_t element_index, linalg::TripletMatrix& g,
+                                 linalg::TripletMatrix& c) const {
+  const Element& e = netlist_->elements().at(element_index);
+  const auto& lay = layout_;
+
+  // Stamp helper that drops ground rows/columns.
+  auto stamp = [&](linalg::TripletMatrix& m, NodeId r, NodeId col, double v) {
+    if (r == kGround || col == kGround) return;
+    m.add(lay.node_unknown(r), lay.node_unknown(col), v);
+  };
+  auto stamp_row = [&](linalg::TripletMatrix& m, std::size_t row, NodeId col, double v) {
+    if (col == kGround) return;
+    m.add(row, lay.node_unknown(col), v);
+  };
+  auto stamp_col = [&](linalg::TripletMatrix& m, NodeId r, std::size_t col, double v) {
+    if (r == kGround) return;
+    m.add(lay.node_unknown(r), col, v);
+  };
+
+  switch (e.kind) {
+    case ElementKind::kResistor:
+    case ElementKind::kConductance: {
+      const double gg =
+          (e.kind == ElementKind::kResistor) ? 1.0 / e.value : e.value;
+      stamp(g, e.pos, e.pos, gg);
+      stamp(g, e.neg, e.neg, gg);
+      stamp(g, e.pos, e.neg, -gg);
+      stamp(g, e.neg, e.pos, -gg);
+      break;
+    }
+    case ElementKind::kCapacitor: {
+      stamp(c, e.pos, e.pos, e.value);
+      stamp(c, e.neg, e.neg, e.value);
+      stamp(c, e.pos, e.neg, -e.value);
+      stamp(c, e.neg, e.pos, -e.value);
+      break;
+    }
+    case ElementKind::kInductor: {
+      // Branch current i flows pos -> neg; branch row: v_pos - v_neg = s L i.
+      const std::size_t aux = lay.aux_unknown(element_index);
+      stamp_col(g, e.pos, aux, 1.0);
+      stamp_col(g, e.neg, aux, -1.0);
+      stamp_row(g, aux, e.pos, 1.0);
+      stamp_row(g, aux, e.neg, -1.0);
+      c.add(aux, aux, -e.value);
+      break;
+    }
+    case ElementKind::kVoltageSource: {
+      const std::size_t aux = lay.aux_unknown(element_index);
+      stamp_col(g, e.pos, aux, 1.0);
+      stamp_col(g, e.neg, aux, -1.0);
+      stamp_row(g, aux, e.pos, 1.0);
+      stamp_row(g, aux, e.neg, -1.0);
+      break;
+    }
+    case ElementKind::kCurrentSource:
+      break;  // RHS only
+    case ElementKind::kVccs: {
+      // i = gm (v_cp - v_cn) from pos to neg.
+      stamp(g, e.pos, e.ctrl_pos, e.value);
+      stamp(g, e.pos, e.ctrl_neg, -e.value);
+      stamp(g, e.neg, e.ctrl_pos, -e.value);
+      stamp(g, e.neg, e.ctrl_neg, e.value);
+      break;
+    }
+    case ElementKind::kVcvs: {
+      const std::size_t aux = lay.aux_unknown(element_index);
+      stamp_col(g, e.pos, aux, 1.0);
+      stamp_col(g, e.neg, aux, -1.0);
+      // v_pos - v_neg - gain (v_cp - v_cn) = 0
+      stamp_row(g, aux, e.pos, 1.0);
+      stamp_row(g, aux, e.neg, -1.0);
+      stamp_row(g, aux, e.ctrl_pos, -e.value);
+      stamp_row(g, aux, e.ctrl_neg, e.value);
+      break;
+    }
+    case ElementKind::kCccs: {
+      const std::size_t ctrl = *netlist_->find_element(e.ctrl_source);
+      const std::size_t ctrl_aux = lay.aux_unknown(ctrl);
+      stamp_col(g, e.pos, ctrl_aux, e.value);
+      stamp_col(g, e.neg, ctrl_aux, -e.value);
+      break;
+    }
+    case ElementKind::kMutual: {
+      // v_L1 row gains -s M i_L2 and vice versa, with M = k sqrt(L1 L2).
+      const std::size_t l1 = *netlist_->find_element(e.ctrl_source);
+      const std::size_t l2 = *netlist_->find_element(e.ctrl_source2);
+      const double m = e.value * std::sqrt(netlist_->elements()[l1].value *
+                                           netlist_->elements()[l2].value);
+      const std::size_t aux1 = lay.aux_unknown(l1);
+      const std::size_t aux2 = lay.aux_unknown(l2);
+      c.add(aux1, aux2, -m);
+      c.add(aux2, aux1, -m);
+      break;
+    }
+    case ElementKind::kCcvs: {
+      const std::size_t aux = lay.aux_unknown(element_index);
+      const std::size_t ctrl = *netlist_->find_element(e.ctrl_source);
+      const std::size_t ctrl_aux = lay.aux_unknown(ctrl);
+      stamp_col(g, e.pos, aux, 1.0);
+      stamp_col(g, e.neg, aux, -1.0);
+      // v_pos - v_neg - r * i_ctrl = 0
+      stamp_row(g, aux, e.pos, 1.0);
+      stamp_row(g, aux, e.neg, -1.0);
+      g.add(aux, ctrl_aux, -e.value);
+      break;
+    }
+  }
+}
+
+void MnaAssembler::stamp_value_derivative(std::size_t element_index,
+                                          linalg::TripletMatrix& dg,
+                                          linalg::TripletMatrix& dc) const {
+  const Element& e = netlist_->elements().at(element_index);
+  const auto& lay = layout_;
+  auto stamp = [&](linalg::TripletMatrix& m, NodeId r, NodeId col, double v) {
+    if (r == kGround || col == kGround) return;
+    m.add(lay.node_unknown(r), lay.node_unknown(col), v);
+  };
+  switch (e.kind) {
+    case ElementKind::kResistor: {
+      const double d = -1.0 / (e.value * e.value);  // d(1/R)/dR
+      stamp(dg, e.pos, e.pos, d);
+      stamp(dg, e.neg, e.neg, d);
+      stamp(dg, e.pos, e.neg, -d);
+      stamp(dg, e.neg, e.pos, -d);
+      break;
+    }
+    case ElementKind::kConductance: {
+      stamp(dg, e.pos, e.pos, 1.0);
+      stamp(dg, e.neg, e.neg, 1.0);
+      stamp(dg, e.pos, e.neg, -1.0);
+      stamp(dg, e.neg, e.pos, -1.0);
+      break;
+    }
+    case ElementKind::kCapacitor: {
+      stamp(dc, e.pos, e.pos, 1.0);
+      stamp(dc, e.neg, e.neg, 1.0);
+      stamp(dc, e.pos, e.neg, -1.0);
+      stamp(dc, e.neg, e.pos, -1.0);
+      break;
+    }
+    case ElementKind::kInductor: {
+      dc.add(lay.aux_unknown(element_index), lay.aux_unknown(element_index), -1.0);
+      break;
+    }
+    case ElementKind::kVccs: {
+      stamp(dg, e.pos, e.ctrl_pos, 1.0);
+      stamp(dg, e.pos, e.ctrl_neg, -1.0);
+      stamp(dg, e.neg, e.ctrl_pos, -1.0);
+      stamp(dg, e.neg, e.ctrl_neg, 1.0);
+      break;
+    }
+    default:
+      throw std::invalid_argument("value derivative not supported for element '" + e.name +
+                                  "' of kind " + to_string(e.kind));
+  }
+}
+
+linalg::SparseMatrix MnaAssembler::build_g() const {
+  linalg::TripletMatrix g(layout_.dim(), layout_.dim());
+  linalg::TripletMatrix c(layout_.dim(), layout_.dim());
+  stamp_all(g, c);
+  return g.compress();
+}
+
+linalg::SparseMatrix MnaAssembler::build_c() const {
+  linalg::TripletMatrix g(layout_.dim(), layout_.dim());
+  linalg::TripletMatrix c(layout_.dim(), layout_.dim());
+  stamp_all(g, c);
+  return c.compress();
+}
+
+void MnaAssembler::rhs_for(const Element& e, std::size_t element_index, double amplitude,
+                           linalg::Vector& b) const {
+  if (e.kind == ElementKind::kVoltageSource) {
+    b[layout_.aux_unknown(element_index)] += amplitude;
+  } else if (e.kind == ElementKind::kCurrentSource) {
+    // Current flows pos -> neg inside the source: leaves pos, enters neg.
+    if (e.pos != kGround) b[layout_.node_unknown(e.pos)] -= amplitude;
+    if (e.neg != kGround) b[layout_.node_unknown(e.neg)] += amplitude;
+  } else {
+    throw std::invalid_argument("element '" + e.name + "' is not an independent source");
+  }
+}
+
+linalg::Vector MnaAssembler::rhs(std::string_view source_name, double amplitude) const {
+  const auto idx = netlist_->find_element(source_name);
+  if (!idx) throw std::invalid_argument("no such source: " + std::string(source_name));
+  linalg::Vector b(layout_.dim(), 0.0);
+  rhs_for(netlist_->elements()[*idx], *idx, amplitude, b);
+  return b;
+}
+
+linalg::Vector MnaAssembler::rhs_all_sources() const {
+  linalg::Vector b(layout_.dim(), 0.0);
+  for (std::size_t i = 0; i < netlist_->elements().size(); ++i) {
+    const Element& e = netlist_->elements()[i];
+    if (e.kind == ElementKind::kVoltageSource || e.kind == ElementKind::kCurrentSource)
+      rhs_for(e, i, e.value, b);
+  }
+  return b;
+}
+
+linalg::Vector MnaAssembler::output_selector(NodeId node) const {
+  linalg::Vector r(layout_.dim(), 0.0);
+  r[layout_.node_unknown(node)] = 1.0;
+  return r;
+}
+
+}  // namespace awe::circuit

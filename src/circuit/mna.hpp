@@ -1,0 +1,80 @@
+// Modified Nodal Analysis (Ho, Ruehli, Brennan 1975).
+//
+// Builds the MNA pencil  (G + sC) x(s) = b u(s)  for a linear netlist:
+// node-voltage unknowns for every non-ground node plus auxiliary branch
+// currents for voltage sources, inductors, VCVS and CCVS.  Inductors stamp
+// as impedances through their branch row (paper eqn (10)): the pencil stays
+// linear in s, with the element appearing in exactly one stamp term.
+//
+// The assembler is reused by the transient simulator, the numeric AWE
+// engine and the moment-level partitioner (which assembles sub-netlists).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "linalg/sparse.hpp"
+
+namespace awe::circuit {
+
+/// Unknown ordering: [v_1 .. v_N, i_aux_0 .. i_aux_{M-1}].
+struct MnaLayout {
+  std::size_t num_nodes = 0;  ///< non-ground nodes
+  std::size_t num_aux = 0;    ///< auxiliary branch currents
+  /// aux_of_element[k] is the aux index of element k, or -1.
+  std::vector<std::ptrdiff_t> aux_of_element;
+
+  std::size_t dim() const { return num_nodes + num_aux; }
+  /// Row/column of a node voltage; ground has no unknown (throws).
+  std::size_t node_unknown(NodeId node) const;
+  /// Row/column of an element's auxiliary current (throws if it has none).
+  std::size_t aux_unknown(std::size_t element_index) const;
+};
+
+class MnaAssembler {
+ public:
+  /// Validates controlled-source references; throws on dangling refs.
+  explicit MnaAssembler(const Netlist& netlist);
+
+  const Netlist& netlist() const { return *netlist_; }
+  const MnaLayout& layout() const { return layout_; }
+
+  /// Stamp every element into G (conductance) and C (susceptance).
+  void stamp_all(linalg::TripletMatrix& g, linalg::TripletMatrix& c) const;
+
+  /// Stamp one element (used by the partitioner on numeric-partition
+  /// element subsets).
+  void stamp_element(std::size_t element_index, linalg::TripletMatrix& g,
+                     linalg::TripletMatrix& c) const;
+
+  /// Stamp d(G)/d(value) and d(C)/d(value) for one element — the local
+  /// derivative patterns used by adjoint sensitivity analysis.  Only
+  /// R, conductance, C, L and VCCS parameters are differentiable here.
+  void stamp_value_derivative(std::size_t element_index, linalg::TripletMatrix& dg,
+                              linalg::TripletMatrix& dc) const;
+
+  /// Compressed G and C for the full netlist.
+  linalg::SparseMatrix build_g() const;
+  linalg::SparseMatrix build_c() const;
+
+  /// Source vector b for the named independent source at `amplitude`
+  /// (other sources off).  Throws if the element is not a V/I source.
+  linalg::Vector rhs(std::string_view source_name, double amplitude = 1.0) const;
+
+  /// Source vector with every independent source at its netlist value.
+  linalg::Vector rhs_all_sources() const;
+
+  /// Selector r with r^T x = v(node).
+  linalg::Vector output_selector(NodeId node) const;
+
+ private:
+  void rhs_for(const Element& e, std::size_t element_index, double amplitude,
+               linalg::Vector& b) const;
+
+  const Netlist* netlist_;
+  MnaLayout layout_;
+};
+
+}  // namespace awe::circuit

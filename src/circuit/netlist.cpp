@@ -1,0 +1,199 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace awe::circuit {
+
+const char* to_string(ElementKind kind) {
+  switch (kind) {
+    case ElementKind::kResistor: return "resistor";
+    case ElementKind::kConductance: return "conductance";
+    case ElementKind::kCapacitor: return "capacitor";
+    case ElementKind::kInductor: return "inductor";
+    case ElementKind::kVoltageSource: return "vsource";
+    case ElementKind::kCurrentSource: return "isource";
+    case ElementKind::kVccs: return "vccs";
+    case ElementKind::kVcvs: return "vcvs";
+    case ElementKind::kCccs: return "cccs";
+    case ElementKind::kCcvs: return "ccvs";
+    case ElementKind::kMutual: return "mutual";
+  }
+  return "?";
+}
+
+Netlist::Netlist() {
+  node_names_.push_back("0");
+  node_ids_.emplace("0", kGround);
+}
+
+NodeId Netlist::node(std::string_view name) {
+  std::string key(name);
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (key == "gnd") key = "0";
+  const auto it = node_ids_.find(key);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = node_names_.size();
+  node_names_.push_back(key);
+  node_ids_.emplace(std::move(key), id);
+  return id;
+}
+
+std::optional<NodeId> Netlist::find_node(std::string_view name) const {
+  std::string key(name);
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (key == "gnd") key = "0";
+  const auto it = node_ids_.find(key);
+  if (it == node_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t Netlist::add(Element e) {
+  if (e.name.empty()) throw std::invalid_argument("element must be named");
+  if (element_ids_.contains(e.name))
+    throw std::invalid_argument("duplicate element name: " + e.name);
+  const std::size_t idx = elements_.size();
+  element_ids_.emplace(e.name, idx);
+  elements_.push_back(std::move(e));
+  return idx;
+}
+
+std::size_t Netlist::add_resistor(std::string name, NodeId a, NodeId b, double ohms) {
+  if (ohms <= 0.0) throw std::invalid_argument("resistor must have positive resistance: " + name);
+  return add({ElementKind::kResistor, std::move(name), a, b, kGround, kGround, {}, {}, ohms});
+}
+
+std::size_t Netlist::add_conductance(std::string name, NodeId a, NodeId b, double siemens) {
+  return add({ElementKind::kConductance, std::move(name), a, b, kGround, kGround, {}, {}, siemens});
+}
+
+std::size_t Netlist::add_capacitor(std::string name, NodeId a, NodeId b, double farads) {
+  if (farads < 0.0) throw std::invalid_argument("capacitor must be non-negative: " + name);
+  return add({ElementKind::kCapacitor, std::move(name), a, b, kGround, kGround, {}, {}, farads});
+}
+
+std::size_t Netlist::add_inductor(std::string name, NodeId a, NodeId b, double henries) {
+  if (henries < 0.0) throw std::invalid_argument("inductor must be non-negative: " + name);
+  return add({ElementKind::kInductor, std::move(name), a, b, kGround, kGround, {}, {}, henries});
+}
+
+std::size_t Netlist::add_voltage_source(std::string name, NodeId pos, NodeId neg, double volts) {
+  return add({ElementKind::kVoltageSource, std::move(name), pos, neg, kGround, kGround, {}, {}, volts});
+}
+
+std::size_t Netlist::add_current_source(std::string name, NodeId pos, NodeId neg, double amps) {
+  return add({ElementKind::kCurrentSource, std::move(name), pos, neg, kGround, kGround, {}, {}, amps});
+}
+
+std::size_t Netlist::add_vccs(std::string name, NodeId pos, NodeId neg, NodeId cpos,
+                              NodeId cneg, double gm) {
+  return add({ElementKind::kVccs, std::move(name), pos, neg, cpos, cneg, {}, {}, gm});
+}
+
+std::size_t Netlist::add_vcvs(std::string name, NodeId pos, NodeId neg, NodeId cpos,
+                              NodeId cneg, double gain) {
+  return add({ElementKind::kVcvs, std::move(name), pos, neg, cpos, cneg, {}, {}, gain});
+}
+
+std::size_t Netlist::add_cccs(std::string name, NodeId pos, NodeId neg,
+                              std::string ctrl_vsource, double gain) {
+  return add({ElementKind::kCccs, std::move(name), pos, neg, kGround, kGround,
+              std::move(ctrl_vsource), {}, gain});
+}
+
+std::size_t Netlist::add_ccvs(std::string name, NodeId pos, NodeId neg,
+                              std::string ctrl_vsource, double r) {
+  return add({ElementKind::kCcvs, std::move(name), pos, neg, kGround, kGround,
+              std::move(ctrl_vsource), {}, r});
+}
+
+std::size_t Netlist::add_mutual(std::string name, std::string inductor1,
+                                std::string inductor2, double k) {
+  if (k <= 0.0 || k > 1.0)
+    throw std::invalid_argument("mutual coupling must be in (0, 1]: " + name);
+  if (inductor1 == inductor2)
+    throw std::invalid_argument("mutual inductance needs two distinct inductors: " + name);
+  Element e{ElementKind::kMutual, std::move(name),  kGround, kGround,
+            kGround,              kGround,          std::move(inductor1),
+            std::move(inductor2), k};
+  return add(std::move(e));
+}
+
+std::optional<std::size_t> Netlist::find_element(std::string_view name) const {
+  const auto it = element_ids_.find(std::string(name));
+  if (it == element_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Netlist::set_value(std::string_view name, double value) {
+  const auto idx = find_element(name);
+  if (!idx) throw std::invalid_argument("no such element: " + std::string(name));
+  set_value(*idx, value);
+}
+
+std::size_t Netlist::num_storage_elements() const {
+  std::size_t n = 0;
+  for (const auto& e : elements_)
+    if (e.kind == ElementKind::kCapacitor || e.kind == ElementKind::kInductor) ++n;
+  return n;
+}
+
+std::vector<std::string> Netlist::validate() const {
+  std::vector<std::string> problems;
+  // Connectivity: every node must be reachable from ground via element
+  // terminals (controlling nodes count, they share the conductance graph
+  // for the purposes of floating-node detection only when also touched by
+  // a two-terminal element; be conservative and include them).
+  const std::size_t n = node_names_.size();
+  std::vector<std::vector<NodeId>> adj(n);
+  auto link = [&](NodeId a, NodeId b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  for (const auto& e : elements_) {
+    link(e.pos, e.neg);
+    if (e.kind == ElementKind::kVccs || e.kind == ElementKind::kVcvs)
+      link(e.ctrl_pos, e.ctrl_neg);
+  }
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack{kGround};
+  seen[kGround] = true;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const NodeId v : adj[u])
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+  }
+  for (NodeId i = 1; i < n; ++i)
+    if (!seen[i]) problems.push_back("node '" + node_names_[i] + "' is not connected to ground");
+
+  // Controlled-source and mutual-inductance references must resolve.
+  for (const auto& e : elements_) {
+    if (e.kind == ElementKind::kCccs || e.kind == ElementKind::kCcvs) {
+      const auto ctrl = find_element(e.ctrl_source);
+      if (!ctrl) {
+        problems.push_back("element '" + e.name + "' references unknown control source '" +
+                           e.ctrl_source + "'");
+      } else if (elements_[*ctrl].kind != ElementKind::kVoltageSource) {
+        problems.push_back("element '" + e.name + "' control '" + e.ctrl_source +
+                           "' is not a voltage source");
+      }
+    } else if (e.kind == ElementKind::kMutual) {
+      for (const auto* ref : {&e.ctrl_source, &e.ctrl_source2}) {
+        const auto l = find_element(*ref);
+        if (!l || elements_[*l].kind != ElementKind::kInductor)
+          problems.push_back("mutual '" + e.name + "' reference '" + *ref +
+                             "' is not an inductor");
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace awe::circuit

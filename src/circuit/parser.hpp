@@ -1,0 +1,49 @@
+// SPICE-like netlist deck parser.
+//
+// Accepts the classic element cards for linear circuits (R, C, L, V, I,
+// G/E/F/H controlled sources, K mutual inductance), hierarchical
+// subcircuits:
+//
+//   .subckt <name> <port> <port> ...
+//     <element cards>
+//   .ends
+//   X<inst> <node> <node> ... <subckt-name>
+//
+// (instances expand flat; internal nodes/elements are prefixed
+// "<inst>.", nesting is allowed up to a fixed depth), plus three
+// AWEsymbolic directives:
+//
+//   .symbol <element-name>          mark an element symbolic
+//   .input  <source-name>           designate the analysis input source
+//   .output <node-name>             designate the output node
+//
+// Values understand SPICE magnitude suffixes (t g meg k m u n p f) and
+// ignore trailing unit text ("1kohm", "10pF").
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace awe::circuit {
+
+struct ParsedDeck {
+  Netlist netlist;
+  std::string title;
+  std::vector<std::string> symbol_elements;  ///< names marked .symbol
+  std::string input_source;                  ///< name from .input ("" if absent)
+  std::string output_node;                   ///< name from .output ("" if absent)
+};
+
+/// Parse a deck; throws std::runtime_error with line context on malformed
+/// input.
+ParsedDeck parse_deck(std::istream& in);
+ParsedDeck parse_deck_string(const std::string& text);
+
+/// Parse a single SPICE value ("4.7k", "1e-12", "3meg", "10pF").
+/// Throws std::runtime_error on garbage.
+double parse_spice_value(const std::string& token);
+
+}  // namespace awe::circuit

@@ -1,0 +1,32 @@
+// Netlist serialization back to SPICE-deck form.
+//
+// The inverse of the parser: every parseable circuit writes to a deck that
+// parses back to an electrically identical netlist (same elements, nodes,
+// values and directives).  Conductance elements have no SPICE card and are
+// emitted as equivalent resistors (R = 1/G) with a comment; circuits that
+// must round-trip exactly should use resistors.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "circuit/netlist.hpp"
+#include "circuit/parser.hpp"
+
+namespace awe::circuit {
+
+struct WriteOptions {
+  std::string title = "written by awesymbolic";
+  /// Throw instead of emitting the lossy R-for-G substitution.
+  bool strict = false;
+};
+
+/// Write the netlist (plus any .symbol/.input/.output directives captured
+/// in the deck) as a SPICE deck ending in `.end`.
+void write_deck(std::ostream& os, const ParsedDeck& deck, const WriteOptions& opts = {});
+void write_netlist(std::ostream& os, const Netlist& netlist, const WriteOptions& opts = {});
+
+/// Convenience: deck text as a string.
+std::string deck_to_string(const ParsedDeck& deck, const WriteOptions& opts = {});
+
+}  // namespace awe::circuit

@@ -1,0 +1,24 @@
+#include "circuits/fig1_rc.hpp"
+
+namespace awe::circuits {
+
+Fig1Circuit make_fig1(const Fig1Values& values) {
+  Fig1Circuit c;
+  auto& nl = c.netlist;
+  c.in = nl.node("in");
+  c.v1 = nl.node("v1");
+  c.v2 = nl.node("v2");
+  nl.add_voltage_source("vin", c.in, circuit::kGround, 1.0);
+  nl.add_conductance("g1", c.in, c.v1, values.g1);
+  nl.add_conductance("g2", c.v1, c.v2, values.g2);
+  nl.add_capacitor("c1", c.v1, circuit::kGround, values.c1);
+  nl.add_capacitor("c2", c.v2, circuit::kGround, values.c2);
+  return c;
+}
+
+Fig1Exact fig1_exact(const Fig1Values& v) {
+  return {v.g1 * v.g2, v.g1 * v.g2, v.g2 * v.c1 + v.g2 * v.c2 + v.g1 * v.c2,
+          v.c1 * v.c2};
+}
+
+}  // namespace awe::circuits

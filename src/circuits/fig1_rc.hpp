@@ -1,0 +1,37 @@
+// The paper's Figure 1 sample circuit: a two-section RC low-pass
+//   vin --R1-- v1 --R2-- v2(out),   C1 at v1, C2 at v2,
+// with conductances G1 = 1/R1, G2 = 1/R2.  Its exact transfer function is
+// eqn (5):
+//   H(s) = G1 G2 / (C1 C2 s^2 + (G2 C1 + G2 C2 + G1 C2) s + G1 G2).
+#pragma once
+
+#include "circuit/netlist.hpp"
+
+namespace awe::circuits {
+
+struct Fig1Values {
+  double g1 = 1.0;      ///< siemens
+  double g2 = 1.0;      ///< siemens
+  double c1 = 1.0;      ///< farads
+  double c2 = 1.0;      ///< farads
+};
+
+struct Fig1Circuit {
+  circuit::Netlist netlist;
+  circuit::NodeId in = 0, v1 = 0, v2 = 0;
+  static constexpr const char* kInput = "vin";
+  static constexpr const char* kOutput = "v2";
+};
+
+Fig1Circuit make_fig1(const Fig1Values& values = {});
+
+/// Closed-form denominator/numerator coefficients of eqn (5) for checking.
+struct Fig1Exact {
+  double num;      ///< G1 G2
+  double den_s0;   ///< G1 G2
+  double den_s1;   ///< G2 C1 + G2 C2 + G1 C2
+  double den_s2;   ///< C1 C2
+};
+Fig1Exact fig1_exact(const Fig1Values& values);
+
+}  // namespace awe::circuits

@@ -1,0 +1,69 @@
+#include "circuits/ladders.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace awe::circuits {
+
+using circuit::kGround;
+using circuit::NodeId;
+
+LadderCircuit make_rc_ladder(const LadderValues& v) {
+  if (v.segments == 0) throw std::invalid_argument("ladder: segments must be >= 1");
+  LadderCircuit c;
+  auto& nl = c.netlist;
+  const NodeId in = nl.node("in");
+  nl.add_voltage_source(LadderCircuit::kInput, in, kGround, 1.0);
+  auto node_of = [&](std::size_t k) {
+    if (k == v.segments) return nl.node("n_end");
+    return nl.node("n" + std::to_string(k));
+  };
+  nl.add_resistor("rdrv", in, node_of(0), v.r_driver);
+  nl.add_capacitor("c0", node_of(0), kGround, v.c_seg);
+  for (std::size_t k = 0; k < v.segments; ++k) {
+    nl.add_resistor("r" + std::to_string(k), node_of(k), node_of(k + 1), v.r_seg);
+    nl.add_capacitor("c" + std::to_string(k + 1), node_of(k + 1), kGround, v.c_seg);
+  }
+  if (v.c_load > 0.0) nl.add_capacitor("cload", node_of(v.segments), kGround, v.c_load);
+  c.out = node_of(v.segments);
+  return c;
+}
+
+TreeCircuit make_rc_tree(const TreeValues& v) {
+  if (v.depth == 0) throw std::invalid_argument("tree: depth must be >= 1");
+  TreeCircuit c;
+  auto& nl = c.netlist;
+  const NodeId in = nl.node("in");
+  nl.add_voltage_source(TreeCircuit::kInput, in, kGround, 1.0);
+  const NodeId root = nl.node("root");
+  nl.add_resistor("rdrv", in, root, v.r_driver);
+  nl.add_capacitor("croot", root, kGround, v.c_seg);
+
+  // Breadth-first construction; node index 1 = root, children 2i, 2i+1.
+  std::size_t leaf_count = 0;
+  std::vector<NodeId> level{root};
+  std::size_t name = 0;
+  for (std::size_t d = 1; d <= v.depth; ++d) {
+    std::vector<NodeId> next;
+    next.reserve(level.size() * 2);
+    for (const NodeId parent : level) {
+      for (int side = 0; side < 2; ++side) {
+        const bool is_leaf = (d == v.depth);
+        const NodeId child =
+            is_leaf ? nl.node("leaf" + std::to_string(leaf_count++))
+                    : nl.node("t" + std::to_string(name));
+        ++name;
+        nl.add_resistor("rt" + std::to_string(name), parent, child, v.r_seg);
+        nl.add_capacitor("ct" + std::to_string(name), child, kGround, v.c_seg);
+        if (is_leaf && v.c_leaf > 0.0)
+          nl.add_capacitor("cl" + std::to_string(leaf_count), child, kGround, v.c_leaf);
+        next.push_back(child);
+      }
+    }
+    level = std::move(next);
+  }
+  c.first_leaf = *nl.find_node("leaf0");
+  return c;
+}
+
+}  // namespace awe::circuits

@@ -1,0 +1,47 @@
+// RC ladder and RC tree generators — the interconnect workloads AWE was
+// designed for; used by tests and the AWE-vs-transient benchmark.
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/netlist.hpp"
+
+namespace awe::circuits {
+
+struct LadderValues {
+  std::size_t segments = 10;
+  double r_seg = 100.0;   ///< ohms per segment
+  double c_seg = 1e-12;   ///< farads per segment (to ground)
+  double r_driver = 50.0; ///< source resistance
+  double c_load = 0.0;    ///< optional load capacitance at the far end
+};
+
+struct LadderCircuit {
+  circuit::Netlist netlist;
+  circuit::NodeId out = 0;  ///< far end
+  static constexpr const char* kInput = "vin";
+  static constexpr const char* kOutput = "n_end";
+};
+
+/// vin --Rdrv-- n0 --R--*--R--...-- n_end, C to ground at every node.
+LadderCircuit make_rc_ladder(const LadderValues& values = {});
+
+struct TreeValues {
+  std::size_t depth = 4;    ///< binary tree depth (2^depth leaves)
+  double r_seg = 100.0;
+  double c_seg = 0.5e-12;
+  double r_driver = 50.0;
+  double c_leaf = 2e-12;    ///< extra load at each leaf
+};
+
+struct TreeCircuit {
+  circuit::Netlist netlist;
+  circuit::NodeId first_leaf = 0;  ///< observation node (left-most leaf)
+  static constexpr const char* kInput = "vin";
+  static constexpr const char* kOutput = "leaf0";
+};
+
+/// Balanced binary RC tree (clock-tree-like interconnect).
+TreeCircuit make_rc_tree(const TreeValues& values = {});
+
+}  // namespace awe::circuits

@@ -1,0 +1,42 @@
+#include "circuits/mesh.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace awe::circuits {
+
+using circuit::kGround;
+using circuit::NodeId;
+
+MeshCircuit make_rc_mesh(const MeshValues& v) {
+  if (v.width < 2 || v.height < 2)
+    throw std::invalid_argument("mesh: need at least a 2x2 grid");
+  MeshCircuit c;
+  auto& nl = c.netlist;
+  auto node_of = [&](std::size_t x, std::size_t y) {
+    if (x + 1 == v.width && y + 1 == v.height) return nl.node("far");
+    return nl.node("m" + std::to_string(x) + "_" + std::to_string(y));
+  };
+
+  const NodeId in = nl.node("in");
+  nl.add_voltage_source(MeshCircuit::kInput, in, kGround, 1.0);
+  nl.add_resistor("rdrv", in, node_of(0, 0), v.r_driver);
+
+  for (std::size_t y = 0; y < v.height; ++y) {
+    for (std::size_t x = 0; x < v.width; ++x) {
+      nl.add_capacitor("c" + std::to_string(x) + "_" + std::to_string(y),
+                       node_of(x, y), kGround, v.c_node);
+      if (x + 1 < v.width)
+        nl.add_resistor("rx" + std::to_string(x) + "_" + std::to_string(y),
+                        node_of(x, y), node_of(x + 1, y), v.r_seg);
+      if (y + 1 < v.height)
+        nl.add_resistor("ry" + std::to_string(x) + "_" + std::to_string(y),
+                        node_of(x, y), node_of(x, y + 1), v.r_seg);
+    }
+  }
+  c.far_corner = node_of(v.width - 1, v.height - 1);
+  if (v.c_load > 0.0) nl.add_capacitor("cload", c.far_corner, kGround, v.c_load);
+  return c;
+}
+
+}  // namespace awe::circuits

@@ -1,0 +1,34 @@
+// RC mesh generator (power-grid / plane-like interconnect).
+//
+// A W x H grid of nodes with resistors between 4-neighbors and grounded
+// capacitance at every node, driven at the (0,0) corner through a Thevenin
+// driver.  Unlike the tree workloads, the mesh produces genuine fill-in in
+// the sparse factorization and exercises the min-degree ordering; it is
+// also the classic case where the O(n) tree engine must refuse.
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/netlist.hpp"
+
+namespace awe::circuits {
+
+struct MeshValues {
+  std::size_t width = 8;
+  std::size_t height = 8;
+  double r_seg = 10.0;       ///< ohms per grid edge
+  double c_node = 0.5e-12;   ///< farads per node
+  double r_driver = 25.0;
+  double c_load = 2e-12;     ///< extra load at the far corner
+};
+
+struct MeshCircuit {
+  circuit::Netlist netlist;
+  circuit::NodeId far_corner = 0;  ///< node (W-1, H-1)
+  static constexpr const char* kInput = "vin";
+  static constexpr const char* kOutput = "far";
+};
+
+MeshCircuit make_rc_mesh(const MeshValues& values = {});
+
+}  // namespace awe::circuits

@@ -1,0 +1,64 @@
+#include "circuits/opamp741.hpp"
+
+#include <string>
+
+namespace awe::circuits {
+
+using circuit::kGround;
+using circuit::NodeId;
+
+Opamp741Circuit make_opamp741(const Opamp741Values& v) {
+  Opamp741Circuit c;
+  auto& nl = c.netlist;
+
+  // --- main signal path (12 elements, 4 storage) -----------------------
+  c.in = nl.node("in");
+  const NodeId b1 = nl.node("b1");   // input-stage base
+  const NodeId a = nl.node("a");     // first high-impedance node
+  const NodeId b = nl.node("b");     // second-stage output
+  c.out = nl.node("out");
+
+  nl.add_voltage_source(Opamp741Circuit::kInput, c.in, kGround, 1.0);
+  nl.add_resistor("rs", c.in, b1, v.r_source);
+
+  // Input differential stage (folded into a single transconductance).
+  nl.add_vccs("gm1", a, kGround, b1, kGround, v.gm1);
+  nl.add_conductance("ro1", a, kGround, v.ro1);
+  nl.add_capacitor("cpar1", a, kGround, 1e-12);
+
+  // Miller-compensated second stage.  c_comp is one of the two symbols.
+  nl.add_capacitor(Opamp741Circuit::kSymbolCcomp, a, b, v.c_comp);
+  nl.add_vccs("gm2", b, kGround, a, kGround, v.gm2);
+  nl.add_conductance("ro2", b, kGround, v.ro2);
+  nl.add_capacitor("cpar2", b, kGround, 5e-12);
+
+  // Output stage; gout_q14 is the paper's other symbol.
+  nl.add_vccs("gm3", c.out, kGround, b, kGround, v.gm3);
+  nl.add_conductance(Opamp741Circuit::kSymbolGout, c.out, kGround, v.gout_q14);
+  nl.add_capacitor("cload", c.out, kGround, v.c_load);
+
+  // --- parasitic hybrid-pi cells (29 cells x 5 elements = 145 elements,
+  // 58 storage) + 13-resistor bias chain = 170 total, 62 storage ---------
+  constexpr std::size_t kCells = 29;
+  const NodeId attach[4] = {b1, a, b, c.out};
+  std::vector<NodeId> cell(kCells);
+  for (std::size_t i = 0; i < kCells; ++i) cell[i] = nl.node("q" + std::to_string(i));
+  for (std::size_t i = 0; i < kCells; ++i) {
+    const std::string tag = std::to_string(i);
+    const NodeId host = attach[i % 4];
+    nl.add_resistor("rpi" + tag, cell[i], kGround, 1.0e4);
+    // Very large r_o so the cells do not load the high-impedance nodes.
+    nl.add_conductance("go" + tag, cell[i], host, 1.0e-8);
+    nl.add_capacitor("cpi" + tag, cell[i], kGround, 5e-12);
+    nl.add_capacitor("cmu" + tag, cell[i], host, 0.5e-12);
+    // Weak forward transconductance into the next cell (diagonally
+    // dominant: 1e-5 S coupling vs 1e-4 S to ground -> stable).
+    nl.add_vccs("gq" + tag, cell[(i + 1) % kCells], kGround, cell[i], kGround, 1.0e-5);
+  }
+  for (std::size_t j = 0; j < 13; ++j)
+    nl.add_resistor("rb" + std::to_string(j), cell[j], cell[j + 1], 1.0e5);
+
+  return c;
+}
+
+}  // namespace awe::circuits

@@ -1,0 +1,321 @@
+#include "core/awesymbolic.hpp"
+
+#include <stdexcept>
+
+#include "awe/sensitivity.hpp"
+
+namespace awe::core {
+
+using symbolic::CompiledProgram;
+using symbolic::ExprGraph;
+
+CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
+                                   std::vector<std::string> symbol_elements,
+                                   const std::string& input_source,
+                                   circuit::NodeId output_node, const ModelOptions& opts) {
+  if (opts.order == 0) throw std::invalid_argument("CompiledModel: order must be >= 1");
+  part::MomentPartitioner partitioner(netlist, std::move(symbol_elements), input_source,
+                                      output_node);
+  part::SymbolicMoments sym = partitioner.compute(2 * opts.order);
+
+  // Lower [N_0 .. N_{2q-1}, det(Y0)] onto one shared DAG so the CSE pass
+  // works across all moments, then compile.
+  ExprGraph graph;
+  const std::size_t nvars = sym.symbols.size();
+  std::vector<symbolic::NodeId> vars;
+  vars.reserve(nvars);
+  for (std::size_t i = 0; i < nvars; ++i)
+    vars.push_back(graph.input(static_cast<std::uint32_t>(i)));
+  std::vector<symbolic::NodeId> roots;
+  roots.reserve(sym.numerators.size() + 1);
+  for (const auto& numerator : sym.numerators)
+    roots.push_back(lower_polynomial(graph, numerator, vars));
+  roots.push_back(lower_polynomial(graph, sym.det_y0, vars));
+  CompiledProgram program(graph, roots);
+
+  std::optional<CompiledProgram> grad_program;
+  if (opts.with_gradients) {
+    // Exact polynomial differentiation of every root, lowered onto a
+    // fresh graph (gradients share plenty of structure among themselves).
+    ExprGraph ggraph;
+    std::vector<symbolic::NodeId> gvars;
+    for (std::size_t i = 0; i < nvars; ++i)
+      gvars.push_back(ggraph.input(static_cast<std::uint32_t>(i)));
+    std::vector<symbolic::NodeId> groots;
+    for (std::size_t i = 0; i < nvars; ++i) {
+      for (const auto& numerator : sym.numerators)
+        groots.push_back(lower_polynomial(ggraph, numerator.derivative(i), gvars));
+      groots.push_back(lower_polynomial(ggraph, sym.det_y0.derivative(i), gvars));
+    }
+    grad_program.emplace(ggraph, groots);
+  }
+  return CompiledModel(std::move(sym), std::move(program), std::move(grad_program), opts);
+}
+
+CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
+                                   std::vector<std::string> symbol_elements,
+                                   const std::string& input_source,
+                                   const std::string& output_node,
+                                   const ModelOptions& opts) {
+  const auto node = netlist.find_node(output_node);
+  if (!node)
+    throw std::invalid_argument("CompiledModel: unknown output node '" + output_node + "'");
+  return build(netlist, std::move(symbol_elements), input_source, *node, opts);
+}
+
+CompiledModel::Workspace CompiledModel::make_workspace() const {
+  Workspace ws;
+  ws.symbol_values.resize(sym_.symbols.size());
+  ws.program_outputs.resize(program_.output_count());
+  ws.registers.resize(program_.register_count());
+  ws.moments.resize(sym_.count());
+  return ws;
+}
+
+void CompiledModel::moments_at(std::span<const double> element_values, Workspace& ws) const {
+  if (element_values.size() != sym_.symbols.size())
+    throw std::invalid_argument("CompiledModel: wrong number of element values");
+  for (std::size_t i = 0; i < sym_.symbols.size(); ++i) {
+    double v = element_values[i];
+    if (sym_.symbols[i].reciprocal) {
+      if (v == 0.0) throw std::domain_error("CompiledModel: zero resistance symbol value");
+      v = 1.0 / v;
+    }
+    ws.symbol_values[i] = v;
+  }
+  program_.run_with_scratch(ws.symbol_values, ws.program_outputs, ws.registers);
+  const double d = ws.program_outputs.back();
+  if (d == 0.0) throw std::domain_error("CompiledModel: det(Y0) vanishes at this point");
+  double dp = d;
+  for (std::size_t k = 0; k < sym_.count(); ++k) {
+    ws.moments[k] = ws.program_outputs[k] / dp;
+    dp *= d;
+  }
+}
+
+std::vector<double> CompiledModel::moments_at(std::span<const double> element_values) const {
+  Workspace ws = make_workspace();
+  moments_at(element_values, ws);
+  return ws.moments;
+}
+
+engine::ReducedOrderModel CompiledModel::evaluate(
+    std::span<const double> element_values) const {
+  const auto m = moments_at(element_values);
+  engine::RomOptions ropts;
+  ropts.order = opts_.order;
+  ropts.enforce_stability = opts_.enforce_stability;
+  ropts.allow_order_fallback = opts_.allow_order_fallback;
+  return engine::ReducedOrderModel::from_moments(m, ropts);
+}
+
+CompiledModel::MomentsAndGradients CompiledModel::moments_and_gradients(
+    std::span<const double> element_values) const {
+  if (!grad_program_)
+    throw std::logic_error(
+        "CompiledModel: build with ModelOptions::with_gradients for gradients");
+  const std::size_t nvars = sym_.symbols.size();
+  const std::size_t count = sym_.count();
+  if (element_values.size() != nvars)
+    throw std::invalid_argument("CompiledModel: wrong number of element values");
+
+  // Internal symbol values + chain-rule factors d(symbol)/d(element value).
+  std::vector<double> inputs(nvars), chain(nvars, 1.0);
+  for (std::size_t i = 0; i < nvars; ++i) {
+    double v = element_values[i];
+    if (sym_.symbols[i].reciprocal) {
+      if (v == 0.0) throw std::domain_error("CompiledModel: zero resistance symbol value");
+      chain[i] = -1.0 / (v * v);  // d(1/v)/dv
+      v = 1.0 / v;
+    }
+    inputs[i] = v;
+  }
+
+  std::vector<double> outputs(program_.output_count());
+  program_.run(inputs, outputs);
+  const double d = outputs.back();
+  if (d == 0.0) throw std::domain_error("CompiledModel: det(Y0) vanishes at this point");
+
+  std::vector<double> goutputs(grad_program_->output_count());
+  grad_program_->run(inputs, goutputs);
+
+  MomentsAndGradients out;
+  out.moments.resize(count);
+  double dp = d;
+  for (std::size_t k = 0; k < count; ++k) {
+    out.moments[k] = outputs[k] / dp;
+    dp *= d;
+  }
+  out.dm.assign(count, std::vector<double>(nvars, 0.0));
+  for (std::size_t i = 0; i < nvars; ++i) {
+    const double* per_sym = goutputs.data() + i * (count + 1);
+    const double dd = per_sym[count];  // d det / d symbol_i
+    double dpk = d;                    // d^{k+1}
+    for (std::size_t k = 0; k < count; ++k) {
+      // m_k = N_k / d^{k+1}:
+      //   dm_k = dN_k / d^{k+1} - (k+1) m_k (dd / d).
+      const double dm_sym =
+          per_sym[k] / dpk - static_cast<double>(k + 1) * out.moments[k] * (dd / d);
+      out.dm[k][i] = dm_sym * chain[i];
+      dpk *= d;
+    }
+  }
+  return out;
+}
+
+std::vector<double> CompiledModel::moments_uncompiled(
+    std::span<const double> element_values) const {
+  return sym_.evaluate(element_values);
+}
+
+symbolic::RationalFunction CompiledModel::dc_gain_expression() const {
+  return sym_.moment(0).normalized();
+}
+
+symbolic::RationalFunction CompiledModel::first_order_pole_expression() const {
+  // Order-1 Padé: H(s) = m0 / (1 - (m1/m0) s), pole p1 = m0 / m1.
+  // With m_k = N_k / d^{k+1} this cancels to  p1 = N_0 d / N_1.
+  const auto& n = sym_.numerators;
+  return symbolic::RationalFunction(n.at(0) * sym_.det_y0, n.at(1)).normalized();
+}
+
+std::vector<symbolic::RationalFunction> CompiledModel::symbolic_denominator() const {
+  // All moments share the structured denominator m_k = N_k / d^{k+1}, so
+  // the Cramer solutions cancel to compact forms instead of accumulating
+  // blind d^k factors through generic rational arithmetic.
+  using symbolic::Polynomial;
+  using symbolic::RationalFunction;
+  const auto& n = sym_.numerators;
+  const Polynomial& d = sym_.det_y0;
+  const RationalFunction one = RationalFunction::constant(sym_.symbols.size(), 1.0);
+  if (opts_.order == 1) {
+    // b1 = -m1/m0 = -N1 / (d N0).
+    return {one, RationalFunction(-n.at(1), d * n.at(0)).normalized()};
+  }
+  if (opts_.order == 2) {
+    // [m1 m0; m2 m1][b1; b2] = [-m2; -m3]; with the shared d-powers the
+    // 2x2 determinant is (N1^2 - N0 N2)/d^4 and
+    //   b1 = (N0 N3 - N1 N2) / (d  (N1^2 - N0 N2)),
+    //   b2 = (N2^2 - N1 N3) / (d^2 (N1^2 - N0 N2)).
+    const Polynomial det = n.at(1) * n.at(1) - n.at(0) * n.at(2);
+    const Polynomial b1_num = n.at(0) * n.at(3) - n.at(1) * n.at(2);
+    const Polynomial b2_num = n.at(2) * n.at(2) - n.at(1) * n.at(3);
+    return {one, RationalFunction(b1_num, d * det).normalized(),
+            RationalFunction(b2_num, d * d * det).normalized()};
+  }
+  throw std::invalid_argument(
+      "symbolic_denominator: closed forms supported for orders 1 and 2 only");
+}
+
+std::vector<symbolic::RationalFunction> CompiledModel::symbolic_numerator() const {
+  using symbolic::Polynomial;
+  using symbolic::RationalFunction;
+  const auto& n = sym_.numerators;
+  const Polynomial& d = sym_.det_y0;
+  if (opts_.order == 1) return {RationalFunction(n.at(0), d).normalized()};
+  if (opts_.order == 2) {
+    // a0 = m0 = N0/d;
+    // a1 = m1 + b1 m0 = [N1 (N1^2 - N0 N2) + N0 (N0 N3 - N1 N2)]
+    //                   / (d^2 (N1^2 - N0 N2)).
+    const Polynomial det = n.at(1) * n.at(1) - n.at(0) * n.at(2);
+    const Polynomial a1_num =
+        n.at(1) * det + n.at(0) * (n.at(0) * n.at(3) - n.at(1) * n.at(2));
+    return {RationalFunction(n.at(0), d).normalized(),
+            RationalFunction(a1_num, d * d * det).normalized()};
+  }
+  throw std::invalid_argument(
+      "symbolic_numerator: closed forms supported for orders 1 and 2 only");
+}
+
+MultiOutputModel MultiOutputModel::build(const circuit::Netlist& netlist,
+                                         std::vector<std::string> symbol_elements,
+                                         const std::string& input_source,
+                                         std::vector<circuit::NodeId> output_nodes,
+                                         const ModelOptions& opts) {
+  if (opts.order == 0) throw std::invalid_argument("MultiOutputModel: order must be >= 1");
+  part::MomentPartitioner partitioner(netlist, std::move(symbol_elements), input_source,
+                                      std::move(output_nodes));
+  part::MultiSymbolicMoments sym = partitioner.compute_all(2 * opts.order);
+
+  ExprGraph graph;
+  std::vector<symbolic::NodeId> vars;
+  for (std::size_t i = 0; i < sym.symbols.size(); ++i)
+    vars.push_back(graph.input(static_cast<std::uint32_t>(i)));
+  std::vector<symbolic::NodeId> roots;
+  for (const auto& per_output : sym.numerators)
+    for (const auto& numerator : per_output)
+      roots.push_back(lower_polynomial(graph, numerator, vars));
+  roots.push_back(lower_polynomial(graph, sym.det_y0, vars));
+
+  CompiledProgram program(graph, roots);
+  return MultiOutputModel(std::move(sym), std::move(program), opts);
+}
+
+std::vector<std::string> MultiOutputModel::symbol_names() const {
+  std::vector<std::string> names;
+  for (const auto& s : sym_.symbols) names.push_back(s.name);
+  return names;
+}
+
+std::vector<double> MultiOutputModel::moments_at(
+    std::size_t o, std::span<const double> element_values) const {
+  if (o >= sym_.outputs.size()) throw std::out_of_range("MultiOutputModel: output index");
+  if (element_values.size() != sym_.symbols.size())
+    throw std::invalid_argument("MultiOutputModel: wrong number of element values");
+  std::vector<double> inputs(element_values.begin(), element_values.end());
+  for (std::size_t i = 0; i < sym_.symbols.size(); ++i)
+    if (sym_.symbols[i].reciprocal) {
+      if (inputs[i] == 0.0)
+        throw std::domain_error("MultiOutputModel: zero resistance symbol value");
+      inputs[i] = 1.0 / inputs[i];
+    }
+  const std::size_t count = 2 * opts_.order;
+  std::vector<double> outputs(program_.output_count());
+  program_.run(inputs, outputs);
+  const double d = outputs.back();
+  if (d == 0.0) throw std::domain_error("MultiOutputModel: det(Y0) vanishes");
+  std::vector<double> m(count);
+  double dp = d;
+  for (std::size_t k = 0; k < count; ++k) {
+    m[k] = outputs[o * count + k] / dp;
+    dp *= d;
+  }
+  return m;
+}
+
+engine::ReducedOrderModel MultiOutputModel::evaluate(
+    std::size_t o, std::span<const double> element_values) const {
+  engine::RomOptions ropts;
+  ropts.order = opts_.order;
+  ropts.enforce_stability = opts_.enforce_stability;
+  ropts.allow_order_fallback = opts_.allow_order_fallback;
+  return engine::ReducedOrderModel::from_moments(moments_at(o, element_values), ropts);
+}
+
+std::string CompiledModel::export_c_source(std::string_view function_name) const {
+  std::string src = "/* AWEsymbolic compiled moment program.\n";
+  src += " * inputs : ";
+  for (const auto& s : sym_.symbols) {
+    src += s.name;
+    if (s.reciprocal) src += " (as conductance 1/value)";
+    src += "  ";
+  }
+  src += "\n * outputs: N_0..N_" + std::to_string(sym_.count() - 1) +
+         ", det(Y0); moment k = out[k] / out[" + std::to_string(sym_.count()) +
+         "]^(k+1)\n */\n";
+  return src + program_.to_c_source(function_name);
+}
+
+std::vector<std::string> select_symbols(const circuit::Netlist& netlist,
+                                        const std::string& input_source,
+                                        circuit::NodeId output_node, std::size_t order,
+                                        std::size_t how_many) {
+  const auto ranked =
+      engine::rank_symbol_candidates(netlist, input_source, output_node, order);
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < ranked.size() && names.size() < how_many; ++i)
+    names.push_back(ranked[i].name);
+  return names;
+}
+
+}  // namespace awe::core

@@ -1,0 +1,172 @@
+// AWEsymbolic — compiled symbolic AWE analysis (the paper's contribution).
+//
+// Build once:   netlist + symbolic elements  ->  symbolic moments (via
+// moment-level partitioning)  ->  compiled register program.
+// Evaluate many:  symbol values  ->  program run  ->  numeric moments  ->
+// Padé  ->  reduced-order model, at a per-iteration cost orders of
+// magnitude below a full AWE re-analysis (paper Table 1).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "awe/rom.hpp"
+#include "circuit/netlist.hpp"
+#include "partition/partitioner.hpp"
+#include "symbolic/compile.hpp"
+
+namespace awe::core {
+
+struct ModelOptions {
+  std::size_t order = 2;
+  bool enforce_stability = true;
+  bool allow_order_fallback = true;
+  /// Also compile the exact symbolic gradients dN_k/de (polynomial
+  /// differentiation + the same CSE pass), enabling
+  /// moments_and_gradients() — sensitivity information over the whole
+  /// symbol range at compiled-evaluation cost.
+  bool with_gradients = false;
+};
+
+class CompiledModel {
+ public:
+  /// Build the compiled symbolic model of the transfer from `input_source`
+  /// to v(`output_node`), with the named elements treated symbolically.
+  static CompiledModel build(const circuit::Netlist& netlist,
+                             std::vector<std::string> symbol_elements,
+                             const std::string& input_source,
+                             circuit::NodeId output_node, const ModelOptions& opts = {});
+  static CompiledModel build(const circuit::Netlist& netlist,
+                             std::vector<std::string> symbol_elements,
+                             const std::string& input_source,
+                             const std::string& output_node, const ModelOptions& opts = {});
+
+  std::size_t order() const { return opts_.order; }
+  std::size_t moment_count() const { return sym_.count(); }
+  const part::SymbolicMoments& symbolic_moments() const { return sym_; }
+  std::vector<std::string> symbol_names() const { return sym_.symbol_names(); }
+
+  /// Reusable allocation-free evaluation scratch for the hot path.
+  struct Workspace {
+    std::vector<double> symbol_values;
+    std::vector<double> program_outputs;
+    std::vector<double> registers;
+    std::vector<double> moments;
+  };
+  Workspace make_workspace() const;
+
+  /// Numeric moments m_0..m_{2q-1} at the given element values (one per
+  /// symbol, in symbolic_moments().symbols order), via the compiled
+  /// program.
+  std::vector<double> moments_at(std::span<const double> element_values) const;
+  /// Allocation-free variant; result lives in ws.moments.
+  void moments_at(std::span<const double> element_values, Workspace& ws) const;
+
+  /// Full evaluation: compiled moments -> Padé -> reduced-order model.
+  engine::ReducedOrderModel evaluate(std::span<const double> element_values) const;
+
+  /// Moments plus their exact gradients with respect to the ELEMENT
+  /// values (reciprocal transforms chain-ruled).  Requires
+  /// ModelOptions::with_gradients at build time.
+  struct MomentsAndGradients {
+    std::vector<double> moments;              ///< m_0..m_{2q-1}
+    std::vector<std::vector<double>> dm;      ///< dm[k][i] = dm_k/d(value_i)
+  };
+  MomentsAndGradients moments_and_gradients(
+      std::span<const double> element_values) const;
+  bool has_gradients() const { return grad_program_.has_value(); }
+
+  /// Reference (uncompiled) moment evaluation — term-by-term polynomial
+  /// evaluation; used by tests and the compilation ablation bench.
+  std::vector<double> moments_uncompiled(std::span<const double> element_values) const;
+
+  // -- closed forms (first-order analysis, paper eqn (14)) --------------
+  /// DC gain A_0 = m_0 as an explicit rational function of the symbols.
+  symbolic::RationalFunction dc_gain_expression() const;
+  /// First-order dominant pole p_1 = m_0 / m_1.
+  symbolic::RationalFunction first_order_pole_expression() const;
+
+  /// Symbolic Padé denominator coefficients [1, b_1, .., b_q] as rational
+  /// functions of the symbols (the paper's factorable symbolic forms;
+  /// orders 1 and 2 supported, higher orders throw — by then the
+  /// closed forms are no longer "algebraically compact").
+  std::vector<symbolic::RationalFunction> symbolic_denominator() const;
+  /// Symbolic Padé numerator coefficients [a_0, .., a_{q-1}], same orders.
+  std::vector<symbolic::RationalFunction> symbolic_numerator() const;
+
+  // -- program statistics (the "reduced set of operations") -------------
+  std::size_t instruction_count() const { return program_.instruction_count(); }
+  std::size_t register_count() const { return program_.register_count(); }
+  std::size_t port_count() const { return sym_.port_count; }
+
+  /// Export the compiled moment program as standalone C source:
+  ///   void <name>(const double* symbols, double* out)
+  /// with out = [N_0 .. N_{2q-1}, det(Y0)]; moment k is out[k]/out[2q]^{k+1}.
+  /// Symbol inputs are the *internal* variables (resistor symbols enter as
+  /// conductances — see SymbolSpec::reciprocal).
+  std::string export_c_source(std::string_view function_name) const;
+
+ private:
+  CompiledModel(part::SymbolicMoments sym, symbolic::CompiledProgram program,
+                std::optional<symbolic::CompiledProgram> grad_program, ModelOptions opts)
+      : sym_(std::move(sym)),
+        program_(std::move(program)),
+        grad_program_(std::move(grad_program)),
+        opts_(opts) {}
+
+  part::SymbolicMoments sym_;
+  symbolic::CompiledProgram program_;  // outputs: [N_0 .. N_{2q-1}, det(Y0)]
+  /// Gradient program outputs: per symbol i: [dN_0/de_i .. dN_{2q-1}/de_i,
+  /// d det/de_i] (internal symbol variables).
+  std::optional<symbolic::CompiledProgram> grad_program_;
+  ModelOptions opts_;
+};
+
+/// Several outputs compiled from ONE partition: the numeric reduction,
+/// det(Y0)/adjugate and the cross-moment CSE are all shared, so modeling
+/// e.g. both the direct and the cross-talk end of a coupled-line pair
+/// costs barely more than one of them (the hash-consed DAG dedupes the
+/// common subexpressions across outputs automatically).
+class MultiOutputModel {
+ public:
+  static MultiOutputModel build(const circuit::Netlist& netlist,
+                                std::vector<std::string> symbol_elements,
+                                const std::string& input_source,
+                                std::vector<circuit::NodeId> output_nodes,
+                                const ModelOptions& opts = {});
+
+  std::size_t output_count() const { return sym_.outputs.size(); }
+  circuit::NodeId output_node(std::size_t o) const { return sym_.outputs.at(o); }
+  std::size_t order() const { return opts_.order; }
+  std::size_t instruction_count() const { return program_.instruction_count(); }
+  std::size_t port_count() const { return sym_.port_count; }
+  std::vector<std::string> symbol_names() const;
+
+  /// Moments of output `o` at the given element values.
+  std::vector<double> moments_at(std::size_t o, std::span<const double> element_values) const;
+  /// Reduced-order model of output `o`.
+  engine::ReducedOrderModel evaluate(std::size_t o,
+                                     std::span<const double> element_values) const;
+
+ private:
+  MultiOutputModel(part::MultiSymbolicMoments sym, symbolic::CompiledProgram program,
+                   ModelOptions opts)
+      : sym_(std::move(sym)), program_(std::move(program)), opts_(opts) {}
+
+  part::MultiSymbolicMoments sym_;
+  symbolic::CompiledProgram program_;  // outputs: [o0: N_0..N_{2q-1}]... , det(Y0)
+  ModelOptions opts_;
+};
+
+/// Automatic symbolic-element selection (paper §2.3): run AWEsensitivity
+/// and return the `how_many` differentiable elements with the largest
+/// normalized pole sensitivities.
+std::vector<std::string> select_symbols(const circuit::Netlist& netlist,
+                                        const std::string& input_source,
+                                        circuit::NodeId output_node, std::size_t order,
+                                        std::size_t how_many);
+
+}  // namespace awe::core

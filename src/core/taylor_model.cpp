@@ -1,0 +1,64 @@
+#include "core/taylor_model.hpp"
+
+#include <stdexcept>
+
+#include "awe/moments.hpp"
+#include "awe/sensitivity.hpp"
+
+namespace awe::core {
+
+TaylorMomentModel TaylorMomentModel::build(const circuit::Netlist& netlist,
+                                           std::vector<std::string> symbol_elements,
+                                           const std::string& input_source,
+                                           circuit::NodeId output_node,
+                                           const Options& opts) {
+  if (opts.order == 0) throw std::invalid_argument("TaylorMomentModel: order must be >= 1");
+  if (symbol_elements.empty())
+    throw std::invalid_argument("TaylorMomentModel: need at least one symbol");
+
+  TaylorMomentModel model;
+  model.opts_ = opts;
+  std::vector<std::size_t> indices;
+  for (const auto& name : symbol_elements) {
+    const auto idx = netlist.find_element(name);
+    if (!idx) throw std::invalid_argument("TaylorMomentModel: unknown element '" + name + "'");
+    indices.push_back(*idx);
+    model.names_.push_back(name);
+    model.nominal_.push_back(netlist.elements()[*idx].value);
+  }
+
+  const std::size_t count = 2 * opts.order;
+  engine::MomentGenerator gen(netlist);
+  model.m0_ = gen.transfer_moments(input_source, output_node, count);
+  const auto ms = engine::moment_sensitivities(gen, input_source, output_node, count);
+  model.dm_.assign(count, std::vector<double>(indices.size(), 0.0));
+  for (std::size_t k = 0; k < count; ++k)
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      if (!ms.differentiable[indices[i]])
+        throw std::invalid_argument("TaylorMomentModel: element '" + model.names_[i] +
+                                    "' has no differentiable value");
+      model.dm_[k][i] = ms.dm[k][indices[i]];
+    }
+  return model;
+}
+
+std::vector<double> TaylorMomentModel::moments_at(
+    std::span<const double> element_values) const {
+  if (element_values.size() != nominal_.size())
+    throw std::invalid_argument("TaylorMomentModel: wrong number of element values");
+  std::vector<double> m = m0_;
+  for (std::size_t k = 0; k < m.size(); ++k)
+    for (std::size_t i = 0; i < nominal_.size(); ++i)
+      m[k] += dm_[k][i] * (element_values[i] - nominal_[i]);
+  return m;
+}
+
+engine::ReducedOrderModel TaylorMomentModel::evaluate(
+    std::span<const double> element_values) const {
+  engine::RomOptions ropts;
+  ropts.order = opts_.order;
+  ropts.enforce_stability = opts_.enforce_stability;
+  return engine::ReducedOrderModel::from_moments(moments_at(element_values), ropts);
+}
+
+}  // namespace awe::core

@@ -1,0 +1,57 @@
+// First-order Taylor moment model — the "partial" alternative to a full
+// symbolic analysis (ablation comparator).
+//
+// Instead of exact symbolic moment expressions, expand each moment to
+// first order about the nominal symbol values using the adjoint moment
+// sensitivities of AWEsensitivity:
+//     m_k(e) ~= m_k(e0) + sum_i  dm_k/de_i |_{e0} (e_i - e0_i).
+// Setup costs one AWE run plus one adjoint chain (much cheaper than the
+// partitioned symbolic analysis); evaluation is a handful of FLOPs; but
+// accuracy degrades away from the expansion point, whereas the compiled
+// symbolic model is exact everywhere.  The ablation bench quantifies this
+// trade (DESIGN.md, ablation index).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "awe/rom.hpp"
+#include "circuit/netlist.hpp"
+
+namespace awe::core {
+
+class TaylorMomentModel {
+ public:
+  struct Options {
+    std::size_t order = 2;
+    bool enforce_stability = true;
+  };
+
+  /// Expand about the elements' current netlist values.
+  static TaylorMomentModel build(const circuit::Netlist& netlist,
+                                 std::vector<std::string> symbol_elements,
+                                 const std::string& input_source,
+                                 circuit::NodeId output_node, const Options& opts);
+
+  const std::vector<std::string>& symbol_names() const { return names_; }
+  const std::vector<double>& expansion_point() const { return nominal_; }
+
+  /// Approximate moments at the given element values.
+  std::vector<double> moments_at(std::span<const double> element_values) const;
+
+  /// Approximate reduced-order model at the given element values.
+  engine::ReducedOrderModel evaluate(std::span<const double> element_values) const;
+
+ private:
+  TaylorMomentModel() = default;
+
+  std::vector<std::string> names_;
+  std::vector<double> nominal_;             // expansion point e0
+  std::vector<double> m0_;                  // m_k(e0)
+  std::vector<std::vector<double>> dm_;     // dm_[k][i] = dm_k/de_i
+  Options opts_;
+};
+
+}  // namespace awe::core

@@ -1,0 +1,289 @@
+#include "exact/exact_symbolic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/mna.hpp"
+#include "symbolic/poly_matrix.hpp"
+
+namespace awe::exact {
+
+using circuit::Element;
+using circuit::ElementKind;
+using circuit::kGround;
+using circuit::Netlist;
+using symbolic::Polynomial;
+using symbolic::PolyMatrix;
+using symbolic::RationalFunction;
+
+namespace {
+
+/// Variable 0 is s; symbols start at index 1.
+constexpr std::size_t kS = 0;
+
+struct Stamper {
+  PolyMatrix& a;
+  const circuit::MnaLayout& lay;
+  std::size_t nvars;
+
+  Polynomial s() const { return Polynomial::variable(nvars, kS); }
+  Polynomial c(double v) const { return Polynomial::constant(nvars, v); }
+
+  void add(std::size_t r, std::size_t col, const Polynomial& v) { a(r, col) += v; }
+  void node2(circuit::NodeId p, circuit::NodeId n, const Polynomial& v) {
+    if (p != kGround) add(lay.node_unknown(p), lay.node_unknown(p), v);
+    if (n != kGround) add(lay.node_unknown(n), lay.node_unknown(n), v);
+    if (p != kGround && n != kGround) {
+      a(lay.node_unknown(p), lay.node_unknown(n)) -= v;
+      a(lay.node_unknown(n), lay.node_unknown(p)) -= v;
+    }
+  }
+  void cross(circuit::NodeId p, circuit::NodeId n, circuit::NodeId cp, circuit::NodeId cn,
+             const Polynomial& v) {
+    auto one = [&](circuit::NodeId r, circuit::NodeId col, double sign) {
+      if (r == kGround || col == kGround) return;
+      Polynomial t = v;
+      t *= sign;
+      a(lay.node_unknown(r), lay.node_unknown(col)) += t;
+    };
+    one(p, cp, 1.0);
+    one(p, cn, -1.0);
+    one(n, cp, -1.0);
+    one(n, cn, 1.0);
+  }
+  void branch(circuit::NodeId p, circuit::NodeId n, std::size_t aux) {
+    const Polynomial one = c(1.0);
+    if (p != kGround) {
+      add(lay.node_unknown(p), aux, one);
+      add(aux, lay.node_unknown(p), one);
+    }
+    if (n != kGround) {
+      a(lay.node_unknown(n), aux) -= one;
+      a(aux, lay.node_unknown(n)) -= one;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Polynomial> ExactTransfer::numerator_in_s() const {
+  std::vector<Polynomial> out;
+  const std::size_t deg = h.num().degree_in(kS);
+  for (std::size_t k = 0; k <= deg; ++k) {
+    // Terms with s-exponent k, s cleared.
+    std::vector<symbolic::Term> terms;
+    for (const auto& t : h.num().terms())
+      if (t.exponents[kS] == k) {
+        symbolic::Term reduced = t;
+        reduced.exponents[kS] = 0;
+        terms.push_back(std::move(reduced));
+      }
+    out.push_back(Polynomial::from_terms(h.num().nvars(), std::move(terms)));
+  }
+  return out;
+}
+
+std::vector<Polynomial> ExactTransfer::denominator_in_s() const {
+  std::vector<Polynomial> out;
+  const std::size_t deg = h.den().degree_in(kS);
+  for (std::size_t k = 0; k <= deg; ++k) {
+    std::vector<symbolic::Term> terms;
+    for (const auto& t : h.den().terms())
+      if (t.exponents[kS] == k) {
+        symbolic::Term reduced = t;
+        reduced.exponents[kS] = 0;
+        terms.push_back(std::move(reduced));
+      }
+    out.push_back(Polynomial::from_terms(h.den().nvars(), std::move(terms)));
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<double> internal_values(std::span<const double> element_values,
+                                    const std::vector<bool>& reciprocal, double s) {
+  std::vector<double> v;
+  v.reserve(element_values.size() + 1);
+  v.push_back(s);
+  for (std::size_t i = 0; i < element_values.size(); ++i) {
+    double x = element_values[i];
+    if (reciprocal[i]) {
+      if (x == 0.0) throw std::domain_error("exact: zero resistance symbol value");
+      x = 1.0 / x;
+    }
+    v.push_back(x);
+  }
+  return v;
+}
+
+}  // namespace
+
+double ExactTransfer::evaluate(double s, std::span<const double> element_values) const {
+  if (element_values.size() + 1 != variable_names.size())
+    throw std::invalid_argument("ExactTransfer: wrong number of element values");
+  return h.evaluate(internal_values(element_values, reciprocal, s));
+}
+
+std::vector<double> ExactTransfer::moments(std::span<const double> element_values,
+                                           std::size_t count) const {
+  if (element_values.size() + 1 != variable_names.size())
+    throw std::invalid_argument("ExactTransfer: wrong number of element values");
+  const auto pt = internal_values(element_values, reciprocal, 0.0);
+  const auto num_s = numerator_in_s();
+  const auto den_s = denominator_in_s();
+  std::vector<double> n(count, 0.0), d(count, 0.0);
+  for (std::size_t k = 0; k < count && k < num_s.size(); ++k) n[k] = num_s[k].evaluate(pt);
+  for (std::size_t k = 0; k < count && k < den_s.size(); ++k) d[k] = den_s[k].evaluate(pt);
+  const double d0 = den_s.empty() ? 0.0 : den_s[0].evaluate(pt);
+  if (d0 == 0.0)
+    throw std::domain_error("ExactTransfer: denominator vanishes at s=0 (no Maclaurin)");
+  // Long division of the power series.
+  std::vector<double> m(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    double acc = n[k];
+    for (std::size_t j = 1; j <= k; ++j) acc -= d[j] * m[k - j];
+    m[k] = acc / d0;
+  }
+  return m;
+}
+
+ExactTransfer exact_symbolic_transfer(const Netlist& netlist,
+                                      const std::vector<std::string>& symbol_elements,
+                                      const std::string& input_source,
+                                      circuit::NodeId output_node) {
+  if (output_node == kGround)
+    throw std::invalid_argument("exact: output node cannot be ground");
+  circuit::MnaAssembler assembler(netlist);
+  const auto& lay = assembler.layout();
+  if (lay.dim() > 16)
+    throw std::invalid_argument(
+        "exact: MNA dimension " + std::to_string(lay.dim()) +
+        " exceeds 16 — exact symbolic analysis does not scale; use AWEsymbolic");
+
+  const auto input_idx = netlist.find_element(input_source);
+  if (!input_idx) throw std::invalid_argument("exact: unknown input source");
+  const auto input_kind = netlist.elements()[*input_idx].kind;
+  if (input_kind != ElementKind::kVoltageSource && input_kind != ElementKind::kCurrentSource)
+    throw std::invalid_argument("exact: input is not an independent source");
+
+  // Map element -> symbol index (1-based in the variable list).
+  std::vector<std::ptrdiff_t> symbol_of(netlist.elements().size(), -1);
+  std::vector<bool> reciprocal;
+  std::vector<std::string> names{"s"};
+  for (const auto& name : symbol_elements) {
+    const auto idx = netlist.find_element(name);
+    if (!idx) throw std::invalid_argument("exact: unknown symbolic element '" + name + "'");
+    const Element& e = netlist.elements()[*idx];
+    switch (e.kind) {
+      case ElementKind::kResistor:
+      case ElementKind::kConductance:
+      case ElementKind::kCapacitor:
+      case ElementKind::kInductor:
+      case ElementKind::kVccs:
+        break;
+      default:
+        throw std::invalid_argument("exact: element '" + name + "' of kind " +
+                                    circuit::to_string(e.kind) + " cannot be symbolic");
+    }
+    symbol_of[*idx] = static_cast<std::ptrdiff_t>(names.size());
+    reciprocal.push_back(e.kind == ElementKind::kResistor);
+    names.push_back(e.name);
+  }
+  const std::size_t nvars = names.size();
+
+  PolyMatrix a(lay.dim(), lay.dim(), nvars);
+  Stamper st{a, lay, nvars};
+
+  for (std::size_t i = 0; i < netlist.elements().size(); ++i) {
+    const Element& e = netlist.elements()[i];
+    const std::ptrdiff_t sym = symbol_of[i];
+    auto val = [&](bool with_s) {
+      Polynomial p = (sym >= 0)
+                         ? Polynomial::variable(nvars, static_cast<std::size_t>(sym))
+                         : st.c(e.kind == ElementKind::kResistor ? 1.0 / e.value : e.value);
+      if (with_s) p = p * st.s();
+      return p;
+    };
+    switch (e.kind) {
+      case ElementKind::kResistor:
+      case ElementKind::kConductance:
+        st.node2(e.pos, e.neg, val(false));
+        break;
+      case ElementKind::kCapacitor:
+        st.node2(e.pos, e.neg, val(true));
+        break;
+      case ElementKind::kInductor: {
+        const std::size_t aux = lay.aux_unknown(i);
+        st.branch(e.pos, e.neg, aux);
+        a(aux, aux) -= val(true);
+        break;
+      }
+      case ElementKind::kVoltageSource:
+        st.branch(e.pos, e.neg, lay.aux_unknown(i));
+        break;
+      case ElementKind::kCurrentSource:
+        break;
+      case ElementKind::kVccs:
+        st.cross(e.pos, e.neg, e.ctrl_pos, e.ctrl_neg, val(false));
+        break;
+      case ElementKind::kVcvs: {
+        const std::size_t aux = lay.aux_unknown(i);
+        st.branch(e.pos, e.neg, aux);
+        // Overwrite the branch row's controlling part: row aux gets -gain
+        // at the controlling nodes (branch() already set the +/-1 volts).
+        if (e.ctrl_pos != kGround) a(aux, lay.node_unknown(e.ctrl_pos)) -= st.c(e.value);
+        if (e.ctrl_neg != kGround) a(aux, lay.node_unknown(e.ctrl_neg)) += st.c(e.value);
+        break;
+      }
+      case ElementKind::kCccs: {
+        const std::size_t ctrl_aux = lay.aux_unknown(*netlist.find_element(e.ctrl_source));
+        if (e.pos != kGround) a(lay.node_unknown(e.pos), ctrl_aux) += st.c(e.value);
+        if (e.neg != kGround) a(lay.node_unknown(e.neg), ctrl_aux) -= st.c(e.value);
+        break;
+      }
+      case ElementKind::kCcvs: {
+        const std::size_t aux = lay.aux_unknown(i);
+        const std::size_t ctrl_aux = lay.aux_unknown(*netlist.find_element(e.ctrl_source));
+        st.branch(e.pos, e.neg, aux);
+        a(aux, ctrl_aux) -= st.c(e.value);
+        break;
+      }
+      case ElementKind::kMutual: {
+        const std::size_t l1 = *netlist.find_element(e.ctrl_source);
+        const std::size_t l2 = *netlist.find_element(e.ctrl_source2);
+        if (symbol_of[l1] >= 0 || symbol_of[l2] >= 0)
+          throw std::invalid_argument("exact: mutually-coupled inductor cannot be symbolic");
+        const double m =
+            e.value * std::sqrt(netlist.elements()[l1].value * netlist.elements()[l2].value);
+        Polynomial sm = st.c(m) * st.s();
+        a(lay.aux_unknown(l1), lay.aux_unknown(l2)) -= sm;
+        a(lay.aux_unknown(l2), lay.aux_unknown(l1)) -= sm;
+        break;
+      }
+    }
+  }
+
+  // Excitation vector.
+  std::vector<Polynomial> b(lay.dim(), Polynomial(nvars));
+  const Element& input = netlist.elements()[*input_idx];
+  if (input.kind == ElementKind::kVoltageSource) {
+    b[lay.aux_unknown(*input_idx)] = st.c(1.0);
+  } else {
+    if (input.pos != kGround) b[lay.node_unknown(input.pos)] = st.c(-1.0);
+    if (input.neg != kGround) b[lay.node_unknown(input.neg)] = st.c(1.0);
+  }
+
+  // Cramer: H = (adj(A) b)[out] / det(A).
+  const Polynomial det = determinant(a);
+  if (det.is_zero()) throw std::runtime_error("exact: singular symbolic MNA matrix");
+  const auto n = adjugate(a).multiply(b);
+
+  ExactTransfer out;
+  out.variable_names = std::move(names);
+  out.reciprocal = std::move(reciprocal);
+  out.h = RationalFunction(n[lay.node_unknown(output_node)], det).normalized();
+  return out;
+}
+
+}  // namespace awe::exact

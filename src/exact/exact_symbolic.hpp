@@ -1,0 +1,59 @@
+// Exact symbolic network-function analysis — the *traditional* symbolic
+// baseline (Singhal/Vlach, Alderson/Lin, ISAAC, Sspice) that AWEsymbolic
+// is positioned against.
+//
+// Computes the full transfer function
+//     H(s, e) = N(s, e) / D(s, e)
+// as a ratio of multivariate polynomials in the complex frequency s AND
+// the symbolic elements, by Cramer's rule on the MNA matrix treated as a
+// polynomial matrix in the variables [s, e1, .., en].  Exact, but the
+// polynomial sizes explode combinatorially with circuit size — the paper's
+// §1 criticism ("for high order systems, this can lead to complex symbolic
+// forms, even when the number of symbols is low"), which this module makes
+// measurable (see bench_ablation_exact).  The MNA dimension is capped at
+// 16 by the determinant routine; beyond that, exact analysis is exactly as
+// impractical as the paper says.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "symbolic/rational.hpp"
+
+namespace awe::exact {
+
+struct ExactTransfer {
+  /// H in the variables [s, symbol_0, .., symbol_{n-1}].
+  symbolic::RationalFunction h;
+  /// Variable names: "s" followed by the symbolic element names.
+  std::vector<std::string> variable_names;
+  /// Reciprocal flags per symbol (resistor symbols enter as conductances).
+  std::vector<bool> reciprocal;
+
+  /// Numerator coefficients of s^0, s^1, ... as polynomials in the symbols
+  /// only (the forms of the paper's eqn (5)).
+  std::vector<symbolic::Polynomial> numerator_in_s() const;
+  std::vector<symbolic::Polynomial> denominator_in_s() const;
+
+  /// Evaluate H at a real frequency-domain point s with given symbol
+  /// element values.
+  double evaluate(double s, std::span<const double> element_values) const;
+
+  /// Maclaurin moments m_0..m_{count-1} of H about s = 0 at the given
+  /// element values (long division of the coefficient forms); the bridge
+  /// for cross-checking AWEsymbolic's moments against the exact forms.
+  std::vector<double> moments(std::span<const double> element_values,
+                              std::size_t count) const;
+};
+
+/// Run the exact analysis.  `symbol_elements` as in the partitioner
+/// (R/G/C/L/VCCS); every other element keeps its numeric value.  Throws
+/// std::invalid_argument for MNA dimensions above 16 — use AWEsymbolic for
+/// anything bigger; that is the point.
+ExactTransfer exact_symbolic_transfer(const circuit::Netlist& netlist,
+                                      const std::vector<std::string>& symbol_elements,
+                                      const std::string& input_source,
+                                      circuit::NodeId output_node);
+
+}  // namespace awe::exact

@@ -1,0 +1,31 @@
+#include "linalg/dense.hpp"
+
+#include <cmath>
+
+namespace awe::linalg {
+
+double norm2(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double norm_inf(std::span<const double> v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy(double k, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += k * x[i];
+}
+
+}  // namespace awe::linalg

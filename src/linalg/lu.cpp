@@ -1,0 +1,123 @@
+#include "linalg/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace awe::linalg {
+
+std::optional<LuFactorization> LuFactorization::factor(Matrix a, double pivot_tol) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("LU requires square matrix");
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  // Row scales for the pivot-degeneracy test.
+  std::vector<double> scale(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) scale[i] = std::max(scale[i], std::abs(a(i, j)));
+    if (scale[i] == 0.0) scale[i] = 1.0;
+  }
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest scaled entry in column k.
+    std::size_t piv = k;
+    double best = std::abs(a(k, k)) / scale[k];
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double cand = std::abs(a(i, k)) / scale[i];
+      if (cand > best) {
+        best = cand;
+        piv = i;
+      }
+    }
+    if (best < pivot_tol) return std::nullopt;
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(piv, j));
+      std::swap(perm[k], perm[piv]);
+      std::swap(scale[k], scale[piv]);
+      sign = -sign;
+    }
+    const double pivot = a(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = a(i, k) / pivot;
+      a(i, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= m * a(k, j);
+    }
+  }
+  return LuFactorization(std::move(a), std::move(perm), sign);
+}
+
+void LuFactorization::solve_in_place(std::span<double> b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("LU solve size mismatch");
+  // Apply permutation: y = P b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
+  // Forward substitution L z = y (unit diagonal).
+  for (std::size_t i = 1; i < n; ++i) {
+    double s = y[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * y[j];
+    y[i] = s;
+  }
+  // Back substitution U x = z.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * y[j];
+    y[ii] = s / lu_(ii, ii);
+  }
+  std::copy(y.begin(), y.end(), b.begin());
+}
+
+Vector LuFactorization::solve(Vector b) const {
+  solve_in_place(b);
+  return b;
+}
+
+void LuFactorization::solve_transposed_in_place(std::span<double> b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("LU solve size mismatch");
+  // A^T = (P^T L U)^T = U^T L^T P, so solve U^T z = b, L^T w = z, x = P^T w.
+  Vector y(b.begin(), b.end());
+  // Forward substitution U^T z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = y[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(j, i) * y[j];
+    y[i] = s / lu_(i, i);
+  }
+  // Back substitution L^T w = z (unit diagonal).
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(j, ii) * y[j];
+    y[ii] = s;
+  }
+  // x = P^T w: x[perm[i]] = w[i].
+  for (std::size_t i = 0; i < n; ++i) b[perm_[i]] = y[i];
+}
+
+Vector LuFactorization::solve_transposed(Vector b) const {
+  solve_transposed_in_place(b);
+  return b;
+}
+
+double LuFactorization::determinant() const {
+  double d = perm_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+double LuFactorization::min_abs_pivot() const {
+  double m = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < lu_.rows(); ++i) m = std::min(m, std::abs(lu_(i, i)));
+  return m;
+}
+
+Vector solve_dense(Matrix a, Vector b) {
+  auto lu = LuFactorization::factor(std::move(a));
+  if (!lu) throw std::runtime_error("solve_dense: singular matrix");
+  return lu->solve(std::move(b));
+}
+
+}  // namespace awe::linalg

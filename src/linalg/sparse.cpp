@@ -1,0 +1,113 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace awe::linalg {
+
+void TripletMatrix::add(std::size_t r, std::size_t c, double value) {
+  assert(r < rows_ && c < cols_);
+  rows_idx_.push_back(r);
+  cols_idx_.push_back(c);
+  values_.push_back(value);
+}
+
+SparseMatrix TripletMatrix::compress(bool keep_zeros) const {
+  const std::size_t nnz_in = values_.size();
+  // Count entries per column, prefix-sum into col_ptr, then scatter.
+  std::vector<std::size_t> count(cols_ + 1, 0);
+  for (std::size_t k = 0; k < nnz_in; ++k) ++count[cols_idx_[k] + 1];
+  std::partial_sum(count.begin(), count.end(), count.begin());
+
+  std::vector<std::size_t> row_idx(nnz_in);
+  std::vector<double> values(nnz_in);
+  {
+    std::vector<std::size_t> next(count.begin(), count.end() - 1);
+    for (std::size_t k = 0; k < nnz_in; ++k) {
+      const std::size_t pos = next[cols_idx_[k]]++;
+      row_idx[pos] = rows_idx_[k];
+      values[pos] = values_[k];
+    }
+  }
+
+  // Sort each column by row and merge duplicates.
+  std::vector<std::size_t> col_ptr(cols_ + 1, 0);
+  std::vector<std::size_t> out_rows;
+  std::vector<double> out_vals;
+  out_rows.reserve(nnz_in);
+  out_vals.reserve(nnz_in);
+  std::vector<std::size_t> order;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const std::size_t lo = count[c], hi = count[c + 1];
+    order.resize(hi - lo);
+    std::iota(order.begin(), order.end(), lo);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return row_idx[a] < row_idx[b]; });
+    std::size_t i = 0;
+    while (i < order.size()) {
+      const std::size_t r = row_idx[order[i]];
+      double sum = 0.0;
+      while (i < order.size() && row_idx[order[i]] == r) sum += values[order[i++]];
+      if (sum != 0.0 || keep_zeros) {
+        out_rows.push_back(r);
+        out_vals.push_back(sum);
+      }
+    }
+    col_ptr[c + 1] = out_rows.size();
+  }
+  return SparseMatrix(rows_, cols_, std::move(col_ptr), std::move(out_rows),
+                      std::move(out_vals));
+}
+
+Matrix TripletMatrix::to_dense() const {
+  Matrix m(rows_, cols_);
+  for (std::size_t k = 0; k < values_.size(); ++k)
+    m(rows_idx_[k], cols_idx_[k]) += values_[k];
+  return m;
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  assert(r < rows_ && c < cols_);
+  const auto begin = row_idx_.begin() + static_cast<std::ptrdiff_t>(col_ptr_[c]);
+  const auto end = row_idx_.begin() + static_cast<std::ptrdiff_t>(col_ptr_[c + 1]);
+  const auto it = std::lower_bound(begin, end, r);
+  if (it == end || *it != r) return 0.0;
+  return values_[static_cast<std::size_t>(it - row_idx_.begin())];
+}
+
+Vector SparseMatrix::multiply(std::span<const double> x) const {
+  if (x.size() != cols_) throw std::invalid_argument("SparseMatrix::multiply size mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const double xc = x[c];
+    if (xc == 0.0) continue;
+    for (std::size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k)
+      y[row_idx_[k]] += values_[k] * xc;
+  }
+  return y;
+}
+
+Vector SparseMatrix::multiply_transposed(std::span<const double> x) const {
+  if (x.size() != rows_)
+    throw std::invalid_argument("SparseMatrix::multiply_transposed size mismatch");
+  Vector y(cols_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    double s = 0.0;
+    for (std::size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k)
+      s += values_[k] * x[row_idx_[k]];
+    y[c] = s;
+  }
+  return y;
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix m(rows_, cols_);
+  for (std::size_t c = 0; c < cols_; ++c)
+    for (std::size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k)
+      m(row_idx_[k], c) += values_[k];
+  return m;
+}
+
+}  // namespace awe::linalg

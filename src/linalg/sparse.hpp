@@ -1,0 +1,84 @@
+// Sparse matrix types for circuit-sized MNA systems.
+//
+// Circuits assemble naturally as coordinate (triplet) lists — each element
+// stamp adds a handful of (row, col, value) contributions, and duplicates
+// must sum.  Solvers want compressed sparse column (CSC).  `TripletMatrix`
+// collects stamps; `SparseMatrix` is the immutable CSC product.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace awe::linalg {
+
+/// Mutable coordinate-format accumulator for matrix assembly.
+class TripletMatrix {
+ public:
+  TripletMatrix() = default;
+  TripletMatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Accumulate `value` at (r, c). Duplicate entries are summed on compress.
+  void add(std::size_t r, std::size_t c, double value);
+
+  std::size_t entry_count() const { return rows_idx_.size(); }
+
+  /// Compress into CSC, summing duplicates and dropping explicit zeros
+  /// (unless keep_zeros, which preserves the symbolic pattern — needed when
+  /// a pattern is shared across factorizations).
+  class SparseMatrix compress(bool keep_zeros = false) const;
+
+  Matrix to_dense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> rows_idx_;
+  std::vector<std::size_t> cols_idx_;
+  std::vector<double> values_;
+};
+
+/// Immutable compressed-sparse-column matrix.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  SparseMatrix(std::size_t rows, std::size_t cols, std::vector<std::size_t> col_ptr,
+               std::vector<std::size_t> row_idx, std::vector<double> values)
+      : rows_(rows),
+        cols_(cols),
+        col_ptr_(std::move(col_ptr)),
+        row_idx_(std::move(row_idx)),
+        values_(std::move(values)) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  std::span<const std::size_t> col_ptr() const { return col_ptr_; }
+  std::span<const std::size_t> row_idx() const { return row_idx_; }
+  std::span<const double> values() const { return values_; }
+
+  /// Entry lookup (binary search within the column); 0.0 if not stored.
+  double at(std::size_t r, std::size_t c) const;
+
+  /// y = A x
+  Vector multiply(std::span<const double> x) const;
+  /// y = A^T x
+  Vector multiply_transposed(std::span<const double> x) const;
+
+  Matrix to_dense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> col_ptr_;  // size cols+1
+  std::vector<std::size_t> row_idx_;  // size nnz, sorted within column
+  std::vector<double> values_;        // size nnz
+};
+
+}  // namespace awe::linalg

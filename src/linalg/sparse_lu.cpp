@@ -1,0 +1,277 @@
+#include "linalg/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace awe::linalg {
+namespace {
+
+/// Symmetrized adjacency (pattern of A + A^T, no diagonal).
+std::vector<std::vector<std::size_t>> symmetric_adjacency(const SparseMatrix& a) {
+  const std::size_t n = a.cols();
+  std::vector<std::vector<std::size_t>> adj(n);
+  const auto cp = a.col_ptr();
+  const auto ri = a.row_idx();
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t k = cp[c]; k < cp[c + 1]; ++k) {
+      const std::size_t r = ri[k];
+      if (r == c) continue;
+      adj[c].push_back(r);
+      adj[r].push_back(c);
+    }
+  }
+  for (auto& nb : adj) {
+    std::sort(nb.begin(), nb.end());
+    nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+  }
+  return adj;
+}
+
+std::vector<std::size_t> min_degree_ordering(const SparseMatrix& a) {
+  const std::size_t n = a.cols();
+  auto adj = symmetric_adjacency(a);
+  std::vector<bool> eliminated(n, false);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+
+  // Greedy minimum degree with clique formation on elimination.  The
+  // circuits we factor are nearly banded, so the simple quadratic scan is
+  // cheap in practice; this is an ordering heuristic, not a bottleneck.
+  std::vector<std::size_t> degree(n);
+  for (std::size_t i = 0; i < n; ++i) degree[i] = adj[i].size();
+
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    std::size_t best_deg = ~std::size_t{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!eliminated[i] && degree[i] < best_deg) {
+        best_deg = degree[i];
+        best = i;
+      }
+    }
+    eliminated[best] = true;
+    order.push_back(best);
+
+    // Collect live neighbors and connect them pairwise (fill edges).
+    std::vector<std::size_t> live;
+    for (std::size_t nb : adj[best])
+      if (!eliminated[nb]) live.push_back(nb);
+    for (std::size_t u : live) {
+      auto& lu = adj[u];
+      for (std::size_t v : live) {
+        if (v == u) continue;
+        const auto it = std::lower_bound(lu.begin(), lu.end(), v);
+        if (it == lu.end() || *it != v) lu.insert(it, v);
+      }
+      // Recompute live degree of u.
+      std::size_t d = 0;
+      for (std::size_t w : lu)
+        if (!eliminated[w]) ++d;
+      degree[u] = d;
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<std::size_t> compute_ordering(const SparseMatrix& a, OrderingKind kind) {
+  const std::size_t n = a.cols();
+  if (kind == OrderingKind::kNatural) {
+    std::vector<std::size_t> id(n);
+    for (std::size_t i = 0; i < n; ++i) id[i] = i;
+    return id;
+  }
+  return min_degree_ordering(a);
+}
+
+std::optional<SparseLu> SparseLu::factor(const SparseMatrix& a, const Options& opts) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("SparseLu requires square matrix");
+  const std::size_t n = a.rows();
+  constexpr std::size_t kNone = ~std::size_t{0};
+
+  SparseLu f;
+  f.n_ = n;
+  f.cperm_ = compute_ordering(a, opts.ordering);
+  f.rperm_.assign(n, kNone);
+  f.l_col_ptr_.assign(n + 1, 0);
+  f.u_col_ptr_.assign(n + 1, 0);
+
+  // pinv[orig_row] = pivot step at which the row was chosen, or kNone.
+  std::vector<std::size_t> pinv(n, kNone);
+
+  const auto a_cp = a.col_ptr();
+  const auto a_ri = a.row_idx();
+  const auto a_vx = a.values();
+
+  std::vector<double> x(n, 0.0);          // dense accumulator (indexed by orig row)
+  std::vector<std::size_t> pattern;       // nonzero orig-row indices of x
+  std::vector<unsigned char> marked(n, 0);
+  std::vector<std::size_t> stack, path;   // DFS state
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t col = f.cperm_[j];
+
+    // --- Symbolic step: reach of column `col` through finished L columns.
+    // A nonzero in a pivoted row r (pinv[r] = k < j) is eliminated using L
+    // column k, which injects L's pattern; depth-first search discovers the
+    // full fill-in pattern in topological order.
+    pattern.clear();
+    for (std::size_t k = a_cp[col]; k < a_cp[col + 1]; ++k) {
+      const std::size_t r0 = a_ri[k];
+      if (marked[r0]) continue;
+      // Iterative DFS from r0 through L.
+      stack.assign(1, r0);
+      path.clear();
+      while (!stack.empty()) {
+        const std::size_t r = stack.back();
+        if (!marked[r]) {
+          marked[r] = 1;
+          path.push_back(r);
+          const std::size_t piv = pinv[r];
+          if (piv != kNone) {
+            for (std::size_t q = f.l_col_ptr_[piv]; q < f.l_col_ptr_[piv + 1]; ++q) {
+              const std::size_t child = f.l_row_idx_[q];
+              if (!marked[child]) stack.push_back(child);
+            }
+            continue;
+          }
+        }
+        stack.pop_back();
+      }
+      pattern.insert(pattern.end(), path.begin(), path.end());
+    }
+
+    // --- Numeric step: scatter A(:, col) then eliminate pivoted rows in
+    // dependency order.  Order pattern by pivot step so that every update
+    // uses already-final values.
+    for (std::size_t r : pattern) x[r] = 0.0;
+    for (std::size_t k = a_cp[col]; k < a_cp[col + 1]; ++k) x[a_ri[k]] = a_vx[k];
+
+    std::sort(pattern.begin(), pattern.end(), [&](std::size_t p, std::size_t q) {
+      const std::size_t sp = pinv[p] == kNone ? n : pinv[p];
+      const std::size_t sq = pinv[q] == kNone ? n : pinv[q];
+      return sp < sq;
+    });
+
+    for (std::size_t r : pattern) {
+      const std::size_t piv = pinv[r];
+      if (piv == kNone) continue;
+      const double xr = x[r];
+      if (xr == 0.0) continue;
+      for (std::size_t q = f.l_col_ptr_[piv]; q < f.l_col_ptr_[piv + 1]; ++q)
+        x[f.l_row_idx_[q]] -= f.l_values_[q] * xr;
+    }
+
+    // --- Pivot selection among unpivoted rows (threshold pivoting with
+    // preference for the natural diagonal to limit fill).
+    double col_max = 0.0;
+    std::size_t arg_max = kNone;
+    for (std::size_t r : pattern) {
+      if (pinv[r] != kNone) continue;
+      const double v = std::abs(x[r]);
+      if (v > col_max) {
+        col_max = v;
+        arg_max = r;
+      }
+    }
+    if (arg_max == kNone || col_max < opts.singular_tol) {
+      for (std::size_t r : pattern) marked[r] = 0;
+      return std::nullopt;
+    }
+    std::size_t pivot_row = arg_max;
+    if (marked[col] && pinv[col] == kNone &&
+        std::abs(x[col]) >= opts.pivot_threshold * col_max && x[col] != 0.0)
+      pivot_row = col;
+
+    const double pivot = x[pivot_row];
+    pinv[pivot_row] = j;
+    f.rperm_[j] = pivot_row;
+
+    // --- Gather into U (pivoted rows) and L (unpivoted rows, scaled).
+    for (std::size_t r : pattern) {
+      marked[r] = 0;
+      const double v = x[r];
+      if (r == pivot_row) continue;
+      if (v == 0.0) continue;
+      if (pinv[r] != kNone) {
+        f.u_row_idx_.push_back(pinv[r]);
+        f.u_values_.push_back(v);
+      } else {
+        f.l_row_idx_.push_back(r);  // original row index; finalized below
+        f.l_values_.push_back(v / pivot);
+      }
+    }
+    f.u_row_idx_.push_back(j);  // diagonal of U stored last
+    f.u_values_.push_back(pivot);
+    f.u_col_ptr_[j + 1] = f.u_values_.size();
+    f.l_col_ptr_[j + 1] = f.l_values_.size();
+  }
+
+  // Rewrite L row indices from original rows to pivot steps.
+  for (auto& r : f.l_row_idx_) r = pinv[r];
+  return f;
+}
+
+void SparseLu::solve_in_place(std::span<double> b) const {
+  if (b.size() != n_) throw std::invalid_argument("SparseLu solve size mismatch");
+  // Permute rows: y[k] = b[rperm_[k]].
+  Vector y(n_);
+  for (std::size_t k = 0; k < n_; ++k) y[k] = b[rperm_[k]];
+  // L y = y (unit diagonal, column oriented forward substitution).
+  for (std::size_t j = 0; j < n_; ++j) {
+    const double yj = y[j];
+    if (yj == 0.0) continue;
+    for (std::size_t q = l_col_ptr_[j]; q < l_col_ptr_[j + 1]; ++q)
+      y[l_row_idx_[q]] -= l_values_[q] * yj;
+  }
+  // U x = y (diagonal stored last in each column).
+  for (std::size_t jj = n_; jj-- > 0;) {
+    const std::size_t last = u_col_ptr_[jj + 1] - 1;
+    assert(u_row_idx_[last] == jj);
+    const double xj = y[jj] / u_values_[last];
+    y[jj] = xj;
+    if (xj == 0.0) continue;
+    for (std::size_t q = u_col_ptr_[jj]; q < last; ++q)
+      y[u_row_idx_[q]] -= u_values_[q] * xj;
+  }
+  // Undo column permutation: b[cperm_[k]] = y[k].
+  for (std::size_t k = 0; k < n_; ++k) b[cperm_[k]] = y[k];
+}
+
+Vector SparseLu::solve(Vector b) const {
+  solve_in_place(b);
+  return b;
+}
+
+void SparseLu::solve_transposed_in_place(std::span<double> b) const {
+  if (b.size() != n_) throw std::invalid_argument("SparseLu solve size mismatch");
+  // A^T x = b with A(rperm, cperm) = L U:  U^T L^T w = b(cperm), x(rperm) = w.
+  Vector y(n_);
+  for (std::size_t k = 0; k < n_; ++k) y[k] = b[cperm_[k]];
+  // U^T w = y: forward substitution, rows of U^T are columns of U.
+  for (std::size_t j = 0; j < n_; ++j) {
+    const std::size_t last = u_col_ptr_[j + 1] - 1;
+    double s = y[j];
+    for (std::size_t q = u_col_ptr_[j]; q < last; ++q)
+      s -= u_values_[q] * y[u_row_idx_[q]];
+    y[j] = s / u_values_[last];
+  }
+  // L^T w = y: back substitution (unit diagonal).
+  for (std::size_t jj = n_; jj-- > 0;) {
+    double s = y[jj];
+    for (std::size_t q = l_col_ptr_[jj]; q < l_col_ptr_[jj + 1]; ++q)
+      s -= l_values_[q] * y[l_row_idx_[q]];
+    y[jj] = s;
+  }
+  for (std::size_t k = 0; k < n_; ++k) b[rperm_[k]] = y[k];
+}
+
+Vector SparseLu::solve_transposed(Vector b) const {
+  solve_transposed_in_place(b);
+  return b;
+}
+
+}  // namespace awe::linalg

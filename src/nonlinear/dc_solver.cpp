@@ -1,0 +1,316 @@
+#include "nonlinear/dc_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/sparse_lu.hpp"
+
+namespace awe::nonlinear {
+
+using circuit::kGround;
+using circuit::NodeId;
+
+void NonlinearCircuit::add_diode(std::string name, NodeId anode, NodeId cathode,
+                                 const DiodeParams& params) {
+  Device d;
+  d.kind = DeviceKind::kDiode;
+  d.name = std::move(name);
+  d.a = anode;
+  d.b = cathode;
+  d.diode = params;
+  devices.push_back(std::move(d));
+}
+
+void NonlinearCircuit::add_bjt_npn(std::string name, NodeId collector, NodeId base,
+                                   NodeId emitter, const BjtParams& params) {
+  Device d;
+  d.kind = DeviceKind::kBjtNpn;
+  d.name = std::move(name);
+  d.a = collector;
+  d.b = base;
+  d.c = emitter;
+  d.bjt = params;
+  devices.push_back(std::move(d));
+}
+
+void NonlinearCircuit::add_nmos(std::string name, NodeId drain, NodeId gate,
+                                NodeId source, const MosParams& params) {
+  Device d;
+  d.kind = DeviceKind::kNmos;
+  d.name = std::move(name);
+  d.a = drain;
+  d.b = gate;
+  d.c = source;
+  d.mos = params;
+  devices.push_back(std::move(d));
+}
+
+namespace {
+
+/// exp with the standard SPICE linear extension beyond the overflow knee,
+/// returning both the value and its derivative.
+struct LimitedExp {
+  double value;
+  double derivative;
+};
+LimitedExp limited_exp(double x) {
+  constexpr double kKnee = 40.0;
+  if (x <= kKnee) {
+    const double e = std::exp(x);
+    return {e, e};
+  }
+  const double ek = std::exp(kKnee);
+  return {ek * (1.0 + (x - kKnee)), ek};
+}
+
+/// Per-device evaluation at node voltages: KCL contributions (currents
+/// leaving each terminal) and conductance stamps.
+struct DeviceEval {
+  // Currents leaving terminals a/b/c through the device.
+  double ia = 0.0, ib = 0.0, ic = 0.0;
+  SmallSignal ss;
+};
+
+DeviceEval eval_device(const Device& d, double va, double vb, double vc) {
+  DeviceEval e;
+  switch (d.kind) {
+    case DeviceKind::kDiode: {
+      const double nvt = d.diode.n * kThermalVoltage;
+      const auto ex = limited_exp((va - vb) / nvt);
+      const double i = d.diode.is * (ex.value - 1.0);
+      e.ss.gd = d.diode.is * ex.derivative / nvt;
+      e.ss.i_main = i;
+      e.ia = i;        // anode -> cathode through the junction
+      e.ib = -i;
+      break;
+    }
+    case DeviceKind::kBjtNpn: {
+      // a = collector, b = base, c = emitter; forward-active Ebers-Moll.
+      const double vbe = vb - vc;
+      const double vce = va - vc;
+      const auto ex = limited_exp(vbe / kThermalVoltage);
+      const double early =
+          (d.bjt.vaf > 0.0) ? std::max(1.0 + vce / d.bjt.vaf, 0.1) : 1.0;
+      const double icc = d.bjt.is * (ex.value - 1.0);
+      const double i_c = icc * early;
+      const double i_b = icc / d.bjt.beta_f;
+      e.ss.gm = d.bjt.is * ex.derivative / kThermalVoltage * early;
+      e.ss.gpi = d.bjt.is * ex.derivative / (kThermalVoltage * d.bjt.beta_f);
+      e.ss.go = (d.bjt.vaf > 0.0 && early > 0.1) ? icc / d.bjt.vaf : 0.0;
+      e.ss.i_main = i_c;
+      e.ia = i_c;             // into collector, out through emitter
+      e.ib = i_b;
+      e.ic = -(i_c + i_b);
+      break;
+    }
+    case DeviceKind::kNmos: {
+      // a = drain, b = gate, c = source; square law, no body effect.
+      const double vgs = vb - vc;
+      const double vds = va - vc;
+      const double vov = vgs - d.mos.vth;
+      double id = 0.0, gm = 0.0, gds = 1e-12;  // gmin keeps Newton regular
+      if (vov > 0.0 && vds >= 0.0) {
+        if (vds < vov) {  // triode
+          id = d.mos.k * (vov * vds - 0.5 * vds * vds);
+          gm = d.mos.k * vds;
+          gds += d.mos.k * (vov - vds);
+        } else {  // saturation
+          const double chan = 1.0 + d.mos.lambda * vds;
+          id = 0.5 * d.mos.k * vov * vov * chan;
+          gm = d.mos.k * vov * chan;
+          gds += 0.5 * d.mos.k * vov * vov * d.mos.lambda;
+        }
+      }
+      e.ss.gm = gm;
+      e.ss.gds = gds;
+      e.ss.i_main = id;
+      e.ia = id;
+      e.ic = -id;
+      break;
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+DcResult solve_dc(const NonlinearCircuit& circuit, const DcOptions& opts) {
+  circuit::MnaAssembler assembler(circuit.linear);
+  const auto& lay = assembler.layout();
+  const std::size_t dim = lay.dim();
+
+  // Constant (linear) part.
+  linalg::TripletMatrix g_lin(dim, dim), c_unused(dim, dim);
+  assembler.stamp_all(g_lin, c_unused);
+  const linalg::Vector b_lin = assembler.rhs_all_sources();
+
+  auto v_of = [&](const linalg::Vector& x, NodeId n) {
+    return n == kGround ? 0.0 : x[lay.node_unknown(n)];
+  };
+
+  DcResult result;
+  result.x.assign(dim, 0.0);
+  result.device_ss.resize(circuit.devices.size());
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    // Assemble the Newton system J dx_new = b.
+    linalg::TripletMatrix j(dim, dim);
+    // (copy of the linear stamps)
+    {
+      linalg::TripletMatrix g2(dim, dim), c2(dim, dim);
+      assembler.stamp_all(g2, c2);
+      j = std::move(g2);
+    }
+    linalg::Vector b = b_lin;
+
+    auto stamp_g = [&](NodeId r, NodeId c2, double g) {
+      if (r == kGround || c2 == kGround || g == 0.0) return;
+      j.add(lay.node_unknown(r), lay.node_unknown(c2), g);
+    };
+    auto stamp_pair = [&](NodeId p, NodeId n, double g) {
+      stamp_g(p, p, g);
+      stamp_g(n, n, g);
+      stamp_g(p, n, -g);
+      stamp_g(n, p, -g);
+    };
+    auto inject = [&](NodeId node, double i_leaving) {
+      // KCL: currents leaving through the device move to the RHS.
+      if (node != kGround) b[lay.node_unknown(node)] -= i_leaving;
+    };
+
+    for (std::size_t di = 0; di < circuit.devices.size(); ++di) {
+      const Device& d = circuit.devices[di];
+      const double va = v_of(result.x, d.a);
+      const double vb = v_of(result.x, d.b);
+      const double vc = v_of(result.x, d.c);
+      const DeviceEval e = eval_device(d, va, vb, vc);
+      result.device_ss[di] = e.ss;
+      switch (d.kind) {
+        case DeviceKind::kDiode: {
+          stamp_pair(d.a, d.b, e.ss.gd);
+          const double vd = va - vb;
+          const double ieq = e.ss.i_main - e.ss.gd * vd;  // I(V) - g V0
+          inject(d.a, ieq);
+          inject(d.b, -ieq);
+          break;
+        }
+        case DeviceKind::kBjtNpn: {
+          // Collector current: gm (b,e) control + go (c,e) conductance.
+          auto stamp_vccs = [&](NodeId p, NodeId n, NodeId cp, NodeId cn, double g) {
+            stamp_g(p, cp, g);
+            stamp_g(p, cn, -g);
+            stamp_g(n, cp, -g);
+            stamp_g(n, cn, g);
+          };
+          stamp_vccs(d.a, d.c, d.b, d.c, e.ss.gm);
+          stamp_pair(d.a, d.c, e.ss.go);
+          stamp_pair(d.b, d.c, e.ss.gpi);
+          const double vbe = vb - vc;
+          const double vce = va - vc;
+          const double ic_eq = e.ia - e.ss.gm * vbe - e.ss.go * vce;
+          const double ib_eq = e.ib - e.ss.gpi * vbe;
+          inject(d.a, ic_eq);
+          inject(d.b, ib_eq);
+          inject(d.c, -(ic_eq + ib_eq));
+          break;
+        }
+        case DeviceKind::kNmos: {
+          auto stamp_vccs = [&](NodeId p, NodeId n, NodeId cp, NodeId cn, double g) {
+            stamp_g(p, cp, g);
+            stamp_g(p, cn, -g);
+            stamp_g(n, cp, -g);
+            stamp_g(n, cn, g);
+          };
+          stamp_vccs(d.a, d.c, d.b, d.c, e.ss.gm);
+          stamp_pair(d.a, d.c, e.ss.gds);
+          const double vgs = vb - vc;
+          const double vds = va - vc;
+          const double id_eq = e.ia - e.ss.gm * vgs - e.ss.gds * vds;
+          inject(d.a, id_eq);
+          inject(d.c, -id_eq);
+          break;
+        }
+      }
+    }
+
+    auto lu = linalg::SparseLu::factor(j.compress());
+    if (!lu)
+      throw std::runtime_error("solve_dc: singular Newton Jacobian at iteration " +
+                               std::to_string(it));
+    linalg::Vector x_new = lu->solve(b);
+
+    // Junction-voltage damping: limit the largest junction update.
+    double max_junction_step = 0.0;
+    for (const Device& d : circuit.devices) {
+      const NodeId p = (d.kind == DeviceKind::kDiode) ? d.a : d.b;
+      const NodeId n = (d.kind == DeviceKind::kDiode) ? d.b : d.c;
+      const double before = v_of(result.x, p) - v_of(result.x, n);
+      const double after = v_of(x_new, p) - v_of(x_new, n);
+      max_junction_step = std::max(max_junction_step, std::abs(after - before));
+    }
+    double damp = 1.0;
+    if (max_junction_step > opts.junction_step) damp = opts.junction_step / max_junction_step;
+
+    double max_delta = 0.0, max_x = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double delta = damp * (x_new[i] - result.x[i]);
+      result.x[i] += delta;
+      max_delta = std::max(max_delta, std::abs(delta));
+      max_x = std::max(max_x, std::abs(result.x[i]));
+    }
+    result.iterations = it + 1;
+    if (damp == 1.0 && max_delta < opts.abstol + opts.reltol * max_x) {
+      result.converged = true;
+      // Refresh the small-signal parameters at the final point.
+      for (std::size_t di = 0; di < circuit.devices.size(); ++di) {
+        const Device& d = circuit.devices[di];
+        result.device_ss[di] =
+            eval_device(d, v_of(result.x, d.a), v_of(result.x, d.b), v_of(result.x, d.c))
+                .ss;
+      }
+      return result;
+    }
+  }
+  return result;  // converged = false
+}
+
+circuit::Netlist linearize(const NonlinearCircuit& circuit, const DcResult& op) {
+  if (!op.converged)
+    throw std::invalid_argument("linearize: operating point did not converge");
+  // Copy the linear part with independent sources zeroed (small-signal).
+  circuit::Netlist ss = circuit.linear;
+  for (std::size_t i = 0; i < ss.elements().size(); ++i) {
+    const auto kind = ss.elements()[i].kind;
+    if (kind == circuit::ElementKind::kVoltageSource ||
+        kind == circuit::ElementKind::kCurrentSource)
+      ss.set_value(i, 0.0);
+  }
+
+  for (std::size_t di = 0; di < circuit.devices.size(); ++di) {
+    const Device& d = circuit.devices[di];
+    const SmallSignal& s = op.device_ss[di];
+    switch (d.kind) {
+      case DeviceKind::kDiode:
+        if (s.gd > 0.0) ss.add_conductance(d.name + ".gd", d.a, d.b, s.gd);
+        if (d.diode.cj > 0.0) ss.add_capacitor(d.name + ".cj", d.a, d.b, d.diode.cj);
+        break;
+      case DeviceKind::kBjtNpn:
+        if (s.gm > 0.0) ss.add_vccs(d.name + ".gm", d.a, d.c, d.b, d.c, s.gm);
+        if (s.gpi > 0.0) ss.add_conductance(d.name + ".gpi", d.b, d.c, s.gpi);
+        if (s.go > 0.0) ss.add_conductance(d.name + ".go", d.a, d.c, s.go);
+        if (d.bjt.cpi > 0.0) ss.add_capacitor(d.name + ".cpi", d.b, d.c, d.bjt.cpi);
+        if (d.bjt.cmu > 0.0) ss.add_capacitor(d.name + ".cmu", d.b, d.a, d.bjt.cmu);
+        break;
+      case DeviceKind::kNmos:
+        if (s.gm > 0.0) ss.add_vccs(d.name + ".gm", d.a, d.c, d.b, d.c, s.gm);
+        if (s.gds > 0.0) ss.add_conductance(d.name + ".gds", d.a, d.c, s.gds);
+        if (d.mos.cgs > 0.0) ss.add_capacitor(d.name + ".cgs", d.b, d.c, d.mos.cgs);
+        if (d.mos.cgd > 0.0) ss.add_capacitor(d.name + ".cgd", d.b, d.a, d.mos.cgd);
+        break;
+    }
+  }
+  return ss;
+}
+
+}  // namespace awe::nonlinear

@@ -1,0 +1,55 @@
+// Newton-Raphson DC operating-point solver and small-signal linearizer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "circuit/netlist.hpp"
+#include "nonlinear/devices.hpp"
+
+namespace awe::nonlinear {
+
+/// A nonlinear circuit: a linear netlist (R, C, L, sources, ...) plus
+/// nonlinear devices attached to its nodes.
+struct NonlinearCircuit {
+  circuit::Netlist linear;
+  std::vector<Device> devices;
+
+  /// Convenience builders (nodes come from linear.node(...)).
+  void add_diode(std::string name, circuit::NodeId anode, circuit::NodeId cathode,
+                 const DiodeParams& params = {});
+  void add_bjt_npn(std::string name, circuit::NodeId collector, circuit::NodeId base,
+                   circuit::NodeId emitter, const BjtParams& params = {});
+  void add_nmos(std::string name, circuit::NodeId drain, circuit::NodeId gate,
+                circuit::NodeId source, const MosParams& params = {});
+};
+
+struct DcOptions {
+  int max_iterations = 200;
+  double abstol = 1e-12;      ///< on voltage updates (V)
+  double reltol = 1e-9;
+  double junction_step = 0.3; ///< max junction-voltage change per iteration (V)
+};
+
+struct DcResult {
+  bool converged = false;
+  int iterations = 0;
+  linalg::Vector x;                      ///< full MNA solution (DC)
+  std::vector<SmallSignal> device_ss;    ///< per device, at the solution
+};
+
+/// Solve the DC operating point (capacitors open, inductors short — the
+/// MNA G matrix handles both naturally).
+DcResult solve_dc(const NonlinearCircuit& circuit, const DcOptions& opts = {});
+
+/// Emit the small-signal linearized netlist at the operating point:
+/// the original linear elements (independent sources zeroed) plus, per
+/// device, conductances / VCCS / junction capacitances.  Element names are
+/// "<device>.gm", "<device>.gpi", ...  Returns a self-contained Netlist
+/// ready for AWE/AWEsymbolic (add your own small-signal input source, or
+/// keep one of the original sources as the input and set its value).
+circuit::Netlist linearize(const NonlinearCircuit& circuit, const DcResult& op);
+
+}  // namespace awe::nonlinear

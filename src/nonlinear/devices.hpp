@@ -1,0 +1,76 @@
+// Nonlinear device models for the linearization front-end.
+//
+// The paper analyzes "linear(ized)" circuits: nonlinear devices are
+// replaced by their small-signal equivalents at a DC operating point
+// computed by a Newton-Raphson solve (what SPICE's .OP does, and what the
+// authors' AWE environment did before handing the 741 to AWEsymbolic).
+// This module provides the classic teaching-grade device set:
+//
+//   * diode        — Shockley law, series-free junction
+//   * npn BJT      — forward-active simplified Ebers-Moll with Early effect
+//   * nmos MOSFET  — square-law with channel-length modulation
+//
+// plus fixed junction capacitances that enter the linearized netlist.
+// Each model supplies its current vector and Jacobian (conductance) stamps
+// for the Newton iteration, and its small-signal stamps for linearize().
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace awe::nonlinear {
+
+inline constexpr double kThermalVoltage = 0.02585;  // ~300 K
+
+struct DiodeParams {
+  double is = 1e-14;   ///< saturation current (A)
+  double n = 1.0;      ///< emission coefficient
+  double cj = 0.0;     ///< junction capacitance, linearized as fixed (F)
+};
+
+struct BjtParams {
+  double is = 1e-16;   ///< transport saturation current (A)
+  double beta_f = 100; ///< forward beta
+  double vaf = 100.0;  ///< Early voltage (V); <=0 disables the Early term
+  double cpi = 0.0;    ///< base-emitter capacitance (F)
+  double cmu = 0.0;    ///< base-collector capacitance (F)
+};
+
+struct MosParams {
+  double k = 2e-4;     ///< transconductance parameter k = mu Cox W/L (A/V^2)
+  double vth = 0.7;    ///< threshold voltage (V)
+  double lambda = 0.0; ///< channel-length modulation (1/V)
+  double cgs = 0.0;    ///< gate-source capacitance (F)
+  double cgd = 0.0;    ///< gate-drain capacitance (F)
+};
+
+enum class DeviceKind { kDiode, kBjtNpn, kNmos };
+
+struct Device {
+  DeviceKind kind{};
+  std::string name;
+  // Terminals: diode (a=anode, b=cathode); BJT (a=collector, b=base,
+  // c=emitter); MOS (a=drain, b=gate, c=source).
+  circuit::NodeId a = circuit::kGround;
+  circuit::NodeId b = circuit::kGround;
+  circuit::NodeId c = circuit::kGround;
+  DiodeParams diode;
+  BjtParams bjt;
+  MosParams mos;
+};
+
+/// Small-signal parameters of one device at an operating point.
+struct SmallSignal {
+  // Diode: gd.  BJT: gm, gpi, go.  MOS: gm, gds.
+  double gd = 0.0;
+  double gm = 0.0;
+  double gpi = 0.0;
+  double go = 0.0;
+  double gds = 0.0;
+  // Bias currents, for reporting.
+  double i_main = 0.0;  ///< diode current / collector current / drain current
+};
+
+}  // namespace awe::nonlinear

@@ -1,0 +1,82 @@
+#include "partition/macromodel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "awe/pade.hpp"
+#include "partition/port_moments.hpp"
+
+namespace awe::part {
+
+PortMacromodel PortMacromodel::build(const circuit::Netlist& netlist,
+                                     const std::vector<circuit::NodeId>& port_nodes,
+                                     const Options& opts) {
+  if (opts.order == 0) throw std::invalid_argument("PortMacromodel: order must be >= 1");
+  const std::size_t need = std::max(opts.moments, 2 * opts.order + 2);
+  PortMacromodel mm;
+  mm.ports_ = port_nodes.size();
+  mm.yk_ = port_admittance_moments(netlist, port_nodes, need);
+  mm.entries_.resize(mm.ports_ * mm.ports_);
+
+  // Per entry: y(s) = d0 + d1 s + h(s) with h(s) = sum r/(s-p) strictly
+  // proper.  The moments of h for k >= 2 are exactly y's, and
+  //   m_{j+2} = -sum (r/p^2) / p^{j+1},
+  // i.e. the series [m2, m3, ...] is a pole/residue system with the same
+  // poles and residues r' = r/p^2.  Fit those with a Padé, then recover
+  //   r = r' p^2,  d0 = m0 + sum r/p,  d1 = m1 + sum r/p^2.
+  for (std::size_t i = 0; i < mm.ports_; ++i) {
+    for (std::size_t j = 0; j < mm.ports_; ++j) {
+      EntryModel& e = mm.entries_[i * mm.ports_ + j];
+      std::vector<double> shifted(need - 2);
+      double scale = 0.0;
+      for (std::size_t k = 2; k < need; ++k) {
+        shifted[k - 2] = mm.yk_[k][i * mm.ports_ + j];
+        scale = std::max(scale, std::abs(shifted[k - 2]));
+      }
+      const double m0 = mm.yk_[0][i * mm.ports_ + j];
+      const double m1 = mm.yk_[1][i * mm.ports_ + j];
+      if (scale == 0.0) {
+        // Frequency-flat entry (purely resistive/capacitive coupling).
+        e.d0 = m0;
+        e.d1 = m1;
+        continue;
+      }
+      std::size_t order = std::min(opts.order, engine::max_feasible_order(shifted));
+      if (order == 0) {
+        e.d0 = m0;
+        e.d1 = m1;
+        continue;
+      }
+      const auto pade = engine::pade_from_moments(shifted, order);
+      e.poles = pade.poles;
+      e.residues.resize(pade.poles.size());
+      std::complex<double> sum_rp{0, 0}, sum_rp2{0, 0};
+      for (std::size_t k = 0; k < pade.poles.size(); ++k) {
+        const auto p = pade.poles[k];
+        e.residues[k] = pade.residues[k] * p * p;
+        sum_rp += e.residues[k] / p;
+        sum_rp2 += e.residues[k] / (p * p);
+      }
+      e.d0 = m0 + sum_rp.real();
+      e.d1 = m1 + sum_rp2.real();
+    }
+  }
+  return mm;
+}
+
+const PortMacromodel::EntryModel& PortMacromodel::entry(std::size_t i,
+                                                        std::size_t j) const {
+  if (i >= ports_ || j >= ports_) throw std::out_of_range("PortMacromodel::entry");
+  return entries_[i * ports_ + j];
+}
+
+std::complex<double> PortMacromodel::admittance(std::size_t i, std::size_t j,
+                                                std::complex<double> s) const {
+  const EntryModel& e = entry(i, j);
+  std::complex<double> y = e.d0 + e.d1 * s;
+  for (std::size_t k = 0; k < e.poles.size(); ++k)
+    y += e.residues[k] / (s - e.poles[k]);
+  return y;
+}
+
+}  // namespace awe::part

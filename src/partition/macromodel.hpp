@@ -1,0 +1,65 @@
+// N-port AWE macromodels of interconnect (Kim, Gopal & Pillage's "AWE
+// macromodels" idea, built on the same port-moment machinery as the
+// partitioner).
+//
+// A subnetwork seen from a set of ports is reduced to its admittance
+// moment expansion Y(s) = Y_0 + Y_1 s + ... ; each entry y_ij(s) is then
+// fitted with a low-order Padé (pole/residue + direct terms), producing a
+// compact frequency/time-domain macromodel that can replace the full
+// subnetwork in a larger simulation.  Here it serves as a standalone
+// reduction facility and as the reference interpretation of the numeric
+// blocks the partitioner stitches into the composite symbolic system.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "awe/rom.hpp"
+#include "circuit/netlist.hpp"
+
+namespace awe::part {
+
+class PortMacromodel {
+ public:
+  struct Options {
+    std::size_t order = 2;      ///< Padé order per entry
+    std::size_t moments = 8;    ///< moments computed per entry (>= 2*order)
+  };
+
+  /// Reduce `netlist` as seen from `port_nodes` (each port is measured
+  /// against ground; independent sources inside are zeroed).  Throws when
+  /// the grounded-port DC matrix is singular.
+  static PortMacromodel build(const circuit::Netlist& netlist,
+                              const std::vector<circuit::NodeId>& port_nodes,
+                              const Options& opts);
+
+  std::size_t port_count() const { return ports_; }
+
+  /// Raw admittance moment blocks Y_k (row-major ports x ports).
+  const std::vector<std::vector<double>>& moment_blocks() const { return yk_; }
+
+  /// y_ij(s) evaluated from the reduced pole/residue model.
+  std::complex<double> admittance(std::size_t i, std::size_t j,
+                                  std::complex<double> s) const;
+
+  /// The reduced model of one entry (poles/residues + direct/linear terms).
+  struct EntryModel {
+    /// y(s) ~= d0 + d1 * s + sum_k r_k / (s - p_k).
+    double d0 = 0.0;
+    double d1 = 0.0;
+    linalg::CVector poles;
+    linalg::CVector residues;
+  };
+  const EntryModel& entry(std::size_t i, std::size_t j) const;
+
+ private:
+  PortMacromodel() = default;
+
+  std::size_t ports_ = 0;
+  std::vector<std::vector<double>> yk_;     // [k][i*ports+j]
+  std::vector<EntryModel> entries_;         // [i*ports+j]
+};
+
+}  // namespace awe::part

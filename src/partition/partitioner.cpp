@@ -1,0 +1,415 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "circuit/mna.hpp"
+#include "partition/port_moments.hpp"
+
+namespace awe::part {
+
+using circuit::Element;
+using circuit::ElementKind;
+using circuit::kGround;
+using circuit::Netlist;
+using circuit::NodeId;
+using symbolic::Polynomial;
+using symbolic::PolyMatrix;
+using symbolic::RationalFunction;
+
+std::vector<std::string> SymbolicMoments::symbol_names() const {
+  std::vector<std::string> names;
+  names.reserve(symbols.size());
+  for (const auto& s : symbols) names.push_back(s.name);
+  return names;
+}
+
+RationalFunction SymbolicMoments::moment(std::size_t k) const {
+  Polynomial den = Polynomial::constant(det_y0.nvars(), 1.0);
+  for (std::size_t i = 0; i <= k; ++i) den = den * det_y0;
+  return RationalFunction(numerators.at(k), std::move(den));
+}
+
+std::vector<double> SymbolicMoments::to_symbol_values(
+    std::span<const double> element_values) const {
+  if (element_values.size() != symbols.size())
+    throw std::invalid_argument("SymbolicMoments: wrong number of element values");
+  std::vector<double> vals(element_values.begin(), element_values.end());
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    if (symbols[i].reciprocal) {
+      if (vals[i] == 0.0)
+        throw std::domain_error("SymbolicMoments: zero value for reciprocal symbol");
+      vals[i] = 1.0 / vals[i];
+    }
+  }
+  return vals;
+}
+
+std::vector<double> SymbolicMoments::evaluate(std::span<const double> element_values) const {
+  const auto vals = to_symbol_values(element_values);
+  const double d = det_y0.evaluate(vals);
+  if (d == 0.0) throw std::domain_error("SymbolicMoments: det(Y0) vanishes at this point");
+  std::vector<double> m(numerators.size());
+  double dp = d;
+  for (std::size_t k = 0; k < numerators.size(); ++k) {
+    m[k] = numerators[k].evaluate(vals) / dp;
+    dp *= d;
+  }
+  return m;
+}
+
+namespace {
+
+bool symbolic_kind_supported(ElementKind kind) {
+  switch (kind) {
+    case ElementKind::kResistor:
+    case ElementKind::kConductance:
+    case ElementKind::kCapacitor:
+    case ElementKind::kInductor:
+    case ElementKind::kVccs:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+SymbolicMoments MultiSymbolicMoments::for_output(std::size_t output_index) const {
+  SymbolicMoments out;
+  out.symbols = symbols;
+  out.numerators = numerators.at(output_index);
+  out.det_y0 = det_y0;
+  out.port_count = port_count;
+  out.global_dim = global_dim;
+  return out;
+}
+
+MomentPartitioner::MomentPartitioner(const Netlist& netlist,
+                                     std::vector<std::string> symbol_elements,
+                                     std::string input_source, NodeId output_node)
+    : MomentPartitioner(netlist, std::move(symbol_elements), std::move(input_source),
+                        std::vector<NodeId>{output_node}) {}
+
+MomentPartitioner::MomentPartitioner(const Netlist& netlist,
+                                     std::vector<std::string> symbol_elements,
+                                     std::string input_source,
+                                     std::vector<NodeId> output_nodes)
+    : netlist_(&netlist), output_nodes_(std::move(output_nodes)) {
+  if (output_nodes_.empty())
+    throw std::invalid_argument("MomentPartitioner: need at least one output node");
+  for (const NodeId output_node : output_nodes_)
+    if (output_node == kGround)
+      throw std::invalid_argument("MomentPartitioner: output node cannot be ground");
+  if (symbol_elements.empty())
+    throw std::invalid_argument("MomentPartitioner: need at least one symbolic element");
+
+  const auto input_idx = netlist.find_element(input_source);
+  if (!input_idx)
+    throw std::invalid_argument("MomentPartitioner: unknown input source '" + input_source +
+                                "'");
+  const auto input_kind = netlist.elements()[*input_idx].kind;
+  if (input_kind != ElementKind::kVoltageSource && input_kind != ElementKind::kCurrentSource)
+    throw std::invalid_argument("MomentPartitioner: input '" + input_source +
+                                "' is not an independent source");
+  input_element_ = *input_idx;
+
+  for (auto& name : symbol_elements) {
+    const auto idx = netlist.find_element(name);
+    if (!idx)
+      throw std::invalid_argument("MomentPartitioner: unknown symbolic element '" + name +
+                                  "'");
+    const Element& e = netlist.elements()[*idx];
+    if (!symbolic_kind_supported(e.kind))
+      throw std::invalid_argument("MomentPartitioner: element '" + name + "' of kind " +
+                                  circuit::to_string(e.kind) +
+                                  " cannot be symbolic (supported: R, G, C, L, VCCS)");
+    if (*idx == input_element_)
+      throw std::invalid_argument("MomentPartitioner: input source cannot be symbolic");
+    if (e.kind == ElementKind::kInductor) {
+      // A symbolic inductor must not participate in a mutual coupling:
+      // the M = k sqrt(L1 L2) stamp would not be linear in the symbol.
+      for (const auto& other : netlist.elements())
+        if (other.kind == ElementKind::kMutual &&
+            (other.ctrl_source == e.name || other.ctrl_source2 == e.name))
+          throw std::invalid_argument("MomentPartitioner: inductor '" + e.name +
+                                      "' is mutually coupled ('" + other.name +
+                                      "') and cannot be symbolic");
+    }
+    SymbolSpec spec;
+    spec.element_index = *idx;
+    spec.name = e.name;
+    spec.reciprocal = (e.kind == ElementKind::kResistor);
+    symbols_.push_back(std::move(spec));
+  }
+
+  // Supply rails: nodes pinned to ground by an ideal V source (other than
+  // the input) are AC ground for the small-signal analysis.
+  rail_nodes_.assign(netlist.num_nodes() + 1, false);
+  for (std::size_t i = 0; i < netlist.elements().size(); ++i) {
+    if (i == input_element_) continue;
+    const Element& e = netlist.elements()[i];
+    if (e.kind != ElementKind::kVoltageSource) continue;
+    if (e.neg == kGround && e.pos != kGround) rail_nodes_[e.pos] = true;
+    if (e.pos == kGround && e.neg != kGround) rail_nodes_[e.neg] = true;
+  }
+  for (const NodeId output_node : output_nodes_)
+    if (rail_nodes_[output_node])
+      throw std::invalid_argument(
+          "MomentPartitioner: output node is pinned by an ideal source (AC ground); "
+          "its small-signal transfer is identically zero");
+  {
+    const Element& in = netlist.elements()[input_element_];
+    if ((in.pos != kGround && rail_nodes_[in.pos]) ||
+        (in.neg != kGround && rail_nodes_[in.neg]))
+      throw std::invalid_argument(
+          "MomentPartitioner: input source terminal is pinned by another ideal "
+          "source");
+  }
+
+  // Port set: terminals of symbolic elements (incl. VCCS controls), input
+  // source terminals, output node.  Ground and AC-ground rails never
+  // become ports.
+  auto add_port = [&](NodeId n) {
+    if (!ac_grounded(n)) ports_.push_back(n);
+  };
+  for (const auto& s : symbols_) {
+    const Element& e = netlist.elements()[s.element_index];
+    add_port(e.pos);
+    add_port(e.neg);
+    if (e.kind == ElementKind::kVccs) {
+      add_port(e.ctrl_pos);
+      add_port(e.ctrl_neg);
+    }
+  }
+  {
+    const Element& in = netlist.elements()[input_element_];
+    add_port(in.pos);
+    add_port(in.neg);
+  }
+  for (const NodeId output_node : output_nodes_) add_port(output_node);
+  std::sort(ports_.begin(), ports_.end());
+  ports_.erase(std::unique(ports_.begin(), ports_.end()), ports_.end());
+}
+
+bool MomentPartitioner::ac_grounded(NodeId node) const {
+  return node == kGround || (node < rail_nodes_.size() && rail_nodes_[node]);
+}
+
+std::size_t MomentPartitioner::port_index(NodeId node) const {
+  const auto it = std::lower_bound(ports_.begin(), ports_.end(), node);
+  if (it == ports_.end() || *it != node)
+    throw std::logic_error("MomentPartitioner: node is not a port");
+  return static_cast<std::size_t>(it - ports_.begin());
+}
+
+std::vector<std::vector<double>> MomentPartitioner::numeric_port_moments(
+    std::size_t count) const {
+  const std::size_t m = ports_.size();
+
+  // Numeric partition: every element except the symbolic ones and the
+  // input source, plus one grounding voltage source per port.  Node names
+  // are re-interned, so ports are re-resolved by name.
+  Netlist numeric;
+  std::vector<bool> is_symbolic(netlist_->elements().size(), false);
+  for (const auto& s : symbols_) is_symbolic[s.element_index] = true;
+
+  auto remap = [&](NodeId n) { return numeric.node(netlist_->node_name(n)); };
+  for (std::size_t i = 0; i < netlist_->elements().size(); ++i) {
+    if (is_symbolic[i] || i == input_element_) continue;
+    const Element& e = netlist_->elements()[i];
+    switch (e.kind) {
+      case ElementKind::kResistor:
+        numeric.add_resistor(e.name, remap(e.pos), remap(e.neg), e.value);
+        break;
+      case ElementKind::kConductance:
+        numeric.add_conductance(e.name, remap(e.pos), remap(e.neg), e.value);
+        break;
+      case ElementKind::kCapacitor:
+        numeric.add_capacitor(e.name, remap(e.pos), remap(e.neg), e.value);
+        break;
+      case ElementKind::kInductor:
+        numeric.add_inductor(e.name, remap(e.pos), remap(e.neg), e.value);
+        break;
+      case ElementKind::kVoltageSource:
+        // Non-input V sources stay as 0-valued sources (shorts) — their
+        // branch is part of the numeric partition topology.
+        numeric.add_voltage_source(e.name, remap(e.pos), remap(e.neg), 0.0);
+        break;
+      case ElementKind::kCurrentSource:
+        break;  // zeroed current source = open circuit
+      case ElementKind::kVccs:
+        numeric.add_vccs(e.name, remap(e.pos), remap(e.neg), remap(e.ctrl_pos),
+                         remap(e.ctrl_neg), e.value);
+        break;
+      case ElementKind::kVcvs:
+        numeric.add_vcvs(e.name, remap(e.pos), remap(e.neg), remap(e.ctrl_pos),
+                         remap(e.ctrl_neg), e.value);
+        break;
+      case ElementKind::kCccs:
+        numeric.add_cccs(e.name, remap(e.pos), remap(e.neg), e.ctrl_source, e.value);
+        break;
+      case ElementKind::kCcvs:
+        numeric.add_ccvs(e.name, remap(e.pos), remap(e.neg), e.ctrl_source, e.value);
+        break;
+      case ElementKind::kMutual:
+        numeric.add_mutual(e.name, e.ctrl_source, e.ctrl_source2, e.value);
+        break;
+    }
+  }
+  std::vector<NodeId> remapped_ports;
+  remapped_ports.reserve(m);
+  for (std::size_t p = 0; p < m; ++p) remapped_ports.push_back(remap(ports_[p]));
+  return port_admittance_moments(numeric, remapped_ports, count);
+}
+
+SymbolicMoments MomentPartitioner::compute(std::size_t count) const {
+  return compute_all(count).for_output(0);
+}
+
+MultiSymbolicMoments MomentPartitioner::compute_all(std::size_t count) const {
+  if (count == 0) throw std::invalid_argument("MomentPartitioner: count must be >= 1");
+  const std::size_t m = ports_.size();
+  const std::size_t nvars = symbols_.size();
+  const auto yk_numeric = numeric_port_moments(count);
+
+  // ---- Global layout: ports, then aux currents (input V source, symbolic
+  // inductor branches).
+  GlobalLayout lay;
+  lay.num_ports = m;
+  std::size_t dim = m;
+  const Element& input = netlist_->elements()[input_element_];
+  const bool v_input = input.kind == ElementKind::kVoltageSource;
+  if (v_input) lay.input_aux = dim++;
+  lay.inductor_aux.assign(symbols_.size(), SIZE_MAX);
+  for (std::size_t si = 0; si < symbols_.size(); ++si) {
+    if (netlist_->elements()[symbols_[si].element_index].kind == ElementKind::kInductor)
+      lay.inductor_aux[si] = dim++;
+  }
+  lay.dim = dim;
+
+  // ---- Assemble global Y_k as polynomial matrices.
+  std::vector<PolyMatrix> yg;
+  yg.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) yg.emplace_back(dim, dim, nvars);
+
+  // Numeric partition blocks (constants).
+  for (std::size_t k = 0; k < count; ++k)
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < m; ++j) {
+        const double v = yk_numeric[k][i * m + j];
+        if (v != 0.0) yg[k](i, j) += Polynomial::constant(nvars, v);
+      }
+
+  // Symbolic element stamps (exactly one term per element, paper eqn (10)).
+  // AC-grounded rail nodes behave as ground.
+  auto pidx = [&](NodeId n) { return port_index(n); };
+  auto gnd = [&](NodeId n) { return ac_grounded(n); };
+  for (std::size_t si = 0; si < symbols_.size(); ++si) {
+    const Element& e = netlist_->elements()[symbols_[si].element_index];
+    const Polynomial sym = Polynomial::variable(nvars, si);
+    auto stamp2 = [&](PolyMatrix& y, NodeId a, NodeId b) {
+      if (!gnd(a)) y(pidx(a), pidx(a)) += sym;
+      if (!gnd(b)) y(pidx(b), pidx(b)) += sym;
+      if (!gnd(a) && !gnd(b)) {
+        y(pidx(a), pidx(b)) -= sym;
+        y(pidx(b), pidx(a)) -= sym;
+      }
+    };
+    switch (e.kind) {
+      case ElementKind::kResistor:      // symbol is the conductance 1/R
+      case ElementKind::kConductance:
+        stamp2(yg[0], e.pos, e.neg);
+        break;
+      case ElementKind::kCapacitor:
+        if (count > 1) stamp2(yg[1], e.pos, e.neg);
+        break;
+      case ElementKind::kInductor: {
+        const std::size_t aux = lay.inductor_aux[si];
+        const Polynomial one = Polynomial::constant(nvars, 1.0);
+        if (!gnd(e.pos)) {
+          yg[0](pidx(e.pos), aux) += one;
+          yg[0](aux, pidx(e.pos)) += one;
+        }
+        if (!gnd(e.neg)) {
+          yg[0](pidx(e.neg), aux) -= one;
+          yg[0](aux, pidx(e.neg)) -= one;
+        }
+        if (count > 1) yg[1](aux, aux) -= sym;
+        break;
+      }
+      case ElementKind::kVccs: {
+        auto add = [&](NodeId r, NodeId c2, double sign) {
+          if (gnd(r) || gnd(c2)) return;
+          Polynomial t = sym;
+          t *= sign;
+          yg[0](pidx(r), pidx(c2)) += t;
+        };
+        add(e.pos, e.ctrl_pos, 1.0);
+        add(e.pos, e.ctrl_neg, -1.0);
+        add(e.neg, e.ctrl_pos, -1.0);
+        add(e.neg, e.ctrl_neg, 1.0);
+        break;
+      }
+      default:
+        throw std::logic_error("unsupported symbolic kind slipped through");
+    }
+  }
+
+  // Input source stamp + excitation vector I_0.
+  std::vector<Polynomial> i0(dim, Polynomial(nvars));
+  if (v_input) {
+    const Polynomial one = Polynomial::constant(nvars, 1.0);
+    if (input.pos != kGround) {
+      yg[0](pidx(input.pos), lay.input_aux) += one;
+      yg[0](lay.input_aux, pidx(input.pos)) += one;
+    }
+    if (input.neg != kGround) {
+      yg[0](pidx(input.neg), lay.input_aux) -= one;
+      yg[0](lay.input_aux, pidx(input.neg)) -= one;
+    }
+    i0[lay.input_aux] = Polynomial::constant(nvars, 1.0);
+  } else {
+    if (input.pos != kGround) i0[pidx(input.pos)] = Polynomial::constant(nvars, -1.0);
+    if (input.neg != kGround) i0[pidx(input.neg)] = Polynomial::constant(nvars, 1.0);
+  }
+
+  // ---- Symbolic moment recursion via the adjugate.
+  const Polynomial d = determinant(yg[0]);
+  if (d.is_zero())
+    throw std::runtime_error("MomentPartitioner: det(Y0) is identically zero");
+  const PolyMatrix adj = adjugate(yg[0]);
+
+  // N_0 = adj * I_0;  N_k = adj * ( - sum_{j=1..k} Y_j N_{k-j} d^{j-1} ).
+  std::vector<std::vector<Polynomial>> n(count);
+  n[0] = adj.multiply(i0);
+  std::vector<Polynomial> d_pow{Polynomial::constant(nvars, 1.0)};  // d^0, d^1, ...
+  for (std::size_t k = 1; k < count; ++k) {
+    while (d_pow.size() < k) d_pow.push_back(d_pow.back() * d);
+    std::vector<Polynomial> rhs(dim, Polynomial(nvars));
+    for (std::size_t j = 1; j <= k; ++j) {
+      const auto yj_n = yg[j].multiply(n[k - j]);
+      for (std::size_t r = 0; r < dim; ++r) {
+        if (yj_n[r].is_zero()) continue;
+        rhs[r] -= yj_n[r] * d_pow[j - 1];
+      }
+    }
+    n[k] = adj.multiply(rhs);
+  }
+
+  MultiSymbolicMoments out;
+  out.symbols = symbols_;
+  out.det_y0 = d;
+  out.port_count = m;
+  out.global_dim = dim;
+  out.outputs = output_nodes_;
+  out.numerators.resize(output_nodes_.size());
+  for (std::size_t o = 0; o < output_nodes_.size(); ++o) {
+    const std::size_t out_idx = port_index(output_nodes_[o]);
+    out.numerators[o].reserve(count);
+    for (std::size_t k = 0; k < count; ++k) out.numerators[o].push_back(n[k][out_idx]);
+  }
+  return out;
+}
+
+}  // namespace awe::part

@@ -1,0 +1,63 @@
+#include "partition/port_moments.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "circuit/mna.hpp"
+#include "linalg/sparse_lu.hpp"
+
+namespace awe::part {
+
+std::vector<std::vector<double>> port_admittance_moments(
+    const circuit::Netlist& netlist, const std::vector<circuit::NodeId>& port_nodes,
+    std::size_t count) {
+  const std::size_t m = port_nodes.size();
+  if (m == 0) throw std::invalid_argument("port_admittance_moments: no ports");
+  for (const auto p : port_nodes)
+    if (p == circuit::kGround)
+      throw std::invalid_argument("port_admittance_moments: ground cannot be a port");
+
+  // Work on a copy: zero internal V sources (shorts) and attach one
+  // grounding source per port.
+  circuit::Netlist sub = netlist;
+  for (std::size_t i = 0; i < sub.elements().size(); ++i)
+    if (sub.elements()[i].kind == circuit::ElementKind::kVoltageSource)
+      sub.set_value(i, 0.0);
+  std::vector<std::size_t> port_source(m);
+  for (std::size_t p = 0; p < m; ++p)
+    port_source[p] = sub.add_voltage_source("__port" + std::to_string(p), port_nodes[p],
+                                            circuit::kGround, 0.0);
+
+  circuit::MnaAssembler assembler(sub);
+  const auto g = assembler.build_g();
+  const auto c = assembler.build_c();
+  auto lu = linalg::SparseLu::factor(g);
+  if (!lu)
+    throw std::runtime_error(
+        "port_admittance_moments: grounded-port DC matrix is singular — a port is "
+        "DC-shorted by an ideal inductor (its port admittance has a pole at s=0 "
+        "and no Maclaurin expansion), or an internal node lost its DC path");
+
+  std::vector<std::size_t> aux_row(m);
+  for (std::size_t p = 0; p < m; ++p)
+    aux_row[p] = assembler.layout().aux_unknown(port_source[p]);
+
+  std::vector<std::vector<double>> yk(count, std::vector<double>(m * m, 0.0));
+  for (std::size_t j = 0; j < m; ++j) {
+    linalg::Vector x = lu->solve(assembler.rhs("__port" + std::to_string(j), 1.0));
+    for (std::size_t k = 0; k < count; ++k) {
+      if (k > 0) {
+        linalg::Vector rhs = c.multiply(x);
+        for (double& v : rhs) v = -v;
+        lu->solve_in_place(rhs);
+        x = std::move(rhs);
+      }
+      // Current INTO the subnetwork at port i = minus the source branch
+      // current (the branch current flows node -> ground).
+      for (std::size_t i = 0; i < m; ++i) yk[k][i * m + j] = -x[aux_row[i]];
+    }
+  }
+  return yk;
+}
+
+}  // namespace awe::part

@@ -1,0 +1,25 @@
+// Multiport admittance moment computation (shared by the moment-level
+// partitioner and the N-port macromodel builder).
+//
+// The subnetwork's ports are grounded through zero-volt sources; exciting
+// port j with a unit voltage and running the AWE moment recursion yields
+// the Maclaurin blocks of the port admittance matrix:
+//   Y_k(i, j) = (-1) * k-th moment of the port-i source branch current.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace awe::part {
+
+/// Y_0..Y_{count-1} (row-major port_nodes.size() x port_nodes.size()).
+/// Independent V sources inside the subnetwork stay as shorts at value 0;
+/// I sources are open.  Throws std::runtime_error when the grounded-port
+/// DC matrix is singular (e.g. a port DC-shorted by an ideal inductor).
+std::vector<std::vector<double>> port_admittance_moments(
+    const circuit::Netlist& netlist, const std::vector<circuit::NodeId>& port_nodes,
+    std::size_t count);
+
+}  // namespace awe::part

@@ -1,0 +1,319 @@
+#include "symbolic/compile.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace awe::symbolic {
+namespace {
+
+constexpr std::uint32_t kUnassigned = 0xffffffffu;
+
+}  // namespace
+
+CompiledProgram::CompiledProgram(const ExprGraph& graph, std::span<const NodeId> roots) {
+  input_count_ = graph.input_count();
+
+  // Nodes are created bottom-up, so ascending NodeId is a topological
+  // order.  Mark the reachable subgraph.
+  std::vector<unsigned char> reachable(graph.node_count(), 0);
+  {
+    std::vector<NodeId> stack(roots.begin(), roots.end());
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      if (reachable[id]) continue;
+      reachable[id] = 1;
+      const ExprNode& n = graph.node(id);
+      switch (n.op) {
+        case OpCode::kConst:
+        case OpCode::kInput:
+          break;
+        case OpCode::kNeg:
+          stack.push_back(n.a);
+          break;
+        default:
+          stack.push_back(n.a);
+          stack.push_back(n.b);
+      }
+    }
+  }
+
+  // Last use of each reachable node, for register recycling.
+  std::vector<NodeId> last_use(graph.node_count(), 0);
+  for (NodeId id = 0; id < graph.node_count(); ++id) {
+    if (!reachable[id]) continue;
+    const ExprNode& n = graph.node(id);
+    switch (n.op) {
+      case OpCode::kConst:
+      case OpCode::kInput:
+        break;
+      case OpCode::kNeg:
+        last_use[n.a] = id;
+        break;
+      default:
+        last_use[n.a] = id;
+        last_use[n.b] = id;
+    }
+  }
+  // Roots stay live to the end of the program.
+  for (const NodeId r : roots) last_use[r] = static_cast<NodeId>(graph.node_count());
+
+  std::vector<std::uint32_t> reg_of(graph.node_count(), kUnassigned);
+  std::vector<std::uint32_t> free_regs;
+  std::uint32_t next_reg = 0;
+  auto alloc_reg = [&]() -> std::uint32_t {
+    if (!free_regs.empty()) {
+      const std::uint32_t r = free_regs.back();
+      free_regs.pop_back();
+      return r;
+    }
+    return next_reg++;
+  };
+  // Nodes (sorted by id) whose register frees once the emitting instruction
+  // for their last_use id has been issued.
+  std::multimap<NodeId, std::uint32_t> frees;
+
+  auto const_index = [&](double v) -> std::uint32_t {
+    const auto it = std::find(constants_.begin(), constants_.end(), v);
+    if (it != constants_.end())
+      return static_cast<std::uint32_t>(it - constants_.begin());
+    constants_.push_back(v);
+    return static_cast<std::uint32_t>(constants_.size() - 1);
+  };
+
+  for (NodeId id = 0; id < graph.node_count(); ++id) {
+    if (!reachable[id]) continue;
+    const ExprNode& n = graph.node(id);
+    Instr ins;
+    ins.op = n.op;
+    switch (n.op) {
+      case OpCode::kConst:
+        ins.a = const_index(n.value);
+        break;
+      case OpCode::kInput:
+        ins.a = n.a;
+        break;
+      case OpCode::kNeg:
+        ins.a = reg_of[n.a];
+        assert(ins.a != kUnassigned);
+        break;
+      default:
+        ins.a = reg_of[n.a];
+        ins.b = reg_of[n.b];
+        assert(ins.a != kUnassigned && ins.b != kUnassigned);
+    }
+    // Release registers whose owning node was last used by this node.
+    for (auto it = frees.find(id); it != frees.end() && it->first == id;) {
+      free_regs.push_back(it->second);
+      it = frees.erase(it);
+    }
+    const std::uint32_t dst = alloc_reg();
+    ins.dst = dst;
+    reg_of[id] = dst;
+    frees.emplace(last_use[id], dst);
+    instrs_.push_back(ins);
+  }
+  register_count_ = next_reg;
+
+  output_regs_.reserve(roots.size());
+  for (const NodeId r : roots) {
+    assert(reg_of[r] != kUnassigned);
+    output_regs_.push_back(reg_of[r]);
+  }
+}
+
+void CompiledProgram::run(std::span<const double> inputs, std::span<double> outputs) const {
+  std::vector<double> scratch(register_count_);
+  run_with_scratch(inputs, outputs, scratch);
+}
+
+void CompiledProgram::run_with_scratch(std::span<const double> inputs,
+                                       std::span<double> outputs,
+                                       std::span<double> scratch) const {
+  if (inputs.size() < input_count_)
+    throw std::invalid_argument("CompiledProgram::run: too few inputs");
+  if (outputs.size() != output_regs_.size())
+    throw std::invalid_argument("CompiledProgram::run: output size mismatch");
+  if (scratch.size() < register_count_)
+    throw std::invalid_argument("CompiledProgram::run: scratch too small");
+
+  double* const r = scratch.data();
+  for (const Instr& ins : instrs_) {
+    switch (ins.op) {
+      case OpCode::kConst:
+        r[ins.dst] = constants_[ins.a];
+        break;
+      case OpCode::kInput:
+        r[ins.dst] = inputs[ins.a];
+        break;
+      case OpCode::kAdd:
+        r[ins.dst] = r[ins.a] + r[ins.b];
+        break;
+      case OpCode::kSub:
+        r[ins.dst] = r[ins.a] - r[ins.b];
+        break;
+      case OpCode::kMul:
+        r[ins.dst] = r[ins.a] * r[ins.b];
+        break;
+      case OpCode::kDiv:
+        r[ins.dst] = r[ins.a] / r[ins.b];
+        break;
+      case OpCode::kNeg:
+        r[ins.dst] = -r[ins.a];
+        break;
+    }
+  }
+  for (std::size_t k = 0; k < output_regs_.size(); ++k) outputs[k] = r[output_regs_[k]];
+}
+
+std::string CompiledProgram::to_c_source(std::string_view function_name) const {
+  std::string src;
+  src += "void " + std::string(function_name) + "(const double* in, double* out) {\n";
+  src += "  double r[" + std::to_string(register_count_ == 0 ? 1 : register_count_) +
+         "];\n";
+  char buf[64];
+  auto num = [&](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  for (const Instr& ins : instrs_) {
+    const std::string d = "  r[" + std::to_string(ins.dst) + "] = ";
+    const std::string a = "r[" + std::to_string(ins.a) + "]";
+    const std::string b = "r[" + std::to_string(ins.b) + "]";
+    switch (ins.op) {
+      case OpCode::kConst:
+        src += d + num(constants_[ins.a]) + ";\n";
+        break;
+      case OpCode::kInput:
+        src += d + "in[" + std::to_string(ins.a) + "];\n";
+        break;
+      case OpCode::kAdd:
+        src += d + a + " + " + b + ";\n";
+        break;
+      case OpCode::kSub:
+        src += d + a + " - " + b + ";\n";
+        break;
+      case OpCode::kMul:
+        src += d + a + " * " + b + ";\n";
+        break;
+      case OpCode::kDiv:
+        src += d + a + " / " + b + ";\n";
+        break;
+      case OpCode::kNeg:
+        src += d + "-" + a + ";\n";
+        break;
+    }
+  }
+  for (std::size_t k = 0; k < output_regs_.size(); ++k)
+    src += "  out[" + std::to_string(k) + "] = r[" + std::to_string(output_regs_[k]) +
+           "];\n";
+  src += "}\n";
+  return src;
+}
+
+namespace {
+
+/// Recursive Horner lowering. `terms` all share the ambient nvars.
+NodeId lower_terms(ExprGraph& graph, std::span<const Term> terms, std::size_t nvars,
+                   std::span<const NodeId> var_nodes) {
+  if (terms.empty()) return graph.constant(0.0);
+
+  // Content factoring: pull out the largest monomial dividing every term
+  // (common in moment numerators, where whole symbol products factor out);
+  // the remainder then Horner-factors with smaller exponents.
+  if (terms.size() > 1) {
+    Monomial common(nvars, 0);
+    bool any = false;
+    for (std::size_t v = 0; v < nvars; ++v) {
+      std::uint16_t mn = terms[0].exponents[v];
+      for (const Term& t : terms) mn = std::min(mn, t.exponents[v]);
+      common[v] = mn;
+      any = any || mn > 0;
+    }
+    if (any) {
+      std::vector<Term> reduced(terms.begin(), terms.end());
+      for (Term& t : reduced)
+        for (std::size_t v = 0; v < nvars; ++v)
+          t.exponents[v] = static_cast<std::uint16_t>(t.exponents[v] - common[v]);
+      NodeId factor = graph.constant(1.0);
+      for (std::size_t v = 0; v < nvars; ++v)
+        if (common[v] > 0) factor = graph.mul(factor, graph.pow(var_nodes[v], common[v]));
+      return graph.mul(factor, lower_terms(graph, reduced, nvars, var_nodes));
+    }
+  }
+
+  // Constant polynomial?
+  if (terms.size() == 1) {
+    const Term& t = terms[0];
+    NodeId node = graph.constant(t.coeff);
+    for (std::size_t v = 0; v < nvars; ++v)
+      if (t.exponents[v] > 0) node = graph.mul(node, graph.pow(var_nodes[v], t.exponents[v]));
+    return node;
+  }
+
+  // Pick the variable with the highest degree across these terms; ties go
+  // to the variable appearing in the most terms (maximizes sharing).
+  std::size_t best_var = nvars;
+  std::size_t best_deg = 0, best_count = 0;
+  for (std::size_t v = 0; v < nvars; ++v) {
+    std::size_t deg = 0, count = 0;
+    for (const Term& t : terms) {
+      deg = std::max<std::size_t>(deg, t.exponents[v]);
+      if (t.exponents[v] > 0) ++count;
+    }
+    if (deg == 0) continue;
+    if (deg > best_deg || (deg == best_deg && count > best_count)) {
+      best_deg = deg;
+      best_count = count;
+      best_var = v;
+    }
+  }
+  if (best_var == nvars) {
+    // All terms are constants (can only be one after normalization).
+    double sum = 0.0;
+    for (const Term& t : terms) sum += t.coeff;
+    return graph.constant(sum);
+  }
+
+  // Bucket terms by exponent of best_var (exponent cleared in the bucket).
+  std::vector<std::vector<Term>> buckets(best_deg + 1);
+  for (const Term& t : terms) {
+    Term reduced = t;
+    const std::size_t e = t.exponents[best_var];
+    reduced.exponents[best_var] = 0;
+    buckets[e].push_back(std::move(reduced));
+  }
+
+  // Horner: result = (((c_d x + c_{d-1}) x + c_{d-2}) x + ...) with gaps
+  // handled by repeated multiplication.
+  const NodeId x = var_nodes[best_var];
+  NodeId acc = lower_terms(graph, buckets[best_deg], nvars, var_nodes);
+  for (std::size_t e = best_deg; e-- > 0;) {
+    acc = graph.mul(acc, x);
+    if (!buckets[e].empty())
+      acc = graph.add(acc, lower_terms(graph, buckets[e], nvars, var_nodes));
+  }
+  return acc;
+}
+
+}  // namespace
+
+NodeId lower_polynomial(ExprGraph& graph, const Polynomial& poly,
+                        std::span<const NodeId> var_nodes) {
+  if (var_nodes.size() != poly.nvars())
+    throw std::invalid_argument("lower_polynomial: var_nodes size mismatch");
+  return lower_terms(graph, poly.terms(), poly.nvars(), var_nodes);
+}
+
+NodeId lower_rational(ExprGraph& graph, const RationalFunction& rf,
+                      std::span<const NodeId> var_nodes) {
+  const NodeId num = lower_polynomial(graph, rf.num(), var_nodes);
+  if (rf.den().is_constant() && rf.den().constant_value() == 1.0) return num;
+  return graph.div(num, lower_polynomial(graph, rf.den(), var_nodes));
+}
+
+}  // namespace awe::symbolic

@@ -1,0 +1,75 @@
+// Compilation of an expression DAG into a flat register program.
+//
+// This realizes the paper's central efficiency claim: "the symbolic form
+// provides a compiled set of operations which can quickly produce a final
+// AWE approximation, where the operands are the values of the symbols."
+// The program is a straight-line instruction vector over a small register
+// file; registers are recycled after the last use of each intermediate, so
+// the working set stays cache resident even for thousand-operation models.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "symbolic/expr.hpp"
+#include "symbolic/polynomial.hpp"
+#include "symbolic/rational.hpp"
+
+namespace awe::symbolic {
+
+struct Instr {
+  OpCode op{};
+  std::uint32_t dst = 0;
+  std::uint32_t a = 0;  // register, input index (kInput) or constant index (kConst)
+  std::uint32_t b = 0;
+};
+
+class CompiledProgram {
+ public:
+  /// Compile the subgraph reachable from `roots`.  Output k of run() is the
+  /// value of roots[k].
+  CompiledProgram(const ExprGraph& graph, std::span<const NodeId> roots);
+
+  std::size_t output_count() const { return output_regs_.size(); }
+  std::size_t input_count() const { return input_count_; }
+  std::size_t instruction_count() const { return instrs_.size(); }
+  std::size_t register_count() const { return register_count_; }
+
+  /// Evaluate: inputs are the symbol values; outputs receives the root
+  /// values.  Thread-safe (no internal mutable state) when each caller
+  /// supplies its own scratch via run_with_scratch.
+  void run(std::span<const double> inputs, std::span<double> outputs) const;
+
+  /// Same, with caller-provided scratch of size register_count() — the
+  /// allocation-free hot path for iterative evaluation.
+  void run_with_scratch(std::span<const double> inputs, std::span<double> outputs,
+                        std::span<double> scratch) const;
+
+  /// Emit the program as a standalone C function
+  ///   void <name>(const double* in, double* out);
+  /// so a compiled model can be exported from the tool and linked into a
+  /// downstream application with zero interpreter overhead.
+  std::string to_c_source(std::string_view function_name) const;
+
+ private:
+  std::vector<Instr> instrs_;
+  std::vector<double> constants_;
+  std::vector<std::uint32_t> output_regs_;
+  std::size_t register_count_ = 0;
+  std::size_t input_count_ = 0;
+};
+
+/// Lower a polynomial into the DAG with recursive Horner factoring:
+/// repeatedly pull out the variable of highest degree, emitting
+/// (((c_d x + c_{d-1}) x + ...) x + c_0) with polynomial coefficients
+/// lowered recursively.  var_nodes[i] is the DAG node for variable i.
+NodeId lower_polynomial(ExprGraph& graph, const Polynomial& poly,
+                        std::span<const NodeId> var_nodes);
+
+/// Lower a rational function: lower_polynomial(num) / lower_polynomial(den).
+NodeId lower_rational(ExprGraph& graph, const RationalFunction& rf,
+                      std::span<const NodeId> var_nodes);
+
+}  // namespace awe::symbolic

@@ -1,0 +1,147 @@
+#include "symbolic/poly_matrix.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace awe::symbolic {
+
+PolyMatrix::PolyMatrix(std::size_t rows, std::size_t cols, std::size_t nvars)
+    : rows_(rows), cols_(cols), nvars_(nvars),
+      entries_(rows * cols, Polynomial(nvars)) {}
+
+Polynomial& PolyMatrix::operator()(std::size_t r, std::size_t c) {
+  assert(r < rows_ && c < cols_);
+  return entries_[r * cols_ + c];
+}
+
+const Polynomial& PolyMatrix::operator()(std::size_t r, std::size_t c) const {
+  assert(r < rows_ && c < cols_);
+  return entries_[r * cols_ + c];
+}
+
+PolyMatrix& PolyMatrix::operator+=(const PolyMatrix& o) {
+  if (rows_ != o.rows_ || cols_ != o.cols_)
+    throw std::invalid_argument("PolyMatrix shape mismatch");
+  for (std::size_t i = 0; i < entries_.size(); ++i) entries_[i] += o.entries_[i];
+  return *this;
+}
+
+PolyMatrix operator*(const PolyMatrix& a, const PolyMatrix& b) {
+  if (a.cols_ != b.rows_) throw std::invalid_argument("PolyMatrix product shape mismatch");
+  PolyMatrix c(a.rows_, b.cols_, a.nvars_);
+  for (std::size_t i = 0; i < a.rows_; ++i)
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const Polynomial& aik = a(i, k);
+      if (aik.is_zero()) continue;
+      for (std::size_t j = 0; j < b.cols_; ++j) {
+        if (b(k, j).is_zero()) continue;
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  return c;
+}
+
+std::vector<Polynomial> PolyMatrix::multiply(const std::vector<Polynomial>& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("PolyMatrix::multiply size mismatch");
+  std::vector<Polynomial> y(rows_, Polynomial(nvars_));
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const Polynomial& aij = (*this)(i, j);
+      if (aij.is_zero() || x[j].is_zero()) continue;
+      y[i] += aij * x[j];
+    }
+  return y;
+}
+
+PolyMatrix PolyMatrix::minor_matrix(std::size_t dr, std::size_t dc) const {
+  assert(dr < rows_ && dc < cols_);
+  PolyMatrix m(rows_ - 1, cols_ - 1, nvars_);
+  for (std::size_t r = 0, mr = 0; r < rows_; ++r) {
+    if (r == dr) continue;
+    for (std::size_t c = 0, mc = 0; c < cols_; ++c) {
+      if (c == dc) continue;
+      m(mr, mc) = (*this)(r, c);
+      ++mc;
+    }
+    ++mr;
+  }
+  return m;
+}
+
+std::vector<double> PolyMatrix::evaluate(std::span<const double> values) const {
+  std::vector<double> out(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) out[i] = entries_[i].evaluate(values);
+  return out;
+}
+
+Polynomial determinant(const PolyMatrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("determinant: square required");
+  const std::size_t n = a.rows();
+  if (n > 16) throw std::invalid_argument("determinant: port system too large (>16)");
+  if (n == 0) return Polynomial::constant(a.nvars(), 1.0);
+
+  // DP over column subsets: level[S] = det of the submatrix formed by the
+  // last popcount(S) rows and the column set S.  Built bottom-up from
+  // single columns (last row) to the full set.
+  const std::size_t full = (std::size_t{1} << n) - 1;
+  std::vector<Polynomial> dp(full + 1, Polynomial(a.nvars()));
+  dp[0] = Polynomial::constant(a.nvars(), 1.0);
+  // Process subsets in order of increasing population count; a subset S of
+  // size k corresponds to rows n-k .. n-1.
+  std::vector<std::vector<std::size_t>> by_count(n + 1);
+  for (std::size_t s = 1; s <= full; ++s)
+    by_count[static_cast<std::size_t>(std::popcount(s))].push_back(s);
+  for (std::size_t k = 1; k <= n; ++k) {
+    const std::size_t row = n - k;
+    for (const std::size_t s : by_count[k]) {
+      Polynomial det_s(a.nvars());
+      int sign = 1;
+      for (std::size_t c = 0; c < n; ++c) {
+        if (!(s & (std::size_t{1} << c))) continue;
+        const Polynomial& entry = a(row, c);
+        if (!entry.is_zero()) {
+          const Polynomial& sub = dp[s & ~(std::size_t{1} << c)];
+          if (!sub.is_zero()) {
+            Polynomial contrib = entry * sub;
+            if (sign < 0) contrib *= -1.0;
+            det_s += contrib;
+          }
+        }
+        sign = -sign;
+      }
+      dp[s] = std::move(det_s);
+    }
+    // Free the previous level to bound memory (subsets of size k-1 are no
+    // longer needed).
+    if (k >= 2)
+      for (const std::size_t s : by_count[k - 1]) dp[s] = Polynomial(a.nvars());
+  }
+  return dp[full];
+}
+
+PolyMatrix adjugate(const PolyMatrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("adjugate: square required");
+  const std::size_t n = a.rows();
+  PolyMatrix adj(n, n, a.nvars());
+  if (n == 0) return adj;
+  if (n == 1) {
+    adj(0, 0) = Polynomial::constant(a.nvars(), 1.0);
+    return adj;
+  }
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) {
+      Polynomial cof = determinant(a.minor_matrix(r, c));
+      if ((r + c) % 2 == 1) cof *= -1.0;
+      adj(c, r) = std::move(cof);  // adjugate is the transposed cofactor matrix
+    }
+  return adj;
+}
+
+std::vector<Polynomial> solve_with_adjugate(const PolyMatrix& adj,
+                                            const std::vector<Polynomial>& b) {
+  return adj.multiply(b);
+}
+
+}  // namespace awe::symbolic

@@ -1,0 +1,67 @@
+// Dense matrices of multivariate polynomials, with division-free
+// determinant and adjugate.
+//
+// The moment-level partitioner reduces the circuit to a small port-level
+// admittance matrix whose entries are polynomials in the symbolic
+// elements.  The recursive moment equations  Y0 * Vk = rhs_k  are solved
+// symbolically via the adjugate:  Vk = adj(Y0) * rhs_k / det(Y0), keeping
+// every intermediate a pure polynomial.  No polynomial division (and hence
+// no multivariate GCD) is ever needed — the denominator det(Y0)^{k+1} is
+// carried structurally.
+//
+// Determinants use dynamic programming over column subsets (O(2^n * n)
+// polynomial operations), exact and fast for the port-level sizes that
+// arise in practice (n <= ~16, enforced).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "symbolic/polynomial.hpp"
+
+namespace awe::symbolic {
+
+class PolyMatrix {
+ public:
+  PolyMatrix() = default;
+  PolyMatrix(std::size_t rows, std::size_t cols, std::size_t nvars);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nvars() const { return nvars_; }
+
+  Polynomial& operator()(std::size_t r, std::size_t c);
+  const Polynomial& operator()(std::size_t r, std::size_t c) const;
+
+  PolyMatrix& operator+=(const PolyMatrix& o);
+  friend PolyMatrix operator*(const PolyMatrix& a, const PolyMatrix& b);
+
+  /// y = A x for a polynomial vector x.
+  std::vector<Polynomial> multiply(const std::vector<Polynomial>& x) const;
+
+  /// Matrix with row r and column c deleted.
+  PolyMatrix minor_matrix(std::size_t r, std::size_t c) const;
+
+  /// Evaluate every entry at a numeric point (row-major result).
+  std::vector<double> evaluate(std::span<const double> values) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0, nvars_ = 0;
+  std::vector<Polynomial> entries_;  // row-major
+};
+
+/// Determinant of a square PolyMatrix (subset-DP expansion). Throws for
+/// matrices larger than 16x16 — the partitioned port systems are tiny by
+/// construction, and exceeding this signals a partitioning bug.
+Polynomial determinant(const PolyMatrix& a);
+
+/// Adjugate (transposed cofactor matrix): A * adj(A) = det(A) * I.
+PolyMatrix adjugate(const PolyMatrix& a);
+
+/// Cramer solve numerators: returns N with  A x = b  <=>  x = N / det(A).
+/// Requires `adj` = adjugate(A).
+std::vector<Polynomial> solve_with_adjugate(const PolyMatrix& adj,
+                                            const std::vector<Polynomial>& b);
+
+}  // namespace awe::symbolic

@@ -1,0 +1,258 @@
+#include "symbolic/polynomial.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace awe::symbolic {
+
+bool monomial_less(const Monomial& a, const Monomial& b) {
+  assert(a.size() == b.size());
+  std::size_t da = 0, db = 0;
+  for (auto e : a) da += e;
+  for (auto e : b) db += e;
+  if (da != db) return da < db;
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+Polynomial Polynomial::constant(std::size_t nvars, double c) {
+  Polynomial p(nvars);
+  if (c != 0.0) p.terms_.push_back({Monomial(nvars, 0), c});
+  return p;
+}
+
+Polynomial Polynomial::variable(std::size_t nvars, std::size_t index) {
+  if (index >= nvars) throw std::out_of_range("Polynomial::variable index");
+  Polynomial p(nvars);
+  Monomial m(nvars, 0);
+  m[index] = 1;
+  p.terms_.push_back({std::move(m), 1.0});
+  return p;
+}
+
+Polynomial Polynomial::from_terms(std::size_t nvars, std::vector<Term> terms) {
+  Polynomial p(nvars);
+  p.terms_ = std::move(terms);
+  for (const auto& t : p.terms_)
+    if (t.exponents.size() != nvars)
+      throw std::invalid_argument("Polynomial::from_terms exponent size mismatch");
+  p.normalize();
+  return p;
+}
+
+void Polynomial::normalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const Term& a, const Term& b) { return monomial_less(a.exponents, b.exponents); });
+  std::vector<Term> merged;
+  merged.reserve(terms_.size());
+  for (auto& t : terms_) {
+    if (!merged.empty() && merged.back().exponents == t.exponents) {
+      merged.back().coeff += t.coeff;
+    } else {
+      merged.push_back(std::move(t));
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const Term& t) { return t.coeff == 0.0; }),
+               merged.end());
+  terms_ = std::move(merged);
+}
+
+bool Polynomial::is_constant() const {
+  if (terms_.empty()) return true;
+  if (terms_.size() > 1) return false;
+  for (auto e : terms_[0].exponents)
+    if (e != 0) return false;
+  return true;
+}
+
+double Polynomial::constant_value() const {
+  if (terms_.empty()) return 0.0;
+  const auto& t = terms_.front();  // constant term sorts first (degree 0)
+  for (auto e : t.exponents)
+    if (e != 0) return 0.0;
+  return t.coeff;
+}
+
+std::size_t Polynomial::total_degree() const {
+  std::size_t d = 0;
+  for (const auto& t : terms_) {
+    std::size_t td = 0;
+    for (auto e : t.exponents) td += e;
+    d = std::max(d, td);
+  }
+  return d;
+}
+
+std::size_t Polynomial::degree_in(std::size_t var) const {
+  std::size_t d = 0;
+  for (const auto& t : terms_) d = std::max<std::size_t>(d, t.exponents[var]);
+  return d;
+}
+
+Polynomial Polynomial::operator-() const {
+  Polynomial r = *this;
+  for (auto& t : r.terms_) t.coeff = -t.coeff;
+  return r;
+}
+
+Polynomial& Polynomial::operator+=(const Polynomial& o) {
+  if (nvars_ != o.nvars_) throw std::invalid_argument("Polynomial nvars mismatch");
+  // Merge two sorted term lists.
+  std::vector<Term> out;
+  out.reserve(terms_.size() + o.terms_.size());
+  std::size_t i = 0, j = 0;
+  while (i < terms_.size() && j < o.terms_.size()) {
+    if (terms_[i].exponents == o.terms_[j].exponents) {
+      const double c = terms_[i].coeff + o.terms_[j].coeff;
+      if (c != 0.0) out.push_back({terms_[i].exponents, c});
+      ++i;
+      ++j;
+    } else if (monomial_less(terms_[i].exponents, o.terms_[j].exponents)) {
+      out.push_back(terms_[i++]);
+    } else {
+      out.push_back(o.terms_[j++]);
+    }
+  }
+  while (i < terms_.size()) out.push_back(terms_[i++]);
+  while (j < o.terms_.size()) out.push_back(o.terms_[j++]);
+  terms_ = std::move(out);
+  return *this;
+}
+
+Polynomial& Polynomial::operator-=(const Polynomial& o) { return *this += -o; }
+
+Polynomial& Polynomial::operator*=(double k) {
+  if (k == 0.0) {
+    terms_.clear();
+    return *this;
+  }
+  for (auto& t : terms_) t.coeff *= k;
+  return *this;
+}
+
+Polynomial operator*(const Polynomial& a, const Polynomial& b) {
+  if (a.nvars_ != b.nvars_) throw std::invalid_argument("Polynomial nvars mismatch");
+  Polynomial r(a.nvars_);
+  if (a.is_zero() || b.is_zero()) return r;
+  std::map<Monomial, double, decltype(&monomial_less)> acc(&monomial_less);
+  Monomial m(a.nvars_);
+  for (const auto& ta : a.terms_) {
+    for (const auto& tb : b.terms_) {
+      for (std::size_t v = 0; v < a.nvars_; ++v)
+        m[v] = static_cast<std::uint16_t>(ta.exponents[v] + tb.exponents[v]);
+      acc[m] += ta.coeff * tb.coeff;
+    }
+  }
+  r.terms_.reserve(acc.size());
+  for (auto& [mono, c] : acc)
+    if (c != 0.0) r.terms_.push_back({mono, c});
+  return r;
+}
+
+bool Polynomial::operator==(const Polynomial& o) const {
+  if (nvars_ != o.nvars_ || terms_.size() != o.terms_.size()) return false;
+  for (std::size_t i = 0; i < terms_.size(); ++i)
+    if (terms_[i].exponents != o.terms_[i].exponents || terms_[i].coeff != o.terms_[i].coeff)
+      return false;
+  return true;
+}
+
+double Polynomial::evaluate(std::span<const double> values) const {
+  if (values.size() != nvars_) throw std::invalid_argument("Polynomial::evaluate arity");
+  double sum = 0.0;
+  for (const auto& t : terms_) {
+    double prod = t.coeff;
+    for (std::size_t v = 0; v < nvars_; ++v) {
+      for (std::uint16_t e = 0; e < t.exponents[v]; ++e) prod *= values[v];
+    }
+    sum += prod;
+  }
+  return sum;
+}
+
+Polynomial Polynomial::derivative(std::size_t var) const {
+  if (var >= nvars_) throw std::out_of_range("Polynomial::derivative var");
+  std::vector<Term> out;
+  for (const auto& t : terms_) {
+    if (t.exponents[var] == 0) continue;
+    Term d = t;
+    d.coeff *= t.exponents[var];
+    d.exponents[var] -= 1;
+    out.push_back(std::move(d));
+  }
+  return from_terms(nvars_, std::move(out));
+}
+
+Polynomial Polynomial::substitute(std::size_t var, double value) const {
+  if (var >= nvars_) throw std::out_of_range("Polynomial::substitute var");
+  std::vector<Term> out;
+  out.reserve(terms_.size());
+  for (const auto& t : terms_) {
+    Term s = t;
+    for (std::uint16_t e = 0; e < t.exponents[var]; ++e) s.coeff *= value;
+    s.exponents[var] = 0;
+    out.push_back(std::move(s));
+  }
+  return from_terms(nvars_, std::move(out));
+}
+
+double Polynomial::max_abs_coeff() const {
+  double m = 0.0;
+  for (const auto& t : terms_) m = std::max(m, std::abs(t.coeff));
+  return m;
+}
+
+Polynomial Polynomial::cleaned(double rel_tol) const {
+  const double cutoff = rel_tol * max_abs_coeff();
+  std::vector<Term> kept;
+  kept.reserve(terms_.size());
+  for (const auto& t : terms_)
+    if (std::abs(t.coeff) > cutoff) kept.push_back(t);
+  Polynomial p(nvars_);
+  p.terms_ = std::move(kept);
+  return p;
+}
+
+std::string Polynomial::to_string(std::span<const std::string> var_names) const {
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  // Print highest degree first for readability.
+  for (auto it = terms_.rbegin(); it != terms_.rend(); ++it) {
+    const Term& t = *it;
+    double c = t.coeff;
+    if (!first) {
+      os << (c < 0.0 ? " - " : " + ");
+      c = std::abs(c);
+    } else if (c < 0.0) {
+      os << "-";
+      c = std::abs(c);
+    }
+    bool printed_factor = false;
+    bool monomial_trivial = true;
+    for (auto e : t.exponents)
+      if (e != 0) monomial_trivial = false;
+    if (c != 1.0 || monomial_trivial) {
+      os << c;
+      printed_factor = true;
+    }
+    for (std::size_t v = 0; v < nvars_; ++v) {
+      if (t.exponents[v] == 0) continue;
+      if (printed_factor) os << "*";
+      if (v < var_names.size())
+        os << var_names[v];
+      else
+        os << "x" << v;
+      if (t.exponents[v] > 1) os << "^" << t.exponents[v];
+      printed_factor = true;
+    }
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace awe::symbolic

@@ -1,0 +1,107 @@
+// Multivariate polynomials over double coefficients.
+//
+// The symbolic objects in AWEsymbolic are low-degree multivariate
+// polynomials in the symbolic circuit elements: MNA stamps are linear per
+// symbol, determinants/adjugates of the small port matrix are multilinear,
+// and the k-th composite moment numerator has total degree O(k * #symbols).
+// A sorted dense-exponent term list is therefore the right representation —
+// no sparse-exponent tricks, no arbitrary-precision coefficients.
+//
+// Division is avoided by construction everywhere in the pipeline (adjugate
+// based solves), so the ring interface is pure: +, -, *, scalar ops,
+// differentiation, evaluation and substitution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace awe::symbolic {
+
+/// Exponent vector; size equals the ambient number of variables.
+using Monomial = std::vector<std::uint16_t>;
+
+/// One term: coefficient times a monomial.
+struct Term {
+  Monomial exponents;
+  double coeff = 0.0;
+};
+
+/// Graded-lexicographic monomial order (total degree first).
+bool monomial_less(const Monomial& a, const Monomial& b);
+
+/// Immutable-ish multivariate polynomial in a fixed number of variables.
+/// Terms are kept sorted by monomial_less and never contain zero
+/// coefficients or duplicate monomials (the class invariant).
+class Polynomial {
+ public:
+  Polynomial() = default;  // zero polynomial in 0 variables
+
+  explicit Polynomial(std::size_t nvars) : nvars_(nvars) {}
+
+  /// The constant polynomial `c` in `nvars` variables.
+  static Polynomial constant(std::size_t nvars, double c);
+
+  /// The single variable x_index in `nvars` variables.
+  static Polynomial variable(std::size_t nvars, std::size_t index);
+
+  /// Build from an arbitrary term list (merges duplicates, drops zeros).
+  static Polynomial from_terms(std::size_t nvars, std::vector<Term> terms);
+
+  std::size_t nvars() const { return nvars_; }
+  const std::vector<Term>& terms() const { return terms_; }
+  bool is_zero() const { return terms_.empty(); }
+  bool is_constant() const;
+  /// Value of the constant term (0 when absent).
+  double constant_value() const;
+
+  /// Total degree (0 for constants; -1 represented as 0 for the zero poly).
+  std::size_t total_degree() const;
+  /// Degree in a single variable.
+  std::size_t degree_in(std::size_t var) const;
+  std::size_t term_count() const { return terms_.size(); }
+
+  Polynomial operator-() const;
+  Polynomial& operator+=(const Polynomial& o);
+  Polynomial& operator-=(const Polynomial& o);
+  Polynomial& operator*=(double k);
+
+  friend Polynomial operator+(Polynomial a, const Polynomial& b) { return a += b; }
+  friend Polynomial operator-(Polynomial a, const Polynomial& b) { return a -= b; }
+  friend Polynomial operator*(const Polynomial& a, const Polynomial& b);
+  friend Polynomial operator*(Polynomial a, double k) { return a *= k; }
+  friend Polynomial operator*(double k, Polynomial a) { return a *= k; }
+
+  bool operator==(const Polynomial& o) const;
+
+  /// Evaluate at a point (values.size() == nvars()).
+  double evaluate(std::span<const double> values) const;
+
+  /// Partial derivative with respect to variable `var`.
+  Polynomial derivative(std::size_t var) const;
+
+  /// Substitute a numeric value for one variable, producing a polynomial in
+  /// the same ambient variable set (the substituted variable's exponents
+  /// become zero).
+  Polynomial substitute(std::size_t var, double value) const;
+
+  /// Largest absolute coefficient (0 for the zero polynomial).
+  double max_abs_coeff() const;
+
+  /// Drop terms with |coeff| <= tol * max_abs_coeff(). Used only to clean
+  /// floating-point cancellation debris, never as heuristic pruning.
+  Polynomial cleaned(double rel_tol = 1e-14) const;
+
+  /// Human-readable form, e.g. "3*x0^2*x1 - 1.5*x1 + 2".
+  std::string to_string(std::span<const std::string> var_names = {}) const;
+
+ private:
+  void normalize();  // sort + merge + drop zeros
+
+  std::size_t nvars_ = 0;
+  std::vector<Term> terms_;
+};
+
+}  // namespace awe::symbolic

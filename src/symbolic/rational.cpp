@@ -1,0 +1,86 @@
+#include "symbolic/rational.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace awe::symbolic {
+
+RationalFunction::RationalFunction(Polynomial num, Polynomial den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  if (den_.is_zero()) throw std::invalid_argument("RationalFunction: zero denominator");
+  if (num_.nvars() != den_.nvars())
+    throw std::invalid_argument("RationalFunction: nvars mismatch");
+}
+
+RationalFunction RationalFunction::from_polynomial(Polynomial p) {
+  const std::size_t n = p.nvars();
+  return RationalFunction(std::move(p), Polynomial::constant(n, 1.0));
+}
+
+RationalFunction RationalFunction::constant(std::size_t nvars, double c) {
+  return RationalFunction(Polynomial::constant(nvars, c), Polynomial::constant(nvars, 1.0));
+}
+
+RationalFunction RationalFunction::operator-() const {
+  return RationalFunction(-num_, den_);
+}
+
+RationalFunction operator+(const RationalFunction& a, const RationalFunction& b) {
+  if (a.den_ == b.den_) return RationalFunction(a.num_ + b.num_, a.den_);
+  return RationalFunction(a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_);
+}
+
+RationalFunction operator-(const RationalFunction& a, const RationalFunction& b) {
+  if (a.den_ == b.den_) return RationalFunction(a.num_ - b.num_, a.den_);
+  return RationalFunction(a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_);
+}
+
+RationalFunction operator*(const RationalFunction& a, const RationalFunction& b) {
+  return RationalFunction(a.num_ * b.num_, a.den_ * b.den_);
+}
+
+RationalFunction operator/(const RationalFunction& a, const RationalFunction& b) {
+  if (b.num_.is_zero()) throw std::domain_error("RationalFunction: division by zero");
+  return RationalFunction(a.num_ * b.den_, a.den_ * b.num_);
+}
+
+RationalFunction RationalFunction::operator*(double k) const {
+  return RationalFunction(num_ * k, den_);
+}
+
+double RationalFunction::evaluate(std::span<const double> values) const {
+  const double d = den_.evaluate(values);
+  if (d == 0.0) throw std::domain_error("RationalFunction::evaluate: pole hit");
+  return num_.evaluate(values) / d;
+}
+
+RationalFunction RationalFunction::derivative(std::size_t var) const {
+  return RationalFunction(num_.derivative(var) * den_ - num_ * den_.derivative(var),
+                          den_ * den_);
+}
+
+RationalFunction RationalFunction::normalized() const {
+  if (num_ == den_) return constant(nvars(), 1.0);
+  double scale = den_.max_abs_coeff();
+  if (scale == 0.0) return *this;
+  // Make the largest-magnitude denominator coefficient +1 (sign included,
+  // so printed forms come out with a positive leading denominator term).
+  // NOTE: no coefficient cleaning here — circuit quantities legitimately
+  // span dozens of decades (farads vs siemens), so a relative-to-max
+  // threshold would delete real physics.  Polynomial::cleaned() remains
+  // available as an explicit, caller-judged operation.
+  for (const auto& t : den_.terms())
+    if (std::abs(t.coeff) == scale) {
+      scale = t.coeff;
+      break;
+    }
+  const double inv = 1.0 / scale;
+  return RationalFunction(num_ * inv, den_ * inv);
+}
+
+std::string RationalFunction::to_string(std::span<const std::string> var_names) const {
+  if (den_.is_constant() && den_.constant_value() == 1.0) return num_.to_string(var_names);
+  return "(" + num_.to_string(var_names) + ") / (" + den_.to_string(var_names) + ")";
+}
+
+}  // namespace awe::symbolic

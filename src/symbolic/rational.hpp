@@ -1,0 +1,58 @@
+// Rational functions (ratios of multivariate polynomials).
+//
+// Composite AWE moments are rational in the symbolic elements with the
+// structured denominator det(Y0)^{k+1}; the pipeline preserves that
+// structure so no multivariate GCD is ever required.  This class provides
+// the generic ring operations used when combining moments into transfer
+// function coefficients, pole formulas and performance measures.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "symbolic/polynomial.hpp"
+
+namespace awe::symbolic {
+
+class RationalFunction {
+ public:
+  RationalFunction() = default;  // 0/1 in 0 variables
+
+  /// num / den; throws if den is the zero polynomial.
+  RationalFunction(Polynomial num, Polynomial den);
+
+  /// p / 1
+  static RationalFunction from_polynomial(Polynomial p);
+  static RationalFunction constant(std::size_t nvars, double c);
+
+  const Polynomial& num() const { return num_; }
+  const Polynomial& den() const { return den_; }
+  std::size_t nvars() const { return num_.nvars(); }
+  bool is_zero() const { return num_.is_zero(); }
+
+  RationalFunction operator-() const;
+  friend RationalFunction operator+(const RationalFunction& a, const RationalFunction& b);
+  friend RationalFunction operator-(const RationalFunction& a, const RationalFunction& b);
+  friend RationalFunction operator*(const RationalFunction& a, const RationalFunction& b);
+  friend RationalFunction operator/(const RationalFunction& a, const RationalFunction& b);
+  RationalFunction operator*(double k) const;
+
+  /// Evaluate at a point; throws std::domain_error when the denominator
+  /// vanishes there.
+  double evaluate(std::span<const double> values) const;
+
+  /// Partial derivative (quotient rule), denominator becomes den^2.
+  RationalFunction derivative(std::size_t var) const;
+
+  /// Scale num and den so that den's largest |coefficient| is 1 and drop
+  /// round-off debris; also cancels identical num/den (to the constant).
+  RationalFunction normalized() const;
+
+  std::string to_string(std::span<const std::string> var_names = {}) const;
+
+ private:
+  Polynomial num_;
+  Polynomial den_;
+};
+
+}  // namespace awe::symbolic

@@ -1,0 +1,143 @@
+#include "transim/transim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace awe::transim {
+
+Waveform dc(double value) {
+  return [value](double) { return value; };
+}
+
+Waveform step(double level, double delay, double rise) {
+  return [=](double t) {
+    if (t <= delay) return 0.0;
+    if (rise <= 0.0 || t >= delay + rise) return level;
+    return level * (t - delay) / rise;
+  };
+}
+
+Waveform sine(double amplitude, double freq_hz, double phase_rad) {
+  return [=](double t) { return amplitude * std::sin(2.0 * M_PI * freq_hz * t + phase_rad); };
+}
+
+Waveform pwl(std::vector<std::pair<double, double>> points) {
+  if (points.empty()) throw std::invalid_argument("pwl: need at least one point");
+  return [pts = std::move(points)](double t) {
+    if (t <= pts.front().first) return pts.front().second;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      if (t <= pts[i].first) {
+        const auto& [t0, v0] = pts[i - 1];
+        const auto& [t1, v1] = pts[i];
+        if (t1 == t0) return v1;
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+      }
+    }
+    return pts.back().second;
+  };
+}
+
+std::vector<double> TransientResult::node_voltage(const circuit::MnaLayout& layout,
+                                                  circuit::NodeId node) const {
+  std::vector<double> v;
+  v.reserve(samples.size());
+  const std::size_t idx = layout.node_unknown(node);
+  for (const auto& x : samples) v.push_back(x[idx]);
+  return v;
+}
+
+TransientSimulator::TransientSimulator(const circuit::Netlist& netlist)
+    : netlist_(&netlist), assembler_(netlist) {}
+
+void TransientSimulator::set_waveform(const std::string& source_name, Waveform w) {
+  const auto idx = netlist_->find_element(source_name);
+  if (!idx) throw std::invalid_argument("no such source: " + source_name);
+  const auto kind = netlist_->elements()[*idx].kind;
+  if (kind != circuit::ElementKind::kVoltageSource &&
+      kind != circuit::ElementKind::kCurrentSource)
+    throw std::invalid_argument("'" + source_name + "' is not an independent source");
+  waveforms_[source_name] = std::move(w);
+}
+
+linalg::Vector TransientSimulator::source_vector(double t) const {
+  linalg::Vector b(assembler_.layout().dim(), 0.0);
+  const auto& elements = netlist_->elements();
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const auto& e = elements[i];
+    double amp;
+    if (e.kind == circuit::ElementKind::kVoltageSource ||
+        e.kind == circuit::ElementKind::kCurrentSource) {
+      const auto it = waveforms_.find(e.name);
+      amp = (it != waveforms_.end()) ? it->second(t) : e.value;
+    } else {
+      continue;
+    }
+    if (amp == 0.0) continue;
+    const auto one = assembler_.rhs(e.name, amp);
+    for (std::size_t k = 0; k < b.size(); ++k) b[k] += one[k];
+  }
+  return b;
+}
+
+TransientResult TransientSimulator::run(const TransientOptions& opts) const {
+  if (opts.dt <= 0.0 || opts.t_stop <= 0.0)
+    throw std::invalid_argument("transient: dt and t_stop must be positive");
+  const std::size_t dim = assembler_.layout().dim();
+  const auto g = assembler_.build_g();
+  const auto c = assembler_.build_c();
+  const double h = opts.dt;
+
+  // Companion matrix M = G + a C with a = 1/h (BE) or 2/h (trapezoidal).
+  const double a = (opts.integrator == Integrator::kBackwardEuler) ? 1.0 / h : 2.0 / h;
+  linalg::TripletMatrix m_trip(dim, dim);
+  for (std::size_t col = 0; col < dim; ++col) {
+    for (std::size_t k = g.col_ptr()[col]; k < g.col_ptr()[col + 1]; ++k)
+      m_trip.add(g.row_idx()[k], col, g.values()[k]);
+    for (std::size_t k = c.col_ptr()[col]; k < c.col_ptr()[col + 1]; ++k)
+      m_trip.add(c.row_idx()[k], col, a * c.values()[k]);
+  }
+  const auto m = m_trip.compress();
+  const auto lu = linalg::SparseLu::factor(m);
+  if (!lu) throw std::runtime_error("transient: companion matrix is singular");
+
+  // Initial condition.
+  linalg::Vector x(dim, 0.0);
+  linalg::Vector b_prev = source_vector(0.0);
+  if (opts.dc_initial_condition) {
+    const auto glu = linalg::SparseLu::factor(g);
+    if (!glu) throw std::runtime_error("transient: DC matrix is singular");
+    x = glu->solve(b_prev);
+  }
+
+  TransientResult result;
+  const std::size_t steps = static_cast<std::size_t>(std::ceil(opts.t_stop / h));
+  result.time.reserve(steps + 1);
+  result.samples.reserve(steps + 1);
+  result.time.push_back(0.0);
+  result.samples.push_back(x);
+
+  for (std::size_t n = 1; n <= steps; ++n) {
+    const double t = static_cast<double>(n) * h;
+    linalg::Vector b = source_vector(t);
+    linalg::Vector rhs(dim);
+    if (opts.integrator == Integrator::kBackwardEuler) {
+      // (G + C/h) x_{n+1} = b_{n+1} + (C/h) x_n
+      const auto cx = c.multiply(x);
+      for (std::size_t k = 0; k < dim; ++k) rhs[k] = b[k] + cx[k] / h;
+    } else {
+      // (G + 2C/h) x_{n+1} = b_{n+1} + b_n + (2C/h - G) x_n
+      const auto cx = c.multiply(x);
+      const auto gx = g.multiply(x);
+      for (std::size_t k = 0; k < dim; ++k)
+        rhs[k] = b[k] + b_prev[k] + 2.0 * cx[k] / h - gx[k];
+    }
+    lu->solve_in_place(rhs);
+    x = std::move(rhs);
+    b_prev = std::move(b);
+    result.time.push_back(t);
+    result.samples.push_back(x);
+  }
+  return result;
+}
+
+}  // namespace awe::transim

@@ -1,0 +1,72 @@
+// Linear transient simulator — the "traditional circuit simulator"
+// baseline (SPICE2-class integration on the MNA equations).
+//
+// Integrates  G x + C x' = b(t)  with backward Euler or the trapezoidal
+// rule on a uniform step.  The companion-model matrix (G + a*C) is
+// factored once and reused across all time points, which is the fair
+// (fast) version of the baseline that AWE is benchmarked against.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "linalg/sparse_lu.hpp"
+
+namespace awe::transim {
+
+enum class Integrator { kBackwardEuler, kTrapezoidal };
+
+/// Time-dependent amplitude of an independent source.
+using Waveform = std::function<double(double /*t*/)>;
+
+/// Standard waveforms.
+Waveform dc(double value);
+/// 0 before `delay`, then linear rise over `rise` to `level`.
+Waveform step(double level, double delay = 0.0, double rise = 0.0);
+Waveform sine(double amplitude, double freq_hz, double phase_rad = 0.0);
+/// Piecewise-linear through (t, v) points (flat extrapolation).
+Waveform pwl(std::vector<std::pair<double, double>> points);
+
+struct TransientOptions {
+  double t_stop = 1e-6;
+  double dt = 1e-9;
+  Integrator integrator = Integrator::kTrapezoidal;
+  /// Start from the DC solution of b(0) (otherwise zero state).
+  bool dc_initial_condition = true;
+};
+
+struct TransientResult {
+  std::vector<double> time;
+  /// samples[k] is the full MNA solution at time[k].
+  std::vector<linalg::Vector> samples;
+
+  /// Voltage waveform of one node (by MNA layout).
+  std::vector<double> node_voltage(const circuit::MnaLayout& layout,
+                                   circuit::NodeId node) const;
+};
+
+class TransientSimulator {
+ public:
+  explicit TransientSimulator(const circuit::Netlist& netlist);
+
+  /// Override the waveform of an independent source (default: DC at the
+  /// netlist value).
+  void set_waveform(const std::string& source_name, Waveform w);
+
+  TransientResult run(const TransientOptions& opts) const;
+
+  const circuit::MnaLayout& layout() const { return assembler_.layout(); }
+
+ private:
+  linalg::Vector source_vector(double t) const;
+
+  const circuit::Netlist* netlist_;
+  circuit::MnaAssembler assembler_;
+  std::unordered_map<std::string, Waveform> waveforms_;
+};
+
+}  // namespace awe::transim

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "awe/ac.hpp"
+#include "awe/awe.hpp"
+#include "circuits/fig1_rc.hpp"
+#include "circuits/opamp741.hpp"
+
+namespace awe::engine {
+namespace {
+
+using circuit::kGround;
+using circuit::Netlist;
+
+TEST(Ac, SingleRcPoleExact) {
+  Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add_voltage_source("vin", in, kGround, 1.0);
+  nl.add_resistor("r1", in, out, 1e3);
+  nl.add_capacitor("c1", out, kGround, 1e-9);
+  AcAnalysis ac(nl, "vin", out);
+  const double rc = 1e-6;
+  for (const double f : {1e3, 1e5, 1e6, 1e8}) {
+    const std::complex<double> expected = 1.0 / (1.0 + std::complex<double>(0, 2 * M_PI * f * rc));
+    const auto got = ac.transfer(f);
+    EXPECT_LT(std::abs(got - expected), 1e-9 * std::abs(expected)) << "f=" << f;
+  }
+}
+
+TEST(Ac, RlcResonancePeak) {
+  // Series RLC: |H| across the capacitor peaks near f0 = 1/(2 pi sqrt(LC)).
+  Netlist nl;
+  const auto in = nl.node("in");
+  const auto mid = nl.node("mid");
+  const auto out = nl.node("out");
+  nl.add_voltage_source("vin", in, kGround, 1.0);
+  nl.add_resistor("r1", in, mid, 10.0);
+  nl.add_inductor("l1", mid, out, 1e-6);
+  nl.add_capacitor("c1", out, kGround, 1e-9);
+  AcAnalysis ac(nl, "vin", out);
+  const double f0 = 1.0 / (2 * M_PI * std::sqrt(1e-6 * 1e-9));
+  EXPECT_GT(std::abs(ac.transfer(f0)), 2.0);          // resonant gain Q ~ 3.2
+  EXPECT_NEAR(std::abs(ac.transfer(f0 / 100)), 1.0, 1e-3);
+  EXPECT_LT(std::abs(ac.transfer(f0 * 100)), 1e-3);
+}
+
+TEST(Ac, MatchesRomOnOpamp) {
+  // The order-2 ROM of the 741 must track the exact AC response through
+  // the unity-gain frequency.
+  auto amp = circuits::make_opamp741();
+  const auto rom = run_awe(amp.netlist, circuits::Opamp741Circuit::kInput, amp.out,
+                           {.order = 2});
+  AcAnalysis ac(amp.netlist, circuits::Opamp741Circuit::kInput, amp.out);
+  for (const double f : {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6}) {
+    const auto exact = ac.transfer(f);
+    const auto approx = rom.transfer({0.0, 2 * M_PI * f});
+    EXPECT_LT(std::abs(approx - exact), 0.05 * std::abs(exact)) << "f=" << f;
+  }
+}
+
+TEST(Ac, SweepAndLogSpace) {
+  const auto f = AcAnalysis::log_space(1.0, 1e6, 7);
+  ASSERT_EQ(f.size(), 7u);
+  EXPECT_DOUBLE_EQ(f.front(), 1.0);
+  EXPECT_NEAR(f.back(), 1e6, 1e-6);
+  EXPECT_NEAR(f[1] / f[0], 10.0, 1e-9);
+  EXPECT_THROW(AcAnalysis::log_space(0.0, 1e3, 4), std::invalid_argument);
+  EXPECT_THROW(AcAnalysis::log_space(10.0, 1.0, 4), std::invalid_argument);
+  EXPECT_TRUE(AcAnalysis::log_space(1.0, 2.0, 0).empty());
+  ASSERT_EQ(AcAnalysis::log_space(5.0, 9.0, 1).size(), 1u);
+
+  auto fig = circuits::make_fig1();
+  AcAnalysis ac(fig.netlist, circuits::Fig1Circuit::kInput, fig.v2);
+  const auto pts = ac.sweep(std::vector<double>{0.01, 0.1, 1.0});
+  ASSERT_EQ(pts.size(), 3u);
+  // Low-pass: magnitude decreasing.
+  EXPECT_GT(std::abs(pts[0].response), std::abs(pts[1].response));
+  EXPECT_GT(std::abs(pts[1].response), std::abs(pts[2].response));
+}
+
+TEST(Ac, MomentsAreSweepDerivatives) {
+  // Cross-check: m1 = dH/ds at 0 ~ (H(j e) - H(0)) / (j e) for small e.
+  auto fig = circuits::make_fig1({.g1 = 1e-3, .g2 = 2e-3, .c1 = 2e-12, .c2 = 3e-12});
+  AcAnalysis ac(fig.netlist, circuits::Fig1Circuit::kInput, fig.v2);
+  const auto m = MomentGenerator(fig.netlist)
+                     .transfer_moments(circuits::Fig1Circuit::kInput, fig.v2, 2);
+  const double f_eps = 1.0;  // Hz, far below the poles
+  const auto h0 = ac.transfer(0.0);
+  const auto h1 = ac.transfer(f_eps);
+  const auto deriv = (h1 - h0) / std::complex<double>(0.0, 2 * M_PI * f_eps);
+  EXPECT_NEAR(h0.real(), m[0], 1e-9);
+  EXPECT_NEAR(deriv.real(), m[1], 1e-3 * std::abs(m[1]));
+}
+
+}  // namespace
+}  // namespace awe::engine

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "awe/awe.hpp"
+#include "circuits/coupled_lines.hpp"
+#include "circuits/fig1_rc.hpp"
+#include "circuits/ladders.hpp"
+#include "circuits/opamp741.hpp"
+
+namespace awe::circuits {
+namespace {
+
+TEST(Fig1, StructureAndExactness) {
+  auto fig = make_fig1();
+  EXPECT_EQ(fig.netlist.elements().size(), 5u);
+  EXPECT_TRUE(fig.netlist.validate().empty());
+}
+
+TEST(Opamp741, MatchesPaperStatistics) {
+  auto amp = make_opamp741();
+  // "the small signal circuit contains 170 linear elements, 62 of which
+  // are energy storage elements"
+  EXPECT_EQ(amp.netlist.elements().size(), 170u);
+  EXPECT_EQ(amp.netlist.num_storage_elements(), 62u);
+  EXPECT_TRUE(amp.netlist.validate().empty());
+}
+
+TEST(Opamp741, DcGainAndBandwidthInDesignRange) {
+  auto amp = make_opamp741();
+  const auto rom = engine::run_awe(amp.netlist, Opamp741Circuit::kInput, amp.out,
+                                   {.order = 2});
+  const double a0 = std::abs(rom.dc_gain());
+  // Classic 741: gain ~ 2e5 (within a factor of a few), f_unity ~ 1 MHz.
+  EXPECT_GT(a0, 3e4);
+  EXPECT_LT(a0, 2e6);
+  const double fu = rom.unity_gain_frequency();
+  EXPECT_GT(fu, 1e5);
+  EXPECT_LT(fu, 1e7);
+  // Dominant pole in the Hz..tens-of-Hz range.
+  const auto p1 = rom.dominant_pole();
+  ASSERT_TRUE(p1.has_value());
+  const double f1 = std::abs(p1->real()) / (2 * M_PI);
+  EXPECT_GT(f1, 0.2);
+  EXPECT_LT(f1, 200.0);
+  EXPECT_TRUE(rom.is_stable());
+}
+
+TEST(Opamp741, StableAcrossSymbolRange) {
+  // Paper: "The symbolic form is stable for all values of gout_q14 and
+  // c_comp, as is the case with the real circuit."
+  for (const double gout : {1.0 / 300.0, 1.0 / 75.0, 1.0 / 20.0}) {
+    for (const double cc : {10e-12, 30e-12, 100e-12}) {
+      Opamp741Values v;
+      v.gout_q14 = gout;
+      v.c_comp = cc;
+      auto amp = make_opamp741(v);
+      const auto rom = engine::run_awe(amp.netlist, Opamp741Circuit::kInput, amp.out,
+                                       {.order = 2, .enforce_stability = false});
+      EXPECT_TRUE(rom.is_stable()) << "gout=" << gout << " cc=" << cc;
+    }
+  }
+}
+
+TEST(CoupledLines, StructureScalesWithSegments) {
+  CoupledLineValues v;
+  v.segments = 10;
+  auto c = make_coupled_lines(v);
+  // 2 sources + 2 drivers' R + 2*(10 R + 10 C) + 10 coupling + 2 loads
+  EXPECT_EQ(c.netlist.elements().size(), 2u + 2u + 40u + 10u + 2u);
+  EXPECT_TRUE(c.netlist.validate().empty());
+  EXPECT_THROW(make_coupled_lines({.segments = 0}), std::invalid_argument);
+}
+
+TEST(CoupledLines, DirectTransmissionIsMonotoneLowPass) {
+  CoupledLineValues v;
+  v.segments = 50;
+  auto c = make_coupled_lines(v);
+  const auto rom = engine::run_awe(c.netlist, CoupledLinesCircuit::kInput, c.line1_out,
+                                   {.order = 1});
+  EXPECT_NEAR(rom.dc_gain(), 1.0, 1e-6);
+  EXPECT_TRUE(rom.is_stable());
+}
+
+TEST(CoupledLines, CrosstalkDcIsZeroAndTransientNonMonotonic) {
+  CoupledLineValues v;
+  v.segments = 50;
+  auto c = make_coupled_lines(v);
+  const auto rom = engine::run_awe(c.netlist, CoupledLinesCircuit::kInput, c.line2_out,
+                                   {.order = 2});
+  // Purely capacitive coupling: no DC transfer to the victim line.
+  EXPECT_NEAR(rom.dc_gain(), 0.0, 1e-6);
+  // Cross-talk pulse: rises then returns to zero -> non-monotonic.
+  double peak = 0.0;
+  for (double t = 0; t <= 2e-7; t += 1e-9)
+    peak = std::max(peak, std::abs(rom.step_response(t)));
+  EXPECT_GT(peak, 1e-3);                    // visible coupling
+  EXPECT_LT(std::abs(rom.step_response(2e-6)), 0.2 * peak);  // decays back
+}
+
+TEST(Ladders, ElmoreDelayOrderOfMagnitude) {
+  LadderValues v;
+  v.segments = 20;
+  auto lad = make_rc_ladder(v);
+  const auto rom = engine::run_awe(lad.netlist, LadderCircuit::kInput, lad.out,
+                                   {.order = 2});
+  // Elmore delay (first moment) ~ sum_k R_path C_k.
+  const double elmore = -rom.moments()[1];
+  EXPECT_GT(elmore, 0.0);
+  const auto t50 = rom.step_crossing_time(0.5, 100 * elmore);
+  ASSERT_TRUE(t50.has_value());
+  EXPECT_GT(*t50, 0.1 * elmore);
+  EXPECT_LT(*t50, 3.0 * elmore);
+}
+
+TEST(Trees, AllLeavesReachable) {
+  TreeValues v;
+  v.depth = 3;
+  auto tree = make_rc_tree(v);
+  EXPECT_TRUE(tree.netlist.validate().empty());
+  const auto rom = engine::run_awe(tree.netlist, TreeCircuit::kInput, tree.first_leaf,
+                                   {.order = 2});
+  EXPECT_NEAR(rom.dc_gain(), 1.0, 1e-9);
+  EXPECT_TRUE(rom.is_stable());
+  EXPECT_THROW(make_rc_tree({.depth = 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace awe::circuits

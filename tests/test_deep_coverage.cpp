@@ -1,0 +1,233 @@
+// Deeper coverage: cross-module combinations and device-model corners.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "awe/ac.hpp"
+#include "awe/awe.hpp"
+#include "awe/sensitivity.hpp"
+#include "circuit/parser.hpp"
+#include "circuits/mesh.hpp"
+#include "core/awesymbolic.hpp"
+#include "nonlinear/dc_solver.hpp"
+#include "partition/macromodel.hpp"
+#include "transim/transim.hpp"
+
+namespace awe {
+namespace {
+
+using circuit::kGround;
+using circuit::Netlist;
+
+TEST(DeepCoverage, MosTriodeRegionLinearization) {
+  // Bias the NMOS into triode (Vds < Vov) and finite-difference check the
+  // linearized gm/gds against the device equations.
+  nonlinear::NonlinearCircuit ckt;
+  auto& nl = ckt.linear;
+  const auto d = nl.node("d");
+  const auto g = nl.node("g");
+  nl.add_voltage_source("vd", d, kGround, 0.2);   // small Vds
+  nl.add_voltage_source("vg", g, kGround, 2.0);   // Vov = 1.0 > Vds
+  nonlinear::MosParams m;
+  m.k = 1e-3;
+  m.vth = 1.0;
+  ckt.add_nmos("m1", d, g, kGround, m);
+  const auto op = nonlinear::solve_dc(ckt);
+  ASSERT_TRUE(op.converged);
+
+  auto id_of = [&](double vgs, double vds) {
+    const double vov = vgs - m.vth;
+    return (vds < vov) ? m.k * (vov * vds - 0.5 * vds * vds)
+                       : 0.5 * m.k * vov * vov;
+  };
+  const double h = 1e-6;
+  const double gm_fd = (id_of(2.0 + h, 0.2) - id_of(2.0 - h, 0.2)) / (2 * h);
+  const double gds_fd = (id_of(2.0, 0.2 + h) - id_of(2.0, 0.2 - h)) / (2 * h);
+  EXPECT_NEAR(op.device_ss[0].gm, gm_fd, 1e-6 * gm_fd);
+  EXPECT_NEAR(op.device_ss[0].gds, gds_fd, 1e-5 * gds_fd);
+  EXPECT_NEAR(op.device_ss[0].i_main, id_of(2.0, 0.2), 1e-12);
+}
+
+TEST(DeepCoverage, DiodeBridgeRectifierDc) {
+  // Four-diode bridge with a DC source: two diodes conduct, two block.
+  nonlinear::NonlinearCircuit ckt;
+  auto& nl = ckt.linear;
+  const auto acp = nl.node("acp");
+  const auto acn = nl.node("acn");
+  const auto pos = nl.node("pos");
+  nl.add_voltage_source("vsrc", acp, acn, 5.0);
+  nl.add_resistor("rload", pos, kGround, 1e3);
+  nl.add_resistor("rsrc", acn, kGround, 10.0);  // reference the bridge
+  ckt.add_diode("d1", acp, pos);
+  ckt.add_diode("d2", acn, pos);
+  ckt.add_diode("d3", kGround, acp);
+  ckt.add_diode("d4", kGround, acn);
+  const auto op = nonlinear::solve_dc(ckt);
+  ASSERT_TRUE(op.converged) << op.iterations;
+  circuit::MnaAssembler asem(nl);
+  const double vpos = op.x[asem.layout().node_unknown(pos)];
+  EXPECT_GT(vpos, 3.0);   // ~5V minus a couple of diode drops and sag
+  EXPECT_LT(vpos, 5.0);
+  // d1 conducts, d2 blocks.
+  EXPECT_GT(op.device_ss[0].i_main, 1e-4);
+  EXPECT_LT(op.device_ss[1].i_main, 1e-6);
+}
+
+TEST(DeepCoverage, MacromodelOfMeshDrivingPoint) {
+  // Reduce an 8x8 mesh seen from two opposite corners; check symmetry and
+  // agreement with the exact AC driving-point admittance at low frequency.
+  circuits::MeshValues v;
+  v.width = 8;
+  v.height = 8;
+  auto mesh = circuits::make_rc_mesh(v);
+  // Strip the driver so the mesh itself is the subnetwork.
+  Netlist sub;
+  for (const auto& e : mesh.netlist.elements()) {
+    if (e.name == "vin" || e.name == "rdrv") continue;
+    if (e.kind == circuit::ElementKind::kResistor)
+      sub.add_resistor(e.name, sub.node(mesh.netlist.node_name(e.pos)),
+                       sub.node(mesh.netlist.node_name(e.neg)), e.value);
+    else if (e.kind == circuit::ElementKind::kCapacitor)
+      sub.add_capacitor(e.name, sub.node(mesh.netlist.node_name(e.pos)),
+                        sub.node(mesh.netlist.node_name(e.neg)), e.value);
+  }
+  const auto a = *sub.find_node("m0_0");
+  const auto b = *sub.find_node("far");
+  const auto mm = part::PortMacromodel::build(sub, {a, b}, {.order = 3, .moments = 10});
+  // Reciprocity.
+  const std::complex<double> s{0.0, 2 * M_PI * 1e6};
+  EXPECT_LT(std::abs(mm.admittance(0, 1, s) - mm.admittance(1, 0, s)),
+            1e-10 * std::abs(mm.admittance(0, 1, s)));
+  // DC entry equals the resistive mesh conductance (from the moments).
+  EXPECT_NEAR(mm.admittance(0, 0, {0, 0}).real(), mm.moment_blocks()[0][0], 1e-9);
+}
+
+TEST(DeepCoverage, GradientsOnMeshSymbolicModel) {
+  circuits::MeshValues v;
+  v.width = 6;
+  v.height = 6;
+  auto mesh = circuits::make_rc_mesh(v);
+  const auto model = core::CompiledModel::build(
+      mesh.netlist, {"rdrv", "cload"}, circuits::MeshCircuit::kInput, mesh.far_corner,
+      {.order = 2, .with_gradients = true});
+  const std::vector<double> vals{30.0, 3e-12};
+  const auto mg = model.moments_and_gradients(vals);
+  const double rel = 1e-6;
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto hi = vals, lo = vals;
+    hi[i] *= 1 + rel;
+    lo[i] *= 1 - rel;
+    const auto mh = model.moments_at(hi);
+    const auto ml = model.moments_at(lo);
+    for (std::size_t k = 0; k < 4; ++k) {
+      const double fd = (mh[k] - ml[k]) / (2 * rel * vals[i]);
+      EXPECT_NEAR(mg.dm[k][i], fd,
+                  1e-4 * std::abs(fd) + 1e-8 * std::abs(mg.moments[k] / vals[i]));
+    }
+  }
+}
+
+TEST(DeepCoverage, TransimMatchesAcOnTransformer) {
+  // Mutual inductance through the transient path: steady-state sine
+  // amplitude equals |H| from the exact AC solve.
+  Netlist nl;
+  const auto in = nl.node("in");
+  const auto p = nl.node("p");
+  const auto s = nl.node("s");
+  nl.add_voltage_source("vin", in, kGround, 0.0);
+  nl.add_resistor("rs", in, p, 50.0);
+  nl.add_inductor("lp", p, kGround, 1e-3);
+  nl.add_inductor("ls", s, kGround, 1e-3);
+  nl.add_resistor("rl", s, kGround, 500.0);
+  nl.add_mutual("k1", "lp", "ls", 0.8);
+
+  const double f = 50e3;
+  engine::AcAnalysis ac(nl, "vin", s);
+  const double expected = std::abs(ac.transfer(f));
+
+  transim::TransientSimulator sim(nl);
+  sim.set_waveform("vin", transim::sine(1.0, f));
+  transim::TransientOptions opts;
+  opts.t_stop = 200e-6;
+  opts.dt = 20e-9;
+  const auto res = sim.run(opts);
+  const auto vs = res.node_voltage(sim.layout(), s);
+  double amp = 0.0;
+  for (std::size_t k = vs.size() * 3 / 4; k < vs.size(); ++k)
+    amp = std::max(amp, std::abs(vs[k]));
+  EXPECT_NEAR(amp, expected, 0.01 * expected + 1e-4);
+}
+
+TEST(DeepCoverage, ZeroSensitivityFiniteDifference) {
+  // Circuit with a genuine finite zero: shunt R with series RC bypass.
+  Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  const auto mid = nl.node("mid");
+  nl.add_voltage_source("vin", in, kGround, 1.0);
+  nl.add_resistor("r1", in, out, 1e3);
+  nl.add_resistor("r2", out, mid, 2e3);
+  nl.add_capacitor("c1", mid, kGround, 1e-9);
+  nl.add_capacitor("c2", out, kGround, 0.2e-9);
+  const std::size_t order = 2;
+  engine::MomentGenerator gen(nl);
+  const auto m = gen.transfer_moments("vin", out, 2 * order);
+  const auto ms = engine::moment_sensitivities(gen, "vin", out, 2 * order);
+  const auto pz = engine::pole_zero_sensitivities(m, ms, order);
+  ASSERT_FALSE(pz.zeros.empty());
+
+  const double rel = 1e-5;
+  const auto idx = *nl.find_element("c1");
+  const double v0 = nl.elements()[idx].value;
+  auto zeros_at = [&](double value) {
+    Netlist mutated = nl;
+    mutated.set_value(idx, value);
+    const auto mm = engine::MomentGenerator(mutated).transfer_moments("vin", out, 4);
+    const auto mms = engine::moment_sensitivities(engine::MomentGenerator(mutated),
+                                                  "vin", out, 4);
+    return engine::pole_zero_sensitivities(mm, mms, order).zeros;
+  };
+  const auto zh = zeros_at(v0 * (1 + rel));
+  const auto zl = zeros_at(v0 * (1 - rel));
+  for (std::size_t i = 0; i < pz.zeros.size(); ++i) {
+    auto nearest = [&](const linalg::CVector& set) {
+      return *std::min_element(set.begin(), set.end(), [&](auto x, auto y) {
+        return std::abs(x - pz.zeros[i]) < std::abs(y - pz.zeros[i]);
+      });
+    };
+    const auto fd = (nearest(zh) - nearest(zl)) / (2.0 * rel * v0);
+    EXPECT_NEAR(pz.dzero[i][idx].real(), fd.real(), 1e-3 * (std::abs(fd) + 1.0));
+  }
+}
+
+TEST(DeepCoverage, SubcktPlusSymbolicEndToEnd) {
+  // Hierarchical deck -> symbolic model on an element inside an instance.
+  const auto deck = circuit::parse_deck_string(R"(
+.subckt seg a b
+R1 a b 200
+C1 b 0 2p
+.ends
+Vin in 0 1
+X1 in n1 seg
+X2 n1 n2 seg
+X3 n2 out seg
+.symbol x2.c1
+.input vin
+.output out
+)");
+  const auto out = *deck.netlist.find_node("out");
+  const auto model = core::CompiledModel::build(deck.netlist, deck.symbol_elements,
+                                                deck.input_source, out, {.order = 2});
+  for (const double c : {1e-12, 4e-12}) {
+    const auto m_sym = model.moments_at(std::vector<double>{c});
+    Netlist mutated = deck.netlist;
+    mutated.set_value("x2.c1", c);
+    const auto m_ref = engine::MomentGenerator(mutated).transfer_moments("vin", out, 4);
+    for (std::size_t k = 0; k < 4; ++k)
+      EXPECT_NEAR(m_sym[k], m_ref[k], 1e-9 * (std::abs(m_ref[k]) + 1e-20));
+  }
+}
+
+}  // namespace
+}  // namespace awe

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/dense.hpp"
+#include "linalg/lu.hpp"
+
+namespace awe::linalg {
+namespace {
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const auto eye = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(Matrix, ArithmeticAndTranspose) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const auto sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 6.0);
+  const auto diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 4.0);
+  const auto prod = a * b;
+  EXPECT_DOUBLE_EQ(prod(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(prod(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(prod(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(prod(1, 1), 50.0);
+  const auto t = a.transposed();
+  EXPECT_DOUBLE_EQ(t(0, 1), 3.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a{{1, 2}, {3, 4}};
+  Vector x{5, 6};
+  const auto y = a * x;
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 2);
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(a * b, std::invalid_argument);
+  const Vector v2{1.0, 2.0};
+  EXPECT_THROW(a * v2, std::invalid_argument);
+}
+
+TEST(VectorOps, Norms) {
+  Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(v), 4.0);
+  EXPECT_DOUBLE_EQ(dot(v, v), 25.0);
+}
+
+TEST(LuFactorization, SolvesKnownSystem) {
+  Matrix a{{2, 1, 1}, {4, -6, 0}, {-2, 7, 2}};
+  auto lu = LuFactorization::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  const Vector x = lu->solve({5, -2, 9});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[2], 2.0, 1e-12);
+}
+
+TEST(LuFactorization, SingularReturnsNullopt) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_FALSE(LuFactorization::factor(a).has_value());
+}
+
+TEST(LuFactorization, Determinant) {
+  Matrix a{{3, 0}, {0, 2}};
+  auto lu = LuFactorization::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_NEAR(lu->determinant(), 6.0, 1e-12);
+
+  Matrix b{{0, 1}, {1, 0}};  // permutation, det = -1
+  auto lub = LuFactorization::factor(b);
+  ASSERT_TRUE(lub.has_value());
+  EXPECT_NEAR(lub->determinant(), -1.0, 1e-12);
+}
+
+TEST(LuFactorization, TransposedSolveMatchesExplicitTranspose) {
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 5;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng) + (i == j ? 3.0 : 0.0);
+    Vector b(n);
+    for (auto& v : b) v = dist(rng);
+
+    auto lu = LuFactorization::factor(a);
+    ASSERT_TRUE(lu.has_value());
+    const auto xt = lu->solve_transposed(b);
+
+    auto lu_t = LuFactorization::factor(a.transposed());
+    ASSERT_TRUE(lu_t.has_value());
+    const auto expected = lu_t->solve(b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xt[i], expected[i], 1e-10);
+  }
+}
+
+TEST(LuFactorization, RandomRoundTrip) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(trial % 8);
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng) + (i == j ? 4.0 : 0.0);
+    Vector x_true(n);
+    for (auto& v : x_true) v = dist(rng);
+    const Vector b = a * x_true;
+    const Vector x = solve_dense(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace awe::linalg

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numeric>
+#include <random>
+
+#include "linalg/eig.hpp"
+#include "linalg/polyroots.hpp"
+
+namespace awe::linalg {
+namespace {
+
+void expect_contains_root(const CVector& roots, std::complex<double> expected,
+                          double tol = 1e-8) {
+  const double best = std::transform_reduce(
+      roots.begin(), roots.end(), 1e300,
+      [](double a, double b) { return std::min(a, b); },
+      [&](const std::complex<double>& r) { return std::abs(r - expected); });
+  EXPECT_LT(best, tol) << "missing root " << expected.real() << "+" << expected.imag() << "i";
+}
+
+TEST(Eigenvalues, DiagonalMatrix) {
+  Matrix a{{3, 0, 0}, {0, -1, 0}, {0, 0, 7}};
+  const auto e = eigenvalues(a);
+  ASSERT_EQ(e.size(), 3u);
+  expect_contains_root(e, {3, 0});
+  expect_contains_root(e, {-1, 0});
+  expect_contains_root(e, {7, 0});
+}
+
+TEST(Eigenvalues, RotationGivesComplexPair) {
+  Matrix a{{0, -1}, {1, 0}};
+  const auto e = eigenvalues(a);
+  ASSERT_EQ(e.size(), 2u);
+  expect_contains_root(e, {0, 1});
+  expect_contains_root(e, {0, -1});
+}
+
+TEST(Eigenvalues, TraceAndDeterminantInvariants) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + trial % 6;
+    Matrix a(n, n);
+    double trace = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+      trace += a(i, i);
+    }
+    const auto e = eigenvalues(a);
+    ASSERT_EQ(e.size(), n);
+    std::complex<double> sum{0, 0};
+    for (const auto& v : e) sum += v;
+    EXPECT_NEAR(sum.real(), trace, 1e-7 * (1.0 + std::abs(trace)));
+    EXPECT_NEAR(sum.imag(), 0.0, 1e-7);
+  }
+}
+
+TEST(PolyRoots, LinearAndQuadratic) {
+  expect_contains_root(poly_roots(std::vector<double>{-6.0, 2.0}), {3, 0});
+  // (x-1)(x-2) = 2 - 3x + x^2
+  const auto r = poly_roots(std::vector<double>{2.0, -3.0, 1.0});
+  expect_contains_root(r, {1, 0});
+  expect_contains_root(r, {2, 0});
+  // x^2 + 1
+  const auto rc = poly_roots(std::vector<double>{1.0, 0.0, 1.0});
+  expect_contains_root(rc, {0, 1});
+  expect_contains_root(rc, {0, -1});
+}
+
+TEST(PolyRoots, ZeroRootsFromTrailingZeroCoefficients) {
+  // x^2 (x - 5)
+  const auto r = poly_roots(std::vector<double>{0.0, 0.0, -5.0, 1.0});
+  ASSERT_EQ(r.size(), 3u);
+  expect_contains_root(r, {0, 0});
+  expect_contains_root(r, {5, 0});
+}
+
+TEST(PolyRoots, ZeroPolynomialThrows) {
+  EXPECT_THROW(poly_roots(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(PolyRoots, WideMagnitudeSpread) {
+  // Roots at -1e3, -1e6, -1e9 (AWE pole magnitudes).
+  const double p1 = 1e3, p2 = 1e6, p3 = 1e9;
+  // (x+p1)(x+p2)(x+p3)
+  const std::vector<double> c{p1 * p2 * p3, p1 * p2 + p1 * p3 + p2 * p3, p1 + p2 + p3, 1.0};
+  const auto r = poly_roots(c);
+  expect_contains_root(r, {-p1, 0}, 1e-3);
+  expect_contains_root(r, {-p2, 0}, 1.0);
+  expect_contains_root(r, {-p3, 0}, 1e3);
+}
+
+class RandomPolyRoots : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPolyRoots, CompanionAndAberthAgree) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  const std::size_t deg = 2 + static_cast<std::size_t>(GetParam() % 6);
+  std::vector<double> c(deg + 1);
+  for (auto& v : c) v = dist(rng);
+  if (std::abs(c.back()) < 0.1) c.back() = 1.0;
+  if (std::abs(c.front()) < 0.1) c.front() = 1.0;  // avoid zero roots for matching
+
+  const auto a = poly_roots(c);
+  const auto b = poly_roots_aberth(c);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& ra : a) expect_contains_root(b, ra, 1e-5 * (1.0 + std::abs(ra)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPolyRoots, ::testing::Range(1, 25));
+
+TEST(PolyEval, HornerMatchesDirect) {
+  const std::vector<double> c{1.0, -2.0, 0.5, 3.0};
+  const std::complex<double> x{0.3, -0.7};
+  const auto direct = c[0] + c[1] * x + c[2] * x * x + c[3] * x * x * x;
+  EXPECT_LT(std::abs(poly_eval(c, x) - direct), 1e-12);
+  const auto ddirect = c[1] + 2.0 * c[2] * x + 3.0 * c[3] * x * x;
+  EXPECT_LT(std::abs(poly_eval_derivative(c, x) - ddirect), 1e-12);
+}
+
+}  // namespace
+}  // namespace awe::linalg

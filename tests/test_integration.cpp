@@ -1,0 +1,152 @@
+// End-to-end integration tests: full decks through the parser into
+// AWEsymbolic, and AWE vs the transient baseline on the same circuits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "awe/awe.hpp"
+#include "circuit/parser.hpp"
+#include "circuits/coupled_lines.hpp"
+#include "circuits/opamp741.hpp"
+#include "core/awesymbolic.hpp"
+#include "transim/transim.hpp"
+
+namespace awe {
+namespace {
+
+TEST(Integration, DeckToCompiledModel) {
+  const auto deck = circuit::parse_deck_string(R"(* two-pole RC with symbols
+Vin in 0 1
+R1 in a 1k
+C1 a 0 10p
+R2 a out 2k
+C2 out 0 5p
+.symbol C2
+.symbol R2
+.input vin
+.output out
+.end
+)");
+  const auto out_node = *deck.netlist.find_node(deck.output_node);
+  const auto model = core::CompiledModel::build(
+      deck.netlist, deck.symbol_elements, deck.input_source, out_node, {.order = 2});
+  ASSERT_EQ(model.symbol_names().size(), 2u);
+
+  // Evaluate at the deck's own values -> must match the plain AWE run.
+  const double c2 = 5e-12, r2 = 2e3;
+  // symbols in deck order: c2 then r2.
+  const auto rom = model.evaluate(std::vector<double>{c2, r2});
+  const auto rom_ref = engine::run_awe(deck.netlist, "vin", out_node, {.order = 2});
+  EXPECT_NEAR(rom.dc_gain(), rom_ref.dc_gain(), 1e-9);
+  for (std::size_t i = 0; i < rom.order(); ++i) {
+    double best = 1e300;
+    for (std::size_t j = 0; j < rom_ref.order(); ++j)
+      best = std::min(best, std::abs(rom.poles()[i] - rom_ref.poles()[j]));
+    EXPECT_LT(best, 1e-6 * std::abs(rom.poles()[i]));
+  }
+}
+
+TEST(Integration, AweStepResponseTracksTransient) {
+  // AWE's claim to fame: the reduced model reproduces the SPICE-class
+  // transient for RC interconnect.  Compare on the coupled lines (small).
+  circuits::CoupledLineValues v;
+  v.segments = 40;
+  auto c = circuits::make_coupled_lines(v);
+
+  const auto rom = engine::run_awe(c.netlist, circuits::CoupledLinesCircuit::kInput,
+                                   c.line1_out, {.order = 3});
+
+  transim::TransientSimulator sim(c.netlist);
+  sim.set_waveform(circuits::CoupledLinesCircuit::kInput, transim::step(1.0));
+  transim::TransientOptions topts;
+  topts.t_stop = 400e-9;
+  topts.dt = 0.2e-9;
+  const auto res = sim.run(topts);
+  const auto vt = res.node_voltage(sim.layout(), c.line1_out);
+
+  double max_err = 0.0;
+  for (std::size_t k = 0; k < res.time.size(); k += 20)
+    max_err = std::max(max_err, std::abs(vt[k] - rom.step_response(res.time[k])));
+  EXPECT_LT(max_err, 0.03);  // 3% of the unit step
+}
+
+TEST(Integration, CrosstalkCompiledModelMatchesTransientShape) {
+  circuits::CoupledLineValues v;
+  v.segments = 40;
+  auto c = circuits::make_coupled_lines(v);
+  const auto model = core::CompiledModel::build(
+      c.netlist,
+      {circuits::CoupledLinesCircuit::kSymbolRdriver,
+       circuits::CoupledLinesCircuit::kSymbolCload},
+      circuits::CoupledLinesCircuit::kInput, c.line2_out, {.order = 2});
+  const auto rom = model.evaluate(std::vector<double>{v.r_driver, v.c_load});
+
+  transim::TransientSimulator sim(c.netlist);
+  sim.set_waveform(circuits::CoupledLinesCircuit::kInput, transim::step(1.0));
+  transim::TransientOptions topts;
+  topts.t_stop = 200e-9;
+  topts.dt = 0.1e-9;
+  const auto res = sim.run(topts);
+  const auto vt = res.node_voltage(sim.layout(), c.line2_out);
+
+  // Peak cross-talk amplitude and timing agree within model accuracy.
+  double peak_t = 0.0, peak_v = 0.0;
+  for (std::size_t k = 0; k < vt.size(); ++k)
+    if (std::abs(vt[k]) > std::abs(peak_v)) {
+      peak_v = vt[k];
+      peak_t = res.time[k];
+    }
+  double rom_peak_v = 0.0;
+  for (double t = 0; t <= 200e-9; t += 0.1e-9) {
+    const double y = rom.step_response(t);
+    if (std::abs(y) > std::abs(rom_peak_v)) rom_peak_v = y;
+  }
+  ASSERT_NE(peak_v, 0.0);
+  EXPECT_NEAR(rom_peak_v / peak_v, 1.0, 0.35);
+  EXPECT_GT(peak_t, 0.0);
+}
+
+TEST(Integration, OpampCompiledModelAgainstFullAweOnGrid) {
+  // The paper's §3.1 workflow end to end: build the symbolic model of the
+  // 741 with the two sensitivity-selected symbols, then sweep.
+  auto amp = circuits::make_opamp741();
+  const auto model = core::CompiledModel::build(
+      amp.netlist,
+      {circuits::Opamp741Circuit::kSymbolGout, circuits::Opamp741Circuit::kSymbolCcomp},
+      circuits::Opamp741Circuit::kInput, amp.out, {.order = 2});
+
+  for (const double gout : {1.0 / 150.0, 1.0 / 75.0}) {
+    for (const double cc : {15e-12, 30e-12}) {
+      const auto m_sym = model.moments_at(std::vector<double>{gout, cc});
+      circuits::Opamp741Values v;
+      v.gout_q14 = gout;
+      v.c_comp = cc;
+      auto ref = circuits::make_opamp741(v);
+      const auto m_ref =
+          engine::MomentGenerator(ref.netlist)
+              .transfer_moments(circuits::Opamp741Circuit::kInput, ref.out, 4);
+      for (std::size_t k = 0; k < 4; ++k)
+        EXPECT_NEAR(m_sym[k], m_ref[k], 1e-6 * (std::abs(m_ref[k]) + 1e-20))
+            << "gout=" << gout << " cc=" << cc << " k=" << k;
+    }
+  }
+}
+
+TEST(Integration, AutomaticSymbolSelectionFeedsModelBuild) {
+  auto amp = circuits::make_opamp741();
+  const auto symbols = core::select_symbols(
+      amp.netlist, circuits::Opamp741Circuit::kInput, amp.out, 2, 2);
+  ASSERT_EQ(symbols.size(), 2u);
+  const auto model =
+      core::CompiledModel::build(amp.netlist, symbols,
+                                 circuits::Opamp741Circuit::kInput, amp.out, {.order = 1});
+  // Evaluate at the nominal values of the selected elements.
+  std::vector<double> vals;
+  for (const auto& name : symbols)
+    vals.push_back(amp.netlist.elements()[*amp.netlist.find_element(name)].value);
+  const auto rom = model.evaluate(vals);
+  EXPECT_TRUE(rom.is_stable());
+}
+
+}  // namespace
+}  // namespace awe

@@ -1,0 +1,170 @@
+// N-port AWE macromodels: port admittance moments and pole/residue fits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "partition/macromodel.hpp"
+#include "partition/port_moments.hpp"
+
+namespace awe::part {
+namespace {
+
+using circuit::kGround;
+using circuit::Netlist;
+
+TEST(PortMoments, SingleResistorBetweenPorts) {
+  Netlist nl;
+  const auto a = nl.node("a");
+  const auto b = nl.node("b");
+  nl.add_resistor("r1", a, b, 500.0);
+  const auto yk = port_admittance_moments(nl, {a, b}, 3);
+  const double g = 1.0 / 500.0;
+  EXPECT_NEAR(yk[0][0], g, 1e-12);
+  EXPECT_NEAR(yk[0][1], -g, 1e-12);
+  EXPECT_NEAR(yk[0][2], -g, 1e-12);
+  EXPECT_NEAR(yk[0][3], g, 1e-12);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(yk[1][i], 0.0, 1e-18);
+  EXPECT_THROW(port_admittance_moments(nl, {}, 2), std::invalid_argument);
+  EXPECT_THROW(port_admittance_moments(nl, {kGround}, 2), std::invalid_argument);
+}
+
+TEST(PortMoments, ReciprocityOfRcNetworks) {
+  // Passive reciprocal network -> every Y_k block is symmetric.
+  Netlist nl;
+  const auto a = nl.node("a");
+  const auto b = nl.node("b");
+  const auto m = nl.node("m");
+  nl.add_resistor("r1", a, m, 100.0);
+  nl.add_resistor("r2", m, b, 300.0);
+  nl.add_capacitor("c1", m, kGround, 2e-12);
+  nl.add_capacitor("c2", a, b, 1e-12);
+  const auto yk = port_admittance_moments(nl, {a, b}, 5);
+  for (std::size_t k = 0; k < 5; ++k)
+    EXPECT_NEAR(yk[k][0 * 2 + 1], yk[k][1 * 2 + 0],
+                1e-12 * (std::abs(yk[k][1]) + 1e-20))
+        << "k=" << k;
+}
+
+TEST(PortMoments, InternalSourcesAreZeroed) {
+  Netlist nl;
+  const auto a = nl.node("a");
+  nl.add_resistor("r1", a, kGround, 1e3);
+  nl.add_voltage_source("vbias", nl.node("x"), kGround, 5.0);
+  nl.add_resistor("rx", nl.node("x"), a, 1e3);
+  const auto yk = port_admittance_moments(nl, {a}, 2);
+  // With vbias zeroed (short), looking into a: 1k || 1k = 500 ohm.
+  EXPECT_NEAR(yk[0][0], 1.0 / 500.0, 1e-12);
+}
+
+TEST(Macromodel, OnePortRcExactFit) {
+  // Port --R-- internal node --C-- ground:
+  //   y(s) = sC/(1+sRC) = 1/R - (1/(R^2 C)) / (s + 1/(RC)).
+  const double r = 1e3, cap = 1e-9;
+  Netlist nl;
+  const auto p = nl.node("p");
+  const auto m = nl.node("m");
+  nl.add_resistor("r1", p, m, r);
+  nl.add_capacitor("c1", m, kGround, cap);
+  const auto mm = PortMacromodel::build(nl, {p}, {.order = 2, .moments = 8});
+  ASSERT_EQ(mm.port_count(), 1u);
+  const auto& e = mm.entry(0, 0);
+  // One physical pole (order fallback may keep just it).
+  ASSERT_GE(e.poles.size(), 1u);
+  double best = 1e300;
+  for (const auto& pole : e.poles) best = std::min(best, std::abs(pole - (-1.0 / (r * cap))));
+  EXPECT_LT(best, 1e-3 / (r * cap));
+  EXPECT_NEAR(e.d0, 1.0 / r, 1e-6 / r);
+  // Frequency-domain agreement with the exact formula.
+  for (const double f : {1e3, 1e5, 1e6, 1e8}) {
+    const std::complex<double> s{0.0, 2 * M_PI * f};
+    const auto exact = s * cap / (1.0 + s * r * cap);
+    const auto got = mm.admittance(0, 0, s);
+    EXPECT_LT(std::abs(got - exact), 1e-4 * std::abs(exact) + 1e-15) << "f=" << f;
+  }
+}
+
+TEST(Macromodel, FrequencyFlatEntries) {
+  // Pure RC at the port plane with no internal dynamics: y11 = G + sC.
+  Netlist nl;
+  const auto a = nl.node("a");
+  const auto b = nl.node("b");
+  nl.add_resistor("r1", a, b, 2e3);
+  nl.add_capacitor("c1", a, kGround, 3e-12);
+  const auto mm = PortMacromodel::build(nl, {a, b}, {.order = 2, .moments = 6});
+  const auto& e00 = mm.entry(0, 0);
+  EXPECT_TRUE(e00.poles.empty());
+  EXPECT_NEAR(e00.d0, 1.0 / 2e3, 1e-15);
+  EXPECT_NEAR(e00.d1, 3e-12, 1e-24);
+  const auto& e01 = mm.entry(0, 1);
+  EXPECT_NEAR(e01.d0, -1.0 / 2e3, 1e-15);
+  EXPECT_NEAR(e01.d1, 0.0, 1e-24);
+}
+
+TEST(Macromodel, TwoPortPiNetworkMatchesExact) {
+  // p1 --R1-- m --R2-- p2 with C at m: classic bridged-tee entry behavior.
+  const double r1 = 100.0, r2 = 300.0, cm = 5e-12;
+  Netlist nl;
+  const auto p1 = nl.node("p1");
+  const auto p2 = nl.node("p2");
+  const auto m = nl.node("m");
+  nl.add_resistor("r1", p1, m, r1);
+  nl.add_resistor("r2", m, p2, r2);
+  nl.add_capacitor("cm", m, kGround, cm);
+  const auto mm = PortMacromodel::build(nl, {p1, p2}, {.order = 2, .moments = 8});
+
+  // Exact 2-port Y by elimination of node m:
+  //   y_m = 1/r1 + 1/r2 + sC;  y11 = g1 - g1^2/y_m;  y12 = -g1 g2 / y_m.
+  for (const double f : {1e5, 1e7, 1e9}) {
+    const std::complex<double> s{0.0, 2 * M_PI * f};
+    const std::complex<double> ym = 1.0 / r1 + 1.0 / r2 + s * cm;
+    const std::complex<double> y11 = 1.0 / r1 - (1.0 / r1) * (1.0 / r1) / ym;
+    const std::complex<double> y12 = -(1.0 / r1) * (1.0 / r2) / ym;
+    EXPECT_LT(std::abs(mm.admittance(0, 0, s) - y11), 1e-6 * std::abs(y11)) << f;
+    EXPECT_LT(std::abs(mm.admittance(0, 1, s) - y12), 1e-6 * std::abs(y12)) << f;
+    EXPECT_LT(std::abs(mm.admittance(1, 0, s) - mm.admittance(0, 1, s)),
+              1e-12 * std::abs(y12));
+  }
+}
+
+TEST(Macromodel, LadderReductionAccuracy) {
+  // Reduce a 30-segment RC ladder seen from its two ends to order 3 and
+  // check the transfer admittance across two decades.
+  Netlist nl;
+  auto prev = nl.node("p1");
+  for (int i = 0; i < 30; ++i) {
+    const auto n = (i == 29) ? nl.node("p2") : nl.node("n" + std::to_string(i));
+    nl.add_resistor("r" + std::to_string(i), prev, n, 50.0);
+    nl.add_capacitor("c" + std::to_string(i), n, kGround, 0.2e-12);
+    prev = n;
+  }
+  const auto a = *nl.find_node("p1");
+  const auto b = *nl.find_node("p2");
+  const auto mm = PortMacromodel::build(nl, {a, b}, {.order = 3, .moments = 10});
+  // Reference: moment blocks re-summed at low frequency (series converges
+  // for f << 1/(2 pi R_total C_total)).
+  const auto& yk = mm.moment_blocks();
+  for (const double f : {1e6, 1e7}) {
+    const std::complex<double> s{0.0, 2 * M_PI * f};
+    std::complex<double> ref{0, 0};
+    std::complex<double> sk{1, 0};
+    for (std::size_t k = 0; k < yk.size(); ++k) {
+      ref += yk[k][0 * 2 + 1] * sk;
+      sk *= s;
+    }
+    const auto got = mm.admittance(0, 1, s);
+    EXPECT_LT(std::abs(got - ref), 1e-3 * std::abs(ref)) << "f=" << f;
+  }
+}
+
+TEST(Macromodel, Validation) {
+  Netlist nl;
+  nl.add_resistor("r1", nl.node("a"), kGround, 1.0);
+  EXPECT_THROW(PortMacromodel::build(nl, {*nl.find_node("a")}, {.order = 0}),
+               std::invalid_argument);
+  const auto mm = PortMacromodel::build(nl, {*nl.find_node("a")}, {.order = 1});
+  EXPECT_THROW(mm.entry(1, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace awe::part

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "circuit/mna.hpp"
+#include "linalg/sparse_lu.hpp"
+
+namespace awe::circuit {
+namespace {
+
+linalg::Vector dc_solve(const MnaAssembler& asem, const std::string& source,
+                        double amplitude) {
+  const auto g = asem.build_g();
+  auto lu = linalg::SparseLu::factor(g);
+  EXPECT_TRUE(lu.has_value());
+  return lu->solve(asem.rhs(source, amplitude));
+}
+
+TEST(Mna, VoltageDividerDc) {
+  Netlist nl;
+  const auto in = nl.node("in");
+  const auto mid = nl.node("mid");
+  nl.add_voltage_source("vin", in, kGround, 0.0);
+  nl.add_resistor("r1", in, mid, 1000.0);
+  nl.add_resistor("r2", mid, kGround, 3000.0);
+  MnaAssembler asem(nl);
+  const auto x = dc_solve(asem, "vin", 4.0);
+  EXPECT_NEAR(x[asem.layout().node_unknown(in)], 4.0, 1e-12);
+  EXPECT_NEAR(x[asem.layout().node_unknown(mid)], 3.0, 1e-12);
+  // Source branch current: 4V across 4k -> 1mA through the source.
+  EXPECT_NEAR(x[asem.layout().aux_unknown(0)], -1e-3, 1e-12);
+}
+
+TEST(Mna, CurrentSourceIntoResistor) {
+  Netlist nl;
+  const auto a = nl.node("a");
+  nl.add_current_source("i1", kGround, a, 2e-3);  // pushes current into a
+  nl.add_resistor("r1", a, kGround, 500.0);
+  MnaAssembler asem(nl);
+  const auto x = dc_solve(asem, "i1", 2e-3);
+  EXPECT_NEAR(x[asem.layout().node_unknown(a)], 1.0, 1e-12);
+}
+
+TEST(Mna, VccsAmplifier) {
+  // v_out = -gm * R * v_in
+  Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add_voltage_source("vin", in, kGround, 1.0);
+  nl.add_vccs("gm", out, kGround, in, kGround, 1e-3);
+  nl.add_resistor("rl", out, kGround, 10e3);
+  MnaAssembler asem(nl);
+  const auto x = dc_solve(asem, "vin", 1.0);
+  EXPECT_NEAR(x[asem.layout().node_unknown(out)], -10.0, 1e-9);
+}
+
+TEST(Mna, VcvsGain) {
+  Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add_voltage_source("vin", in, kGround, 1.0);
+  nl.add_vcvs("e1", out, kGround, in, kGround, 5.0);
+  nl.add_resistor("rl", out, kGround, 1e3);
+  MnaAssembler asem(nl);
+  const auto x = dc_solve(asem, "vin", 2.0);
+  EXPECT_NEAR(x[asem.layout().node_unknown(out)], 10.0, 1e-9);
+}
+
+TEST(Mna, CccsCurrentMirror) {
+  // Control current through vsense (1mA), CCCS gain 3 -> 3mA into r2.
+  Netlist nl;
+  const auto a = nl.node("a");
+  const auto b = nl.node("b");
+  const auto o = nl.node("o");
+  nl.add_voltage_source("vin", a, kGround, 1.0);
+  nl.add_voltage_source("vsense", a, b, 0.0);
+  nl.add_resistor("r1", b, kGround, 1e3);
+  nl.add_cccs("f1", kGround, o, "vsense", 3.0);
+  nl.add_resistor("r2", o, kGround, 1e3);
+  MnaAssembler asem(nl);
+  const auto g = asem.build_g();
+  auto lu = linalg::SparseLu::factor(g);
+  ASSERT_TRUE(lu.has_value());
+  const auto x = lu->solve(asem.rhs("vin", 1.0));
+  EXPECT_NEAR(x[asem.layout().node_unknown(o)], 3.0, 1e-9);
+}
+
+TEST(Mna, CcvsTransresistance) {
+  Netlist nl;
+  const auto a = nl.node("a");
+  const auto o = nl.node("o");
+  nl.add_voltage_source("vin", a, kGround, 1.0);  // current 1V/1k = 1mA
+  nl.add_resistor("r1", a, kGround, 1e3);
+  nl.add_ccvs("h1", o, kGround, "vin", 2000.0);
+  nl.add_resistor("rl", o, kGround, 1e3);
+  MnaAssembler asem(nl);
+  const auto x = dc_solve(asem, "vin", 1.0);
+  // i(vin) = -1mA (flows out of + through circuit); v_o = 2000 * i = -2V.
+  EXPECT_NEAR(x[asem.layout().node_unknown(o)], -2.0, 1e-9);
+}
+
+TEST(Mna, InductorIsDcShort) {
+  Netlist nl;
+  const auto in = nl.node("in");
+  const auto mid = nl.node("mid");
+  nl.add_voltage_source("vin", in, kGround, 1.0);
+  nl.add_inductor("l1", in, mid, 1e-6);
+  nl.add_resistor("r1", mid, kGround, 100.0);
+  MnaAssembler asem(nl);
+  const auto x = dc_solve(asem, "vin", 5.0);
+  EXPECT_NEAR(x[asem.layout().node_unknown(mid)], 5.0, 1e-9);
+  // Inductor branch current = 5/100.
+  const auto l_idx = *nl.find_element("l1");
+  EXPECT_NEAR(x[asem.layout().aux_unknown(l_idx)], 0.05, 1e-9);
+}
+
+TEST(Mna, CapacitorStampsOnlyIntoC) {
+  Netlist nl;
+  const auto a = nl.node("a");
+  nl.add_capacitor("c1", a, kGround, 2e-12);
+  nl.add_resistor("r1", a, kGround, 1.0);
+  MnaAssembler asem(nl);
+  const auto g = asem.build_g();
+  const auto c = asem.build_c();
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 2e-12);
+}
+
+TEST(Mna, LayoutErrors) {
+  Netlist nl;
+  nl.add_resistor("r1", nl.node("a"), kGround, 1.0);
+  MnaAssembler asem(nl);
+  EXPECT_THROW(asem.layout().node_unknown(kGround), std::invalid_argument);
+  EXPECT_THROW(asem.layout().aux_unknown(0), std::invalid_argument);
+  EXPECT_THROW(asem.rhs("r1"), std::invalid_argument);
+  EXPECT_THROW(asem.rhs("ghost"), std::invalid_argument);
+}
+
+TEST(Mna, RhsAllSources) {
+  Netlist nl;
+  const auto a = nl.node("a");
+  nl.add_current_source("i1", kGround, a, 1e-3);
+  nl.add_current_source("i2", kGround, a, 2e-3);
+  nl.add_resistor("r1", a, kGround, 1e3);
+  MnaAssembler asem(nl);
+  const auto b = asem.rhs_all_sources();
+  EXPECT_NEAR(b[asem.layout().node_unknown(a)], 3e-3, 1e-15);
+}
+
+TEST(Mna, ValueDerivativeUnsupportedKindsThrow) {
+  Netlist nl;
+  nl.add_voltage_source("v1", nl.node("a"), kGround, 1.0);
+  MnaAssembler asem(nl);
+  linalg::TripletMatrix dg(asem.layout().dim(), asem.layout().dim());
+  linalg::TripletMatrix dc(asem.layout().dim(), asem.layout().dim());
+  EXPECT_THROW(asem.stamp_value_derivative(0, dg, dc), std::invalid_argument);
+}
+
+TEST(Mna, ValueDerivativeFiniteDifferenceCheck) {
+  Netlist nl;
+  const auto a = nl.node("a");
+  const auto b = nl.node("b");
+  nl.add_resistor("r1", a, b, 1000.0);
+  nl.add_resistor("r2", b, kGround, 500.0);
+  nl.add_capacitor("c1", b, kGround, 1e-12);
+  nl.add_voltage_source("v1", a, kGround, 1.0);
+  MnaAssembler asem(nl);
+
+  const double h = 1e-3;
+  for (const char* name : {"r1", "r2", "c1"}) {
+    const auto idx = *nl.find_element(name);
+    const double v0 = nl.elements()[idx].value;
+
+    Netlist hi = nl;
+    hi.set_value(idx, v0 + h * v0);
+    Netlist lo = nl;
+    lo.set_value(idx, v0 - h * v0);
+    const auto g_hi = MnaAssembler(hi).build_g().to_dense();
+    const auto g_lo = MnaAssembler(lo).build_g().to_dense();
+    const auto c_hi = MnaAssembler(hi).build_c().to_dense();
+    const auto c_lo = MnaAssembler(lo).build_c().to_dense();
+
+    linalg::TripletMatrix dg(asem.layout().dim(), asem.layout().dim());
+    linalg::TripletMatrix dc(asem.layout().dim(), asem.layout().dim());
+    asem.stamp_value_derivative(idx, dg, dc);
+    const auto dg_d = dg.to_dense();
+    const auto dc_d = dc.to_dense();
+    for (std::size_t i = 0; i < asem.layout().dim(); ++i)
+      for (std::size_t j = 0; j < asem.layout().dim(); ++j) {
+        const double fd_g = (g_hi(i, j) - g_lo(i, j)) / (2.0 * h * v0);
+        const double fd_c = (c_hi(i, j) - c_lo(i, j)) / (2.0 * h * v0);
+        EXPECT_NEAR(dg_d(i, j), fd_g, 1e-4 * (1.0 + std::abs(fd_g))) << name;
+        EXPECT_NEAR(dc_d(i, j), fd_c, 1e-4 * (1.0 + std::abs(fd_c))) << name;
+      }
+  }
+}
+
+}  // namespace
+}  // namespace awe::circuit

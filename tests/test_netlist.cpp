@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "circuit/netlist.hpp"
+
+namespace awe::circuit {
+namespace {
+
+TEST(Netlist, NodeInterningAndGroundAliases) {
+  Netlist nl;
+  EXPECT_EQ(nl.node("0"), kGround);
+  EXPECT_EQ(nl.node("gnd"), kGround);
+  EXPECT_EQ(nl.node("GND"), kGround);
+  const auto a = nl.node("a");
+  EXPECT_EQ(nl.node("A"), a);  // case-insensitive
+  EXPECT_NE(a, kGround);
+  EXPECT_EQ(nl.num_nodes(), 1u);
+  EXPECT_EQ(nl.node_name(a), "a");
+}
+
+TEST(Netlist, FindNodeDoesNotCreate) {
+  Netlist nl;
+  EXPECT_FALSE(nl.find_node("missing").has_value());
+  nl.node("x");
+  EXPECT_TRUE(nl.find_node("x").has_value());
+  EXPECT_EQ(nl.num_nodes(), 1u);
+}
+
+TEST(Netlist, DuplicateElementNameRejected) {
+  Netlist nl;
+  nl.add_resistor("r1", nl.node("a"), kGround, 100.0);
+  EXPECT_THROW(nl.add_resistor("r1", nl.node("b"), kGround, 100.0),
+               std::invalid_argument);
+}
+
+TEST(Netlist, ValueValidation) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_resistor("r", nl.node("a"), kGround, 0.0), std::invalid_argument);
+  EXPECT_THROW(nl.add_resistor("rneg", nl.node("a"), kGround, -5.0), std::invalid_argument);
+  EXPECT_THROW(nl.add_capacitor("c", nl.node("a"), kGround, -1e-12), std::invalid_argument);
+  EXPECT_THROW(nl.add_inductor("l", nl.node("a"), kGround, -1e-9), std::invalid_argument);
+  EXPECT_NO_THROW(nl.add_conductance("g", nl.node("a"), kGround, 1e-3));
+}
+
+TEST(Netlist, SetValueByName) {
+  Netlist nl;
+  nl.add_capacitor("c1", nl.node("a"), kGround, 1e-12);
+  nl.set_value("c1", 5e-12);
+  EXPECT_DOUBLE_EQ(nl.elements()[0].value, 5e-12);
+  EXPECT_THROW(nl.set_value("nope", 1.0), std::invalid_argument);
+}
+
+TEST(Netlist, StorageElementCount) {
+  Netlist nl;
+  nl.add_resistor("r1", nl.node("a"), kGround, 1.0);
+  nl.add_capacitor("c1", nl.node("a"), kGround, 1.0);
+  nl.add_inductor("l1", nl.node("a"), nl.node("b"), 1.0);
+  nl.add_voltage_source("v1", nl.node("b"), kGround, 1.0);
+  EXPECT_EQ(nl.num_storage_elements(), 2u);
+}
+
+TEST(Netlist, ValidateFlagsFloatingNode) {
+  Netlist nl;
+  nl.add_resistor("r1", nl.node("a"), kGround, 1.0);
+  nl.add_resistor("r2", nl.node("x"), nl.node("y"), 1.0);  // floating island
+  const auto problems = nl.validate();
+  ASSERT_EQ(problems.size(), 2u);
+  const std::string all = problems[0] + " " + problems[1];
+  EXPECT_NE(all.find("'x'"), std::string::npos);
+  EXPECT_NE(all.find("'y'"), std::string::npos);
+}
+
+TEST(Netlist, ValidateFlagsDanglingControlRef) {
+  Netlist nl;
+  nl.add_cccs("f1", nl.node("a"), kGround, "vmissing", 2.0);
+  const auto problems = nl.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.back().find("vmissing"), std::string::npos);
+}
+
+TEST(Netlist, ValidateCleanCircuit) {
+  Netlist nl;
+  nl.add_voltage_source("vin", nl.node("in"), kGround, 1.0);
+  nl.add_resistor("r1", nl.node("in"), nl.node("out"), 1e3);
+  nl.add_capacitor("c1", nl.node("out"), kGround, 1e-12);
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(Netlist, ElementKindNames) {
+  EXPECT_STREQ(to_string(ElementKind::kResistor), "resistor");
+  EXPECT_STREQ(to_string(ElementKind::kVccs), "vccs");
+}
+
+}  // namespace
+}  // namespace awe::circuit

@@ -1,0 +1,192 @@
+// Newton DC operating point and small-signal linearization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "awe/awe.hpp"
+#include "nonlinear/dc_solver.hpp"
+
+namespace awe::nonlinear {
+namespace {
+
+using circuit::kGround;
+
+TEST(DcSolve, DiodeResistorBias) {
+  // 5V -- 1k -- diode to ground: solve I R + nVt ln(I/Is + 1) = 5.
+  NonlinearCircuit ckt;
+  auto& nl = ckt.linear;
+  const auto vcc = nl.node("vcc");
+  const auto a = nl.node("a");
+  nl.add_voltage_source("vdd", vcc, kGround, 5.0);
+  nl.add_resistor("rb", vcc, a, 1e3);
+  ckt.add_diode("d1", a, kGround);
+
+  const auto op = solve_dc(ckt);
+  ASSERT_TRUE(op.converged) << op.iterations;
+  circuit::MnaAssembler asem(nl);
+  const double vd = op.x[asem.layout().node_unknown(a)];
+  // Residual check against the diode law.
+  const double i_r = (5.0 - vd) / 1e3;
+  const double i_d = 1e-14 * (std::exp(vd / kThermalVoltage) - 1.0);
+  EXPECT_NEAR(i_r, i_d, 1e-9 * i_r);
+  EXPECT_GT(vd, 0.5);
+  EXPECT_LT(vd, 0.8);
+  // Small-signal conductance gd = I/ (n Vt) approximately.
+  EXPECT_NEAR(op.device_ss[0].gd, i_d / kThermalVoltage, 1e-3 * i_d / kThermalVoltage);
+}
+
+TEST(DcSolve, ReverseBiasedDiodeConductsNothing) {
+  NonlinearCircuit ckt;
+  auto& nl = ckt.linear;
+  const auto vneg = nl.node("vneg");
+  const auto a = nl.node("a");
+  nl.add_voltage_source("vss", vneg, kGround, -5.0);
+  nl.add_resistor("rb", vneg, a, 1e3);
+  ckt.add_diode("d1", a, kGround);
+  const auto op = solve_dc(ckt);
+  ASSERT_TRUE(op.converged);
+  circuit::MnaAssembler asem(nl);
+  // Nearly the full -5V appears across the diode.
+  EXPECT_NEAR(op.x[asem.layout().node_unknown(a)], -5.0, 1e-6);
+  EXPECT_LT(std::abs(op.device_ss[0].i_main), 2e-14);
+}
+
+NonlinearCircuit common_emitter() {
+  // Classic CE stage: VCC 12V, RC 4.7k, base bias divider, RE (bypassed
+  // conceptually; here no RE for simplicity), BJT with beta 100.
+  NonlinearCircuit ckt;
+  auto& nl = ckt.linear;
+  const auto vcc = nl.node("vcc");
+  const auto base = nl.node("base");
+  const auto coll = nl.node("coll");
+  nl.add_voltage_source("vdd", vcc, kGround, 12.0);
+  nl.add_resistor("rc", vcc, coll, 4.7e3);
+  nl.add_resistor("rb1", vcc, base, 150e3);
+  nl.add_resistor("rb2", base, kGround, 10e3);
+  BjtParams q;
+  q.beta_f = 100.0;
+  q.vaf = 80.0;
+  q.cpi = 20e-12;
+  q.cmu = 3e-12;
+  ckt.add_bjt_npn("q1", coll, base, kGround, q);
+  return ckt;
+}
+
+TEST(DcSolve, CommonEmitterBias) {
+  auto ckt = common_emitter();
+  const auto op = solve_dc(ckt);
+  ASSERT_TRUE(op.converged) << op.iterations;
+  circuit::MnaAssembler asem(ckt.linear);
+  const double vb = op.x[asem.layout().node_unknown(*ckt.linear.find_node("base"))];
+  const double vc = op.x[asem.layout().node_unknown(*ckt.linear.find_node("coll"))];
+  EXPECT_GT(vb, 0.6);
+  EXPECT_LT(vb, 0.8);
+  // Transistor in forward active: collector between ~1V and ~11V.
+  EXPECT_GT(vc, 1.0);
+  EXPECT_LT(vc, 11.0);
+  // gm = Ic/Vt consistency.
+  const double ic = op.device_ss[0].i_main;
+  EXPECT_NEAR(op.device_ss[0].gm, ic / kThermalVoltage,
+              0.05 * ic / kThermalVoltage);
+}
+
+TEST(Linearize, CommonEmitterSmallSignalGain) {
+  auto ckt = common_emitter();
+  const auto op = solve_dc(ckt);
+  ASSERT_TRUE(op.converged);
+  auto ss = linearize(ckt, op);
+
+  // Drive the base through a coupling source; measure collector gain.
+  const auto in = ss.node("in");
+  ss.add_voltage_source("vin", in, kGround, 1.0);
+  ss.add_resistor("rsig", in, *ss.find_node("base"), 1.0);  // ~direct drive
+
+  const auto rom = engine::run_awe(ss, "vin", *ss.find_node("coll"), {.order = 2});
+  const double gain = rom.dc_gain();
+  // Analytic: -gm * (RC || ro), with base fully driven.
+  const double gm = op.device_ss[0].gm;
+  const double ro = 1.0 / op.device_ss[0].go;
+  const double rc = 4.7e3;
+  const double expected = -gm * (rc * ro) / (rc + ro);
+  EXPECT_NEAR(gain, expected, 0.02 * std::abs(expected));
+  // With cpi/cmu present the stage is a low-pass: magnitude falls.
+  EXPECT_LT(rom.magnitude(100e6), std::abs(gain));
+  EXPECT_TRUE(rom.is_stable());
+}
+
+TEST(DcSolve, NmosCommonSource) {
+  NonlinearCircuit ckt;
+  auto& nl = ckt.linear;
+  const auto vdd = nl.node("vdd");
+  const auto gate = nl.node("gate");
+  const auto drain = nl.node("drain");
+  nl.add_voltage_source("vddsrc", vdd, kGround, 5.0);
+  nl.add_voltage_source("vg", gate, kGround, 1.5);
+  nl.add_resistor("rd", vdd, drain, 10e3);
+  MosParams m;
+  m.k = 1e-3;
+  m.vth = 1.0;
+  m.lambda = 0.02;
+  m.cgs = 50e-15;
+  m.cgd = 10e-15;
+  ckt.add_nmos("m1", drain, gate, kGround, m);
+
+  const auto op = solve_dc(ckt);
+  ASSERT_TRUE(op.converged);
+  circuit::MnaAssembler asem(nl);
+  const double vd = op.x[asem.layout().node_unknown(drain)];
+  // Id ~ k/2 Vov^2 = 0.5e-3 * 0.25 = 125 uA -> Vd ~ 5 - 1.25 = 3.75 V
+  EXPECT_NEAR(vd, 3.75, 0.15);
+  EXPECT_GT(vd, 1.5 - 1.0);  // saturation check: Vds > Vov
+
+  // Small-signal gain -gm (Rd || rds).
+  auto ss = linearize(ckt, op);
+  ss.set_value("vg", 0.0);
+  const auto rom = engine::run_awe(ss, "vg", drain, {.order = 2});
+  (void)rom;
+  // Rebuild with a proper small-signal input at the gate: the zeroed vg
+  // source itself is the input.
+  const double gm = op.device_ss[0].gm;
+  const double rds = 1.0 / op.device_ss[0].gds;
+  const double expected = -gm * (10e3 * rds) / (10e3 + rds);
+  EXPECT_NEAR(rom.dc_gain(), expected, 0.02 * std::abs(expected));
+}
+
+TEST(DcSolve, CutoffMosIsOff) {
+  NonlinearCircuit ckt;
+  auto& nl = ckt.linear;
+  const auto vdd = nl.node("vdd");
+  const auto drain = nl.node("drain");
+  nl.add_voltage_source("vddsrc", vdd, kGround, 5.0);
+  nl.add_voltage_source("vg", nl.node("gate"), kGround, 0.2);  // below vth
+  nl.add_resistor("rd", vdd, drain, 10e3);
+  ckt.add_nmos("m1", drain, nl.node("gate"), kGround, {});
+  const auto op = solve_dc(ckt);
+  ASSERT_TRUE(op.converged);
+  circuit::MnaAssembler asem(nl);
+  EXPECT_NEAR(op.x[asem.layout().node_unknown(drain)], 5.0, 1e-3);
+}
+
+TEST(Linearize, RequiresConvergence) {
+  NonlinearCircuit ckt;
+  ckt.linear.add_resistor("r1", ckt.linear.node("a"), kGround, 1.0);
+  DcResult bogus;
+  bogus.converged = false;
+  EXPECT_THROW(linearize(ckt, bogus), std::invalid_argument);
+}
+
+TEST(DcSolve, LinearOnlyCircuitConvergesInOneIteration) {
+  NonlinearCircuit ckt;
+  auto& nl = ckt.linear;
+  nl.add_voltage_source("v1", nl.node("a"), kGround, 3.0);
+  nl.add_resistor("r1", nl.node("a"), nl.node("b"), 1e3);
+  nl.add_resistor("r2", nl.node("b"), kGround, 2e3);
+  const auto op = solve_dc(ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_LE(op.iterations, 2);
+  circuit::MnaAssembler asem(nl);
+  EXPECT_NEAR(op.x[asem.layout().node_unknown(*nl.find_node("b"))], 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace awe::nonlinear

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "awe/awe.hpp"
+#include "awe/pade.hpp"
+#include "awe/rom.hpp"
+#include "circuits/fig1_rc.hpp"
+
+namespace awe::engine {
+namespace {
+
+std::vector<double> moments_of_poles(const std::vector<std::complex<double>>& poles,
+                                     const std::vector<std::complex<double>>& residues,
+                                     std::size_t count) {
+  // m_k = -sum_i r_i / p_i^{k+1}
+  std::vector<double> m(count, 0.0);
+  for (std::size_t k = 0; k < count; ++k) {
+    std::complex<double> s{0, 0};
+    for (std::size_t i = 0; i < poles.size(); ++i)
+      s -= residues[i] / std::pow(poles[i], static_cast<double>(k + 1));
+    m[k] = s.real();
+  }
+  return m;
+}
+
+TEST(Pade, RecoversExactSecondOrderSystem) {
+  const std::vector<std::complex<double>> poles{{-1e6, 0}, {-5e7, 0}};
+  const std::vector<std::complex<double>> residues{{2e6, 0}, {-1e7, 0}};
+  const auto m = moments_of_poles(poles, residues, 4);
+  const auto pade = pade_from_moments(m, 2);
+  ASSERT_EQ(pade.poles.size(), 2u);
+  // Both exact poles recovered.
+  for (const auto& p : poles) {
+    double best = 1e300;
+    for (const auto& got : pade.poles) best = std::min(best, std::abs(got - p));
+    EXPECT_LT(best, 1e-3 * std::abs(p));
+  }
+  // Residues too.
+  for (std::size_t i = 0; i < 2; ++i) {
+    double best = 1e300;
+    for (std::size_t j = 0; j < 2; ++j)
+      if (std::abs(pade.poles[j] - poles[i]) < 1e-2 * std::abs(poles[i]))
+        best = std::min(best, std::abs(pade.residues[j] - residues[i]));
+    EXPECT_LT(best, 1e-3 * std::abs(residues[i]));
+  }
+}
+
+TEST(Pade, RecoversComplexPolePair) {
+  const std::vector<std::complex<double>> poles{{-1e5, 3e5}, {-1e5, -3e5}};
+  const std::vector<std::complex<double>> residues{{1e5, -2e4}, {1e5, 2e4}};
+  const auto m = moments_of_poles(poles, residues, 4);
+  const auto pade = pade_from_moments(m, 2);
+  double best = 1e300;
+  for (const auto& got : pade.poles) best = std::min(best, std::abs(got - poles[0]));
+  EXPECT_LT(best, 1e-2 * std::abs(poles[0]));
+}
+
+TEST(Pade, InputValidation) {
+  const std::vector<double> m{1.0, -1.0};
+  EXPECT_THROW(pade_from_moments(m, 0), std::invalid_argument);
+  EXPECT_THROW(pade_from_moments(m, 2), std::invalid_argument);
+}
+
+TEST(Pade, DegenerateMomentsRejected) {
+  // Moments of a 1-pole system cannot support order 2 (singular Hankel).
+  const std::vector<double> m{1.0, -1.0, 1.0, -1.0};
+  EXPECT_THROW(pade_from_moments(m, 2), std::runtime_error);
+  EXPECT_EQ(max_feasible_order(m), 1u);
+}
+
+TEST(Pade, MomentsPreservedByApproximant) {
+  // The defining property: the Padé matches its own first 2q moments.
+  auto fig = circuits::make_fig1(
+      {.g1 = 1e-3, .g2 = 2e-3, .c1 = 1e-12, .c2 = 4e-12});
+  const auto rom = run_awe(fig.netlist, circuits::Fig1Circuit::kInput, fig.v2,
+                           {.order = 2});
+  const auto& m = rom.moments();
+  // Reconstruct moments from the pole/residue form.
+  for (std::size_t k = 0; k < m.size(); ++k) {
+    std::complex<double> s{0, 0};
+    for (std::size_t i = 0; i < rom.poles().size(); ++i)
+      s -= rom.residues()[i] / std::pow(rom.poles()[i], static_cast<double>(k + 1));
+    EXPECT_NEAR(s.real(), m[k], 1e-6 * std::abs(m[k])) << "k=" << k;
+    EXPECT_NEAR(s.imag(), 0.0, 1e-6 * std::abs(m[k]));
+  }
+}
+
+TEST(Rom, Fig1ExactPolesAtFullOrder) {
+  // Order 2 on a 2-pole circuit is exact: poles are the roots of eqn (5).
+  circuits::Fig1Values vals{.g1 = 1e-3, .g2 = 1e-3, .c1 = 2e-12, .c2 = 1e-12};
+  auto fig = circuits::make_fig1(vals);
+  const auto ex = circuits::fig1_exact(vals);
+  const auto rom = run_awe(fig.netlist, circuits::Fig1Circuit::kInput, fig.v2,
+                           {.order = 2});
+  ASSERT_EQ(rom.order(), 2u);
+  // Roots of d2 s^2 + d1 s + d0.
+  const double disc = ex.den_s1 * ex.den_s1 - 4.0 * ex.den_s2 * ex.den_s0;
+  ASSERT_GT(disc, 0.0);
+  const double p1 = (-ex.den_s1 + std::sqrt(disc)) / (2.0 * ex.den_s2);
+  const double p2 = (-ex.den_s1 - std::sqrt(disc)) / (2.0 * ex.den_s2);
+  for (const double p : {p1, p2}) {
+    double best = 1e300;
+    for (const auto& got : rom.poles()) best = std::min(best, std::abs(got - p));
+    EXPECT_LT(best, 1e-4 * std::abs(p));
+  }
+  EXPECT_TRUE(rom.is_stable());
+  EXPECT_NEAR(rom.dc_gain(), 1.0, 1e-9);
+}
+
+TEST(Rom, StepResponseLimits) {
+  auto fig = circuits::make_fig1({.g1 = 1e-3, .g2 = 1e-3, .c1 = 1e-12, .c2 = 1e-12});
+  const auto rom = run_awe(fig.netlist, circuits::Fig1Circuit::kInput, fig.v2,
+                           {.order = 2});
+  EXPECT_NEAR(rom.step_response(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(rom.step_response(1.0), rom.step_final_value(), 1e-6);
+  const auto t50 = rom.step_crossing_time(0.5, 1e-6);
+  ASSERT_TRUE(t50.has_value());
+  EXPECT_GT(*t50, 0.0);
+  EXPECT_NEAR(rom.step_response(*t50), 0.5 * rom.step_final_value(), 1e-6);
+}
+
+TEST(Rom, ImpulseIsDerivativeOfStep) {
+  auto fig = circuits::make_fig1({.g1 = 1e-3, .g2 = 2e-3, .c1 = 3e-12, .c2 = 1e-12});
+  const auto rom = run_awe(fig.netlist, circuits::Fig1Circuit::kInput, fig.v2,
+                           {.order = 2});
+  const double t = 2e-9, h = 1e-13;
+  const double numeric = (rom.step_response(t + h) - rom.step_response(t - h)) / (2 * h);
+  EXPECT_NEAR(rom.impulse_response(t), numeric, 1e-4 * std::abs(numeric));
+}
+
+TEST(Rom, FrequencyDomainMeasures) {
+  auto fig = circuits::make_fig1({.g1 = 1e-3, .g2 = 1e-3, .c1 = 1e-12, .c2 = 1e-12});
+  const auto rom = run_awe(fig.netlist, circuits::Fig1Circuit::kInput, fig.v2,
+                           {.order = 2});
+  EXPECT_NEAR(rom.dc_gain(), 1.0, 1e-9);
+  // Unity-gain: |H(0)| = 1 exactly, low-pass -> crossing reported as 0.
+  EXPECT_DOUBLE_EQ(rom.unity_gain_frequency(), 0.0);
+  // Magnitude decreases with frequency for the low-pass.
+  EXPECT_GT(rom.magnitude(1e6), rom.magnitude(1e9));
+  // Phase lags.
+  EXPECT_LT(rom.phase_deg(1e8), 0.0);
+  const auto dom = rom.dominant_pole();
+  ASSERT_TRUE(dom.has_value());
+  EXPECT_LT(dom->real(), 0.0);
+}
+
+TEST(Rom, OrderFallbackOnDegenerateCircuit) {
+  // Single-pole circuit, order-3 request: falls back to order 1.
+  circuit::Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add_voltage_source("vin", in, circuit::kGround, 1.0);
+  nl.add_resistor("r1", in, out, 1e3);
+  nl.add_capacitor("c1", out, circuit::kGround, 1e-9);
+  const auto rom = run_awe(nl, "vin", out, {.order = 3});
+  EXPECT_EQ(rom.order(), 1u);
+  EXPECT_NEAR(rom.poles()[0].real(), -1e6, 1e-2);
+}
+
+TEST(Rom, UnknownOutputNodeNameThrows) {
+  auto fig = circuits::make_fig1();
+  EXPECT_THROW(
+      run_awe(fig.netlist, circuits::Fig1Circuit::kInput, std::string("nope"), {}),
+      std::invalid_argument);
+}
+
+TEST(SolveComplexDense, KnownSystem) {
+  using C = std::complex<double>;
+  // [1 i; -i 2] x = [1+i; 0]
+  std::vector<C> a{C(1, 0), C(0, 1), C(0, -1), C(2, 0)};
+  const auto x = solve_complex_dense(a, {C(1, 1), C(0, 0)});
+  // Verify residual.
+  const C r0 = C(1, 0) * x[0] + C(0, 1) * x[1] - C(1, 1);
+  const C r1 = C(0, -1) * x[0] + C(2, 0) * x[1];
+  EXPECT_LT(std::abs(r0), 1e-12);
+  EXPECT_LT(std::abs(r1), 1e-12);
+}
+
+}  // namespace
+}  // namespace awe::engine

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/dense.hpp"
+#include "linalg/lu.hpp"
+#include "symbolic/poly_matrix.hpp"
+
+namespace awe::symbolic {
+namespace {
+
+PolyMatrix random_const_matrix(std::size_t n, std::mt19937& rng) {
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  PolyMatrix m(n, n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      m(i, j) = Polynomial::constant(0, dist(rng) + (i == j ? 3.0 : 0.0));
+  return m;
+}
+
+double numeric_det(const PolyMatrix& m) {
+  const std::size_t n = m.rows();
+  linalg::Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = m(i, j).constant_value();
+  auto lu = linalg::LuFactorization::factor(d);
+  return lu ? lu->determinant() : 0.0;
+}
+
+class DeterminantSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DeterminantSizes, MatchesNumericLuDeterminant) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) + 1);
+  const auto m = random_const_matrix(GetParam(), rng);
+  const auto d = determinant(m);
+  const double expected = numeric_det(m);
+  EXPECT_NEAR(d.constant_value(), expected, 1e-9 * (1.0 + std::abs(expected)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DeterminantSizes,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Determinant, SymbolicTwoByTwo) {
+  // [[a, 1], [1, b]] -> det = a b - 1
+  PolyMatrix m(2, 2, 2);
+  m(0, 0) = Polynomial::variable(2, 0);
+  m(0, 1) = Polynomial::constant(2, 1.0);
+  m(1, 0) = Polynomial::constant(2, 1.0);
+  m(1, 1) = Polynomial::variable(2, 1);
+  const auto d = determinant(m);
+  const std::vector<double> pt{3.0, 5.0};
+  EXPECT_DOUBLE_EQ(d.evaluate(pt), 14.0);
+  EXPECT_EQ(d.term_count(), 2u);
+}
+
+TEST(Determinant, EmptyAndOversizeMatrices) {
+  EXPECT_DOUBLE_EQ(determinant(PolyMatrix(0, 0, 1)).constant_value(), 1.0);
+  EXPECT_THROW(determinant(PolyMatrix(17, 17, 0)), std::invalid_argument);
+  EXPECT_THROW(determinant(PolyMatrix(2, 3, 0)), std::invalid_argument);
+}
+
+TEST(Adjugate, IdentityProperty) {
+  // A * adj(A) = det(A) * I, verified symbolically on a 3x3 with symbols.
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  PolyMatrix a(3, 3, 2);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      a(i, j) = Polynomial::constant(2, dist(rng) + (i == j ? 2.0 : 0.0));
+  a(0, 0) += Polynomial::variable(2, 0);
+  a(1, 2) += Polynomial::variable(2, 1);
+
+  const auto adj = adjugate(a);
+  const auto prod = a * adj;
+  const auto det = determinant(a);
+  const std::vector<double> pt{0.7, -0.3};
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double expected = (i == j) ? det.evaluate(pt) : 0.0;
+      EXPECT_NEAR(prod(i, j).evaluate(pt), expected, 1e-10);
+    }
+}
+
+TEST(Adjugate, OneByOne) {
+  PolyMatrix a(1, 1, 1);
+  a(0, 0) = Polynomial::variable(1, 0);
+  const auto adj = adjugate(a);
+  EXPECT_DOUBLE_EQ(adj(0, 0).constant_value(), 1.0);
+}
+
+TEST(SolveWithAdjugate, CramerSolution) {
+  // Numeric sanity: A x = b with A constants; x = adj(A) b / det(A).
+  std::mt19937 rng(13);
+  const auto a = random_const_matrix(4, rng);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<Polynomial> b(4);
+  linalg::Vector b_num(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    b_num[i] = dist(rng);
+    b[i] = Polynomial::constant(0, b_num[i]);
+  }
+  const auto adj = adjugate(a);
+  const auto n = solve_with_adjugate(adj, b);
+  const double det = determinant(a).constant_value();
+
+  linalg::Matrix a_num(4, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a_num(i, j) = a(i, j).constant_value();
+  const auto x_ref = linalg::solve_dense(a_num, b_num);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(n[i].constant_value() / det, x_ref[i], 1e-9);
+}
+
+TEST(PolyMatrix, MultiplyVector) {
+  PolyMatrix a(2, 2, 1);
+  a(0, 0) = Polynomial::variable(1, 0);
+  a(1, 1) = Polynomial::constant(1, 2.0);
+  std::vector<Polynomial> x{Polynomial::constant(1, 3.0), Polynomial::variable(1, 0)};
+  const auto y = a.multiply(x);
+  const std::vector<double> pt{4.0};
+  EXPECT_DOUBLE_EQ(y[0].evaluate(pt), 12.0);
+  EXPECT_DOUBLE_EQ(y[1].evaluate(pt), 8.0);
+}
+
+}  // namespace
+}  // namespace awe::symbolic

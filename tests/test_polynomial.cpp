@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "symbolic/polynomial.hpp"
+
+namespace awe::symbolic {
+namespace {
+
+Polynomial x(std::size_t nv, std::size_t i) { return Polynomial::variable(nv, i); }
+
+TEST(Polynomial, ZeroAndConstant) {
+  Polynomial z(2);
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_TRUE(z.is_constant());
+  EXPECT_DOUBLE_EQ(z.constant_value(), 0.0);
+
+  const auto c = Polynomial::constant(2, 3.5);
+  EXPECT_FALSE(c.is_zero());
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_DOUBLE_EQ(c.constant_value(), 3.5);
+  EXPECT_EQ(Polynomial::constant(2, 0.0).term_count(), 0u);
+}
+
+TEST(Polynomial, AdditionMergesAndCancels) {
+  const auto p = x(2, 0) + x(2, 1);
+  const auto q = x(2, 0) - x(2, 1);
+  const auto s = p + q;  // 2 x0
+  EXPECT_EQ(s.term_count(), 1u);
+  EXPECT_DOUBLE_EQ(s.evaluate(std::vector<double>{3.0, 100.0}), 6.0);
+}
+
+TEST(Polynomial, MultiplicationExpands) {
+  // (x0 + 1)(x0 - 1) = x0^2 - 1
+  const auto p = x(1, 0) + Polynomial::constant(1, 1.0);
+  const auto q = x(1, 0) - Polynomial::constant(1, 1.0);
+  const auto r = p * q;
+  EXPECT_EQ(r.term_count(), 2u);
+  EXPECT_DOUBLE_EQ(r.evaluate(std::vector<double>{4.0}), 15.0);
+  EXPECT_EQ(r.total_degree(), 2u);
+}
+
+TEST(Polynomial, MultilinearProduct) {
+  // (a + b)(c + d) has 4 multilinear terms (symbols a,b,c,d).
+  const auto p = x(4, 0) + x(4, 1);
+  const auto q = x(4, 2) + x(4, 3);
+  const auto r = p * q;
+  EXPECT_EQ(r.term_count(), 4u);
+  for (const auto& t : r.terms())
+    for (const auto e : t.exponents) EXPECT_LE(e, 1);
+}
+
+TEST(Polynomial, NvarsMismatchThrows) {
+  EXPECT_THROW(x(1, 0) + x(2, 0), std::invalid_argument);
+  EXPECT_THROW(x(1, 0) * x(2, 0), std::invalid_argument);
+}
+
+TEST(Polynomial, DegreeQueries) {
+  // x0^2 x1 + x1^3
+  const auto p = x(2, 0) * x(2, 0) * x(2, 1) + x(2, 1) * x(2, 1) * x(2, 1);
+  EXPECT_EQ(p.total_degree(), 3u);
+  EXPECT_EQ(p.degree_in(0), 2u);
+  EXPECT_EQ(p.degree_in(1), 3u);
+}
+
+TEST(Polynomial, Derivative) {
+  // d/dx0 (3 x0^2 x1 + x1) = 6 x0 x1
+  const auto p = 3.0 * x(2, 0) * x(2, 0) * x(2, 1) + x(2, 1);
+  const auto d = p.derivative(0);
+  const std::vector<double> pt{2.0, 5.0};
+  EXPECT_DOUBLE_EQ(d.evaluate(pt), 60.0);
+  EXPECT_TRUE(Polynomial::constant(2, 7.0).derivative(1).is_zero());
+}
+
+TEST(Polynomial, Substitute) {
+  // p = x0 x1 + x0; substitute x1 = 3 -> 4 x0
+  const auto p = x(2, 0) * x(2, 1) + x(2, 0);
+  const auto s = p.substitute(1, 3.0);
+  EXPECT_DOUBLE_EQ(s.evaluate(std::vector<double>{2.0, 999.0}), 8.0);
+  EXPECT_EQ(s.degree_in(1), 0u);
+}
+
+TEST(Polynomial, EvaluateArityChecked) {
+  EXPECT_THROW(x(2, 0).evaluate(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Polynomial, FromTermsNormalizes) {
+  std::vector<Term> terms;
+  terms.push_back({{1, 0}, 2.0});
+  terms.push_back({{1, 0}, 3.0});
+  terms.push_back({{0, 1}, 0.0});
+  const auto p = Polynomial::from_terms(2, std::move(terms));
+  EXPECT_EQ(p.term_count(), 1u);
+  EXPECT_DOUBLE_EQ(p.evaluate(std::vector<double>{1.0, 1.0}), 5.0);
+}
+
+TEST(Polynomial, CleanedDropsDebris) {
+  const auto p = Polynomial::constant(1, 1.0) + Polynomial::constant(1, 1e-20) * x(1, 0);
+  const auto c = p.cleaned(1e-14);
+  EXPECT_EQ(c.term_count(), 1u);
+}
+
+TEST(Polynomial, ToString) {
+  const auto p = 2.0 * x(2, 0) * x(2, 1) - Polynomial::constant(2, 1.0);
+  const std::vector<std::string> names{"g", "c"};
+  EXPECT_EQ(p.to_string(names), "2*g*c - 1");
+  EXPECT_EQ(Polynomial(2).to_string(names), "0");
+}
+
+TEST(PolynomialProperty, RingAxiomsOnRandomInputs) {
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> coeff(-2.0, 2.0);
+  std::uniform_int_distribution<int> expo(0, 3);
+  auto random_poly = [&](std::size_t nv) {
+    std::vector<Term> terms;
+    const int nt = 1 + static_cast<int>(rng() % 5);
+    for (int t = 0; t < nt; ++t) {
+      Monomial m(nv);
+      for (auto& e : m) e = static_cast<std::uint16_t>(expo(rng));
+      terms.push_back({m, coeff(rng)});
+    }
+    return Polynomial::from_terms(nv, std::move(terms));
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t nv = 3;
+    const auto a = random_poly(nv), b = random_poly(nv), c = random_poly(nv);
+    std::vector<double> pt(nv);
+    for (auto& v : pt) v = coeff(rng);
+    const double av = a.evaluate(pt), bv = b.evaluate(pt), cv = c.evaluate(pt);
+    // Evaluation is a ring homomorphism.
+    EXPECT_NEAR((a + b).evaluate(pt), av + bv, 1e-9);
+    EXPECT_NEAR((a * b).evaluate(pt), av * bv, 1e-8);
+    // Distributivity as a polynomial identity (up to coefficient round-off
+    // from the different association orders).
+    const auto dist_residual = a * (b + c) - (a * b + a * c);
+    EXPECT_LE(dist_residual.max_abs_coeff(),
+              1e-12 * (1.0 + (a * b).max_abs_coeff() + (a * c).max_abs_coeff()));
+    // Commutativity is exact (same multiset of coefficient products).
+    EXPECT_EQ(a + b, b + a);
+  }
+}
+
+}  // namespace
+}  // namespace awe::symbolic

@@ -1,0 +1,138 @@
+// Property-based sweeps over randomized circuits: invariants that must
+// hold for every RC(L) circuit, not just the curated benchmarks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "awe/awe.hpp"
+#include "awe/moments.hpp"
+#include "circuit/netlist.hpp"
+#include "core/awesymbolic.hpp"
+#include "partition/partitioner.hpp"
+
+namespace awe {
+namespace {
+
+using circuit::kGround;
+using circuit::Netlist;
+
+/// Random connected RC ladder-with-bridges circuit; always has a DC path
+/// from every node (R to the previous node), so G is nonsingular.
+struct RandomRc {
+  Netlist netlist;
+  circuit::NodeId out;
+  std::vector<std::string> caps;  // candidate symbols
+};
+
+RandomRc random_rc(std::mt19937& rng, std::size_t nodes) {
+  std::uniform_real_distribution<double> rdist(100.0, 10e3);
+  std::uniform_real_distribution<double> cdist(0.1e-12, 10e-12);
+  RandomRc out;
+  auto& nl = out.netlist;
+  const auto in = nl.node("in");
+  nl.add_voltage_source("vin", in, kGround, 1.0);
+  std::vector<circuit::NodeId> ns{in};
+  for (std::size_t k = 0; k < nodes; ++k) {
+    const auto n = nl.node("n" + std::to_string(k));
+    // Chain resistor to a random earlier node keeps the circuit a tree
+    // (plus bridges below) and guarantees connectivity.
+    const auto prev = ns[rng() % ns.size()];
+    nl.add_resistor("r" + std::to_string(k), prev, n, rdist(rng));
+    const std::string cname = "c" + std::to_string(k);
+    nl.add_capacitor(cname, n, kGround, cdist(rng));
+    out.caps.push_back(cname);
+    ns.push_back(n);
+  }
+  // A few resistive bridges make it non-tree.
+  for (std::size_t b = 0; b < nodes / 3; ++b) {
+    const auto a = ns[rng() % ns.size()];
+    const auto c = ns[rng() % ns.size()];
+    if (a == c) continue;
+    nl.add_resistor("rb" + std::to_string(b), a, c, rdist(rng));
+  }
+  out.out = ns.back();
+  return out;
+}
+
+class RandomRcProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomRcProperty, StabilityEnforcementYieldsStableAccurateModels) {
+  // Low-order Padé on a high-order RC circuit can throw off right-half-
+  // plane artifact poles — the standard AWE failure mode.  With stability
+  // enforcement the returned model must be stable, keep the exact DC gain
+  // (m0 is always matched) and settle to it.
+  std::mt19937 rng(GetParam() * 1234 + 5);
+  auto rc = random_rc(rng, 8 + GetParam() % 8);
+  const auto rom = engine::run_awe(rc.netlist, "vin", rc.out, {.order = 2});
+  EXPECT_TRUE(rom.is_stable());
+  EXPECT_NEAR(rom.dc_gain(), 1.0, 1e-6);  // resistive path to output
+  // Step response settles to the DC gain (stability in the time domain).
+  const auto dom = rom.dominant_pole();
+  ASSERT_TRUE(dom.has_value());
+  const double t_settle = 20.0 / std::abs(dom->real());
+  EXPECT_NEAR(rom.step_response(t_settle), rom.dc_gain(), 1e-4);
+}
+
+TEST_P(RandomRcProperty, SymbolicMomentsMatchFullAweEverywhere) {
+  // For random circuits and random symbol choices, the compiled symbolic
+  // moments must equal full AWE moments at random evaluation points.
+  std::mt19937 rng(GetParam() * 777 + 3);
+  auto rc = random_rc(rng, 6 + GetParam() % 6);
+  // Pick two random capacitors as symbols.
+  const std::string s1 = rc.caps[rng() % rc.caps.size()];
+  std::string s2 = rc.caps[rng() % rc.caps.size()];
+  if (s2 == s1) s2 = rc.caps[(rng() % rc.caps.size())];
+  std::vector<std::string> symbols{s1};
+  if (s2 != s1) symbols.push_back(s2);
+
+  const auto model =
+      core::CompiledModel::build(rc.netlist, symbols, "vin", rc.out, {.order = 2});
+
+  std::uniform_real_distribution<double> cdist(0.1e-12, 20e-12);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<double> vals;
+    for (std::size_t i = 0; i < symbols.size(); ++i) vals.push_back(cdist(rng));
+    const auto m_sym = model.moments_at(vals);
+
+    Netlist mutated = rc.netlist;
+    for (std::size_t i = 0; i < symbols.size(); ++i)
+      mutated.set_value(symbols[i], vals[i]);
+    const auto m_ref = engine::MomentGenerator(mutated).transfer_moments("vin", rc.out, 4);
+    for (std::size_t k = 0; k < 4; ++k)
+      EXPECT_NEAR(m_sym[k], m_ref[k], 1e-7 * (std::abs(m_ref[k]) + 1e-25))
+          << "seed=" << GetParam() << " k=" << k;
+  }
+}
+
+TEST_P(RandomRcProperty, MomentScalingInvariance) {
+  // Scaling all impedances leaves the voltage transfer's DC gain intact
+  // and scales m1 (time constant) linearly.
+  std::mt19937 rng(GetParam() * 31 + 7);
+  auto rc = random_rc(rng, 8);
+  const auto m1 = engine::MomentGenerator(rc.netlist).transfer_moments("vin", rc.out, 2);
+
+  Netlist scaled = rc.netlist;
+  for (std::size_t i = 0; i < scaled.elements().size(); ++i) {
+    auto& e = scaled.element(i);
+    if (e.kind == circuit::ElementKind::kCapacitor) scaled.set_value(i, e.value * 10.0);
+  }
+  const auto m2 = engine::MomentGenerator(scaled).transfer_moments("vin", rc.out, 2);
+  EXPECT_NEAR(m2[0], m1[0], 1e-9);
+  EXPECT_NEAR(m2[1], 10.0 * m1[1], 1e-9 * std::abs(m1[1]) * 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRcProperty, ::testing::Range(1, 13));
+
+TEST(Property, MomentCountMonotonicity) {
+  // More moments never change the earlier ones (the recursion is causal).
+  std::mt19937 rng(2024);
+  auto rc = random_rc(rng, 10);
+  engine::MomentGenerator gen(rc.netlist);
+  const auto m4 = gen.transfer_moments("vin", rc.out, 4);
+  const auto m8 = gen.transfer_moments("vin", rc.out, 8);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_DOUBLE_EQ(m4[k], m8[k]);
+}
+
+}  // namespace
+}  // namespace awe

@@ -1,0 +1,84 @@
+// Supply-rail (AC ground) handling in the partitioner: symbolic elements
+// attached to source-pinned nodes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "awe/moments.hpp"
+#include "core/awesymbolic.hpp"
+#include "partition/partitioner.hpp"
+
+namespace awe::part {
+namespace {
+
+using circuit::kGround;
+using circuit::Netlist;
+
+/// Amplifier-style circuit where the symbolic load resistor hangs off the
+/// VDD rail (the node is pinned by an ideal source -> AC ground).
+Netlist rail_circuit() {
+  Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add_voltage_source("vddsrc", vdd, kGround, 5.0);
+  nl.add_voltage_source("vin", in, kGround, 1.0);
+  nl.add_vccs("gm1", out, kGround, in, kGround, 2e-3);
+  nl.add_resistor("rload", vdd, out, 5e3);  // symbolic, touches the rail
+  nl.add_capacitor("cl", out, kGround, 1e-12);
+  return nl;
+}
+
+TEST(RailNodes, SymbolicElementOnRailMatchesFullAwe) {
+  auto nl = rail_circuit();
+  const auto out = *nl.find_node("out");
+  const auto model = core::CompiledModel::build(nl, {"rload"}, "vin", out, {.order = 2});
+  // The rail did not become a port.
+  EXPECT_LE(model.port_count(), 2u);
+  for (const double r : {1e3, 5e3, 20e3}) {
+    const auto m_sym = model.moments_at(std::vector<double>{r});
+    nl.set_value("rload", r);
+    const auto m_ref = engine::MomentGenerator(nl).transfer_moments("vin", out, 4);
+    for (std::size_t k = 0; k < 4; ++k)
+      EXPECT_NEAR(m_sym[k], m_ref[k], 1e-9 * (std::abs(m_ref[k]) + 1e-20))
+          << "r=" << r << " k=" << k;
+  }
+}
+
+TEST(RailNodes, SymbolicCapacitorAcrossRails) {
+  // Decoupling-cap-style symbol between VDD and ground: its small-signal
+  // effect is null (both terminals AC ground) and the model must degrade
+  // gracefully to a constant-in-that-symbol form, still matching full AWE.
+  auto nl = rail_circuit();
+  nl.add_capacitor("cdecap", *nl.find_node("vdd"), kGround, 1e-9);
+  const auto out = *nl.find_node("out");
+  const auto model = core::CompiledModel::build(nl, {"cdecap"}, "vin", out, {.order = 2});
+  const auto m1 = model.moments_at(std::vector<double>{1e-9});
+  const auto m2 = model.moments_at(std::vector<double>{1e-6});
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_DOUBLE_EQ(m1[k], m2[k]);
+  nl.set_value("cdecap", 123e-9);
+  const auto m_ref = engine::MomentGenerator(nl).transfer_moments("vin", out, 4);
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_NEAR(m1[k], m_ref[k], 1e-9 * (std::abs(m_ref[k]) + 1e-20));
+}
+
+TEST(RailNodes, OutputOnRailRejected) {
+  auto nl = rail_circuit();
+  EXPECT_THROW(
+      MomentPartitioner(nl, {"rload"}, "vin", *nl.find_node("vdd")),
+      std::invalid_argument);
+}
+
+TEST(RailNodes, InputPinnedByAnotherSourceRejected) {
+  Netlist nl;
+  const auto a = nl.node("a");
+  nl.add_voltage_source("v1", a, kGround, 1.0);
+  nl.add_voltage_source("v2", a, kGround, 1.0);  // parallel pin
+  nl.add_resistor("r1", a, nl.node("b"), 1e3);
+  nl.add_capacitor("c1", nl.node("b"), kGround, 1e-12);
+  EXPECT_THROW(MomentPartitioner(nl, {"c1"}, "v1", *nl.find_node("b")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace awe::part

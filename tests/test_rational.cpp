@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "symbolic/rational.hpp"
+
+namespace awe::symbolic {
+namespace {
+
+Polynomial x(std::size_t nv, std::size_t i) { return Polynomial::variable(nv, i); }
+
+TEST(RationalFunction, ZeroDenominatorThrows) {
+  EXPECT_THROW(RationalFunction(x(1, 0), Polynomial(1)), std::invalid_argument);
+}
+
+TEST(RationalFunction, NvarsMismatchThrows) {
+  EXPECT_THROW(RationalFunction(x(1, 0), Polynomial::constant(2, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(RationalFunction, EvaluateSimple) {
+  // (x0 + 1) / (x0 - 1)
+  const RationalFunction r(x(1, 0) + Polynomial::constant(1, 1.0),
+                           x(1, 0) - Polynomial::constant(1, 1.0));
+  EXPECT_DOUBLE_EQ(r.evaluate(std::vector<double>{3.0}), 2.0);
+  EXPECT_THROW(r.evaluate(std::vector<double>{1.0}), std::domain_error);
+}
+
+TEST(RationalFunction, ArithmeticMatchesNumericEvaluation) {
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> dist(0.5, 2.0);
+  const auto a = RationalFunction(x(2, 0), x(2, 1) + Polynomial::constant(2, 1.0));
+  const auto b = RationalFunction(x(2, 1) * x(2, 0), Polynomial::constant(2, 2.0));
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> pt{dist(rng), dist(rng)};
+    const double av = a.evaluate(pt), bv = b.evaluate(pt);
+    EXPECT_NEAR((a + b).evaluate(pt), av + bv, 1e-12);
+    EXPECT_NEAR((a - b).evaluate(pt), av - bv, 1e-12);
+    EXPECT_NEAR((a * b).evaluate(pt), av * bv, 1e-12);
+    EXPECT_NEAR((a / b).evaluate(pt), av / bv, 1e-12);
+    EXPECT_NEAR((-a).evaluate(pt), -av, 1e-12);
+    EXPECT_NEAR((a * 3.0).evaluate(pt), 3.0 * av, 1e-12);
+  }
+}
+
+TEST(RationalFunction, SharedDenominatorAdditionStaysCompact) {
+  const auto den = x(1, 0) + Polynomial::constant(1, 1.0);
+  const RationalFunction a(Polynomial::constant(1, 1.0), den);
+  const RationalFunction b(x(1, 0), den);
+  const auto s = a + b;
+  // Denominators identical -> no den*den blowup.
+  EXPECT_EQ(s.den(), den);
+}
+
+TEST(RationalFunction, DivisionByZeroRationalThrows) {
+  const auto a = RationalFunction::constant(1, 1.0);
+  const auto zero = RationalFunction::constant(1, 0.0);
+  EXPECT_THROW(a / zero, std::domain_error);
+}
+
+TEST(RationalFunction, DerivativeQuotientRule) {
+  // r = x0 / (x0 + 1); dr/dx0 = 1/(x0+1)^2
+  const RationalFunction r(x(1, 0), x(1, 0) + Polynomial::constant(1, 1.0));
+  const auto d = r.derivative(0);
+  for (double v : {0.0, 1.0, 2.5}) {
+    const std::vector<double> pt{v};
+    EXPECT_NEAR(d.evaluate(pt), 1.0 / ((v + 1.0) * (v + 1.0)), 1e-12);
+  }
+}
+
+TEST(RationalFunction, NormalizedScalesDenominator) {
+  const RationalFunction r(Polynomial::constant(1, 4.0),
+                           Polynomial::constant(1, 2.0));
+  const auto n = r.normalized();
+  EXPECT_DOUBLE_EQ(n.den().constant_value(), 1.0);
+  EXPECT_DOUBLE_EQ(n.num().constant_value(), 2.0);
+}
+
+TEST(RationalFunction, NormalizedCancelsIdentical) {
+  const auto p = x(1, 0) + Polynomial::constant(1, 2.0);
+  const RationalFunction r(p, p);
+  const auto n = r.normalized();
+  EXPECT_TRUE(n.num().is_constant());
+  EXPECT_DOUBLE_EQ(n.evaluate(std::vector<double>{5.0}), 1.0);
+}
+
+TEST(RationalFunction, ToString) {
+  const RationalFunction r(x(1, 0), x(1, 0) + Polynomial::constant(1, 1.0));
+  const std::vector<std::string> names{"g"};
+  EXPECT_EQ(r.to_string(names), "(g) / (g + 1)");
+  EXPECT_EQ(RationalFunction::from_polynomial(x(1, 0)).to_string(names), "g");
+}
+
+}  // namespace
+}  // namespace awe::symbolic

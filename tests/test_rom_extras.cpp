@@ -1,0 +1,138 @@
+// Ramp response, Elmore delay, conjugate symmetry and measure-based
+// symbol ranking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "awe/awe.hpp"
+#include "awe/sensitivity.hpp"
+#include "circuits/fig1_rc.hpp"
+#include "circuits/ladders.hpp"
+#include "circuits/opamp741.hpp"
+
+namespace awe::engine {
+namespace {
+
+ReducedOrderModel fig1_rom() {
+  auto fig = circuits::make_fig1({.g1 = 1e-3, .g2 = 2e-3, .c1 = 3e-12, .c2 = 1e-12});
+  return run_awe(fig.netlist, circuits::Fig1Circuit::kInput, fig.v2, {.order = 2});
+}
+
+TEST(RomExtras, RampIsIntegralOfStep) {
+  const auto rom = fig1_rom();
+  // Numerically integrate the step response and compare.
+  const double t_end = 20e-9;
+  const std::size_t n = 20000;
+  const double h = t_end / n;
+  double integral = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t0 = i * h, t1 = (i + 1) * h;
+    integral += 0.5 * h * (rom.step_response(t0) + rom.step_response(t1));
+  }
+  EXPECT_NEAR(rom.ramp_response(t_end), integral, 1e-6 * std::abs(integral));
+  EXPECT_NEAR(rom.ramp_response(0.0), 0.0, 1e-18);
+}
+
+TEST(RomExtras, RampAsymptoteLagsByElmoreDelay) {
+  // For a unity-gain low-pass, the ramp response approaches (t - T_elmore)
+  // asymptotically — the classic interpretation of the first moment.
+  const auto rom = fig1_rom();
+  const double elmore = rom.elmore_delay();
+  EXPECT_GT(elmore, 0.0);
+  const double t = 50.0 * elmore;
+  EXPECT_NEAR(rom.ramp_response(t), t - elmore, 1e-3 * elmore);
+}
+
+TEST(RomExtras, ElmoreMatchesMomentRatio) {
+  auto lad = circuits::make_rc_ladder({.segments = 12});
+  const auto rom = run_awe(lad.netlist, circuits::LadderCircuit::kInput, lad.out,
+                           {.order = 2});
+  EXPECT_NEAR(rom.elmore_delay(), -rom.moments()[1] / rom.moments()[0], 0.0);
+  // For an RC ladder the 50% delay is within ~[0.3, 1.1] Elmore.
+  const auto t50 = rom.step_crossing_time(0.5, 100 * rom.elmore_delay());
+  ASSERT_TRUE(t50.has_value());
+  EXPECT_GT(*t50, 0.3 * rom.elmore_delay());
+  EXPECT_LT(*t50, 1.1 * rom.elmore_delay());
+}
+
+TEST(RomExtras, TransferConjugateSymmetry) {
+  const auto rom = fig1_rom();
+  for (const double f : {1e3, 1e6, 1e9}) {
+    const auto hp = rom.transfer({0.0, 2 * M_PI * f});
+    const auto hm = rom.transfer({0.0, -2 * M_PI * f});
+    EXPECT_NEAR(hp.real(), hm.real(), 1e-12 * std::abs(hp));
+    EXPECT_NEAR(hp.imag(), -hm.imag(), 1e-12 * std::abs(hp));
+  }
+}
+
+TEST(RomExtras, ResiduesComeInConjugatePairs) {
+  // Build an underdamped RLC so the poles are complex.
+  circuit::Netlist nl;
+  const auto in = nl.node("in");
+  const auto mid = nl.node("mid");
+  const auto out = nl.node("out");
+  nl.add_voltage_source("vin", in, circuit::kGround, 1.0);
+  nl.add_resistor("r1", in, mid, 10.0);
+  nl.add_inductor("l1", mid, out, 1e-6);
+  nl.add_capacitor("c1", out, circuit::kGround, 1e-9);
+  const auto rom = run_awe(nl, "vin", out, {.order = 2});
+  ASSERT_EQ(rom.order(), 2u);
+  EXPECT_NE(rom.poles()[0].imag(), 0.0);
+  EXPECT_NEAR(rom.poles()[0].real(), rom.poles()[1].real(), 1e-6 * std::abs(rom.poles()[0]));
+  EXPECT_NEAR(rom.poles()[0].imag(), -rom.poles()[1].imag(), 1e-6 * std::abs(rom.poles()[0]));
+  EXPECT_NEAR(rom.residues()[0].imag(), -rom.residues()[1].imag(),
+              1e-6 * std::abs(rom.residues()[0]));
+  // Impulse response stays real.
+  for (double t = 0; t < 1e-6; t += 1e-8) {
+    const double h = rom.impulse_response(t);
+    EXPECT_TRUE(std::isfinite(h));
+  }
+}
+
+TEST(RankingMeasures, GainMeasurePicksGainCriticalElements) {
+  auto amp = circuits::make_opamp741();
+  const auto by_gain = rank_symbol_candidates(
+      amp.netlist, circuits::Opamp741Circuit::kInput, amp.out, 2,
+      RankingMeasure::kDcGain);
+  ASSERT_FALSE(by_gain.empty());
+  // The gain-critical elements are the transconductances/output
+  // conductances of the gain path; gout_q14 must be near the top.
+  std::vector<std::string> top;
+  for (std::size_t i = 0; i < 6 && i < by_gain.size(); ++i) top.push_back(by_gain[i].name);
+  EXPECT_NE(std::find(top.begin(), top.end(), circuits::Opamp741Circuit::kSymbolGout),
+            top.end());
+  // A capacitor cannot affect DC gain: its score must be ~0.
+  for (const auto& cand : by_gain)
+    if (cand.name == circuits::Opamp741Circuit::kSymbolCcomp)
+      EXPECT_NEAR(cand.normalized_sensitivity, 0.0, 1e-9);
+}
+
+TEST(RankingMeasures, ZeroMeasureRuns) {
+  auto fig = circuits::make_fig1();
+  // Fig.1 has a constant numerator (no finite zeros at order 2) — the
+  // ranking must still return scores (all zero) without crashing.
+  const auto by_zero = rank_symbol_candidates(fig.netlist, circuits::Fig1Circuit::kInput,
+                                              fig.v2, 2, RankingMeasure::kZeros);
+  EXPECT_EQ(by_zero.size(), 4u);
+}
+
+TEST(RankingMeasures, PoleAndGainRankingsDiffer) {
+  auto amp = circuits::make_opamp741();
+  const auto by_pole = rank_symbol_candidates(
+      amp.netlist, circuits::Opamp741Circuit::kInput, amp.out, 2, RankingMeasure::kPoles);
+  const auto by_gain = rank_symbol_candidates(
+      amp.netlist, circuits::Opamp741Circuit::kInput, amp.out, 2,
+      RankingMeasure::kDcGain);
+  // c_comp dominates pole placement but is irrelevant to DC gain, so the
+  // two orderings cannot coincide.
+  auto rank_of = [](const std::vector<SymbolCandidate>& v, const std::string& name) {
+    for (std::size_t i = 0; i < v.size(); ++i)
+      if (v[i].name == name) return i;
+    return v.size();
+  };
+  EXPECT_LT(rank_of(by_pole, circuits::Opamp741Circuit::kSymbolCcomp),
+            rank_of(by_gain, circuits::Opamp741Circuit::kSymbolCcomp));
+}
+
+}  // namespace
+}  // namespace awe::engine

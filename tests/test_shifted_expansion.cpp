@@ -1,0 +1,96 @@
+// Frequency-shifted moment expansions (expansion about s0 != 0).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "awe/awe.hpp"
+#include "awe/moments.hpp"
+#include "circuits/fig1_rc.hpp"
+
+namespace awe::engine {
+namespace {
+
+using circuit::kGround;
+using circuit::Netlist;
+
+Netlist single_rc() {
+  Netlist nl;
+  nl.add_voltage_source("vin", nl.node("in"), kGround, 1.0);
+  nl.add_resistor("r1", nl.node("in"), nl.node("out"), 1e3);
+  nl.add_capacitor("c1", nl.node("out"), kGround, 1e-9);
+  return nl;
+}
+
+TEST(ShiftedExpansion, SingleRcMomentsAnalytic) {
+  // H(s) = 1/(1 + RC s); H(s0 + sig) = A/(1 + A RC sig) with
+  // A = 1/(1 + RC s0), so m_k = A (-A RC)^k.
+  auto nl = single_rc();
+  const double rc = 1e-6;
+  for (const double s0 : {0.0, 1e5, 1e6, 1e7}) {
+    MomentGenerator gen(nl, s0);
+    EXPECT_DOUBLE_EQ(gen.expansion_point(), s0);
+    const auto m = gen.transfer_moments("vin", *nl.find_node("out"), 4);
+    const double a = 1.0 / (1.0 + rc * s0);
+    for (std::size_t k = 0; k < 4; ++k) {
+      const double expected = a * std::pow(-a * rc, static_cast<double>(k));
+      EXPECT_NEAR(m[k], expected, 1e-12 * std::abs(expected)) << "s0=" << s0 << " k=" << k;
+    }
+  }
+}
+
+TEST(ShiftedExpansion, PoleRecoveredForAnyShift) {
+  auto nl = single_rc();
+  const auto out = *nl.find_node("out");
+  for (const double s0 : {0.0, 2e5, 5e6}) {
+    const auto rom = run_awe(nl, "vin", out, {.order = 1, .expansion_point = s0});
+    ASSERT_EQ(rom.order(), 1u);
+    EXPECT_NEAR(rom.poles()[0].real(), -1e6, 1.0) << "s0=" << s0;
+    // The pole-residue form lives in the s domain: H(0) = 1 regardless.
+    EXPECT_NEAR(rom.dc_gain(), 1.0, 1e-9);
+  }
+}
+
+TEST(ShiftedExpansion, RescuesSingularDcMatrix) {
+  // Capacitive-divider node with no DC path: G is genuinely singular and
+  // the Maclaurin expansion fails; a shifted expansion recovers the exact
+  // (strictly proper) transfer H(s) = C1 / (C1 + C2 + s R C1 C2).
+  Netlist nl;
+  const auto in = nl.node("in");
+  const auto a = nl.node("a");
+  const auto b = nl.node("b");
+  nl.add_voltage_source("vin", in, kGround, 1.0);
+  nl.add_resistor("r1", in, a, 1e3);
+  nl.add_capacitor("c1", a, b, 1e-9);
+  nl.add_capacitor("c2", b, kGround, 1e-9);
+  EXPECT_THROW(MomentGenerator gen(nl), std::runtime_error);
+
+  const double s0 = 1e6;
+  const auto rom = run_awe(nl, "vin", b, {.order = 1, .expansion_point = s0});
+  ASSERT_EQ(rom.order(), 1u);
+  // Pole at -(C1+C2)/(R C1 C2) = -2e6; "DC gain" C1/(C1+C2) = 0.5.
+  EXPECT_NEAR(rom.poles()[0].real(), -2e6, 1.0);
+  EXPECT_NEAR(rom.dc_gain(), 0.5, 1e-6);
+}
+
+TEST(ShiftedExpansion, Fig1PolesMatchUnshifted) {
+  auto fig = circuits::make_fig1({.g1 = 1e-3, .g2 = 2e-3, .c1 = 2e-12, .c2 = 1e-12});
+  const auto rom0 = run_awe(fig.netlist, circuits::Fig1Circuit::kInput, fig.v2,
+                            {.order = 2});
+  const auto rom_shift = run_awe(fig.netlist, circuits::Fig1Circuit::kInput, fig.v2,
+                                 {.order = 2, .expansion_point = 1e8});
+  ASSERT_EQ(rom_shift.order(), 2u);
+  for (const auto& p : rom0.poles()) {
+    double best = 1e300;
+    for (const auto& q : rom_shift.poles()) best = std::min(best, std::abs(q - p));
+    EXPECT_LT(best, 1e-4 * std::abs(p));
+  }
+  // Frequency response agrees between the two expansions.
+  for (const double f : {1e6, 1e8, 1e9}) {
+    const auto a = rom0.transfer({0.0, 2 * M_PI * f});
+    const auto b = rom_shift.transfer({0.0, 2 * M_PI * f});
+    EXPECT_LT(std::abs(a - b), 1e-3 * (std::abs(a) + 1e-6)) << "f=" << f;
+  }
+}
+
+}  // namespace
+}  // namespace awe::engine

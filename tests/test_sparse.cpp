@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "linalg/sparse.hpp"
+
+namespace awe::linalg {
+namespace {
+
+TEST(TripletMatrix, DuplicatesAreSummedOnCompress) {
+  TripletMatrix t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.0);
+  t.add(2, 1, -4.0);
+  const auto s = t.compress();
+  EXPECT_EQ(s.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s.at(2, 1), -4.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 1), 0.0);
+}
+
+TEST(TripletMatrix, ExplicitZeroCancellationDropped) {
+  TripletMatrix t(2, 2);
+  t.add(0, 1, 5.0);
+  t.add(0, 1, -5.0);
+  EXPECT_EQ(t.compress().nnz(), 0u);
+  EXPECT_EQ(t.compress(/*keep_zeros=*/true).nnz(), 1u);
+}
+
+TEST(SparseMatrix, RowIndicesSortedWithinColumns) {
+  TripletMatrix t(4, 2);
+  t.add(3, 0, 1.0);
+  t.add(1, 0, 2.0);
+  t.add(2, 0, 3.0);
+  const auto s = t.compress();
+  const auto ri = s.row_idx();
+  ASSERT_EQ(ri.size(), 3u);
+  EXPECT_TRUE(ri[0] < ri[1] && ri[1] < ri[2]);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  TripletMatrix t(3, 3);
+  t.add(0, 0, 2.0);
+  t.add(1, 0, -1.0);
+  t.add(1, 1, 3.0);
+  t.add(2, 2, 4.0);
+  t.add(0, 2, 1.0);
+  const auto s = t.compress();
+  const auto d = s.to_dense();
+  const Vector x{1.0, 2.0, 3.0};
+  const auto ys = s.multiply(x);
+  const auto yd = d * x;
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(ys[i], yd[i]);
+}
+
+TEST(SparseMatrix, MultiplyTransposedMatchesDense) {
+  TripletMatrix t(3, 3);
+  t.add(0, 1, 2.0);
+  t.add(2, 0, -1.5);
+  t.add(1, 2, 0.5);
+  const auto s = t.compress();
+  const auto dt = s.to_dense().transposed();
+  const Vector x{1.0, -1.0, 2.0};
+  const auto ys = s.multiply_transposed(x);
+  const auto yd = dt * x;
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(ys[i], yd[i]);
+}
+
+TEST(SparseMatrix, SizeMismatchThrows) {
+  TripletMatrix t(2, 3);
+  const auto s = t.compress();
+  EXPECT_THROW(s.multiply(Vector{1.0}), std::invalid_argument);
+  EXPECT_THROW(s.multiply_transposed(Vector{1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace awe::linalg

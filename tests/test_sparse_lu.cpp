@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/dense.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/sparse_lu.hpp"
+
+namespace awe::linalg {
+namespace {
+
+SparseMatrix random_spd_like(std::size_t n, double density, std::mt19937& rng) {
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  TripletMatrix t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add(i, i, 5.0 + std::abs(val(rng)));
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j && coin(rng) < density) t.add(i, j, val(rng));
+  }
+  return t.compress();
+}
+
+class SparseLuParam : public ::testing::TestWithParam<std::tuple<std::size_t, OrderingKind>> {};
+
+TEST_P(SparseLuParam, MatchesDenseSolve) {
+  const auto [n, ordering] = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(n) * 7 + 1);
+  const auto a = random_spd_like(n, 0.2, rng);
+
+  SparseLu::Options opts;
+  opts.ordering = ordering;
+  auto lu = SparseLu::factor(a, opts);
+  ASSERT_TRUE(lu.has_value());
+
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  Vector b(n);
+  for (auto& v : b) v = val(rng);
+
+  const auto x = lu->solve(b);
+  const auto x_ref = solve_dense(a.to_dense(), b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-8);
+
+  const auto xt = lu->solve_transposed(b);
+  const auto xt_ref = solve_dense(a.to_dense().transposed(), b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xt[i], xt_ref[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndOrderings, SparseLuParam,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 5, 20, 60, 150),
+                       ::testing::Values(OrderingKind::kNatural, OrderingKind::kMinDegree)));
+
+TEST(SparseLu, SingularMatrixRejected) {
+  TripletMatrix t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 2.0);
+  t.add(1, 0, 2.0);
+  t.add(1, 1, 4.0);
+  EXPECT_FALSE(SparseLu::factor(t.compress()).has_value());
+}
+
+TEST(SparseLu, StructurallySingularRejected) {
+  TripletMatrix t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);  // row/col 2 empty
+  EXPECT_FALSE(SparseLu::factor(t.compress()).has_value());
+}
+
+TEST(SparseLu, TridiagonalLargeSystem) {
+  const std::size_t n = 5000;
+  TripletMatrix t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add(i, i, 2.0);
+    if (i + 1 < n) {
+      t.add(i, i + 1, -1.0);
+      t.add(i + 1, i, -1.0);
+    }
+  }
+  const auto a = t.compress();
+  auto lu = SparseLu::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  // Fill-in for a tridiagonal matrix should stay linear in n.
+  EXPECT_LT(lu->l_nnz() + lu->u_nnz(), 4 * n);
+  Vector b(n, 1.0);
+  const auto x = lu->solve(b);
+  // Residual check.
+  const auto ax = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], 1.0, 1e-9);
+}
+
+TEST(ComputeOrdering, NaturalIsIdentity) {
+  TripletMatrix t(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) t.add(i, i, 1.0);
+  const auto ord = compute_ordering(t.compress(), OrderingKind::kNatural);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(ord[i], i);
+}
+
+TEST(ComputeOrdering, MinDegreeIsPermutation) {
+  std::mt19937 rng(3);
+  const auto a = random_spd_like(30, 0.15, rng);
+  const auto ord = compute_ordering(a, OrderingKind::kMinDegree);
+  std::vector<bool> seen(30, false);
+  for (const auto p : ord) {
+    ASSERT_LT(p, 30u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+}  // namespace
+}  // namespace awe::linalg

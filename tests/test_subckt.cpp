@@ -1,0 +1,173 @@
+// Hierarchical subcircuit (.subckt / X) expansion.
+#include <gtest/gtest.h>
+
+#include "awe/awe.hpp"
+#include "circuit/parser.hpp"
+
+namespace awe::circuit {
+namespace {
+
+TEST(Subckt, BasicExpansion) {
+  const auto deck = parse_deck_string(R"(* rc cell reuse
+.subckt rccell a b
+R1 a b 1k
+C1 b 0 1p
+.ends
+Vin in 0 1
+X1 in m1 rccell
+X2 m1 out rccell
+.input vin
+.output out
+.end
+)");
+  const auto& nl = deck.netlist;
+  // 1 source + 2 instances x 2 elements.
+  EXPECT_EQ(nl.elements().size(), 5u);
+  EXPECT_TRUE(nl.find_element("x1.r1").has_value());
+  EXPECT_TRUE(nl.find_element("x2.c1").has_value());
+  EXPECT_TRUE(nl.find_node("m1").has_value());
+  EXPECT_FALSE(nl.find_node("a").has_value());  // port names don't leak
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(Subckt, InternalNodesAreScoped) {
+  const auto deck = parse_deck_string(R"(
+.subckt divider top bot
+R1 top mid 1k
+R2 mid bot 1k
+.ends
+Vin in 0 1
+X1 in 0 divider
+X2 in 0 divider
+)");
+  // Each instance has a private 'mid'.
+  EXPECT_TRUE(deck.netlist.find_node("x1.mid").has_value());
+  EXPECT_TRUE(deck.netlist.find_node("x2.mid").has_value());
+  EXPECT_FALSE(deck.netlist.find_node("mid").has_value());
+}
+
+TEST(Subckt, GroundIsGlobal) {
+  const auto deck = parse_deck_string(R"(
+.subckt gcell a
+R1 a 0 1k
+.ends
+Vin in 0 1
+X1 in gcell
+)");
+  const auto idx = *deck.netlist.find_element("x1.r1");
+  EXPECT_EQ(deck.netlist.elements()[idx].neg, kGround);
+}
+
+TEST(Subckt, NestedInstances) {
+  const auto deck = parse_deck_string(R"(
+.subckt leaf a b
+R1 a b 100
+.ends
+.subckt pair a c
+X1 a m leaf
+X2 m c leaf
+.ends
+Vin in 0 1
+Xtop in out pair
+Rload out 0 1k
+)");
+  // 2 leaves x 1 resistor + source + load.
+  EXPECT_EQ(deck.netlist.elements().size(), 4u);
+  EXPECT_TRUE(deck.netlist.find_element("xtop.x1.r1").has_value());
+  EXPECT_TRUE(deck.netlist.find_node("xtop.m").has_value());
+  // Electrical check: in -> out is 200 ohms in series.
+  const auto rom = engine::run_awe(deck.netlist, "vin", std::string("out"), {.order = 1});
+  EXPECT_NEAR(rom.dc_gain(), 1e3 / (1e3 + 200.0), 1e-9);
+}
+
+TEST(Subckt, ControlledSourceRefsAreScoped) {
+  const auto deck = parse_deck_string(R"(
+.subckt sense a b
+Vs a x 0
+R1 x b 1k
+F1 0 b Vs 2
+.ends
+Vin in 0 1
+X1 in out sense
+Rl out 0 1k
+)");
+  const auto idx = *deck.netlist.find_element("x1.f1");
+  EXPECT_EQ(deck.netlist.elements()[idx].ctrl_source, "x1.vs");
+  EXPECT_TRUE(deck.netlist.validate().empty());
+}
+
+TEST(Subckt, MutualInductorRefsAreScoped) {
+  const auto deck = parse_deck_string(R"(
+.subckt xfmr p s
+Lp p 0 1m
+Ls s 0 1m
+K1 Lp Ls 0.9
+.ends
+Vin in 0 1
+X1 in out xfmr
+Rl out 0 1k
+)");
+  const auto idx = *deck.netlist.find_element("x1.k1");
+  EXPECT_EQ(deck.netlist.elements()[idx].ctrl_source, "x1.lp");
+  EXPECT_EQ(deck.netlist.elements()[idx].ctrl_source2, "x1.ls");
+  EXPECT_TRUE(deck.netlist.validate().empty());
+}
+
+TEST(Subckt, Errors) {
+  EXPECT_THROW(parse_deck_string(".subckt foo\n.ends\n"), std::runtime_error);
+  EXPECT_THROW(parse_deck_string(".ends\n"), std::runtime_error);
+  EXPECT_THROW(parse_deck_string(".subckt foo a\nR1 a 0 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_deck_string("X1 a b ghost\n"), std::runtime_error);
+  EXPECT_THROW(parse_deck_string(R"(
+.subckt foo a b
+R1 a b 1
+.ends
+X1 n1 foo
+)"),
+               std::runtime_error);  // wrong port count
+  EXPECT_THROW(parse_deck_string(R"(
+.subckt foo a
+R1 a 0 1
+.ends
+.subckt foo a
+R2 a 0 2
+.ends
+)"),
+               std::runtime_error);  // duplicate definition
+  EXPECT_THROW(parse_deck_string(R"(
+.subckt foo a
+.input vin
+.ends
+)"),
+               std::runtime_error);  // directive inside subckt
+}
+
+TEST(Subckt, SelfRecursionIsCaught) {
+  EXPECT_THROW(parse_deck_string(R"(
+.subckt loop a
+X1 a loop
+.ends
+X0 n loop
+)"),
+               std::runtime_error);
+}
+
+TEST(Subckt, SymbolDirectiveCanNameExpandedElement) {
+  const auto deck = parse_deck_string(R"(
+.subckt cell a b
+R1 a b 1k
+C1 b 0 2p
+.ends
+Vin in 0 1
+X1 in out cell
+.symbol x1.c1
+.input vin
+.output out
+)");
+  ASSERT_EQ(deck.symbol_elements.size(), 1u);
+  EXPECT_EQ(deck.symbol_elements[0], "x1.c1");
+  EXPECT_TRUE(deck.netlist.find_element("x1.c1").has_value());
+}
+
+}  // namespace
+}  // namespace awe::circuit

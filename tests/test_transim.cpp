@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/ladders.hpp"
+#include "transim/transim.hpp"
+
+namespace awe::transim {
+namespace {
+
+using circuit::kGround;
+using circuit::Netlist;
+
+TEST(Waveforms, Shapes) {
+  const auto s = step(2.0, 1e-9, 1e-9);
+  EXPECT_DOUBLE_EQ(s(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s(1.5e-9), 1.0);
+  EXPECT_DOUBLE_EQ(s(5e-9), 2.0);
+  const auto d = dc(3.0);
+  EXPECT_DOUBLE_EQ(d(123.0), 3.0);
+  const auto p = pwl({{0.0, 0.0}, {1.0, 2.0}, {2.0, 2.0}});
+  EXPECT_DOUBLE_EQ(p(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(p(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(p(-1.0), 0.0);
+  const auto sn = sine(1.0, 1.0);
+  EXPECT_NEAR(sn(0.25), 1.0, 1e-12);
+}
+
+TEST(Transient, RcStepResponseMatchesAnalytic) {
+  // v(t) = 1 - exp(-t/RC), RC = 1us.
+  Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add_voltage_source("vin", in, kGround, 0.0);
+  nl.add_resistor("r1", in, out, 1e3);
+  nl.add_capacitor("c1", out, kGround, 1e-9);
+
+  TransientSimulator sim(nl);
+  sim.set_waveform("vin", step(1.0));
+  TransientOptions opts;
+  opts.t_stop = 5e-6;
+  opts.dt = 5e-9;
+  const auto res = sim.run(opts);
+  const auto v = res.node_voltage(sim.layout(), out);
+  for (std::size_t k = 0; k < res.time.size(); k += 50) {
+    const double expected = 1.0 - std::exp(-res.time[k] / 1e-6);
+    EXPECT_NEAR(v[k], expected, 2e-3);
+  }
+}
+
+TEST(Transient, BackwardEulerAlsoConverges) {
+  Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add_voltage_source("vin", in, kGround, 0.0);
+  nl.add_resistor("r1", in, out, 1e3);
+  nl.add_capacitor("c1", out, kGround, 1e-9);
+  TransientSimulator sim(nl);
+  sim.set_waveform("vin", step(1.0));
+  TransientOptions opts;
+  opts.t_stop = 5e-6;
+  opts.dt = 1e-9;
+  opts.integrator = Integrator::kBackwardEuler;
+  const auto res = sim.run(opts);
+  const auto v = res.node_voltage(sim.layout(), out);
+  EXPECT_NEAR(v.back(), 1.0, 1e-2);
+}
+
+TEST(Transient, RlcResonanceEnergyDecays) {
+  // Series RLC ringing: response must decay, trapezoidal must not blow up.
+  Netlist nl;
+  const auto in = nl.node("in");
+  const auto mid = nl.node("mid");
+  const auto out = nl.node("out");
+  nl.add_voltage_source("vin", in, kGround, 0.0);
+  nl.add_resistor("r1", in, mid, 10.0);
+  nl.add_inductor("l1", mid, out, 1e-6);
+  nl.add_capacitor("c1", out, kGround, 1e-9);
+  TransientSimulator sim(nl);
+  sim.set_waveform("vin", step(1.0));
+  TransientOptions opts;
+  opts.t_stop = 2e-6;
+  opts.dt = 1e-9;
+  const auto res = sim.run(opts);
+  const auto v = res.node_voltage(sim.layout(), out);
+  // Underdamped: overshoot beyond 1.0 somewhere, settles near 1.0.
+  const double peak = *std::max_element(v.begin(), v.end());
+  EXPECT_GT(peak, 1.05);
+  EXPECT_LT(peak, 2.1);
+  EXPECT_NEAR(v.back(), 1.0, 0.05);
+}
+
+TEST(Transient, DcInitialConditionStartsSettled) {
+  Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add_voltage_source("vin", in, kGround, 1.0);  // DC source stays on
+  nl.add_resistor("r1", in, out, 1e3);
+  nl.add_capacitor("c1", out, kGround, 1e-9);
+  TransientSimulator sim(nl);
+  TransientOptions opts;
+  opts.t_stop = 1e-6;
+  opts.dt = 1e-9;
+  const auto res = sim.run(opts);
+  const auto v = res.node_voltage(sim.layout(), out);
+  for (const double x : v) EXPECT_NEAR(x, 1.0, 1e-9);
+}
+
+TEST(Transient, InvalidOptionsRejected) {
+  Netlist nl;
+  nl.add_resistor("r1", nl.node("a"), kGround, 1.0);
+  TransientSimulator sim(nl);
+  TransientOptions opts;
+  opts.dt = 0.0;
+  EXPECT_THROW(sim.run(opts), std::invalid_argument);
+  EXPECT_THROW(sim.set_waveform("ghost", dc(1.0)), std::invalid_argument);
+  EXPECT_THROW(sim.set_waveform("r1", dc(1.0)), std::invalid_argument);
+}
+
+TEST(Transient, LadderDelayGrowsWithLength) {
+  auto t50 = [](std::size_t segs) {
+    circuits::LadderValues v;
+    v.segments = segs;
+    auto lad = circuits::make_rc_ladder(v);
+    TransientSimulator sim(lad.netlist);
+    sim.set_waveform(circuits::LadderCircuit::kInput, step(1.0));
+    TransientOptions opts;
+    opts.t_stop = 50e-9;
+    opts.dt = 0.02e-9;
+    const auto res = sim.run(opts);
+    const auto vv = res.node_voltage(sim.layout(), lad.out);
+    for (std::size_t k = 0; k < vv.size(); ++k)
+      if (vv[k] >= 0.5) return res.time[k];
+    return -1.0;
+  };
+  const double d10 = t50(10);
+  const double d30 = t50(30);
+  ASSERT_GT(d10, 0.0);
+  ASSERT_GT(d30, 0.0);
+  EXPECT_GT(d30, 2.0 * d10);  // Elmore delay scales ~quadratically
+}
+
+}  // namespace
+}  // namespace awe::transim

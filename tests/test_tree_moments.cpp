@@ -1,0 +1,147 @@
+// O(n) path-tracing moments for RC trees vs the sparse-LU generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "awe/moments.hpp"
+#include "awe/tree_moments.hpp"
+#include "circuits/ladders.hpp"
+
+namespace awe::engine {
+namespace {
+
+using circuit::kGround;
+using circuit::Netlist;
+
+TEST(TreeMoments, LadderMatchesSparseLu) {
+  circuits::LadderValues v;
+  v.segments = 25;
+  v.c_load = 3e-12;
+  auto lad = circuits::make_rc_ladder(v);
+  const auto tree = RcTreeAnalyzer::build(lad.netlist, circuits::LadderCircuit::kInput);
+  ASSERT_TRUE(tree.has_value());
+  const auto m_tree = tree->transfer_moments(lad.out, 6);
+  const auto m_ref = MomentGenerator(lad.netlist)
+                         .transfer_moments(circuits::LadderCircuit::kInput, lad.out, 6);
+  for (std::size_t k = 0; k < 6; ++k)
+    EXPECT_NEAR(m_tree[k], m_ref[k], 1e-10 * (std::abs(m_ref[k]) + 1e-30)) << "k=" << k;
+}
+
+TEST(TreeMoments, BinaryTreeAllNodesMatch) {
+  circuits::TreeValues v;
+  v.depth = 4;
+  auto t = circuits::make_rc_tree(v);
+  const auto tree = RcTreeAnalyzer::build(t.netlist, circuits::TreeCircuit::kInput);
+  ASSERT_TRUE(tree.has_value());
+
+  MomentGenerator gen(t.netlist);
+  const auto xs = gen.state_moments(circuits::TreeCircuit::kInput, 4);
+  const auto all = tree->all_node_moments(4);
+  const auto& lay = gen.assembler().layout();
+  for (circuit::NodeId node = 1; node <= t.netlist.num_nodes(); ++node) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      const double ref = xs[k][lay.node_unknown(node)];
+      EXPECT_NEAR(all[k][node], ref, 1e-10 * (std::abs(ref) + 1e-30))
+          << "node=" << node << " k=" << k;
+    }
+  }
+}
+
+TEST(TreeMoments, FirstMomentIsMinusElmore) {
+  // For the ladder: Elmore(out) = sum over nodes of R_path * C_node.
+  circuits::LadderValues v;
+  v.segments = 5;
+  auto lad = circuits::make_rc_ladder(v);
+  const auto tree = RcTreeAnalyzer::build(lad.netlist, circuits::LadderCircuit::kInput);
+  ASSERT_TRUE(tree.has_value());
+  const auto m = tree->transfer_moments(lad.out, 2);
+  // Hand computation: node j (0..5) has path resistance Rdrv + j*Rseg.
+  double elmore = 0.0;
+  for (int j = 0; j <= 5; ++j) elmore += (v.r_driver + j * v.r_seg) * v.c_seg;
+  EXPECT_NEAR(m[1], -elmore, 1e-15);
+  EXPECT_DOUBLE_EQ(m[0], 1.0);
+}
+
+TEST(TreeMoments, RejectsNonTrees) {
+  // Bridge (cycle).
+  {
+    auto lad = circuits::make_rc_ladder({.segments = 4});
+    lad.netlist.add_resistor("bridge", *lad.netlist.find_node("n0"),
+                             *lad.netlist.find_node("n2"), 1e3);
+    EXPECT_FALSE(
+        RcTreeAnalyzer::build(lad.netlist, circuits::LadderCircuit::kInput).has_value());
+  }
+  // Resistor to ground.
+  {
+    auto lad = circuits::make_rc_ladder({.segments = 4});
+    lad.netlist.add_resistor("leak", *lad.netlist.find_node("n1"), kGround, 1e6);
+    EXPECT_FALSE(
+        RcTreeAnalyzer::build(lad.netlist, circuits::LadderCircuit::kInput).has_value());
+  }
+  // Coupling capacitor.
+  {
+    auto lad = circuits::make_rc_ladder({.segments = 4});
+    lad.netlist.add_capacitor("ccpl", *lad.netlist.find_node("n1"),
+                              *lad.netlist.find_node("n3"), 1e-12);
+    EXPECT_FALSE(
+        RcTreeAnalyzer::build(lad.netlist, circuits::LadderCircuit::kInput).has_value());
+  }
+  // Inductor.
+  {
+    auto lad = circuits::make_rc_ladder({.segments = 4});
+    lad.netlist.add_inductor("l1", *lad.netlist.find_node("n1"), kGround, 1e-9);
+    EXPECT_FALSE(
+        RcTreeAnalyzer::build(lad.netlist, circuits::LadderCircuit::kInput).has_value());
+  }
+  // Unknown source / wrong source kind.
+  {
+    auto lad = circuits::make_rc_ladder({.segments = 4});
+    EXPECT_FALSE(RcTreeAnalyzer::build(lad.netlist, "nope").has_value());
+    EXPECT_FALSE(RcTreeAnalyzer::build(lad.netlist, "r0").has_value());
+  }
+}
+
+TEST(TreeMoments, RandomTreesMatchSparseLu) {
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<double> rdist(10.0, 1e3);
+  std::uniform_real_distribution<double> cdist(0.1e-12, 5e-12);
+  for (int trial = 0; trial < 10; ++trial) {
+    Netlist nl;
+    const auto in = nl.node("in");
+    nl.add_voltage_source("vin", in, kGround, 1.0);
+    std::vector<circuit::NodeId> nodes{in};
+    const std::size_t extra = 5 + rng() % 20;
+    for (std::size_t i = 0; i < extra; ++i) {
+      const auto parent = nodes[rng() % nodes.size()];
+      const auto child = nl.node("t" + std::to_string(i));
+      nl.add_resistor("r" + std::to_string(i), parent, child, rdist(rng));
+      nl.add_capacitor("c" + std::to_string(i), child, kGround, cdist(rng));
+      nodes.push_back(child);
+    }
+    const auto tree = RcTreeAnalyzer::build(nl, "vin");
+    ASSERT_TRUE(tree.has_value()) << "trial " << trial;
+    const auto out = nodes.back();
+    const auto m_tree = tree->transfer_moments(out, 5);
+    const auto m_ref = MomentGenerator(nl).transfer_moments("vin", out, 5);
+    for (std::size_t k = 0; k < 5; ++k)
+      EXPECT_NEAR(m_tree[k], m_ref[k], 1e-9 * (std::abs(m_ref[k]) + 1e-30))
+          << "trial " << trial << " k=" << k;
+  }
+}
+
+TEST(TreeMoments, CapacitorAtSourceNodeIgnoredSafely) {
+  // A cap across the ideal source cannot affect any transfer moment.
+  auto lad = circuits::make_rc_ladder({.segments = 3});
+  const auto m_before =
+      RcTreeAnalyzer::build(lad.netlist, circuits::LadderCircuit::kInput)
+          ->transfer_moments(lad.out, 4);
+  lad.netlist.add_capacitor("csrc", *lad.netlist.find_node("in"), kGround, 1e-9);
+  const auto tree = RcTreeAnalyzer::build(lad.netlist, circuits::LadderCircuit::kInput);
+  ASSERT_TRUE(tree.has_value());
+  const auto m_after = tree->transfer_moments(lad.out, 4);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_DOUBLE_EQ(m_before[k], m_after[k]);
+}
+
+}  // namespace
+}  // namespace awe::engine
