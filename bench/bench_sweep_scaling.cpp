@@ -1,0 +1,157 @@
+// Sweep-engine scaling: points/sec of the parallel batched sweep vs the
+// scalar per-point loop on a Monte-Carlo-sized point set (the paper's
+// repeated-evaluation workload at statistical-analysis scale).
+//
+// Methodology (documented in DESIGN.md "Batch and parallel evaluation"):
+// the baseline is the best the PRE-ENGINE code could do — a single-thread
+// loop over CompiledModel::moments_at with a reused Workspace, i.e.
+// allocation-free but scalar and serial.  The engine rows then isolate the
+// two effects: batch width (SoA interpreter, 1 thread) and thread count
+// (static-chunked pool at the best width).  All configurations produce
+// bit-identical results, so the comparison is purely about throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuits/opamp741.hpp"
+#include "core/awesymbolic.hpp"
+#include "engine/sweep.hpp"
+
+namespace {
+
+using namespace awe;
+
+constexpr std::size_t kPoints = 100000;  // >= 1e5-point sweep
+
+const core::CompiledModel& opamp_model() {
+  static const core::CompiledModel model = [] {
+    auto amp = circuits::make_opamp741();
+    return core::CompiledModel::build(
+        amp.netlist,
+        {circuits::Opamp741Circuit::kSymbolGout, circuits::Opamp741Circuit::kSymbolCcomp},
+        circuits::Opamp741Circuit::kInput, amp.out, {.order = 2});
+  }();
+  return model;
+}
+
+std::vector<double> mc_points(const core::CompiledModel& model, std::size_t n) {
+  const circuits::Opamp741Values nominal;
+  const std::vector<sweep::Distribution> dists{
+      sweep::Distribution::lognormal(nominal.gout_q14, 0.2),
+      sweep::Distribution::lognormal(nominal.c_comp, 0.2)};
+  (void)model;
+  return sweep::sample_points(dists, n, 2024);
+}
+
+/// Scalar baseline: serial allocation-free per-point loop.
+double scalar_loop_seconds(const core::CompiledModel& model,
+                           const std::vector<double>& pts, std::size_t n) {
+  return benchutil::time_median(3, [&] {
+    auto ws = model.make_workspace();
+    std::vector<double> vals(2);
+    double acc = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      vals[0] = pts[p];
+      vals[1] = pts[n + p];
+      model.moments_at(vals, ws);
+      acc += ws.moments[0];
+    }
+    benchmark::DoNotOptimize(acc);
+  });
+}
+
+double sweep_seconds(const core::CompiledModel& model, const std::vector<double>& pts,
+                     std::size_t n, std::size_t threads, std::size_t width) {
+  sweep::SweepOptions opts;
+  opts.threads = threads;
+  opts.batch_width = width;
+  return benchutil::time_median(3, [&] {
+    const auto res = sweep::run_sweep(model, pts, n, opts);
+    benchmark::DoNotOptimize(res.moment_stats[0].mean);
+  });
+}
+
+void print_scaling_table() {
+  const auto& model = opamp_model();
+  const auto pts = mc_points(model, kPoints);
+  const double n = static_cast<double>(kPoints);
+
+  std::printf("== Sweep scaling: %zu-point Monte Carlo over the 741 model ==\n", kPoints);
+  std::printf("   (%zu instructions, %zu registers per point; hardware threads: %u)\n\n",
+              model.instruction_count(), model.register_count(),
+              std::thread::hardware_concurrency());
+
+  const double t_scalar = scalar_loop_seconds(model, pts, kPoints);
+  benchutil::print_time("scalar per-point loop (baseline)", t_scalar);
+  std::printf("%-44s %10.0f pts/s\n\n", "baseline throughput", n / t_scalar);
+
+  std::printf("batch width sweep (1 thread):\n");
+  for (const std::size_t width : {std::size_t{1}, std::size_t{8}, std::size_t{64},
+                                  std::size_t{256}}) {
+    const double t = sweep_seconds(model, pts, kPoints, 1, width);
+    std::printf("  width %4zu  %10.0f pts/s  %6.2fx vs scalar\n", width, n / t,
+                t_scalar / t);
+  }
+
+  std::printf("\nthread scaling (batch width 64):\n");
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+    const double t = sweep_seconds(model, pts, kPoints, threads, 64);
+    std::printf("  threads %2zu  %10.0f pts/s  %6.2fx vs scalar  %6.2fx vs 1 thread\n",
+                threads, n / t, t_scalar / t,
+                sweep_seconds(model, pts, kPoints, 1, 64) / t);
+  }
+  std::printf("\n");
+}
+
+void BM_ScalarLoop(benchmark::State& state) {
+  const auto& model = opamp_model();
+  const auto pts = mc_points(model, 4096);
+  auto ws = model.make_workspace();
+  std::vector<double> vals(2);
+  std::size_t p = 0;
+  for (auto _ : state) {
+    vals[0] = pts[p];
+    vals[1] = pts[4096 + p];
+    model.moments_at(vals, ws);
+    benchmark::DoNotOptimize(ws.moments[0]);
+    p = (p + 1) % 4096;
+  }
+}
+BENCHMARK(BM_ScalarLoop);
+
+void BM_SweepEngine(benchmark::State& state) {
+  const auto& model = opamp_model();
+  const std::size_t n = 4096;
+  const auto pts = mc_points(model, n);
+  sweep::SweepOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  opts.batch_width = static_cast<std::size_t>(state.range(1));
+  sweep::ThreadPool pool(opts.threads);
+  opts.pool = &pool;
+  for (auto _ : state) {
+    const auto res = sweep::run_sweep(model, pts, n, opts);
+    benchmark::DoNotOptimize(res.ok_count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SweepEngine)
+    ->Args({1, 64})
+    ->Args({2, 64})
+    ->Args({4, 64})
+    ->Args({4, 8})
+    ->Args({4, 256})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scaling_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/awesymbolic.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "awe/sensitivity.hpp"
@@ -8,6 +9,54 @@ namespace awe::core {
 
 using symbolic::CompiledProgram;
 using symbolic::ExprGraph;
+
+namespace {
+
+/// Pack a lane block of element values (SoA, point stride `stride`) into
+/// ws.symbol_values (lane stride `count`), applying the reciprocal
+/// transforms.  Lanes where a reciprocal symbol is exactly zero — the
+/// scalar path's throw condition — get ok[p] = 0 and a zero input.
+void pack_symbol_block(std::span<const part::SymbolSpec> symbols,
+                       std::span<const double> element_values, std::size_t stride,
+                       std::size_t count, BatchWorkspace& ws,
+                       std::span<unsigned char> ok) {
+  for (std::size_t p = 0; p < count; ++p) ok[p] = 1;
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    const double* const src = element_values.data() + i * stride;
+    double* const dst = ws.symbol_values.data() + i * count;
+    if (symbols[i].reciprocal) {
+      for (std::size_t p = 0; p < count; ++p) {
+        if (src[p] == 0.0) {
+          ok[p] = 0;
+          dst[p] = 0.0;
+        } else {
+          dst[p] = 1.0 / src[p];
+        }
+      }
+    } else {
+      for (std::size_t p = 0; p < count; ++p) dst[p] = src[p];
+    }
+  }
+}
+
+void check_batch_args(std::size_t nsym, std::size_t out_rows,
+                      std::span<const double> element_values, std::size_t stride,
+                      std::size_t count, const BatchWorkspace& ws,
+                      std::span<const double> moments_out, std::size_t out_stride,
+                      std::span<const unsigned char> ok) {
+  if (count > ws.width)
+    throw std::invalid_argument("moments_batch: count exceeds workspace width");
+  if (stride < count || out_stride < count)
+    throw std::invalid_argument("moments_batch: stride smaller than count");
+  if (nsym > 0 && element_values.size() < (nsym - 1) * stride + count)
+    throw std::invalid_argument("moments_batch: element_values span too small");
+  if (out_rows > 0 && moments_out.size() < (out_rows - 1) * out_stride + count)
+    throw std::invalid_argument("moments_batch: moments_out span too small");
+  if (ok.size() < count)
+    throw std::invalid_argument("moments_batch: ok span too small");
+}
+
+}  // namespace
 
 CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
                                    std::vector<std::string> symbol_elements,
@@ -75,6 +124,14 @@ CompiledModel::Workspace CompiledModel::make_workspace() const {
 void CompiledModel::moments_at(std::span<const double> element_values, Workspace& ws) const {
   if (element_values.size() != sym_.symbols.size())
     throw std::invalid_argument("CompiledModel: wrong number of element values");
+  // Precondition (documented in the header): ws comes from THIS model's
+  // make_workspace().  A workspace built for a different model would make
+  // the writes below run out of bounds, so reject it outright.
+  if (ws.symbol_values.size() != sym_.symbols.size() ||
+      ws.program_outputs.size() != program_.output_count() ||
+      ws.registers.size() < program_.register_count() || ws.moments.size() != sym_.count())
+    throw std::invalid_argument(
+        "CompiledModel: workspace does not match this model (use make_workspace())");
   for (std::size_t i = 0; i < sym_.symbols.size(); ++i) {
     double v = element_values[i];
     if (sym_.symbols[i].reciprocal) {
@@ -97,6 +154,53 @@ std::vector<double> CompiledModel::moments_at(std::span<const double> element_va
   Workspace ws = make_workspace();
   moments_at(element_values, ws);
   return ws.moments;
+}
+
+BatchWorkspace CompiledModel::make_batch_workspace(std::size_t width) const {
+  if (width == 0) throw std::invalid_argument("make_batch_workspace: width must be >= 1");
+  BatchWorkspace ws;
+  ws.width = width;
+  ws.symbol_values.resize(sym_.symbols.size() * width);
+  ws.program_outputs.resize(program_.output_count() * width);
+  ws.registers.resize(program_.register_count() * width);
+  return ws;
+}
+
+void CompiledModel::moments_batch(std::span<const double> element_values, std::size_t stride,
+                                  std::size_t count, BatchWorkspace& ws,
+                                  std::span<double> moments_out, std::size_t out_stride,
+                                  std::span<unsigned char> ok) const {
+  if (count == 0) return;
+  const std::size_t nsym = sym_.symbols.size();
+  const std::size_t nm = sym_.count();
+  check_batch_args(nsym, nm, element_values, stride, count, ws, moments_out, out_stride, ok);
+  if (ws.symbol_values.size() < nsym * count ||
+      ws.program_outputs.size() < program_.output_count() * count ||
+      ws.registers.size() < program_.register_count() * count)
+    throw std::invalid_argument(
+        "CompiledModel: batch workspace does not match this model (use "
+        "make_batch_workspace())");
+
+  pack_symbol_block(sym_.symbols, element_values, stride, count, ws, ok);
+  program_.run_batch(std::span<const double>(ws.symbol_values.data(), nsym * count),
+                     std::span<double>(ws.program_outputs.data(),
+                                       program_.output_count() * count),
+                     std::span<double>(ws.registers.data(), program_.register_count() * count),
+                     count);
+  const double* const det = ws.program_outputs.data() + nm * count;
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t p = 0; p < count; ++p) {
+    if (det[p] == 0.0) ok[p] = 0;
+    if (!ok[p]) {
+      for (std::size_t k = 0; k < nm; ++k) moments_out[k * out_stride + p] = kNaN;
+      continue;
+    }
+    double dp = det[p];
+    for (std::size_t k = 0; k < nm; ++k) {
+      moments_out[k * out_stride + p] = ws.program_outputs[k * count + p] / dp;
+      dp *= det[p];
+    }
+  }
 }
 
 engine::ReducedOrderModel CompiledModel::evaluate(
@@ -281,6 +385,60 @@ std::vector<double> MultiOutputModel::moments_at(
     dp *= d;
   }
   return m;
+}
+
+BatchWorkspace MultiOutputModel::make_batch_workspace(std::size_t width) const {
+  if (width == 0) throw std::invalid_argument("make_batch_workspace: width must be >= 1");
+  BatchWorkspace ws;
+  ws.width = width;
+  ws.symbol_values.resize(sym_.symbols.size() * width);
+  ws.program_outputs.resize(program_.output_count() * width);
+  ws.registers.resize(program_.register_count() * width);
+  return ws;
+}
+
+void MultiOutputModel::moments_batch(std::span<const double> element_values,
+                                     std::size_t stride, std::size_t count,
+                                     BatchWorkspace& ws, std::span<double> moments_out,
+                                     std::size_t out_stride,
+                                     std::span<unsigned char> ok) const {
+  if (count == 0) return;
+  const std::size_t nsym = sym_.symbols.size();
+  const std::size_t nm = moment_count();
+  const std::size_t nout = sym_.outputs.size();
+  check_batch_args(nsym, nout * nm, element_values, stride, count, ws, moments_out,
+                   out_stride, ok);
+  if (ws.symbol_values.size() < nsym * count ||
+      ws.program_outputs.size() < program_.output_count() * count ||
+      ws.registers.size() < program_.register_count() * count)
+    throw std::invalid_argument(
+        "MultiOutputModel: batch workspace does not match this model (use "
+        "make_batch_workspace())");
+
+  pack_symbol_block(sym_.symbols, element_values, stride, count, ws, ok);
+  program_.run_batch(std::span<const double>(ws.symbol_values.data(), nsym * count),
+                     std::span<double>(ws.program_outputs.data(),
+                                       program_.output_count() * count),
+                     std::span<double>(ws.registers.data(), program_.register_count() * count),
+                     count);
+  const double* const det = ws.program_outputs.data() + nout * nm * count;
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t p = 0; p < count; ++p) {
+    if (det[p] == 0.0) ok[p] = 0;
+    if (!ok[p]) {
+      for (std::size_t row = 0; row < nout * nm; ++row)
+        moments_out[row * out_stride + p] = kNaN;
+      continue;
+    }
+    for (std::size_t o = 0; o < nout; ++o) {
+      double dp = det[p];
+      for (std::size_t k = 0; k < nm; ++k) {
+        moments_out[(o * nm + k) * out_stride + p] =
+            ws.program_outputs[(o * nm + k) * count + p] / dp;
+        dp *= det[p];
+      }
+    }
+  }
 }
 
 engine::ReducedOrderModel MultiOutputModel::evaluate(

@@ -20,6 +20,17 @@
 
 namespace awe::core {
 
+/// Structure-of-arrays scratch for batched evaluation: `width` points per
+/// lane-block, arrays sized field_count * width with lane stride equal to
+/// the block's point count.  Built by make_batch_workspace(); one per
+/// worker thread keeps the parallel sweep hot path allocation-free.
+struct BatchWorkspace {
+  std::size_t width = 0;
+  std::vector<double> symbol_values;    ///< nsym * width
+  std::vector<double> program_outputs;  ///< program output count * width
+  std::vector<double> registers;        ///< register count * width
+};
+
 struct ModelOptions {
   std::size_t order = 2;
   bool enforce_stability = true;
@@ -45,7 +56,9 @@ class CompiledModel {
                              const std::string& output_node, const ModelOptions& opts = {});
 
   std::size_t order() const { return opts_.order; }
+  const ModelOptions& options() const { return opts_; }
   std::size_t moment_count() const { return sym_.count(); }
+  std::size_t symbol_count() const { return sym_.symbols.size(); }
   const part::SymbolicMoments& symbolic_moments() const { return sym_; }
   std::vector<std::string> symbol_names() const { return sym_.symbol_names(); }
 
@@ -63,7 +76,25 @@ class CompiledModel {
   /// program.
   std::vector<double> moments_at(std::span<const double> element_values) const;
   /// Allocation-free variant; result lives in ws.moments.
+  /// Precondition: `ws` must have been produced by THIS model's
+  /// make_workspace() — a workspace sized for a different model is
+  /// rejected with std::invalid_argument.
   void moments_at(std::span<const double> element_values, Workspace& ws) const;
+
+  /// Batched structure-of-arrays scratch sized for lane blocks of up to
+  /// `width` points.
+  BatchWorkspace make_batch_workspace(std::size_t width) const;
+
+  /// Evaluate moments for `count` points at once (count <= ws.width).
+  /// Element value i of point p is read from element_values[i*stride + p];
+  /// moment k of point p lands in moments_out[k*out_stride + p].  ok[p]
+  /// (size count) is set to 0 — and the point's moments to NaN — exactly
+  /// where the scalar moments_at() would throw (zero resistance value or
+  /// vanishing det(Y0)); every other lane is bit-identical to the scalar
+  /// path.  Thread-safe for concurrent callers with distinct workspaces.
+  void moments_batch(std::span<const double> element_values, std::size_t stride,
+                     std::size_t count, BatchWorkspace& ws, std::span<double> moments_out,
+                     std::size_t out_stride, std::span<unsigned char> ok) const;
 
   /// Full evaluation: compiled moments -> Padé -> reduced-order model.
   engine::ReducedOrderModel evaluate(std::span<const double> element_values) const;
@@ -141,6 +172,10 @@ class MultiOutputModel {
   std::size_t output_count() const { return sym_.outputs.size(); }
   circuit::NodeId output_node(std::size_t o) const { return sym_.outputs.at(o); }
   std::size_t order() const { return opts_.order; }
+  const ModelOptions& options() const { return opts_; }
+  std::size_t moment_count() const { return 2 * opts_.order; }
+  std::size_t symbol_count() const { return sym_.symbols.size(); }
+  const part::MultiSymbolicMoments& symbolic_moments() const { return sym_; }
   std::size_t instruction_count() const { return program_.instruction_count(); }
   std::size_t port_count() const { return sym_.port_count; }
   std::vector<std::string> symbol_names() const;
@@ -150,6 +185,17 @@ class MultiOutputModel {
   /// Reduced-order model of output `o`.
   engine::ReducedOrderModel evaluate(std::size_t o,
                                      std::span<const double> element_values) const;
+
+  /// Batched scratch for lane blocks of up to `width` points.
+  BatchWorkspace make_batch_workspace(std::size_t width) const;
+
+  /// Batched evaluation of ALL outputs: one shared program run per lane
+  /// block.  Same layout contract as CompiledModel::moments_batch, except
+  /// moment k of output o for point p lands at
+  /// moments_out[(o*moment_count() + k)*out_stride + p].
+  void moments_batch(std::span<const double> element_values, std::size_t stride,
+                     std::size_t count, BatchWorkspace& ws, std::span<double> moments_out,
+                     std::size_t out_stride, std::span<unsigned char> ok) const;
 
  private:
   MultiOutputModel(part::MultiSymbolicMoments sym, symbolic::CompiledProgram program,

@@ -1,0 +1,308 @@
+#include "engine/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <random>
+#include <stdexcept>
+
+namespace awe::sweep {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+engine::RomOptions rom_options(const core::ModelOptions& m) {
+  engine::RomOptions r;
+  r.order = m.order;
+  r.enforce_stability = m.enforce_stability;
+  r.allow_order_fallback = m.allow_order_fallback;
+  return r;
+}
+
+RomSamples make_rom_samples(std::size_t n, std::size_t max_order) {
+  RomSamples rs;
+  rs.max_order = max_order;
+  rs.order.assign(n, 0);
+  rs.poles.assign(n * max_order, {kNaN, kNaN});
+  rs.residues.assign(n * max_order, {kNaN, kNaN});
+  rs.dc_gain.assign(n, kNaN);
+  return rs;
+}
+
+/// Fit point p's ROM from its moment lane and record it.  A failed Padé
+/// fit leaves order 0 / NaN samples and a 0 pass flag.
+void fit_point_rom(const engine::RomOptions& ropts, std::span<const double> lane_moments,
+                   std::size_t p, RomSamples& rs,
+                   const std::function<bool(const engine::ReducedOrderModel&)>& pred,
+                   std::vector<std::uint8_t>* pass) {
+  try {
+    const auto rom = engine::ReducedOrderModel::from_moments(lane_moments, ropts);
+    const std::size_t q = std::min(rom.order(), rs.max_order);
+    rs.order[p] = static_cast<std::uint8_t>(q);
+    for (std::size_t j = 0; j < q; ++j) {
+      rs.poles[p * rs.max_order + j] = rom.poles()[j];
+      rs.residues[p * rs.max_order + j] = rom.residues()[j];
+    }
+    rs.dc_gain[p] = rom.dc_gain();
+    if (pred) (*pass)[p] = pred(rom) ? 1 : 0;
+  } catch (...) {
+    // Point stays marked as an unfitted sample.
+  }
+}
+
+/// Two-pass min/max/mean/stddev over the finite values of ok points.
+Stats stats_over(const double* vals, std::size_t n, const std::vector<std::uint8_t>& ok) {
+  Stats s;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (!ok.empty() && !ok[p]) continue;
+    const double v = vals[p];
+    if (!std::isfinite(v)) continue;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+    ++s.count;
+  }
+  if (s.count == 0) {
+    s.min = s.max = s.mean = s.stddev = kNaN;
+    return s;
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double sq = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (!ok.empty() && !ok[p]) continue;
+    const double v = vals[p];
+    if (!std::isfinite(v)) continue;
+    sq += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = std::sqrt(sq / static_cast<double>(s.count));
+  return s;
+}
+
+/// Serial post-join reductions shared by both run_sweep overloads.
+void finalize_result(SweepResult& res) {
+  const std::size_t n = res.num_points;
+  res.moment_stats.resize(res.num_moments);
+  for (std::size_t k = 0; k < res.num_moments; ++k)
+    res.moment_stats[k] = stats_over(res.moments.data() + k * n, n, res.ok);
+  res.ok_count = 0;
+  for (const std::uint8_t f : res.ok) res.ok_count += f;
+  res.pass_count = 0;
+  for (const std::uint8_t f : res.pass) res.pass_count += f;
+  if (res.rom) res.dc_gain_stats = stats_over(res.rom->dc_gain.data(), n, res.ok);
+}
+
+}  // namespace
+
+SweepResult run_sweep(const core::CompiledModel& model, std::vector<double> points,
+                      std::size_t num_points, const SweepOptions& opts) {
+  const std::size_t nsym = model.symbol_count();
+  const std::size_t nm = model.moment_count();
+  if (points.size() != nsym * num_points)
+    throw std::invalid_argument("run_sweep: points.size() must be symbol_count*num_points");
+
+  SweepResult res;
+  res.num_points = num_points;
+  res.num_symbols = nsym;
+  res.num_moments = nm;
+  res.points = std::move(points);
+  res.moments.assign(nm * num_points, 0.0);
+  res.ok.assign(num_points, 1);
+  const bool need_rom = opts.with_rom || static_cast<bool>(opts.pass_predicate);
+  if (need_rom) res.rom = make_rom_samples(num_points, model.order());
+  if (opts.pass_predicate) res.pass.assign(num_points, 0);
+  if (num_points == 0) {
+    finalize_result(res);
+    return res;
+  }
+
+  std::optional<ThreadPool> local;
+  ThreadPool* pool = opts.pool;
+  if (!pool) pool = &local.emplace(opts.threads);
+  const std::size_t width = std::max<std::size_t>(1, opts.batch_width);
+  const engine::RomOptions ropts = rom_options(model.options());
+  const std::size_t n = num_points;
+
+  pool->parallel_chunks(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+    core::BatchWorkspace ws = model.make_batch_workspace(width);
+    std::vector<double> lane(nm);
+    for (std::size_t b = begin; b < end; b += width) {
+      const std::size_t w = std::min(width, end - b);
+      model.moments_batch(
+          std::span<const double>(res.points.data() + b, res.points.size() - b), n, w, ws,
+          std::span<double>(res.moments.data() + b, res.moments.size() - b), n,
+          std::span<unsigned char>(res.ok.data() + b, w));
+      if (!need_rom) continue;
+      for (std::size_t p = b; p < b + w; ++p) {
+        if (!res.ok[p]) continue;
+        for (std::size_t k = 0; k < nm; ++k) lane[k] = res.moments[k * n + p];
+        fit_point_rom(ropts, lane, p, *res.rom, opts.pass_predicate,
+                      res.pass.empty() ? nullptr : &res.pass);
+      }
+    }
+  });
+
+  finalize_result(res);
+  return res;
+}
+
+std::vector<SweepResult> run_sweep(const core::MultiOutputModel& model,
+                                   std::vector<double> points, std::size_t num_points,
+                                   const SweepOptions& opts) {
+  const std::size_t nsym = model.symbol_count();
+  const std::size_t nm = model.moment_count();
+  const std::size_t nout = model.output_count();
+  if (points.size() != nsym * num_points)
+    throw std::invalid_argument("run_sweep: points.size() must be symbol_count*num_points");
+  const std::size_t n = num_points;
+
+  std::vector<SweepResult> results(nout);
+  const bool need_rom = opts.with_rom || static_cast<bool>(opts.pass_predicate);
+  for (std::size_t o = 0; o < nout; ++o) {
+    SweepResult& r = results[o];
+    r.num_points = n;
+    r.num_symbols = nsym;
+    r.num_moments = nm;
+    r.points = points;
+    r.ok.assign(n, 1);
+    if (need_rom) r.rom = make_rom_samples(n, model.order());
+    if (opts.pass_predicate) r.pass.assign(n, 0);
+  }
+  // All outputs' moments in one SoA block so a single shared program pass
+  // fills every output; rows are handed to the per-output results after.
+  std::vector<double> all(nout * nm * n, 0.0);
+  std::vector<std::uint8_t> ok(n, 1);
+
+  if (n > 0) {
+    std::optional<ThreadPool> local;
+    ThreadPool* pool = opts.pool;
+    if (!pool) pool = &local.emplace(opts.threads);
+    const std::size_t width = std::max<std::size_t>(1, opts.batch_width);
+    const engine::RomOptions ropts = rom_options(model.options());
+
+    pool->parallel_chunks(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+      core::BatchWorkspace ws = model.make_batch_workspace(width);
+      std::vector<double> lane(nm);
+      for (std::size_t b = begin; b < end; b += width) {
+        const std::size_t w = std::min(width, end - b);
+        model.moments_batch(std::span<const double>(points.data() + b, points.size() - b),
+                            n, w, ws, std::span<double>(all.data() + b, all.size() - b), n,
+                            std::span<unsigned char>(ok.data() + b, w));
+        if (!need_rom) continue;
+        for (std::size_t p = b; p < b + w; ++p) {
+          if (!ok[p]) continue;
+          for (std::size_t o = 0; o < nout; ++o) {
+            for (std::size_t k = 0; k < nm; ++k) lane[k] = all[(o * nm + k) * n + p];
+            fit_point_rom(ropts, lane, p, *results[o].rom, opts.pass_predicate,
+                          results[o].pass.empty() ? nullptr : &results[o].pass);
+          }
+        }
+      }
+    });
+  }
+
+  for (std::size_t o = 0; o < nout; ++o) {
+    SweepResult& r = results[o];
+    r.moments.assign(all.begin() + static_cast<std::ptrdiff_t>(o * nm * n),
+                     all.begin() + static_cast<std::ptrdiff_t>((o + 1) * nm * n));
+    r.ok = ok;
+    finalize_result(r);
+  }
+  return results;
+}
+
+// -- drivers -------------------------------------------------------------
+
+std::vector<double> sample_points(std::span<const Distribution> distributions,
+                                  std::size_t n, std::uint64_t seed) {
+  std::vector<double> pts(distributions.size() * n);
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < distributions.size(); ++i) {
+    const Distribution& d = distributions[i];
+    double* const row = pts.data() + i * n;
+    switch (d.kind) {
+      case Distribution::Kind::kNormal: {
+        std::normal_distribution<double> dist(d.a, d.b);
+        for (std::size_t p = 0; p < n; ++p) row[p] = dist(rng);
+        break;
+      }
+      case Distribution::Kind::kUniform: {
+        std::uniform_real_distribution<double> dist(d.a, d.b);
+        for (std::size_t p = 0; p < n; ++p) row[p] = dist(rng);
+        break;
+      }
+      case Distribution::Kind::kLogNormal: {
+        if (d.a <= 0.0)
+          throw std::invalid_argument("sample_points: lognormal median must be > 0");
+        std::normal_distribution<double> dist(0.0, d.b);
+        for (std::size_t p = 0; p < n; ++p) row[p] = d.a * std::exp(dist(rng));
+        break;
+      }
+    }
+  }
+  return pts;
+}
+
+SweepResult monte_carlo(const core::CompiledModel& model,
+                        std::span<const Distribution> distributions, std::size_t n,
+                        std::uint64_t seed, const SweepOptions& opts) {
+  if (distributions.size() != model.symbol_count())
+    throw std::invalid_argument("monte_carlo: one distribution per model symbol required");
+  return run_sweep(model, sample_points(distributions, n, seed), n, opts);
+}
+
+std::vector<double> grid_points(std::span<const Axis> axes, std::size_t& num_points_out) {
+  std::size_t n = 1;
+  for (const Axis& ax : axes) {
+    if (ax.count == 0) throw std::invalid_argument("grid_points: axis count must be >= 1");
+    if (ax.log_scale && (ax.lo <= 0.0) != (ax.hi <= 0.0))
+      throw std::invalid_argument("grid_points: log axis endpoints must share a sign");
+    n *= ax.count;
+  }
+  num_points_out = n;
+  std::vector<double> pts(axes.size() * n);
+  for (std::size_t p = 0; p < n; ++p) {
+    // Row-major decode, last axis fastest.
+    std::size_t rem = p;
+    for (std::size_t i = axes.size(); i-- > 0;) {
+      const Axis& ax = axes[i];
+      const std::size_t j = rem % ax.count;
+      rem /= ax.count;
+      double v = ax.lo;
+      if (ax.count > 1) {
+        const double t = static_cast<double>(j) / static_cast<double>(ax.count - 1);
+        v = ax.log_scale ? ax.lo * std::pow(ax.hi / ax.lo, t) : ax.lo + (ax.hi - ax.lo) * t;
+      }
+      pts[i * n + p] = v;
+    }
+  }
+  return pts;
+}
+
+SweepResult grid_sweep(const core::CompiledModel& model, std::span<const Axis> axes,
+                       const SweepOptions& opts) {
+  if (axes.size() != model.symbol_count())
+    throw std::invalid_argument("grid_sweep: one axis per model symbol required");
+  std::size_t n = 0;
+  std::vector<double> pts = grid_points(axes, n);
+  return run_sweep(model, std::move(pts), n, opts);
+}
+
+SweepResult corners(const core::CompiledModel& model, std::span<const Corner> extremes,
+                    const SweepOptions& opts) {
+  if (extremes.size() != model.symbol_count())
+    throw std::invalid_argument("corners: one lo/hi pair per model symbol required");
+  if (extremes.size() > 24)
+    throw std::invalid_argument("corners: 2^nsym explodes past 24 symbols; use monte_carlo");
+  const std::size_t n = std::size_t{1} << extremes.size();
+  std::vector<double> pts(extremes.size() * n);
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t i = 0; i < extremes.size(); ++i)
+      pts[i * n + p] = (p >> i) & 1 ? extremes[i].hi : extremes[i].lo;
+  return run_sweep(model, std::move(pts), n, opts);
+}
+
+}  // namespace awe::sweep

@@ -1,0 +1,149 @@
+// Parallel batched sweep engine over compiled symbolic models.
+//
+// The paper's economics (Table 1) make the compiled model the right tool
+// for *repeated* evaluation — iterative design loops, corner analysis,
+// Monte Carlo yield.  This engine serves that workload at scale: points
+// are laid out structure-of-arrays and evaluated through the batched
+// interpreter (CompiledProgram::run_batch) by a static-chunked thread
+// pool, one allocation-free BatchWorkspace per worker.
+//
+// Determinism guarantee: a sweep's numeric results are bit-identical
+// regardless of thread count and batch width.  Per-lane arithmetic in the
+// batched interpreter matches the scalar order exactly, every point owns
+// disjoint output slots, Monte Carlo points are drawn serially before the
+// parallel phase, and all statistics are reduced serially after it.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "awe/rom.hpp"
+#include "core/awesymbolic.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace awe::sweep {
+
+struct SweepOptions {
+  std::size_t threads = 0;       ///< total workers; 0 = hardware concurrency
+  std::size_t batch_width = 64;  ///< SoA lane-block width (points per run_batch)
+  /// Extract a per-point reduced-order model and record its poles,
+  /// residues and DC gain in SweepResult::rom.
+  bool with_rom = false;
+  /// Per-point acceptance predicate on the reduced-order model (e.g. a
+  /// pole-location criterion for yield).  Setting it implies per-point ROM
+  /// extraction; points whose evaluation or ROM fit fails count as fails.
+  std::function<bool(const engine::ReducedOrderModel&)> pass_predicate;
+  /// Reuse an existing pool across sweeps (overrides `threads`).
+  ThreadPool* pool = nullptr;
+};
+
+/// Summary statistics over the successfully evaluated points.
+struct Stats {
+  double min = 0.0, max = 0.0, mean = 0.0, stddev = 0.0;
+  std::size_t count = 0;  ///< points the statistic was computed over
+};
+
+/// Per-point reduced-order model samples, flattened SoA-style.  Points
+/// whose Padé fit dropped to a lower order (or failed, order 0) have their
+/// unused pole/residue slots NaN-padded.
+struct RomSamples {
+  std::size_t max_order = 0;
+  std::vector<std::uint8_t> order;           ///< actual order per point
+  std::vector<std::complex<double>> poles;   ///< [p*max_order + j]
+  std::vector<std::complex<double>> residues;///< [p*max_order + j]
+  std::vector<double> dc_gain;               ///< per point (NaN on failure)
+};
+
+struct SweepResult {
+  std::size_t num_points = 0;
+  std::size_t num_symbols = 0;
+  std::size_t num_moments = 0;
+  std::vector<double> points;       ///< SoA: symbol i of point p at [i*num_points + p]
+  std::vector<double> moments;      ///< SoA: moment k of point p at [k*num_points + p]
+  std::vector<std::uint8_t> ok;     ///< per point: moments evaluated successfully
+  std::vector<std::uint8_t> pass;   ///< per point predicate result (empty without one)
+  std::vector<Stats> moment_stats;  ///< one per moment, over ok points
+  std::optional<RomSamples> rom;    ///< filled when SweepOptions::with_rom
+  std::optional<Stats> dc_gain_stats;  ///< filled alongside rom/predicate
+  std::size_t ok_count = 0;
+  std::size_t pass_count = 0;
+
+  double point(std::size_t symbol, std::size_t p) const { return points[symbol * num_points + p]; }
+  double moment(std::size_t k, std::size_t p) const { return moments[k * num_points + p]; }
+  /// Fraction of ALL points passing the predicate (failures count against).
+  double yield() const {
+    return num_points == 0 ? 0.0 : static_cast<double>(pass_count) / static_cast<double>(num_points);
+  }
+};
+
+/// Evaluate the model over `num_points` points given SoA (symbol-major):
+/// element value i of point p at points[i*num_points + p].  The core
+/// engine under all drivers below.
+SweepResult run_sweep(const core::CompiledModel& model, std::vector<double> points,
+                      std::size_t num_points, const SweepOptions& opts = {});
+
+/// Multi-output variant: one shared compiled-program pass per point, then
+/// per-output moments/ROMs.  Returns one SweepResult per model output
+/// (each carrying its own copy of the point set).
+std::vector<SweepResult> run_sweep(const core::MultiOutputModel& model,
+                                   std::vector<double> points, std::size_t num_points,
+                                   const SweepOptions& opts = {});
+
+// -- drivers -------------------------------------------------------------
+
+/// Per-symbol sampling distribution for Monte Carlo.
+struct Distribution {
+  enum class Kind { kNormal, kUniform, kLogNormal };
+  Kind kind = Kind::kNormal;
+  double a = 0.0;  ///< normal: mean; uniform: lo; lognormal: median
+  double b = 0.0;  ///< normal: stddev; uniform: hi; lognormal: sigma of ln
+  static Distribution normal(double mean, double stddev) {
+    return {Kind::kNormal, mean, stddev};
+  }
+  static Distribution uniform(double lo, double hi) { return {Kind::kUniform, lo, hi}; }
+  static Distribution lognormal(double median, double sigma) {
+    return {Kind::kLogNormal, median, sigma};
+  }
+};
+
+/// Draw n points (SoA, symbol-major) from per-symbol distributions.
+/// Serial and seed-deterministic: the same (distributions, n, seed) give
+/// the same points whatever the sweep's thread count.
+std::vector<double> sample_points(std::span<const Distribution> distributions,
+                                  std::size_t n, std::uint64_t seed);
+
+SweepResult monte_carlo(const core::CompiledModel& model,
+                        std::span<const Distribution> distributions, std::size_t n,
+                        std::uint64_t seed = 42, const SweepOptions& opts = {});
+
+/// One symbol's grid axis; count == 1 pins the symbol at lo.
+struct Axis {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t count = 1;
+  bool log_scale = false;  ///< geometric instead of linear spacing
+};
+
+/// Full factorial grid (row-major: the LAST axis varies fastest).
+/// num_points_out receives prod(count).
+std::vector<double> grid_points(std::span<const Axis> axes, std::size_t& num_points_out);
+
+SweepResult grid_sweep(const core::CompiledModel& model, std::span<const Axis> axes,
+                       const SweepOptions& opts = {});
+
+/// Per-symbol lo/hi corner values.
+struct Corner {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// All 2^nsym process corners; bit i of the point index selects symbol i's
+/// hi value.  Throws for more than 24 symbols.
+SweepResult corners(const core::CompiledModel& model, std::span<const Corner> extremes,
+                    const SweepOptions& opts = {});
+
+}  // namespace awe::sweep

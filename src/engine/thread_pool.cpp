@@ -1,0 +1,93 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace awe::sweep {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads - 1);
+  for (std::size_t w = 0; w + 1 < threads; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::chunk(std::size_t n, std::size_t w) const {
+  const std::size_t k = size();
+  return {n * w / k, n * (w + 1) / k};
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const ChunkFn* job = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+      n = job_n_;
+    }
+    std::exception_ptr err;
+    try {
+      const auto [begin, end] = chunk(n, worker_index);
+      if (begin < end) (*job)(worker_index, begin, end);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err && !error_) error_ = err;
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_chunks(std::size_t n, const ChunkFn& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    fn(0, 0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    pending_ = workers_.size();
+    error_ = nullptr;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+
+  // The caller is the last worker; run its chunk while the pool works.
+  std::exception_ptr caller_err;
+  try {
+    const auto [begin, end] = chunk(n, workers_.size());
+    if (begin < end) fn(workers_.size(), begin, end);
+  } catch (...) {
+    caller_err = std::current_exception();
+  }
+
+  std::exception_ptr pool_err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    pool_err = error_;
+    error_ = nullptr;
+  }
+  if (pool_err) std::rethrow_exception(pool_err);
+  if (caller_err) std::rethrow_exception(caller_err);
+}
+
+}  // namespace awe::sweep

@@ -1,0 +1,61 @@
+// Static-chunked thread pool for the sweep engine.
+//
+// Deliberately not work-stealing: parallel_chunks() splits [0, n) into one
+// contiguous chunk per worker, fixed by (n, size()) alone, so a sweep's
+// point-to-worker assignment is reproducible run to run.  Combined with
+// per-worker workspaces and disjoint output slots this makes every sweep
+// result bit-identical regardless of thread count — the batched model
+// evaluation is embarrassingly parallel with near-uniform per-point cost,
+// so static chunking also loses nothing to load imbalance.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace awe::sweep {
+
+class ThreadPool {
+ public:
+  /// `threads` total workers including the calling thread; 0 means
+  /// std::thread::hardware_concurrency().  With threads == 1 no OS thread
+  /// is spawned and parallel_chunks() runs inline on the caller.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, including the calling thread.
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// fn(worker, begin, end): worker w processes the contiguous index range
+  /// [begin, end) of [0, n); worker indices are 0..size()-1 and the caller
+  /// participates as the last worker.  Blocks until every chunk finished.
+  /// The first exception thrown by any chunk is rethrown on the caller
+  /// after all workers have drained; the pool stays usable afterwards.
+  using ChunkFn = std::function<void(std::size_t worker, std::size_t begin, std::size_t end)>;
+  void parallel_chunks(std::size_t n, const ChunkFn& fn);
+
+ private:
+  void worker_loop(std::size_t worker_index);
+  /// Chunk [begin, end) of worker w: the canonical balanced split
+  /// n*w/size() .. n*(w+1)/size().
+  std::pair<std::size_t, std::size_t> chunk(std::size_t n, std::size_t w) const;
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const ChunkFn* job_ = nullptr;   ///< current job, valid while epoch matches
+  std::size_t job_n_ = 0;
+  std::uint64_t epoch_ = 0;        ///< bumped per parallel_chunks() call
+  std::size_t pending_ = 0;        ///< pool workers still running the job
+  std::exception_ptr error_;       ///< first failure among pool workers
+  bool stop_ = false;
+};
+
+}  // namespace awe::sweep

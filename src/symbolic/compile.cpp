@@ -170,6 +170,70 @@ void CompiledProgram::run_with_scratch(std::span<const double> inputs,
   for (std::size_t k = 0; k < output_regs_.size(); ++k) outputs[k] = r[output_regs_[k]];
 }
 
+void CompiledProgram::run_batch(std::span<const double> inputs, std::span<double> outputs,
+                                std::span<double> scratch, std::size_t count) const {
+  if (count == 0) return;
+  if (inputs.size() < input_count_ * count)
+    throw std::invalid_argument("CompiledProgram::run_batch: too few inputs");
+  if (outputs.size() < output_regs_.size() * count)
+    throw std::invalid_argument("CompiledProgram::run_batch: output size mismatch");
+  if (scratch.size() < register_count_ * count)
+    throw std::invalid_argument("CompiledProgram::run_batch: scratch too small");
+
+  double* const r = scratch.data();
+  const double* const in = inputs.data();
+  const std::size_t w = count;
+  for (const Instr& ins : instrs_) {
+    double* const d = r + ins.dst * w;
+    switch (ins.op) {
+      case OpCode::kConst: {
+        const double c = constants_[ins.a];
+        for (std::size_t l = 0; l < w; ++l) d[l] = c;
+        break;
+      }
+      case OpCode::kInput: {
+        const double* const s = in + ins.a * w;
+        for (std::size_t l = 0; l < w; ++l) d[l] = s[l];
+        break;
+      }
+      case OpCode::kAdd: {
+        const double* const a = r + ins.a * w;
+        const double* const b = r + ins.b * w;
+        for (std::size_t l = 0; l < w; ++l) d[l] = a[l] + b[l];
+        break;
+      }
+      case OpCode::kSub: {
+        const double* const a = r + ins.a * w;
+        const double* const b = r + ins.b * w;
+        for (std::size_t l = 0; l < w; ++l) d[l] = a[l] - b[l];
+        break;
+      }
+      case OpCode::kMul: {
+        const double* const a = r + ins.a * w;
+        const double* const b = r + ins.b * w;
+        for (std::size_t l = 0; l < w; ++l) d[l] = a[l] * b[l];
+        break;
+      }
+      case OpCode::kDiv: {
+        const double* const a = r + ins.a * w;
+        const double* const b = r + ins.b * w;
+        for (std::size_t l = 0; l < w; ++l) d[l] = a[l] / b[l];
+        break;
+      }
+      case OpCode::kNeg: {
+        const double* const a = r + ins.a * w;
+        for (std::size_t l = 0; l < w; ++l) d[l] = -a[l];
+        break;
+      }
+    }
+  }
+  for (std::size_t k = 0; k < output_regs_.size(); ++k) {
+    const double* const s = r + output_regs_[k] * w;
+    double* const d = outputs.data() + k * w;
+    for (std::size_t l = 0; l < w; ++l) d[l] = s[l];
+  }
+}
+
 std::string CompiledProgram::to_c_source(std::string_view function_name) const {
   std::string src;
   src += "void " + std::string(function_name) + "(const double* in, double* out) {\n";

@@ -47,6 +47,17 @@ class CompiledProgram {
   void run_with_scratch(std::span<const double> inputs, std::span<double> outputs,
                         std::span<double> scratch) const;
 
+  /// Batched structure-of-arrays execution of `count` independent points.
+  /// Lane stride is `count`: input i of point p sits at inputs[i*count + p],
+  /// output k of point p lands at outputs[k*count + p], and scratch must
+  /// hold register_count()*count doubles.  Each instruction is executed
+  /// across all lanes before the next one, so the inner loops are tight,
+  /// branch-free and SIMD-friendly; per-lane arithmetic is performed in
+  /// exactly the scalar order, so every lane's result is bit-identical to
+  /// run() on that point regardless of `count`.
+  void run_batch(std::span<const double> inputs, std::span<double> outputs,
+                 std::span<double> scratch, std::size_t count) const;
+
   /// Emit the program as a standalone C function
   ///   void <name>(const double* in, double* out);
   /// so a compiled model can be exported from the tool and linked into a

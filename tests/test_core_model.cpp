@@ -87,6 +87,33 @@ TEST(CompiledModel, WorkspaceReuseMatchesAllocatingPath) {
   for (std::size_t k = 0; k < ref.size(); ++k) EXPECT_DOUBLE_EQ(ws.moments[k], ref[k]);
 }
 
+TEST(CompiledModel, WorkspaceFromDifferentModelRejected) {
+  // Regression: a workspace built by another model's make_workspace() used
+  // to drive out-of-bounds writes; the documented precondition is now
+  // enforced with an explicit size check.
+  auto fig = circuits::make_fig1();
+  const auto two_sym = CompiledModel::build(fig.netlist, {"g2", "c2"},
+                                            circuits::Fig1Circuit::kInput, fig.v2,
+                                            {.order = 2});
+  const auto one_sym = CompiledModel::build(fig.netlist, {"c1"},
+                                            circuits::Fig1Circuit::kInput, fig.v2,
+                                            {.order = 1});
+  auto foreign = one_sym.make_workspace();
+  EXPECT_THROW(two_sym.moments_at(std::vector<double>{1.0, 1.0}, foreign),
+               std::invalid_argument);
+  auto own = two_sym.make_workspace();
+  EXPECT_NO_THROW(two_sym.moments_at(std::vector<double>{1.0, 1.0}, own));
+
+  // Same contract on the batched path.
+  auto foreign_batch = one_sym.make_batch_workspace(8);
+  std::vector<double> pts(2 * 8, 1.0), out(two_sym.moment_count() * 8);
+  std::vector<unsigned char> ok(8);
+  EXPECT_THROW(two_sym.moments_batch(pts, 8, 8, foreign_batch, out, 8, ok),
+               std::invalid_argument);
+  auto own_batch = two_sym.make_batch_workspace(8);
+  EXPECT_NO_THROW(two_sym.moments_batch(pts, 8, 8, own_batch, out, 8, ok));
+}
+
 TEST(CompiledModel, ClosedFormsFirstOrder) {
   // Single-pole RC with symbolic C: p1 = m0/m1 = -1/(RC), A0 = 1.
   circuit::Netlist nl;
