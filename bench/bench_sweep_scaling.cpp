@@ -1,17 +1,28 @@
 // Sweep-engine scaling: points/sec of the parallel batched sweep vs the
 // scalar per-point loop on a Monte-Carlo-sized point set (the paper's
-// repeated-evaluation workload at statistical-analysis scale).
+// repeated-evaluation workload at statistical-analysis scale), in both
+// interpreter modes — kStrict (unfused, bit-reproducible) and kFast (the
+// peephole-fused stream).
 //
 // Methodology (documented in DESIGN.md "Batch and parallel evaluation"):
 // the baseline is the best the PRE-ENGINE code could do — a single-thread
 // loop over CompiledModel::moments_at with a reused Workspace, i.e.
-// allocation-free but scalar and serial.  The engine rows then isolate the
-// two effects: batch width (SoA interpreter, 1 thread) and thread count
-// (static-chunked pool at the best width).  All configurations produce
-// bit-identical results, so the comparison is purely about throughput.
+// allocation-free but scalar and serial.  The engine rows then isolate
+// three effects: batch width (SoA interpreter, 1 thread), thread count
+// (static-chunked pool at the best width), and fusion (kFast vs kStrict at
+// identical geometry — the fused-vs-unfused series).
+//
+// Perf-CI contract: every registered google-benchmark case exports a
+// `norm_ops_per_s` counter = points/sec x strict-stream instruction count.
+// That is the work rate in *model operations*, normalized so the number is
+// comparable across PRs even when the compiled program's length changes;
+// bench/check_bench_gate.py gates it against BENCH_baseline.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -37,12 +48,11 @@ const core::CompiledModel& opamp_model() {
   return model;
 }
 
-std::vector<double> mc_points(const core::CompiledModel& model, std::size_t n) {
+std::vector<double> mc_points(std::size_t n) {
   const circuits::Opamp741Values nominal;
   const std::vector<sweep::Distribution> dists{
       sweep::Distribution::lognormal(nominal.gout_q14, 0.2),
       sweep::Distribution::lognormal(nominal.c_comp, 0.2)};
-  (void)model;
   return sweep::sample_points(dists, n, 2024);
 }
 
@@ -64,10 +74,12 @@ double scalar_loop_seconds(const core::CompiledModel& model,
 }
 
 double sweep_seconds(const core::CompiledModel& model, const std::vector<double>& pts,
-                     std::size_t n, std::size_t threads, std::size_t width) {
+                     std::size_t n, std::size_t threads, std::size_t width,
+                     core::EvalMode mode) {
   sweep::SweepOptions opts;
   opts.threads = threads;
   opts.batch_width = width;
+  opts.mode = mode;
   return benchutil::time_median(3, [&] {
     const auto res = sweep::run_sweep(model, pts, n, opts);
     benchmark::DoNotOptimize(res.moment_stats[0].mean);
@@ -76,40 +88,65 @@ double sweep_seconds(const core::CompiledModel& model, const std::vector<double>
 
 void print_scaling_table() {
   const auto& model = opamp_model();
-  const auto pts = mc_points(model, kPoints);
+  const auto pts = mc_points(kPoints);
   const double n = static_cast<double>(kPoints);
 
   std::printf("== Sweep scaling: %zu-point Monte Carlo over the 741 model ==\n", kPoints);
-  std::printf("   (%zu instructions, %zu registers per point; hardware threads: %u)\n\n",
-              model.instruction_count(), model.register_count(),
-              std::thread::hardware_concurrency());
+  std::printf(
+      "   (%zu strict / %zu fused instructions, %zu registers per point; "
+      "hardware threads: %u)\n\n",
+      model.instruction_count(), model.fused_instruction_count(), model.register_count(),
+      std::thread::hardware_concurrency());
 
   const double t_scalar = scalar_loop_seconds(model, pts, kPoints);
   benchutil::print_time("scalar per-point loop (baseline)", t_scalar);
   std::printf("%-44s %10.0f pts/s\n\n", "baseline throughput", n / t_scalar);
 
-  std::printf("batch width sweep (1 thread):\n");
-  for (const std::size_t width : {std::size_t{1}, std::size_t{8}, std::size_t{64},
-                                  std::size_t{256}}) {
-    const double t = sweep_seconds(model, pts, kPoints, 1, width);
-    std::printf("  width %4zu  %10.0f pts/s  %6.2fx vs scalar\n", width, n / t,
-                t_scalar / t);
+  for (const auto mode : {core::EvalMode::kStrict, core::EvalMode::kFast}) {
+    const char* tag = mode == core::EvalMode::kStrict ? "strict (unfused)" : "fast (fused)";
+    std::printf("batch width sweep, 1 thread, %s:\n", tag);
+    for (const std::size_t width : {std::size_t{1}, std::size_t{8}, std::size_t{64},
+                                    std::size_t{256}}) {
+      const double t = sweep_seconds(model, pts, kPoints, 1, width, mode);
+      std::printf("  width %4zu  %10.0f pts/s  %6.2fx vs scalar\n", width, n / t,
+                  t_scalar / t);
+    }
+    std::printf("\n");
   }
 
-  std::printf("\nthread scaling (batch width 64):\n");
+  std::printf("fused-vs-unfused at batch width 64 (the perf-CI headline):\n");
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
                                     std::size_t{8}}) {
-    const double t = sweep_seconds(model, pts, kPoints, threads, 64);
-    std::printf("  threads %2zu  %10.0f pts/s  %6.2fx vs scalar  %6.2fx vs 1 thread\n",
-                threads, n / t, t_scalar / t,
-                sweep_seconds(model, pts, kPoints, 1, 64) / t);
+    const double ts = sweep_seconds(model, pts, kPoints, threads, 64,
+                                    core::EvalMode::kStrict);
+    const double tf = sweep_seconds(model, pts, kPoints, threads, 64,
+                                    core::EvalMode::kFast);
+    std::printf(
+        "  threads %2zu  strict %10.0f pts/s   fast %10.0f pts/s   fast/strict %5.2fx\n",
+        threads, n / ts, n / tf, ts / tf);
   }
   std::printf("\n");
 }
 
+/// Instruction-count-normalized work-rate counter shared by every case:
+/// points/sec x strict instruction count = compiled model operations/sec.
+/// The perf gate compares THIS, not wall time, so a change to the program
+/// length (more moments, deeper Horner) rescales the counter rather than
+/// masquerading as an interpreter regression.
+void set_norm_counter(benchmark::State& state, std::size_t points_per_iter) {
+  const double ops = static_cast<double>(state.iterations()) *
+                     static_cast<double>(points_per_iter) *
+                     static_cast<double>(opamp_model().instruction_count());
+  state.counters["norm_ops_per_s"] =
+      benchmark::Counter(ops, benchmark::Counter::kIsRate);
+  state.counters["pts_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(points_per_iter),
+      benchmark::Counter::kIsRate);
+}
+
 void BM_ScalarLoop(benchmark::State& state) {
   const auto& model = opamp_model();
-  const auto pts = mc_points(model, 4096);
+  const auto pts = mc_points(4096);
   auto ws = model.make_workspace();
   std::vector<double> vals(2);
   std::size_t p = 0;
@@ -120,16 +157,18 @@ void BM_ScalarLoop(benchmark::State& state) {
     benchmark::DoNotOptimize(ws.moments[0]);
     p = (p + 1) % 4096;
   }
+  set_norm_counter(state, 1);
 }
 BENCHMARK(BM_ScalarLoop);
 
 void BM_SweepEngine(benchmark::State& state) {
   const auto& model = opamp_model();
   const std::size_t n = 4096;
-  const auto pts = mc_points(model, n);
+  const auto pts = mc_points(n);
   sweep::SweepOptions opts;
   opts.threads = static_cast<std::size_t>(state.range(0));
   opts.batch_width = static_cast<std::size_t>(state.range(1));
+  opts.mode = state.range(2) ? core::EvalMode::kFast : core::EvalMode::kStrict;
   sweep::ThreadPool pool(opts.threads);
   opts.pool = &pool;
   for (auto _ : state) {
@@ -138,19 +177,34 @@ void BM_SweepEngine(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
+  set_norm_counter(state, n);
 }
 BENCHMARK(BM_SweepEngine)
-    ->Args({1, 64})
-    ->Args({2, 64})
-    ->Args({4, 64})
-    ->Args({4, 8})
-    ->Args({4, 256})
+    ->ArgNames({"threads", "width", "fast"})
+    ->Args({1, 64, 0})
+    ->Args({1, 64, 1})
+    ->Args({2, 64, 0})
+    ->Args({2, 64, 1})
+    ->Args({4, 64, 0})
+    ->Args({4, 64, 1})
+    ->Args({4, 8, 0})
+    ->Args({4, 8, 1})
+    ->Args({4, 256, 0})
+    ->Args({4, 256, 1})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_scaling_table();
+  // With --benchmark_format=json the headline table would corrupt the
+  // stream, so it is skipped there (the gate uses --benchmark_out=FILE,
+  // which keeps stdout free).  AWE_BENCH_TABLE=0 skips it unconditionally.
+  bool show_table = true;
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--benchmark_format=json") show_table = false;
+  if (const char* e = std::getenv("AWE_BENCH_TABLE"); e && std::string_view(e) == "0")
+    show_table = false;
+  if (show_table) print_scaling_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

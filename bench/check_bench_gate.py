@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Perf gate for bench_sweep_scaling.
+
+Compares the `norm_ops_per_s` counter (points/sec x compiled-program
+instruction count — a wall-time-free work rate, see DESIGN.md "Perf gate")
+of a fresh google-benchmark JSON run against the committed
+BENCH_baseline.json and fails on a regression beyond the threshold.
+
+Usage:
+  check_bench_gate.py RESULTS.json BASELINE.json [--threshold 0.35]
+                      [--counter norm_ops_per_s] [--anchor BM_ScalarLoop]
+                      [--no-anchor] [--update]
+
+Exit codes: 0 = pass, 1 = regression or missing benchmark, 2 = bad input.
+
+By default every counter is divided by the same run's anchor benchmark
+(BM_ScalarLoop) before comparing, so the gated quantity is the engine's
+speedup STRUCTURE relative to the scalar interpreter on the same machine
+— a committed baseline then transfers across runners of different
+absolute speed.  --no-anchor compares raw counter values (only sensible
+on dedicated, stable hardware).
+
+The default threshold is deliberately loose (35%): shared CI runners have
+noisy throughput even after anchoring, and the gate's job is to catch
+*structural* regressions (an interpreter de-optimization, a fusion pass
+that stopped firing, an accidental O(n) -> O(n^2)), not 5% jitter.
+Tighten it only with dedicated hardware.
+
+To regenerate the baseline after an intentional perf change:
+  AWE_BENCH_TABLE=0 bench/bench_sweep_scaling \
+      --benchmark_out=results.json --benchmark_out_format=json
+  python3 bench/check_bench_gate.py results.json BENCH_baseline.json --update
+"""
+
+import argparse
+import json
+import math
+import shutil
+import sys
+
+
+def load_counters(path, counter):
+    """Map benchmark name -> counter value, skipping aggregate rows."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name")
+        val = b.get(counter)
+        if name is None or val is None:
+            continue
+        out[name] = float(val)
+    if not out:
+        print(f"error: no '{counter}' counters found in {path}", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("results", help="fresh --benchmark_out JSON")
+    ap.add_argument("baseline", help="committed BENCH_baseline.json")
+    ap.add_argument("--threshold", type=float, default=0.35,
+                    help="max allowed fractional drop vs baseline (default 0.35)")
+    ap.add_argument("--counter", default="norm_ops_per_s",
+                    help="counter to gate on (default norm_ops_per_s)")
+    ap.add_argument("--anchor", default="BM_ScalarLoop",
+                    help="benchmark to divide every counter by (default "
+                         "BM_ScalarLoop)")
+    ap.add_argument("--no-anchor", action="store_true",
+                    help="gate on raw counter values instead of "
+                         "anchor-relative ratios")
+    ap.add_argument("--update", action="store_true",
+                    help="copy RESULTS over BASELINE instead of gating")
+    args = ap.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.results, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    cur = load_counters(args.results, args.counter)
+    base = load_counters(args.baseline, args.counter)
+
+    if not args.no_anchor:
+        for name, table in (("results", cur), ("baseline", base)):
+            a = table.get(args.anchor)
+            if not a:
+                print(f"error: anchor '{args.anchor}' missing from {name}",
+                      file=sys.stderr)
+                sys.exit(2)
+            for k in table:
+                table[k] /= a
+        cur.pop(args.anchor, None)
+        base.pop(args.anchor, None)
+        print(f"(counters anchored to {args.anchor} within each run)")
+
+    failures = []
+    width = max(len(n) for n in base)
+    print(f"perf gate on '{args.counter}' (fail below "
+          f"{(1.0 - args.threshold) * 100:.0f}% of baseline):")
+    for name in sorted(base):
+        b = base[name]
+        c = cur.get(name)
+        if c is None:
+            failures.append(name)
+            print(f"  FAIL {name:<{width}}  missing from results")
+            continue
+        ratio = c / b if b > 0 else math.inf
+        ok = ratio >= 1.0 - args.threshold
+        tag = "ok  " if ok else "FAIL"
+        print(f"  {tag} {name:<{width}}  {c:.3e} vs {b:.3e}  ({ratio:6.2%})")
+        if not ok:
+            failures.append(name)
+    for name in sorted(set(cur) - set(base)):
+        print(f"  note {name:<{width}}  not in baseline (run --update to adopt)")
+
+    if failures:
+        print(f"\nFAILED: {len(failures)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%}. If intentional, regenerate the baseline "
+              f"(see --help).", file=sys.stderr)
+        return 1
+    print("\nPASSED: all benchmarks within threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -169,7 +169,7 @@ BatchWorkspace CompiledModel::make_batch_workspace(std::size_t width) const {
 void CompiledModel::moments_batch(std::span<const double> element_values, std::size_t stride,
                                   std::size_t count, BatchWorkspace& ws,
                                   std::span<double> moments_out, std::size_t out_stride,
-                                  std::span<unsigned char> ok) const {
+                                  std::span<unsigned char> ok, EvalMode mode) const {
   if (count == 0) return;
   const std::size_t nsym = sym_.symbols.size();
   const std::size_t nm = sym_.count();
@@ -186,7 +186,7 @@ void CompiledModel::moments_batch(std::span<const double> element_values, std::s
                      std::span<double>(ws.program_outputs.data(),
                                        program_.output_count() * count),
                      std::span<double>(ws.registers.data(), program_.register_count() * count),
-                     count);
+                     count, mode);
   const double* const det = ws.program_outputs.data() + nm * count;
   constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
   for (std::size_t p = 0; p < count; ++p) {
@@ -401,7 +401,7 @@ void MultiOutputModel::moments_batch(std::span<const double> element_values,
                                      std::size_t stride, std::size_t count,
                                      BatchWorkspace& ws, std::span<double> moments_out,
                                      std::size_t out_stride,
-                                     std::span<unsigned char> ok) const {
+                                     std::span<unsigned char> ok, EvalMode mode) const {
   if (count == 0) return;
   const std::size_t nsym = sym_.symbols.size();
   const std::size_t nm = moment_count();
@@ -420,7 +420,7 @@ void MultiOutputModel::moments_batch(std::span<const double> element_values,
                      std::span<double>(ws.program_outputs.data(),
                                        program_.output_count() * count),
                      std::span<double>(ws.registers.data(), program_.register_count() * count),
-                     count);
+                     count, mode);
   const double* const det = ws.program_outputs.data() + nout * nm * count;
   constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
   for (std::size_t p = 0; p < count; ++p) {

@@ -20,6 +20,11 @@
 
 namespace awe::core {
 
+/// Numeric contract of the batched interpreter (re-exported from
+/// symbolic::EvalMode): kStrict is bit-identical to the scalar path,
+/// kFast runs the peephole-fused stream within a small ULP bound.
+using symbolic::EvalMode;
+
 /// Structure-of-arrays scratch for batched evaluation: `width` points per
 /// lane-block, arrays sized field_count * width with lane stride equal to
 /// the block's point count.  Built by make_batch_workspace(); one per
@@ -90,11 +95,14 @@ class CompiledModel {
   /// moment k of point p lands in moments_out[k*out_stride + p].  ok[p]
   /// (size count) is set to 0 — and the point's moments to NaN — exactly
   /// where the scalar moments_at() would throw (zero resistance value or
-  /// vanishing det(Y0)); every other lane is bit-identical to the scalar
-  /// path.  Thread-safe for concurrent callers with distinct workspaces.
+  /// vanishing det(Y0)); in EvalMode::kStrict every other lane is
+  /// bit-identical to the scalar path, in EvalMode::kFast it is within the
+  /// fused interpreter's ULP bound.  Thread-safe for concurrent callers
+  /// with distinct workspaces.
   void moments_batch(std::span<const double> element_values, std::size_t stride,
                      std::size_t count, BatchWorkspace& ws, std::span<double> moments_out,
-                     std::size_t out_stride, std::span<unsigned char> ok) const;
+                     std::size_t out_stride, std::span<unsigned char> ok,
+                     EvalMode mode = EvalMode::kStrict) const;
 
   /// Full evaluation: compiled moments -> Padé -> reduced-order model.
   engine::ReducedOrderModel evaluate(std::span<const double> element_values) const;
@@ -130,6 +138,7 @@ class CompiledModel {
 
   // -- program statistics (the "reduced set of operations") -------------
   std::size_t instruction_count() const { return program_.instruction_count(); }
+  std::size_t fused_instruction_count() const { return program_.fused_instruction_count(); }
   std::size_t register_count() const { return program_.register_count(); }
   std::size_t port_count() const { return sym_.port_count; }
 
@@ -195,7 +204,8 @@ class MultiOutputModel {
   /// moments_out[(o*moment_count() + k)*out_stride + p].
   void moments_batch(std::span<const double> element_values, std::size_t stride,
                      std::size_t count, BatchWorkspace& ws, std::span<double> moments_out,
-                     std::size_t out_stride, std::span<unsigned char> ok) const;
+                     std::size_t out_stride, std::span<unsigned char> ok,
+                     EvalMode mode = EvalMode::kStrict) const;
 
  private:
   MultiOutputModel(part::MultiSymbolicMoments sym, symbolic::CompiledProgram program,

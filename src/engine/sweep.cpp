@@ -134,7 +134,7 @@ SweepResult run_sweep(const core::CompiledModel& model, std::vector<double> poin
       model.moments_batch(
           std::span<const double>(res.points.data() + b, res.points.size() - b), n, w, ws,
           std::span<double>(res.moments.data() + b, res.moments.size() - b), n,
-          std::span<unsigned char>(res.ok.data() + b, w));
+          std::span<unsigned char>(res.ok.data() + b, w), opts.mode);
       if (!need_rom) continue;
       for (std::size_t p = b; p < b + w; ++p) {
         if (!res.ok[p]) continue;
@@ -190,7 +190,7 @@ std::vector<SweepResult> run_sweep(const core::MultiOutputModel& model,
         const std::size_t w = std::min(width, end - b);
         model.moments_batch(std::span<const double>(points.data() + b, points.size() - b),
                             n, w, ws, std::span<double>(all.data() + b, all.size() - b), n,
-                            std::span<unsigned char>(ok.data() + b, w));
+                            std::span<unsigned char>(ok.data() + b, w), opts.mode);
         if (!need_rom) continue;
         for (std::size_t p = b; p < b + w; ++p) {
           if (!ok[p]) continue;

@@ -7,11 +7,14 @@
 // interpreter (CompiledProgram::run_batch) by a static-chunked thread
 // pool, one allocation-free BatchWorkspace per worker.
 //
-// Determinism guarantee: a sweep's numeric results are bit-identical
-// regardless of thread count and batch width.  Per-lane arithmetic in the
-// batched interpreter matches the scalar order exactly, every point owns
-// disjoint output slots, Monte Carlo points are drawn serially before the
-// parallel phase, and all statistics are reduced serially after it.
+// Determinism guarantee (EvalMode::kStrict, the default): a sweep's
+// numeric results are bit-identical regardless of thread count and batch
+// width.  Per-lane arithmetic in the batched interpreter matches the
+// scalar order exactly, every point owns disjoint output slots, Monte
+// Carlo points are drawn serially before the parallel phase, and all
+// statistics are reduced serially after it.  EvalMode::kFast runs the
+// peephole-fused interpreter instead: faster, within a small ULP bound of
+// strict, but not bit-reproducible across batch geometry.
 #pragma once
 
 #include <complex>
@@ -30,6 +33,11 @@ namespace awe::sweep {
 struct SweepOptions {
   std::size_t threads = 0;       ///< total workers; 0 = hardware concurrency
   std::size_t batch_width = 64;  ///< SoA lane-block width (points per run_batch)
+  /// Interpreter contract: kStrict (default) preserves the bit-identical
+  /// determinism guarantee above; kFast runs the peephole-fused stream —
+  /// measurably faster, results within a small ULP bound of strict but
+  /// dependent on batch geometry (thread count / width) at that level.
+  core::EvalMode mode = core::EvalMode::kStrict;
   /// Extract a per-point reduced-order model and record its poles,
   /// residues and DC gain in SweepResult::rom.
   bool with_rom = false;

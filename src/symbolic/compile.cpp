@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -12,14 +14,121 @@ namespace {
 
 constexpr std::uint32_t kUnassigned = 0xffffffffu;
 
+/// One SSA-form instruction over DAG node ids, before register allocation.
+/// `id` is the defining node; operands reference other defining nodes.
+struct VInstr {
+  OpCode op{};
+  NodeId id = 0;
+  std::uint32_t imm = 0;  // const index (kConst) or input index (kInput)
+  NodeId a = 0, b = 0, c = 0;
+};
+
+/// How many register operands an instruction-level op reads.
+int operand_count(OpCode op) {
+  switch (op) {
+    case OpCode::kConst:
+    case OpCode::kInput:
+      return 0;
+    case OpCode::kNeg:
+      return 1;
+    case OpCode::kAdd:
+    case OpCode::kSub:
+    case OpCode::kMul:
+    case OpCode::kDiv:
+      return 2;
+    case OpCode::kFma:
+    case OpCode::kFms:
+      return 3;
+  }
+  return 0;
+}
+
+/// Liveness-based register assignment over an SSA sequence: registers are
+/// recycled at each value's last read, and the register file is renumbered
+/// from scratch for THIS sequence — so the fused stream's working set
+/// shrinks along with its instruction count.
+struct AllocResult {
+  std::vector<Instr> instrs;
+  std::vector<std::uint32_t> output_regs;
+  std::size_t register_count = 0;
+};
+
+AllocResult allocate_registers(const std::vector<VInstr>& seq,
+                               std::span<const NodeId> roots, std::size_t node_count) {
+  constexpr std::size_t kLiveToEnd = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> last_use(node_count, 0);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const VInstr& v = seq[i];
+    const int n = operand_count(v.op);
+    if (n >= 1) last_use[v.a] = i;
+    if (n >= 2) last_use[v.b] = i;
+    if (n >= 3) last_use[v.c] = i;
+  }
+  for (const NodeId r : roots) last_use[r] = kLiveToEnd;
+
+  std::vector<std::uint32_t> reg_of(node_count, kUnassigned);
+  std::vector<std::uint32_t> free_regs;
+  std::uint32_t next_reg = 0;
+  auto alloc_reg = [&]() -> std::uint32_t {
+    if (!free_regs.empty()) {
+      const std::uint32_t r = free_regs.back();
+      free_regs.pop_back();
+      return r;
+    }
+    return next_reg++;
+  };
+  // Sequence positions whose emitting instruction releases a register.
+  std::multimap<std::size_t, std::uint32_t> frees;
+
+  AllocResult out;
+  out.instrs.reserve(seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const VInstr& v = seq[i];
+    Instr ins;
+    ins.op = v.op;
+    const int n = operand_count(v.op);
+    if (n == 0) {
+      ins.a = v.imm;
+    } else {
+      ins.a = reg_of[v.a];
+      if (n >= 2) ins.b = reg_of[v.b];
+      if (n >= 3) ins.c = reg_of[v.c];
+      assert(ins.a != kUnassigned);
+      assert(n < 2 || ins.b != kUnassigned);
+      assert(n < 3 || ins.c != kUnassigned);
+    }
+    // Release registers whose owning value was last read here; the freed
+    // register may immediately become this instruction's dst (the batch
+    // kernels read each lane before writing it, so dst==src is safe).
+    for (auto it = frees.find(i); it != frees.end() && it->first == i;) {
+      free_regs.push_back(it->second);
+      it = frees.erase(it);
+    }
+    const std::uint32_t dst = alloc_reg();
+    ins.dst = dst;
+    reg_of[v.id] = dst;
+    frees.emplace(last_use[v.id], dst);
+    out.instrs.push_back(ins);
+  }
+  out.register_count = next_reg;
+
+  out.output_regs.reserve(roots.size());
+  for (const NodeId r : roots) {
+    assert(reg_of[r] != kUnassigned);
+    out.output_regs.push_back(reg_of[r]);
+  }
+  return out;
+}
+
 }  // namespace
 
 CompiledProgram::CompiledProgram(const ExprGraph& graph, std::span<const NodeId> roots) {
   input_count_ = graph.input_count();
+  const std::size_t nnodes = graph.node_count();
 
   // Nodes are created bottom-up, so ascending NodeId is a topological
   // order.  Mark the reachable subgraph.
-  std::vector<unsigned char> reachable(graph.node_count(), 0);
+  std::vector<unsigned char> reachable(nnodes, 0);
   {
     std::vector<NodeId> stack(roots.begin(), roots.end());
     while (!stack.empty()) {
@@ -42,41 +151,6 @@ CompiledProgram::CompiledProgram(const ExprGraph& graph, std::span<const NodeId>
     }
   }
 
-  // Last use of each reachable node, for register recycling.
-  std::vector<NodeId> last_use(graph.node_count(), 0);
-  for (NodeId id = 0; id < graph.node_count(); ++id) {
-    if (!reachable[id]) continue;
-    const ExprNode& n = graph.node(id);
-    switch (n.op) {
-      case OpCode::kConst:
-      case OpCode::kInput:
-        break;
-      case OpCode::kNeg:
-        last_use[n.a] = id;
-        break;
-      default:
-        last_use[n.a] = id;
-        last_use[n.b] = id;
-    }
-  }
-  // Roots stay live to the end of the program.
-  for (const NodeId r : roots) last_use[r] = static_cast<NodeId>(graph.node_count());
-
-  std::vector<std::uint32_t> reg_of(graph.node_count(), kUnassigned);
-  std::vector<std::uint32_t> free_regs;
-  std::uint32_t next_reg = 0;
-  auto alloc_reg = [&]() -> std::uint32_t {
-    if (!free_regs.empty()) {
-      const std::uint32_t r = free_regs.back();
-      free_regs.pop_back();
-      return r;
-    }
-    return next_reg++;
-  };
-  // Nodes (sorted by id) whose register frees once the emitting instruction
-  // for their last_use id has been issued.
-  std::multimap<NodeId, std::uint32_t> frees;
-
   auto const_index = [&](double v) -> std::uint32_t {
     const auto it = std::find(constants_.begin(), constants_.end(), v);
     if (it != constants_.end())
@@ -85,45 +159,142 @@ CompiledProgram::CompiledProgram(const ExprGraph& graph, std::span<const NodeId>
     return static_cast<std::uint32_t>(constants_.size() - 1);
   };
 
-  for (NodeId id = 0; id < graph.node_count(); ++id) {
+  // ---- strict stream: one VInstr per reachable node, scalar op order ----
+  std::vector<VInstr> strict_seq;
+  strict_seq.reserve(nnodes);
+  for (NodeId id = 0; id < nnodes; ++id) {
     if (!reachable[id]) continue;
     const ExprNode& n = graph.node(id);
-    Instr ins;
-    ins.op = n.op;
+    VInstr v;
+    v.op = n.op;
+    v.id = id;
     switch (n.op) {
       case OpCode::kConst:
-        ins.a = const_index(n.value);
+        v.imm = const_index(n.value);
         break;
       case OpCode::kInput:
-        ins.a = n.a;
-        break;
-      case OpCode::kNeg:
-        ins.a = reg_of[n.a];
-        assert(ins.a != kUnassigned);
+        v.imm = n.a;
         break;
       default:
-        ins.a = reg_of[n.a];
-        ins.b = reg_of[n.b];
-        assert(ins.a != kUnassigned && ins.b != kUnassigned);
+        v.a = n.a;
+        v.b = n.b;
     }
-    // Release registers whose owning node was last used by this node.
-    for (auto it = frees.find(id); it != frees.end() && it->first == id;) {
-      free_regs.push_back(it->second);
-      it = frees.erase(it);
-    }
-    const std::uint32_t dst = alloc_reg();
-    ins.dst = dst;
-    reg_of[id] = dst;
-    frees.emplace(last_use[id], dst);
-    instrs_.push_back(ins);
+    strict_seq.push_back(v);
   }
-  register_count_ = next_reg;
+  AllocResult strict = allocate_registers(strict_seq, roots, nnodes);
+  instrs_ = std::move(strict.instrs);
+  output_regs_ = std::move(strict.output_regs);
 
-  output_regs_.reserve(roots.size());
-  for (const NodeId r : roots) {
-    assert(reg_of[r] != kUnassigned);
-    output_regs_.push_back(reg_of[r]);
+  // ---- peephole fusion for the fast stream ------------------------------
+  // Operand-occurrence counts over the reachable subgraph (roots count as
+  // uses): a value feeding exactly one consumer can be folded into it.
+  std::vector<std::uint32_t> uses(nnodes, 0);
+  for (NodeId id = 0; id < nnodes; ++id) {
+    if (!reachable[id]) continue;
+    const ExprNode& n = graph.node(id);
+    const int nops = operand_count(n.op);
+    if (nops >= 1) ++uses[n.a];
+    if (nops >= 2) ++uses[n.b];
   }
+  std::vector<unsigned char> is_root(nnodes, 0);
+  for (const NodeId r : roots) {
+    ++uses[r];
+    is_root[r] = 1;
+  }
+
+  std::vector<unsigned char> fused_away(nnodes, 0);
+  auto fusable = [&](NodeId x, OpCode want) {
+    return !is_root[x] && uses[x] == 1 && !fused_away[x] && graph.node(x).op == want;
+  };
+
+  // Per-add/sub rewrite decisions.  Folding a single-use kNeg operand flips
+  // add<->sub (bit-identical over IEEE doubles); a single-use kMul operand
+  // of the (possibly flipped) add/sub then contracts to kFma / kFms.
+  struct Rewrite {
+    OpCode op{};
+    NodeId a = 0, b = 0, c = 0;
+  };
+  std::vector<Rewrite> rewrite(nnodes);
+  std::vector<unsigned char> has_rewrite(nnodes, 0);
+  for (NodeId id = 0; id < nnodes; ++id) {
+    if (!reachable[id]) continue;
+    const ExprNode& n = graph.node(id);
+    if (n.op != OpCode::kAdd && n.op != OpCode::kSub) continue;
+    OpCode op = n.op;
+    NodeId a = n.a, b = n.b;
+    for (;;) {  // neg folding can cascade at most twice (both operands)
+      if (op == OpCode::kAdd && fusable(b, OpCode::kNeg)) {
+        op = OpCode::kSub;
+        fused_away[b] = 1;
+        b = graph.node(b).a;
+      } else if (op == OpCode::kAdd && fusable(a, OpCode::kNeg)) {
+        op = OpCode::kSub;
+        fused_away[a] = 1;
+        const NodeId na = graph.node(a).a;
+        a = b;
+        b = na;
+      } else if (op == OpCode::kSub && fusable(b, OpCode::kNeg)) {
+        op = OpCode::kAdd;
+        fused_away[b] = 1;
+        b = graph.node(b).a;
+      } else {
+        break;
+      }
+    }
+    Rewrite rw;
+    if (op == OpCode::kAdd && fusable(a, OpCode::kMul)) {
+      fused_away[a] = 1;
+      rw = {OpCode::kFma, graph.node(a).a, graph.node(a).b, b};
+    } else if (op == OpCode::kAdd && fusable(b, OpCode::kMul)) {
+      fused_away[b] = 1;
+      rw = {OpCode::kFma, graph.node(b).a, graph.node(b).b, a};
+    } else if (op == OpCode::kSub && fusable(a, OpCode::kMul)) {
+      fused_away[a] = 1;
+      rw = {OpCode::kFms, graph.node(a).a, graph.node(a).b, b};
+    } else if (op != n.op || a != n.a || b != n.b) {
+      rw = {op, a, b, 0};
+    } else {
+      continue;
+    }
+    rewrite[id] = rw;
+    has_rewrite[id] = 1;
+  }
+
+  std::vector<VInstr> fused_seq;
+  fused_seq.reserve(strict_seq.size());
+  for (NodeId id = 0; id < nnodes; ++id) {
+    if (!reachable[id] || fused_away[id]) continue;
+    const ExprNode& n = graph.node(id);
+    VInstr v;
+    v.id = id;
+    if (has_rewrite[id]) {
+      const Rewrite& rw = rewrite[id];
+      v.op = rw.op;
+      v.a = rw.a;
+      v.b = rw.b;
+      v.c = rw.c;
+    } else {
+      v.op = n.op;
+      switch (n.op) {
+        case OpCode::kConst:
+          v.imm = const_index(n.value);
+          break;
+        case OpCode::kInput:
+          v.imm = n.a;
+          break;
+        default:
+          v.a = n.a;
+          v.b = n.b;
+      }
+    }
+    fused_seq.push_back(v);
+  }
+  AllocResult fused = allocate_registers(fused_seq, roots, nnodes);
+  fused_instrs_ = std::move(fused.instrs);
+  fused_output_regs_ = std::move(fused.output_regs);
+
+  // One scratch allocation serves either stream.
+  register_count_ = std::max(strict.register_count, fused.register_count);
 }
 
 void CompiledProgram::run(std::span<const double> inputs, std::span<double> outputs) const {
@@ -165,13 +336,20 @@ void CompiledProgram::run_with_scratch(std::span<const double> inputs,
       case OpCode::kNeg:
         r[ins.dst] = -r[ins.a];
         break;
+      case OpCode::kFma:  // never emitted into the strict stream
+        r[ins.dst] = std::fma(r[ins.a], r[ins.b], r[ins.c]);
+        break;
+      case OpCode::kFms:
+        r[ins.dst] = std::fma(r[ins.a], r[ins.b], -r[ins.c]);
+        break;
     }
   }
   for (std::size_t k = 0; k < output_regs_.size(); ++k) outputs[k] = r[output_regs_[k]];
 }
 
 void CompiledProgram::run_batch(std::span<const double> inputs, std::span<double> outputs,
-                                std::span<double> scratch, std::size_t count) const {
+                                std::span<double> scratch, std::size_t count,
+                                EvalMode mode) const {
   if (count == 0) return;
   if (inputs.size() < input_count_ * count)
     throw std::invalid_argument("CompiledProgram::run_batch: too few inputs");
@@ -179,7 +357,15 @@ void CompiledProgram::run_batch(std::span<const double> inputs, std::span<double
     throw std::invalid_argument("CompiledProgram::run_batch: output size mismatch");
   if (scratch.size() < register_count_ * count)
     throw std::invalid_argument("CompiledProgram::run_batch: scratch too small");
+  if (mode == EvalMode::kFast)
+    run_batch_fast(inputs, outputs, scratch, count);
+  else
+    run_batch_strict(inputs, outputs, scratch, count);
+}
 
+void CompiledProgram::run_batch_strict(std::span<const double> inputs,
+                                       std::span<double> outputs, std::span<double> scratch,
+                                       std::size_t count) const {
   double* const r = scratch.data();
   const double* const in = inputs.data();
   const std::size_t w = count;
@@ -225,6 +411,20 @@ void CompiledProgram::run_batch(std::span<const double> inputs, std::span<double
         for (std::size_t l = 0; l < w; ++l) d[l] = -a[l];
         break;
       }
+      case OpCode::kFma: {  // never emitted into the strict stream
+        const double* const a = r + ins.a * w;
+        const double* const b = r + ins.b * w;
+        const double* const c = r + ins.c * w;
+        for (std::size_t l = 0; l < w; ++l) d[l] = std::fma(a[l], b[l], c[l]);
+        break;
+      }
+      case OpCode::kFms: {
+        const double* const a = r + ins.a * w;
+        const double* const b = r + ins.b * w;
+        const double* const c = r + ins.c * w;
+        for (std::size_t l = 0; l < w; ++l) d[l] = std::fma(a[l], b[l], -c[l]);
+        break;
+      }
     }
   }
   for (std::size_t k = 0; k < output_regs_.size(); ++k) {
@@ -234,8 +434,124 @@ void CompiledProgram::run_batch(std::span<const double> inputs, std::span<double
   }
 }
 
-std::string CompiledProgram::to_c_source(std::string_view function_name) const {
+// Width-8 manually unrolled lane kernels for the fused stream.  The
+// fixed-trip inner loops vectorize cleanly without intrinsics; AWE_SIMD
+// adds an `omp simd` hint where -fopenmp-simd (or OpenMP proper) is on.
+// FMA expressions are written as a*b + c so the compiler may contract them
+// to hardware FMA under its fp-contract rules — that contraction is exactly
+// the rounding freedom EvalMode::kFast grants.
+#if defined(_OPENMP) || defined(AWE_HAVE_OPENMP_SIMD)
+#define AWE_SIMD _Pragma("omp simd")
+#else
+#define AWE_SIMD
+#endif
+
+namespace {
+
+constexpr std::size_t kUnroll = 8;
+
+#define AWE_LANE_KERNEL(expr)                                              \
+  do {                                                                     \
+    std::size_t l = 0;                                                     \
+    for (; l + kUnroll <= w; l += kUnroll) {                               \
+      AWE_SIMD                                                             \
+      for (std::size_t u = 0; u < kUnroll; ++u) {                          \
+        const std::size_t j = l + u;                                       \
+        d[j] = (expr);                                                     \
+      }                                                                    \
+    }                                                                      \
+    for (; l < w; ++l) {                                                   \
+      const std::size_t j = l;                                             \
+      d[j] = (expr);                                                       \
+    }                                                                      \
+  } while (0)
+
+}  // namespace
+
+void CompiledProgram::run_batch_fast(std::span<const double> inputs,
+                                     std::span<double> outputs, std::span<double> scratch,
+                                     std::size_t count) const {
+  double* const r = scratch.data();
+  const double* const in = inputs.data();
+  const std::size_t w = count;
+  for (const Instr& ins : fused_instrs_) {
+    double* const d = r + ins.dst * w;
+    switch (ins.op) {
+      case OpCode::kConst: {
+        const double cv = constants_[ins.a];
+        AWE_LANE_KERNEL(cv);
+        break;
+      }
+      case OpCode::kInput: {
+        const double* const a = in + ins.a * w;
+        AWE_LANE_KERNEL(a[j]);
+        break;
+      }
+      case OpCode::kAdd: {
+        const double* const a = r + ins.a * w;
+        const double* const b = r + ins.b * w;
+        AWE_LANE_KERNEL(a[j] + b[j]);
+        break;
+      }
+      case OpCode::kSub: {
+        const double* const a = r + ins.a * w;
+        const double* const b = r + ins.b * w;
+        AWE_LANE_KERNEL(a[j] - b[j]);
+        break;
+      }
+      case OpCode::kMul: {
+        const double* const a = r + ins.a * w;
+        const double* const b = r + ins.b * w;
+        AWE_LANE_KERNEL(a[j] * b[j]);
+        break;
+      }
+      case OpCode::kDiv: {
+        const double* const a = r + ins.a * w;
+        const double* const b = r + ins.b * w;
+        AWE_LANE_KERNEL(a[j] / b[j]);
+        break;
+      }
+      case OpCode::kNeg: {
+        const double* const a = r + ins.a * w;
+        AWE_LANE_KERNEL(-a[j]);
+        break;
+      }
+      case OpCode::kFma: {
+        const double* const a = r + ins.a * w;
+        const double* const b = r + ins.b * w;
+        const double* const c = r + ins.c * w;
+        AWE_LANE_KERNEL(a[j] * b[j] + c[j]);
+        break;
+      }
+      case OpCode::kFms: {
+        const double* const a = r + ins.a * w;
+        const double* const b = r + ins.b * w;
+        const double* const c = r + ins.c * w;
+        AWE_LANE_KERNEL(a[j] * b[j] - c[j]);
+        break;
+      }
+    }
+  }
+  for (std::size_t k = 0; k < fused_output_regs_.size(); ++k) {
+    const double* const s = r + fused_output_regs_[k] * w;
+    double* const d = outputs.data() + k * w;
+    for (std::size_t l = 0; l < w; ++l) d[l] = s[l];
+  }
+}
+
+#undef AWE_LANE_KERNEL
+#undef AWE_SIMD
+
+std::string CompiledProgram::to_c_source(std::string_view function_name,
+                                         EvalMode mode) const {
+  const std::vector<Instr>& stream =
+      mode == EvalMode::kFast ? fused_instrs_ : instrs_;
+  const std::vector<std::uint32_t>& out_regs =
+      mode == EvalMode::kFast ? fused_output_regs_ : output_regs_;
+
   std::string src;
+  if (mode == EvalMode::kFast)
+    src += "/* fused stream: requires <math.h> for fma() */\n";
   src += "void " + std::string(function_name) + "(const double* in, double* out) {\n";
   src += "  double r[" + std::to_string(register_count_ == 0 ? 1 : register_count_) +
          "];\n";
@@ -244,10 +560,11 @@ std::string CompiledProgram::to_c_source(std::string_view function_name) const {
     std::snprintf(buf, sizeof buf, "%.17g", v);
     return std::string(buf);
   };
-  for (const Instr& ins : instrs_) {
+  for (const Instr& ins : stream) {
     const std::string d = "  r[" + std::to_string(ins.dst) + "] = ";
     const std::string a = "r[" + std::to_string(ins.a) + "]";
     const std::string b = "r[" + std::to_string(ins.b) + "]";
+    const std::string c = "r[" + std::to_string(ins.c) + "]";
     switch (ins.op) {
       case OpCode::kConst:
         src += d + num(constants_[ins.a]) + ";\n";
@@ -270,10 +587,16 @@ std::string CompiledProgram::to_c_source(std::string_view function_name) const {
       case OpCode::kNeg:
         src += d + "-" + a + ";\n";
         break;
+      case OpCode::kFma:
+        src += d + "fma(" + a + ", " + b + ", " + c + ");\n";
+        break;
+      case OpCode::kFms:
+        src += d + "fma(" + a + ", " + b + ", -" + c + ");\n";
+        break;
     }
   }
-  for (std::size_t k = 0; k < output_regs_.size(); ++k)
-    src += "  out[" + std::to_string(k) + "] = r[" + std::to_string(output_regs_[k]) +
+  for (std::size_t k = 0; k < out_regs.size(); ++k)
+    src += "  out[" + std::to_string(k) + "] = r[" + std::to_string(out_regs[k]) +
            "];\n";
   src += "}\n";
   return src;

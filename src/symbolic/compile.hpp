@@ -6,6 +6,18 @@
 // The program is a straight-line instruction vector over a small register
 // file; registers are recycled after the last use of each intermediate, so
 // the working set stays cache resident even for thousand-operation models.
+//
+// Two instruction streams are built from the same DAG:
+//   - the STRICT stream: one instruction per DAG node, exactly the scalar
+//     operation order, bit-for-bit reproducible (EvalMode::kStrict);
+//   - the FUSED stream: a post-compilation peephole pass contracts the
+//     kMul+kAdd/kSub pairs emitted by Horner lowering into kFma/kFms ops,
+//     folds single-use kNeg into consuming adds/subs, and renumbers
+//     registers by liveness over the shorter sequence (EvalMode::kFast).
+// kFast trades the bit-for-bit guarantee for throughput: fused ops may be
+// contracted to hardware FMA (single rounding), so results can drift from
+// strict by a few ULP per fused operation.  See DESIGN.md "Fused
+// evaluation and the strict/fast contract".
 #pragma once
 
 #include <span>
@@ -24,6 +36,17 @@ struct Instr {
   std::uint32_t dst = 0;
   std::uint32_t a = 0;  // register, input index (kInput) or constant index (kConst)
   std::uint32_t b = 0;
+  std::uint32_t c = 0;  // third operand register (kFma/kFms only)
+};
+
+/// Numeric evaluation contract for the batched interpreter.
+enum class EvalMode : std::uint8_t {
+  /// Unfused instruction stream; every lane is bit-identical to run().
+  kStrict,
+  /// Fused (peephole) stream with FMA contraction permitted: faster, and
+  /// within a small ULP bound of kStrict, but not bit-reproducible across
+  /// hardware or batch geometry.
+  kFast,
 };
 
 class CompiledProgram {
@@ -35,40 +58,64 @@ class CompiledProgram {
   std::size_t output_count() const { return output_regs_.size(); }
   std::size_t input_count() const { return input_count_; }
   std::size_t instruction_count() const { return instrs_.size(); }
+  /// Length of the peephole-fused stream (<= instruction_count()).
+  std::size_t fused_instruction_count() const { return fused_instrs_.size(); }
+  /// Scratch registers per lane.  Sized for BOTH streams (max of the two
+  /// register files), so one scratch allocation serves either EvalMode.
   std::size_t register_count() const { return register_count_; }
 
   /// Evaluate: inputs are the symbol values; outputs receives the root
-  /// values.  Thread-safe (no internal mutable state) when each caller
-  /// supplies its own scratch via run_with_scratch.
+  /// values.  Always strict.  Thread-safe (no internal mutable state) when
+  /// each caller supplies its own scratch via run_with_scratch.
   void run(std::span<const double> inputs, std::span<double> outputs) const;
 
-  /// Same, with caller-provided scratch of size register_count() — the
-  /// allocation-free hot path for iterative evaluation.
+  /// Same, with caller-provided scratch — the allocation-free hot path for
+  /// iterative evaluation.
+  /// Preconditions (validated, std::invalid_argument on violation):
+  ///   inputs.size() >= input_count(), outputs.size() == output_count(),
+  ///   scratch.size() >= register_count().
   void run_with_scratch(std::span<const double> inputs, std::span<double> outputs,
                         std::span<double> scratch) const;
 
   /// Batched structure-of-arrays execution of `count` independent points.
   /// Lane stride is `count`: input i of point p sits at inputs[i*count + p],
-  /// output k of point p lands at outputs[k*count + p], and scratch must
-  /// hold register_count()*count doubles.  Each instruction is executed
-  /// across all lanes before the next one, so the inner loops are tight,
-  /// branch-free and SIMD-friendly; per-lane arithmetic is performed in
-  /// exactly the scalar order, so every lane's result is bit-identical to
-  /// run() on that point regardless of `count`.
+  /// output k of point p lands at outputs[k*count + p].
+  ///
+  /// Preconditions (validated, std::invalid_argument on violation):
+  ///   inputs.size()  >= input_count()*count,
+  ///   outputs.size() >= output_count()*count,
+  ///   scratch.size() >= register_count()*count.
+  ///
+  /// EvalMode::kStrict interprets the unfused stream, each instruction
+  /// executed across all lanes in exactly the scalar operation order, so
+  /// every lane's result is bit-identical to run() on that point regardless
+  /// of `count`.  EvalMode::kFast interprets the fused stream through
+  /// width-8 unrolled kernels; results are within a small ULP bound of
+  /// strict (see EvalMode).
   void run_batch(std::span<const double> inputs, std::span<double> outputs,
-                 std::span<double> scratch, std::size_t count) const;
+                 std::span<double> scratch, std::size_t count,
+                 EvalMode mode = EvalMode::kStrict) const;
 
   /// Emit the program as a standalone C function
   ///   void <name>(const double* in, double* out);
   /// so a compiled model can be exported from the tool and linked into a
-  /// downstream application with zero interpreter overhead.
-  std::string to_c_source(std::string_view function_name) const;
+  /// downstream application with zero interpreter overhead.  kFast emits
+  /// the fused stream using C99 fma() (the caller must include <math.h>).
+  std::string to_c_source(std::string_view function_name,
+                          EvalMode mode = EvalMode::kStrict) const;
 
  private:
-  std::vector<Instr> instrs_;
+  void run_batch_strict(std::span<const double> inputs, std::span<double> outputs,
+                        std::span<double> scratch, std::size_t count) const;
+  void run_batch_fast(std::span<const double> inputs, std::span<double> outputs,
+                      std::span<double> scratch, std::size_t count) const;
+
+  std::vector<Instr> instrs_;        // strict stream
+  std::vector<Instr> fused_instrs_;  // peephole-fused stream
   std::vector<double> constants_;
-  std::vector<std::uint32_t> output_regs_;
-  std::size_t register_count_ = 0;
+  std::vector<std::uint32_t> output_regs_;        // strict stream
+  std::vector<std::uint32_t> fused_output_regs_;  // fused stream
+  std::size_t register_count_ = 0;  // max of the two streams' register files
   std::size_t input_count_ = 0;
 };
 

@@ -1,0 +1,340 @@
+// Tests for the compile-time peephole/fusion pass and the EvalMode
+// contract: the strict stream stays bit-for-bit identical to run() across
+// every batch width, the fused stream stays within a small ULP bound of
+// strict, and undersized spans are rejected instead of read out of bounds.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "circuits/fig1_rc.hpp"
+#include "core/awesymbolic.hpp"
+#include "engine/sweep.hpp"
+#include "symbolic/compile.hpp"
+#include "symbolic/expr.hpp"
+
+namespace awe::symbolic {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Random expression DAG whose nodes we keep so the test can compute a
+/// magnitude scale for the ULP bound.  Division is kept pole-free
+/// (denominator b*b + c with c > 0) so lanes stay finite.
+struct RandomDag {
+  ExprGraph graph;
+  std::vector<NodeId> nodes;
+  std::vector<NodeId> roots;
+};
+
+RandomDag random_dag(std::mt19937& rng, std::size_t ninputs, std::size_t nops,
+                     std::size_t nroots) {
+  RandomDag d;
+  for (std::size_t i = 0; i < ninputs; ++i)
+    d.nodes.push_back(d.graph.input(static_cast<std::uint32_t>(i)));
+  std::uniform_real_distribution<double> cdist(-1.5, 1.5);
+  for (int i = 0; i < 4; ++i) d.nodes.push_back(d.graph.constant(cdist(rng)));
+
+  std::uniform_int_distribution<std::size_t> op(0, 5);
+  for (std::size_t i = 0; i < nops; ++i) {
+    std::uniform_int_distribution<std::size_t> pick(0, d.nodes.size() - 1);
+    const auto a = d.nodes[pick(rng)];
+    const auto b = d.nodes[pick(rng)];
+    ExprGraph& g = d.graph;
+    switch (op(rng)) {
+      case 0: d.nodes.push_back(g.add(a, b)); break;
+      case 1: d.nodes.push_back(g.sub(a, b)); break;
+      case 2: d.nodes.push_back(g.mul(a, b)); break;
+      case 3: d.nodes.push_back(g.div(a, g.add(g.mul(b, b), g.constant(0.25)))); break;
+      case 4: d.nodes.push_back(g.neg(a)); break;
+      // Bias toward the Horner shape the fusion pass targets.
+      default: d.nodes.push_back(g.add(g.mul(a, b), d.nodes[pick(rng)])); break;
+    }
+  }
+  std::uniform_int_distribution<std::size_t> pick(0, d.nodes.size() - 1);
+  for (std::size_t k = 0; k < nroots; ++k) d.roots.push_back(d.nodes[pick(rng)]);
+  return d;
+}
+
+constexpr std::size_t kWidths[] = {1, 3, 8, 64};
+
+TEST(FusionPass, StrictBatchBitIdenticalToRunAcrossWidths) {
+  std::mt19937 rng(71);
+  std::uniform_real_distribution<double> vdist(-2.0, 2.0);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t ninputs = 1 + trial % 4;
+    auto dag = random_dag(rng, ninputs, 50 + 9 * trial, 3);
+    const CompiledProgram prog(dag.graph, dag.roots);
+    const std::size_t nout = prog.output_count();
+    ASSERT_LE(prog.fused_instruction_count(), prog.instruction_count());
+
+    const std::size_t n = 131;  // odd tail at every width above
+    std::vector<double> points(ninputs * n);
+    for (double& v : points) v = vdist(rng);
+
+    std::vector<double> ref(nout * n);
+    std::vector<double> in(ninputs), out(nout);
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t i = 0; i < ninputs; ++i) in[i] = points[i * n + p];
+      prog.run(in, out);
+      for (std::size_t k = 0; k < nout; ++k) ref[k * n + p] = out[k];
+    }
+
+    for (const std::size_t width : kWidths) {
+      std::vector<double> soa_in(ninputs * width), soa_out(nout * width);
+      std::vector<double> scratch(prog.register_count() * width);
+      for (std::size_t b = 0; b < n; b += width) {
+        const std::size_t w = std::min(width, n - b);
+        for (std::size_t i = 0; i < ninputs; ++i)
+          for (std::size_t l = 0; l < w; ++l) soa_in[i * w + l] = points[i * n + b + l];
+        prog.run_batch(std::span<const double>(soa_in.data(), ninputs * w),
+                       std::span<double>(soa_out.data(), nout * w),
+                       std::span<double>(scratch.data(), prog.register_count() * w), w,
+                       EvalMode::kStrict);
+        for (std::size_t k = 0; k < nout; ++k)
+          for (std::size_t l = 0; l < w; ++l)
+            ASSERT_EQ(bits(soa_out[k * w + l]), bits(ref[k * n + b + l]))
+                << "trial " << trial << " width " << width << " point " << b + l;
+      }
+    }
+  }
+}
+
+TEST(FusionPass, FastWithinUlpBoundOfStrictAcrossWidths) {
+  std::mt19937 rng(2025);
+  std::uniform_real_distribution<double> vdist(-2.0, 2.0);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t ninputs = 1 + trial % 4;
+    const std::size_t nops = 50 + 9 * trial;
+    auto dag = random_dag(rng, ninputs, nops, 3);
+    const CompiledProgram prog(dag.graph, dag.roots);
+    const std::size_t nout = prog.output_count();
+
+    const std::size_t n = 131;
+    std::vector<double> points(ninputs * n);
+    for (double& v : points) v = vdist(rng);
+
+    // Strict reference plus, per point, the largest intermediate magnitude
+    // anywhere in the DAG — the natural scale for FMA contraction error
+    // (a fused op's rounding differs from strict by at most ~1 ulp of the
+    // product term, which cancellation can make large relative to the
+    // OUTPUT but never relative to the intermediates).
+    std::vector<double> ref(nout * n), scale(n, 1.0);
+    std::vector<double> in(ninputs), out(nout);
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t i = 0; i < ninputs; ++i) in[i] = points[i * n + p];
+      prog.run(in, out);
+      for (std::size_t k = 0; k < nout; ++k) ref[k * n + p] = out[k];
+      for (const NodeId id : dag.nodes) {
+        const double v = std::abs(dag.graph.evaluate_node(id, in));
+        if (std::isfinite(v)) scale[p] = std::max(scale[p], v);
+      }
+    }
+    const double tol = 1e-12 * static_cast<double>(nops);
+
+    for (const std::size_t width : kWidths) {
+      std::vector<double> soa_in(ninputs * width), soa_out(nout * width);
+      std::vector<double> scratch(prog.register_count() * width);
+      for (std::size_t b = 0; b < n; b += width) {
+        const std::size_t w = std::min(width, n - b);
+        for (std::size_t i = 0; i < ninputs; ++i)
+          for (std::size_t l = 0; l < w; ++l) soa_in[i * w + l] = points[i * n + b + l];
+        prog.run_batch(std::span<const double>(soa_in.data(), ninputs * w),
+                       std::span<double>(soa_out.data(), nout * w),
+                       std::span<double>(scratch.data(), prog.register_count() * w), w,
+                       EvalMode::kFast);
+        for (std::size_t k = 0; k < nout; ++k)
+          for (std::size_t l = 0; l < w; ++l) {
+            const std::size_t p = b + l;
+            ASSERT_NEAR(soa_out[k * w + l], ref[k * n + p], tol * scale[p])
+                << "trial " << trial << " width " << width << " point " << p
+                << " output " << k;
+          }
+      }
+    }
+  }
+}
+
+TEST(FusionPass, ContractsHornerChainIntoFma) {
+  // Dense degree-8 univariate Horner chain: every mul+add step must fuse,
+  // roughly halving the arithmetic stream.
+  std::vector<Term> terms;
+  for (std::uint16_t e = 0; e <= 8; ++e)
+    terms.push_back({Monomial{e}, static_cast<double>(e + 1)});
+  const auto p = Polynomial::from_terms(1, std::move(terms));
+  ExprGraph g;
+  const std::vector<NodeId> vars{g.input(0)};
+  const auto root = lower_polynomial(g, p, vars);
+  CompiledProgram prog(g, std::vector<NodeId>{root});
+  // 8 mul+add Horner steps fuse into 8 fma: at least 8 instructions drop.
+  EXPECT_LE(prog.fused_instruction_count() + 8, prog.instruction_count());
+
+  const std::string fast_src = prog.to_c_source("poly", EvalMode::kFast);
+  EXPECT_NE(fast_src.find("fma("), std::string::npos);
+  const std::string strict_src = prog.to_c_source("poly", EvalMode::kStrict);
+  EXPECT_EQ(strict_src.find("fma("), std::string::npos);
+}
+
+TEST(FusionPass, FusesMulSubAndFoldsNeg) {
+  // sub(mul(x,y), z) -> kFms: one instruction saved.
+  {
+    ExprGraph g;
+    const auto r = g.sub(g.mul(g.input(0), g.input(1)), g.input(2));
+    CompiledProgram prog(g, std::vector<NodeId>{r});
+    EXPECT_EQ(prog.instruction_count(), 5u);        // 3 inputs + mul + sub
+    EXPECT_EQ(prog.fused_instruction_count(), 4u);  // 3 inputs + fms
+    const std::string src = prog.to_c_source("f", EvalMode::kFast);
+    EXPECT_NE(src.find("fma("), std::string::npos);
+  }
+  // add(x, neg(y)) -> kSub: the neg disappears from the fused stream.
+  {
+    ExprGraph g;
+    const auto r = g.add(g.input(0), g.neg(g.input(1)));
+    CompiledProgram prog(g, std::vector<NodeId>{r});
+    EXPECT_EQ(prog.instruction_count(), 4u);        // 2 inputs + neg + add
+    EXPECT_EQ(prog.fused_instruction_count(), 3u);  // 2 inputs + sub
+  }
+  // sub(x, neg(mul(y,z))) -> add(x, mul) -> kFma: both folds cascade.
+  {
+    ExprGraph g;
+    const auto r = g.sub(g.input(0), g.neg(g.mul(g.input(1), g.input(2))));
+    CompiledProgram prog(g, std::vector<NodeId>{r});
+    EXPECT_EQ(prog.instruction_count(), 6u);        // 3 inputs + mul + neg + sub
+    EXPECT_EQ(prog.fused_instruction_count(), 4u);  // 3 inputs + fma
+  }
+  // Numeric spot check for all three shapes.
+  {
+    ExprGraph g;
+    const auto x = g.input(0), y = g.input(1), z = g.input(2);
+    const std::vector<NodeId> roots{g.sub(g.mul(x, y), z), g.add(x, g.neg(y)),
+                                    g.sub(x, g.neg(g.mul(y, z)))};
+    CompiledProgram prog(g, roots);
+    const std::vector<double> in{1.25, -0.5, 3.0};
+    std::vector<double> strict_out(3), fast_out(3);
+    std::vector<double> scratch(prog.register_count());
+    prog.run_batch(in, strict_out, scratch, 1, EvalMode::kStrict);
+    prog.run_batch(in, fast_out, scratch, 1, EvalMode::kFast);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_NEAR(fast_out[k], strict_out[k], 1e-14) << "output " << k;
+      EXPECT_NEAR(strict_out[k], g.evaluate_node(roots[k], in), 1e-14);
+    }
+  }
+}
+
+TEST(FusionPass, SharedMulIsNotFused) {
+  // A mul with two consumers must stay materialized: fusing it into one
+  // consumer would force the other to recompute (or read a dead register).
+  ExprGraph g;
+  const auto m = g.mul(g.input(0), g.input(1));
+  const auto r1 = g.add(m, g.input(2));
+  const auto r2 = g.sub(m, g.input(3));
+  CompiledProgram prog(g, std::vector<NodeId>{r1, r2, m});  // m also a root
+  const std::vector<double> in{1.5, 2.5, 0.25, -1.0};
+  std::vector<double> strict_out(3), fast_out(3);
+  std::vector<double> scratch(prog.register_count());
+  prog.run_batch(in, strict_out, scratch, 1, EvalMode::kStrict);
+  prog.run_batch(in, fast_out, scratch, 1, EvalMode::kFast);
+  for (int k = 0; k < 3; ++k) EXPECT_NEAR(fast_out[k], strict_out[k], 1e-14);
+  EXPECT_DOUBLE_EQ(fast_out[2], 1.5 * 2.5);  // the shared mul's own value
+}
+
+TEST(RunWithScratch, ValidatesSpanSizes) {
+  // Regression for the documented preconditions: undersized spans must be
+  // rejected up front, never read or written out of bounds.
+  ExprGraph g;
+  const auto r = g.add(g.mul(g.input(0), g.input(1)), g.input(2));
+  CompiledProgram prog(g, std::vector<NodeId>{r});
+  std::vector<double> in(3, 1.0), out(1), scratch(prog.register_count());
+  EXPECT_NO_THROW(prog.run_with_scratch(in, out, scratch));
+  EXPECT_THROW(prog.run_with_scratch(std::span<const double>(in.data(), 2), out, scratch),
+               std::invalid_argument);
+  std::vector<double> out2(2);
+  EXPECT_THROW(prog.run_with_scratch(in, out2, scratch), std::invalid_argument);
+  EXPECT_THROW(prog.run_with_scratch(in, std::span<double>(out.data(), 0), scratch),
+               std::invalid_argument);
+  EXPECT_THROW(
+      prog.run_with_scratch(in, out, std::span<double>(scratch.data(), 0)),
+      std::invalid_argument);
+}
+
+TEST(RunBatch, FastModeValidatesSpanSizesAndZeroCountIsNoop) {
+  ExprGraph g;
+  const auto r = g.add(g.mul(g.input(0), g.input(1)), g.input(0));
+  CompiledProgram prog(g, std::vector<NodeId>{r});
+  const std::size_t w = 4;
+  std::vector<double> in(2 * w, 1.0), out(w), scratch(prog.register_count() * w);
+  EXPECT_NO_THROW(prog.run_batch(in, out, scratch, w, EvalMode::kFast));
+  EXPECT_THROW(prog.run_batch(std::span<const double>(in.data(), 2 * w - 1), out,
+                              scratch, w, EvalMode::kFast),
+               std::invalid_argument);
+  EXPECT_THROW(prog.run_batch(in, std::span<double>(out.data(), w - 1), scratch, w,
+                              EvalMode::kFast),
+               std::invalid_argument);
+  EXPECT_THROW(prog.run_batch(in, out, std::span<double>(scratch.data(), 1), w,
+                              EvalMode::kFast),
+               std::invalid_argument);
+  // count == 0 touches nothing, in either mode.
+  std::vector<double> empty;
+  EXPECT_NO_THROW(prog.run_batch(empty, empty, empty, 0, EvalMode::kStrict));
+  EXPECT_NO_THROW(prog.run_batch(empty, empty, empty, 0, EvalMode::kFast));
+}
+
+}  // namespace
+}  // namespace awe::symbolic
+
+namespace awe {
+namespace {
+
+TEST(SweepFastMode, MatchesStrictWithinTolerance) {
+  auto fig = circuits::make_fig1();
+  const auto model = core::CompiledModel::build(fig.netlist, {"g2", "c2"},
+                                                circuits::Fig1Circuit::kInput, fig.v2,
+                                                {.order = 2});
+  EXPECT_LE(model.fused_instruction_count(), model.instruction_count());
+  const std::vector<sweep::Distribution> dists{sweep::Distribution::uniform(0.3, 3.0),
+                                               sweep::Distribution::lognormal(1.0, 0.3)};
+  const std::size_t n = 501;
+
+  sweep::SweepOptions strict;
+  strict.threads = 1;
+  strict.batch_width = 64;
+  const auto ref = sweep::monte_carlo(model, dists, n, 7, strict);
+  ASSERT_EQ(ref.ok_count, n);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const std::size_t width : {std::size_t{3}, std::size_t{64}}) {
+      sweep::SweepOptions fast = strict;
+      fast.threads = threads;
+      fast.batch_width = width;
+      fast.mode = core::EvalMode::kFast;
+      const auto got = sweep::monte_carlo(model, dists, n, 7, fast);
+      ASSERT_EQ(got.ok, ref.ok);
+      for (std::size_t i = 0; i < ref.moments.size(); ++i)
+        ASSERT_NEAR(got.moments[i], ref.moments[i],
+                    1e-10 * (1.0 + std::abs(ref.moments[i])))
+            << "threads " << threads << " width " << width << " slot " << i;
+    }
+  }
+}
+
+TEST(SweepFastMode, FlagsFailedLanesLikeStrict) {
+  auto fig = circuits::make_fig1();
+  const auto model = core::CompiledModel::build(fig.netlist, {"g2", "c2"},
+                                                circuits::Fig1Circuit::kInput, fig.v2,
+                                                {.order = 1});
+  const std::size_t n = 5;
+  std::vector<double> points{1.0, 0.0, 2.0, 1.5, 0.5,   // g2 row (point 1 singular)
+                             1.0, 1.0, 1.0, 1.0, 1.0};  // c2 row
+  auto ws = model.make_batch_workspace(n);
+  std::vector<double> out(model.moment_count() * n);
+  std::vector<unsigned char> ok(n, 1);
+  model.moments_batch(points, n, n, ws, out, n, ok, core::EvalMode::kFast);
+  EXPECT_FALSE(ok[1]);
+  for (const std::size_t p : {0u, 2u, 3u, 4u}) EXPECT_TRUE(ok[p]);
+}
+
+}  // namespace
+}  // namespace awe

@@ -130,6 +130,7 @@ TEST(PolynomialProperty, RingAxiomsOnRandomInputs) {
     // Evaluation is a ring homomorphism.
     EXPECT_NEAR((a + b).evaluate(pt), av + bv, 1e-9);
     EXPECT_NEAR((a * b).evaluate(pt), av * bv, 1e-8);
+    EXPECT_NEAR((b + c).evaluate(pt), bv + cv, 1e-9);
     // Distributivity as a polynomial identity (up to coefficient round-off
     // from the different association orders).
     const auto dist_residual = a * (b + c) - (a * b + a * c);

@@ -102,9 +102,11 @@ TEST(RankingMeasures, GainMeasurePicksGainCriticalElements) {
   EXPECT_NE(std::find(top.begin(), top.end(), circuits::Opamp741Circuit::kSymbolGout),
             top.end());
   // A capacitor cannot affect DC gain: its score must be ~0.
-  for (const auto& cand : by_gain)
-    if (cand.name == circuits::Opamp741Circuit::kSymbolCcomp)
+  for (const auto& cand : by_gain) {
+    if (cand.name == circuits::Opamp741Circuit::kSymbolCcomp) {
       EXPECT_NEAR(cand.normalized_sensitivity, 0.0, 1e-9);
+    }
+  }
 }
 
 TEST(RankingMeasures, ZeroMeasureRuns) {

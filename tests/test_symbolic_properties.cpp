@@ -115,8 +115,9 @@ TEST_P(SymbolicProperty, RationalFieldAxiomsNumeric) {
   const double av = a.evaluate(pt), bv = b.evaluate(pt);
   // (a+b)-b == a and (a*b)/b == a pointwise.
   EXPECT_NEAR(((a + b) - b).evaluate(pt), av, 1e-8 * (1.0 + std::abs(av)));
-  if (std::abs(bv) > 1e-6)
+  if (std::abs(bv) > 1e-6) {
     EXPECT_NEAR(((a * b) / b).evaluate(pt), av, 1e-8 * (1.0 + std::abs(av)));
+  }
 }
 
 TEST_P(SymbolicProperty, MonomialOrderIsStrictWeakOrder) {
@@ -129,9 +130,12 @@ TEST_P(SymbolicProperty, MonomialOrderIsStrictWeakOrder) {
   for (int t = 0; t < 20; ++t) {
     const auto a = random_mono(), b = random_mono(), c = random_mono();
     EXPECT_FALSE(monomial_less(a, a));  // irreflexive
-    if (monomial_less(a, b)) EXPECT_FALSE(monomial_less(b, a));  // asymmetric
-    if (monomial_less(a, b) && monomial_less(b, c))
+    if (monomial_less(a, b)) {
+      EXPECT_FALSE(monomial_less(b, a));  // asymmetric
+    }
+    if (monomial_less(a, b) && monomial_less(b, c)) {
       EXPECT_TRUE(monomial_less(a, c));  // transitive
+    }
   }
 }
 
