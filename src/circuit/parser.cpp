@@ -61,14 +61,21 @@ class DeckBuilder {
   explicit DeckBuilder(ParsedDeck& deck) : deck_(deck) {}
 
   void collect_subckt(const std::string& name, SubcktDef def) {
-    if (subckts_.contains(name)) throw std::runtime_error("duplicate .subckt " + name);
     subckts_.emplace(name, std::move(def));
   }
+
+  bool has_subckt(const std::string& name) const { return subckts_.contains(name); }
 
   void process(const Card& card, const NameScope& scope, int depth) {
     const auto& tokens = card.tokens;
     const std::size_t line_no = card.line_no;
     const std::string head = lower(tokens[0]);
+    // Classify by the basename after the last '.': a flattened-hierarchy
+    // name like "x1.r2" (as the writer emits for expanded subcircuit
+    // instances) is a resistor card, not an X instance card.
+    const std::size_t basename_at = head.find_last_of('.') + 1;
+    if (basename_at >= head.size())
+      fail(line_no, "unknown element card '" + tokens[0] + "'");
 
     auto need = [&](std::size_t n) {
       if (tokens.size() < n)
@@ -87,7 +94,7 @@ class DeckBuilder {
     Netlist& nl = deck_.netlist;
     const std::string name = scope.element(tokens[0]);
     try {
-      switch (head[0]) {
+      switch (head[basename_at]) {
         case 'r':
           need(4);
           nl.add_resistor(name, node(tokens[1]), node(tokens[2]), value(tokens[3]));
@@ -218,7 +225,12 @@ ParsedDeck parse_deck(std::istream& in) {
   std::size_t line_no = 0;
   bool first_line = true;
   bool ended = false;
-  std::vector<std::pair<std::string, SubcktDef>> subckt_stack;
+  struct OpenSubckt {
+    std::string name;
+    SubcktDef def;
+    std::size_t line_no;  ///< the .subckt line, for unterminated-block errors
+  };
+  std::vector<OpenSubckt> subckt_stack;
 
   std::vector<Card> directives;
   while (std::getline(in, line)) {
@@ -237,25 +249,25 @@ ParsedDeck parse_deck(std::istream& in) {
 
     if (head == ".subckt") {
       if (tokens.size() < 3) fail(line_no, ".subckt needs a name and at least one port");
+      const std::string name = lower(tokens[1]);
+      if (builder.has_subckt(name)) fail(line_no, "duplicate .subckt '" + tokens[1] + "'");
+      for (const auto& open : subckt_stack)
+        if (open.name == name) fail(line_no, "duplicate .subckt '" + tokens[1] + "'");
       SubcktDef def;
       for (std::size_t i = 2; i < tokens.size(); ++i) def.ports.push_back(lower(tokens[i]));
-      subckt_stack.emplace_back(lower(tokens[1]), std::move(def));
+      subckt_stack.push_back({name, std::move(def), line_no});
       continue;
     }
     if (head == ".ends") {
       if (subckt_stack.empty()) fail(line_no, ".ends without .subckt");
-      auto [name, def] = std::move(subckt_stack.back());
+      auto open = std::move(subckt_stack.back());
       subckt_stack.pop_back();
-      try {
-        builder.collect_subckt(name, std::move(def));
-      } catch (const std::runtime_error& e) {
-        fail(line_no, e.what());
-      }
+      builder.collect_subckt(open.name, std::move(open.def));
       continue;
     }
     if (!subckt_stack.empty()) {
       if (head[0] == '.') fail(line_no, "directive '" + tokens[0] + "' inside .subckt");
-      subckt_stack.back().second.cards.push_back({std::move(tokens), line_no});
+      subckt_stack.back().def.cards.push_back({std::move(tokens), line_no});
       continue;
     }
 
@@ -272,7 +284,8 @@ ParsedDeck parse_deck(std::istream& in) {
     top_level.push_back({std::move(tokens), line_no});
   }
   if (!subckt_stack.empty())
-    fail(line_no, "unterminated .subckt '" + subckt_stack.back().first + "'");
+    fail(subckt_stack.back().line_no,
+         "unterminated .subckt '" + subckt_stack.back().name + "' (no matching .ends)");
 
   // ---- Pass 2: expand top-level cards. ----------------------------------
   const NameScope top_scope;

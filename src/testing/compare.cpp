@@ -1,0 +1,52 @@
+#include "testing/compare.hpp"
+
+#include <sstream>
+
+namespace awe::testing {
+namespace {
+
+using circuit::Element;
+using circuit::Netlist;
+
+std::string describe(const Netlist& nl, const Element& e) {
+  std::ostringstream os;
+  os << circuit::to_string(e.kind) << " '" << e.name << "' (" << nl.node_name(e.pos)
+     << ", " << nl.node_name(e.neg) << ") value=" << e.value;
+  return os.str();
+}
+
+bool fail(std::string* why, const std::string& msg) {
+  if (why) *why = msg;
+  return false;
+}
+
+}  // namespace
+
+bool decks_identical(const circuit::ParsedDeck& a, const circuit::ParsedDeck& b,
+                     std::string* why) {
+  const Netlist& na = a.netlist;
+  const Netlist& nb = b.netlist;
+  if (na.elements().size() != nb.elements().size())
+    return fail(why, "element counts differ: " + std::to_string(na.elements().size()) +
+                         " vs " + std::to_string(nb.elements().size()));
+  for (std::size_t i = 0; i < na.elements().size(); ++i) {
+    const Element& ea = na.elements()[i];
+    const Element& eb = nb.elements()[i];
+    const bool same = ea.kind == eb.kind && ea.name == eb.name &&
+                      na.node_name(ea.pos) == nb.node_name(eb.pos) &&
+                      na.node_name(ea.neg) == nb.node_name(eb.neg) &&
+                      na.node_name(ea.ctrl_pos) == nb.node_name(eb.ctrl_pos) &&
+                      na.node_name(ea.ctrl_neg) == nb.node_name(eb.ctrl_neg) &&
+                      ea.ctrl_source == eb.ctrl_source &&
+                      ea.ctrl_source2 == eb.ctrl_source2 && ea.value == eb.value;
+    if (!same)
+      return fail(why, "element " + std::to_string(i) + " differs: " + describe(na, ea) +
+                           " vs " + describe(nb, eb));
+  }
+  if (a.symbol_elements != b.symbol_elements) return fail(why, ".symbol lists differ");
+  if (a.input_source != b.input_source) return fail(why, ".input differs");
+  if (a.output_node != b.output_node) return fail(why, ".output differs");
+  return true;
+}
+
+}  // namespace awe::testing

@@ -1,0 +1,20 @@
+// Structural deck equality for round-trip property tests and corpus
+// replay: two parsed decks are identical when they contain the same
+// elements (name, kind, terminals BY NODE NAME, control references,
+// bit-exact values) and the same .symbol/.input/.output directives.
+// Node ids are compared through their names, so two netlists that intern
+// nodes in a different order still compare equal.
+#pragma once
+
+#include <string>
+
+#include "circuit/parser.hpp"
+
+namespace awe::testing {
+
+/// True when the decks are structurally identical; otherwise false with a
+/// human-readable first difference in *why (when non-null).
+bool decks_identical(const circuit::ParsedDeck& a, const circuit::ParsedDeck& b,
+                     std::string* why = nullptr);
+
+}  // namespace awe::testing

@@ -1,0 +1,57 @@
+// Seeded random netlist generator for differential fuzzing.
+//
+// Emits well-posed SPICE decks by construction, never by rejection:
+//   * every non-ground node hangs off a resistive spanning tree rooted at
+//     ground, so G + s0*C is nonsingular at DC (no C-cut nodes, no
+//     floating islands);
+//   * inductors, VCVS and CCVS outputs always introduce a fresh node, so
+//     the voltage-defined branches (V/L/E/H) can never close a loop;
+//   * CCCS/CCVS control currents reference the input voltage source;
+//   * mutually coupled inductors are excluded from the symbol pool (the
+//     M = k*sqrt(L1 L2) stamp is not linear in a symbolic L);
+//   * the MNA dimension (nodes + aux branch currents) is budgeted during
+//     generation and capped at <= 16 so the exact Cramer's-rule oracle
+//     stays tractable.
+//
+// Generation is deterministic in the seed: the same (GenOptions, seed)
+// always produce byte-identical deck text, on any platform (no
+// std::uniform_*_distribution, whose streams are implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/parser.hpp"
+
+namespace awe::testing {
+
+struct GenOptions {
+  std::uint64_t seed = 1;
+  /// Hard MNA-dimension budget; clamped to the exact oracle's limit of 16.
+  std::size_t max_mna_dim = 12;
+  std::size_t min_spine_nodes = 2;  ///< resistive spanning-tree nodes
+  std::size_t max_spine_nodes = 6;
+  std::size_t max_decorations = 8;  ///< extra R/C/L/controlled-source cards
+  std::size_t max_symbols = 3;      ///< .symbol count (always >= 1)
+  bool allow_inductors = true;
+  bool allow_controlled = true;  ///< G/E/F/H cards
+  bool allow_mutual = true;      ///< K cards (requires allow_inductors)
+  bool allow_subckt = true;      ///< .subckt definition + X instances
+};
+
+struct GeneratedDeck {
+  std::uint64_t seed = 0;
+  std::string text;             ///< the deck source (ends in .end)
+  circuit::ParsedDeck parsed;   ///< parse of `text`
+  std::size_t mna_dim = 0;      ///< nodes + aux unknowns of the parse
+};
+
+/// Generate one deck.  Throws std::logic_error if the generator violates
+/// its own well-posedness invariants (a generator bug, not bad luck).
+GeneratedDeck generate_deck(const GenOptions& opts);
+
+/// The case seed used for index `i` of a campaign with master seed `seed`
+/// (splitmix64 stream, so neighbouring cases are decorrelated).
+std::uint64_t case_seed(std::uint64_t seed, std::uint64_t index);
+
+}  // namespace awe::testing

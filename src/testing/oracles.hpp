@@ -1,0 +1,80 @@
+// Multi-oracle differential cross-checker.
+//
+// One deck, five independent evaluation paths for the same 2q transfer
+// moments:
+//   1. exact  — Cramer's-rule symbolic H(s,e), Maclaurin long division
+//   2. awe    — numeric MNA moment recursion (sparse LU per deck)
+//   3. strict — compiled interpreter, scalar strict mode
+//   4. fast   — compiled interpreter, peephole-fused batch mode (kFast)
+//   5. sweep  — the parallel sweep engine, strict mode, one point
+//
+// Comparison is condition-aware rather than binary: each moment m_k gets a
+// cancellation factor c_k = scale_k / |m_k| against its natural magnitude
+// scale_k = |m_0| * tau^k (tau the dominant time constant inferred from
+// the moment ratios).  Tolerances widen with c_k; moments cancelled below
+// the floor are skipped; disagreement on a moment whose c_k exceeds the
+// classification limit is reported as kIllConditioned, not kMismatch.
+// Genuine Padé instability is likewise classified, never a failure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/parser.hpp"
+
+namespace awe::testing {
+
+enum class OracleStatus {
+  kAgree,           ///< all five paths match under the tolerance policy
+  kMismatch,        ///< a genuine disagreement — this is a bug somewhere
+  kIllConditioned,  ///< disagreement explained by catastrophic cancellation
+  kSingular,        ///< every path rejects the deck (det Y0 == 0 at DC)
+};
+
+const char* to_string(OracleStatus s);
+
+/// Deliberate defects for testing the fuzzer's own detection/shrinking
+/// machinery (a perturbed fused kernel is the canonical example).
+enum class FaultInjection {
+  kNone,
+  kPerturbFastMoment0,  ///< scale the fast path's m_0 by (1 + 2^-10)
+};
+
+struct OracleOptions {
+  std::size_t order = 2;        ///< Padé order q; 2q moments are compared
+  double cross_tol = 1e-6;      ///< exact/awe/strict cross-path rel tol
+  double fast_tol = 1e-9;       ///< fast vs strict (fused-kernel ULP drift)
+  double cancel_skip = 1e9;     ///< skip moments cancelled below scale/|m| > this
+  double ill_limit = 1e6;       ///< classify (not fail) beyond this c_k
+  /// Absolute noise floor: moments smaller than zero_tol times the deck's
+  /// natural magnitude bound (m0_ub * tau_ub^k) are skipped — they are
+  /// roundoff where the true moment is (near-)zero, and no relative
+  /// tolerance survives a comparison against an exact 0.
+  double zero_tol = 1e-9;
+  FaultInjection fault = FaultInjection::kNone;
+};
+
+struct OracleResult {
+  OracleStatus status = OracleStatus::kAgree;
+  std::string detail;  ///< human-readable reason for non-agree statuses
+  /// Stable signature of HOW the paths disagreed ("strict vs fast",
+  /// "awe failed", ...) — the shrinker preserves this so minimization
+  /// cannot morph one finding into a structurally different one.
+  std::string mismatch_kind;
+  /// Per-path moments (empty when that path failed) and failure messages.
+  std::vector<double> exact, awe, strict_c, fast, sweep;
+  std::string exact_error, awe_error, compiled_error;
+  double max_rel_err = 0.0;       ///< worst pairwise rel error over compared moments
+  double worst_cancellation = 1.0;///< max c_k observed
+  bool pade_ok = true;            ///< classification only, never a failure
+  std::size_t moments_compared = 0;
+  std::size_t moments_skipped = 0;  ///< cancelled past OracleOptions::cancel_skip
+};
+
+/// Run all five oracles on a parsed deck carrying .symbol/.input/.output
+/// directives.  Never throws on well-posed decks: failures are encoded in
+/// the status.  Throws std::invalid_argument for decks missing directives.
+OracleResult run_oracles(const circuit::ParsedDeck& deck, const OracleOptions& opts = {});
+
+}  // namespace awe::testing

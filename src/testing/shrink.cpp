@@ -1,0 +1,235 @@
+#include "testing/shrink.hpp"
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "circuit/writer.hpp"
+#include "testing/wellposed.hpp"
+
+namespace awe::testing {
+namespace {
+
+using circuit::Element;
+using circuit::ElementKind;
+using circuit::kGround;
+using circuit::Netlist;
+using circuit::NodeId;
+using circuit::ParsedDeck;
+
+bool two_terminal_passive(ElementKind k) {
+  return k == ElementKind::kResistor || k == ElementKind::kConductance ||
+         k == ElementKind::kCapacitor || k == ElementKind::kInductor;
+}
+
+/// Rebuild a deck keeping only elements with keep[i], with nodes remapped
+/// through `root` (a union-find-style representative per original NodeId).
+/// Anything left dangling by the removals is dropped transitively.
+/// Returns nullopt when the candidate is not a well-posed deck.
+std::optional<ParsedDeck> rebuild(const ParsedDeck& src, std::vector<bool> keep,
+                                  const std::vector<NodeId>& root) {
+  const auto& elems = src.netlist.elements();
+
+  // Transitively drop elements whose references died: CCCS/CCVS need their
+  // control V source, K needs both inductors.
+  bool changed = true;
+  auto alive = [&](const std::string& name) {
+    const auto idx = src.netlist.find_element(name);
+    return idx && keep[*idx];
+  };
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+      if (!keep[i]) continue;
+      const Element& e = elems[i];
+      const bool dangling =
+          ((e.kind == ElementKind::kCccs || e.kind == ElementKind::kCcvs) &&
+           !alive(e.ctrl_source)) ||
+          (e.kind == ElementKind::kMutual &&
+           (!alive(e.ctrl_source) || !alive(e.ctrl_source2)));
+      if (dangling) {
+        keep[i] = false;
+        changed = true;
+      }
+    }
+  }
+
+  ParsedDeck out;
+  out.title = src.title;
+  Netlist& nl = out.netlist;
+  const auto node = [&](NodeId n) -> NodeId {
+    const NodeId r = root[n];
+    return r == kGround ? kGround : nl.node(src.netlist.node_name(r));
+  };
+
+  try {
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+      if (!keep[i]) continue;
+      const Element& e = elems[i];
+      switch (e.kind) {
+        case ElementKind::kResistor:
+          nl.add_resistor(e.name, node(e.pos), node(e.neg), e.value);
+          break;
+        case ElementKind::kConductance:
+          nl.add_conductance(e.name, node(e.pos), node(e.neg), e.value);
+          break;
+        case ElementKind::kCapacitor:
+          nl.add_capacitor(e.name, node(e.pos), node(e.neg), e.value);
+          break;
+        case ElementKind::kInductor:
+          nl.add_inductor(e.name, node(e.pos), node(e.neg), e.value);
+          break;
+        case ElementKind::kVoltageSource:
+          nl.add_voltage_source(e.name, node(e.pos), node(e.neg), e.value);
+          break;
+        case ElementKind::kCurrentSource:
+          nl.add_current_source(e.name, node(e.pos), node(e.neg), e.value);
+          break;
+        case ElementKind::kVccs:
+          nl.add_vccs(e.name, node(e.pos), node(e.neg), node(e.ctrl_pos),
+                      node(e.ctrl_neg), e.value);
+          break;
+        case ElementKind::kVcvs:
+          nl.add_vcvs(e.name, node(e.pos), node(e.neg), node(e.ctrl_pos),
+                      node(e.ctrl_neg), e.value);
+          break;
+        case ElementKind::kCccs:
+          nl.add_cccs(e.name, node(e.pos), node(e.neg), e.ctrl_source, e.value);
+          break;
+        case ElementKind::kCcvs:
+          nl.add_ccvs(e.name, node(e.pos), node(e.neg), e.ctrl_source, e.value);
+          break;
+        case ElementKind::kMutual:
+          nl.add_mutual(e.name, e.ctrl_source, e.ctrl_source2, e.value);
+          break;
+      }
+    }
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;  // e.g. a collapse shorted a voltage source
+  }
+
+  // Directives.  The input source must survive; the output node must not
+  // have merged into ground; at least one symbol must survive.
+  if (src.input_source.empty() || !nl.find_element(src.input_source))
+    return std::nullopt;
+  out.input_source = src.input_source;
+  const auto out_id = src.netlist.find_node(src.output_node);
+  if (!out_id) return std::nullopt;
+  const NodeId out_root = root[*out_id];
+  if (out_root == kGround || !nl.find_node(src.netlist.node_name(out_root)))
+    return std::nullopt;
+  out.output_node = src.netlist.node_name(out_root);
+  for (const auto& s : src.symbol_elements)
+    if (nl.find_element(s)) out.symbol_elements.push_back(s);
+  if (out.symbol_elements.empty()) return std::nullopt;
+
+  if (!nl.validate().empty()) return std::nullopt;
+  // Same admissibility bar as the generator: the compiled oracle must be
+  // able to extract the surviving symbols as ports, or the shrinker would
+  // morph a genuine differential finding into a structurally-degenerate
+  // deck that merely fails to build.
+  if (!symbols_extractable(out, out.symbol_elements)) return std::nullopt;
+  return out;
+}
+
+std::vector<NodeId> identity_roots(const Netlist& nl) {
+  std::vector<NodeId> root(nl.num_nodes() + 1);
+  for (NodeId i = 0; i < root.size(); ++i) root[i] = i;
+  return root;
+}
+
+}  // namespace
+
+ShrinkResult shrink_deck(const ParsedDeck& deck, const ShrinkPredicate& still_fails) {
+  auto holds = [&](const ParsedDeck& d) {
+    try {
+      return still_fails(d);
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  if (!holds(deck))
+    throw std::invalid_argument("shrink_deck: predicate does not hold on the input deck");
+
+  ShrinkResult res;
+  res.deck = deck;
+
+  const auto input_index = [&](const ParsedDeck& d) {
+    return d.netlist.find_element(d.input_source);
+  };
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    const auto& elems = res.deck.netlist.elements();
+    const auto input = input_index(res.deck);
+
+    // Pass 1: plain deletions.
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+      if (input && i == *input) continue;
+      std::vector<bool> keep(elems.size(), true);
+      keep[i] = false;
+      ++res.attempts;
+      auto cand = rebuild(res.deck, std::move(keep), identity_roots(res.deck.netlist));
+      if (cand && holds(*cand)) {
+        res.deck = std::move(*cand);
+        ++res.accepted;
+        improved = true;
+        break;  // element indices shifted; restart the scan
+      }
+    }
+    if (improved) continue;
+
+    // Pass 2: collapse a two-terminal passive (delete + merge its nodes).
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+      const Element& e = elems[i];
+      if (!two_terminal_passive(e.kind) || (input && i == *input)) continue;
+      if (e.pos == e.neg) continue;
+      std::vector<bool> keep(elems.size(), true);
+      keep[i] = false;
+      auto root = identity_roots(res.deck.netlist);
+      // Merge toward ground when either side is grounded.
+      const NodeId to = e.pos == kGround || e.neg == kGround ? kGround
+                        : std::min(e.pos, e.neg);
+      const NodeId from = e.pos == to ? e.neg : e.pos;
+      for (NodeId n = 0; n < root.size(); ++n)
+        if (root[n] == from) root[n] = to;
+      ++res.attempts;
+      auto cand = rebuild(res.deck, std::move(keep), root);
+      if (cand && holds(*cand)) {
+        res.deck = std::move(*cand);
+        ++res.accepted;
+        improved = true;
+        break;
+      }
+    }
+  }
+
+  // Pass 3 (cosmetic, once): snap surviving values to powers of ten.
+  {
+    const auto& elems = res.deck.netlist.elements();
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+      const double v = elems[i].value;
+      if (v == 0.0) continue;
+      const double snapped =
+          std::copysign(std::pow(10.0, std::round(std::log10(std::abs(v)))), v);
+      if (snapped == v) continue;
+      ParsedDeck cand = res.deck;
+      cand.netlist.set_value(i, snapped);
+      ++res.attempts;
+      if (holds(cand)) {
+        res.deck = std::move(cand);
+        ++res.accepted;
+      }
+    }
+  }
+
+  circuit::WriteOptions wo;
+  wo.title = " shrunk by awe_fuzz";
+  res.text = circuit::deck_to_string(res.deck, wo);
+  return res;
+}
+
+}  // namespace awe::testing

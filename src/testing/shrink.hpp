@@ -1,0 +1,40 @@
+// Automatic test-case shrinker.
+//
+// Given a deck on which some predicate holds (canonically: "the
+// multi-oracle runner reports a mismatch"), greedily searches for a
+// smaller deck where it still holds:
+//   * delete one element (plus anything its removal leaves dangling:
+//     CCCS/CCVS losing their control source, K losing an inductor,
+//     .symbol directives losing their element);
+//   * collapse one two-terminal R/C/L — delete it and merge its nodes;
+//   * snap element values to the nearest power of ten.
+// Every candidate is rebuilt through the Netlist API and must re-validate
+// (connected, well-formed, output off ground, at least one symbol) before
+// the predicate is consulted, so the minimized deck is always well-posed.
+// The loop runs to a fixpoint; the result round-trips through the writer
+// so it can be committed directly to the regression corpus.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "circuit/parser.hpp"
+
+namespace awe::testing {
+
+using ShrinkPredicate = std::function<bool(const circuit::ParsedDeck&)>;
+
+struct ShrinkResult {
+  circuit::ParsedDeck deck;  ///< the minimized deck
+  std::string text;          ///< writer output of `deck` (parse-ready)
+  std::size_t attempts = 0;  ///< candidates tried
+  std::size_t accepted = 0;  ///< shrink steps that kept the predicate
+};
+
+/// Shrink `deck` while `still_fails` holds.  The input deck itself must
+/// satisfy the predicate (std::invalid_argument otherwise).  The predicate
+/// is treated as false for candidates on which it throws.
+ShrinkResult shrink_deck(const circuit::ParsedDeck& deck,
+                         const ShrinkPredicate& still_fails);
+
+}  // namespace awe::testing

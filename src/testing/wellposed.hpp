@@ -1,0 +1,32 @@
+// Structural well-posedness checks shared by the netlist generator and the
+// shrinker: a deck is only admissible when the compiled path can extract
+// every .symbol element as a port.  The partitioner's port set is the
+// non-AC-ground terminal NODES of the symbols (incl. VCCS control pins),
+// the input source terminals and the output node; its numeric partition
+// drops the symbols, the input and all current sources; and the port
+// admittance moments ground every port node through a 0 V source.  That
+// grounded-port DC matrix is singular — and the compiled path legitimately
+// rejects what the numeric oracle happens to survive — exactly when
+//   * a node loses DC conduction to the merged {ground ∪ ports} class
+//     (conducting kinds: R, G, L, V, E, H — not C, I, VCCS or CCCS), or
+//   * a voltage-defined branch (L, V, E, H) closes a cycle once the port
+//     nodes are identified with ground (dependent aux-current columns).
+// The generator must never emit such a deck and the shrinker must never
+// shrink into one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/parser.hpp"
+
+namespace awe::testing {
+
+/// True when every element of `symbols` can be pulled out of the deck as a
+/// port simultaneously.  On failure, *why (when non-null) gets a
+/// human-readable reason.
+bool symbols_extractable(const circuit::ParsedDeck& deck,
+                         const std::vector<std::string>& symbols,
+                         std::string* why = nullptr);
+
+}  // namespace awe::testing

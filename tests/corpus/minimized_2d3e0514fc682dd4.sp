@@ -1,0 +1,8 @@
+* awe_fuzz generated deck seed=3260048767954988500
+rsp3 n3 n1 1000
+rb8 n1 0 100
+iin n1 0 1
+.symbol rsp3
+.input iin
+.output n1
+.end

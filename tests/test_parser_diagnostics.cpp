@@ -1,0 +1,119 @@
+// Parser error-path audit: every diagnostic must carry the line number of
+// the offending card (or, for unterminated blocks, of the opening line),
+// so fuzzer-minimized decks and user decks alike fail with an actionable
+// message.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "circuit/parser.hpp"
+
+namespace awe::circuit {
+namespace {
+
+/// Parse and return the diagnostic, asserting it mentions `line`.
+std::string diag_at(const std::string& deck, std::size_t line) {
+  try {
+    parse_deck_string(deck);
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("netlist line " + std::to_string(line) + ":"), std::string::npos)
+        << "diagnostic '" << what << "' does not point at line " << line;
+    return what;
+  }
+  ADD_FAILURE() << "deck parsed cleanly:\n" << deck;
+  return {};
+}
+
+TEST(ParserDiagnostics, MalformedCardReportsItsLine) {
+  const auto what = diag_at("* title\nr1 1 0 1k\nc1 1\nr2 1 0 2k\n.end\n", 3);
+  EXPECT_NE(what.find("expected at least 3 fields"), std::string::npos) << what;
+}
+
+TEST(ParserDiagnostics, BadValueSuffixReportsItsLine) {
+  const auto what = diag_at("* title\nr1 1 0 1k\nc2 1 0 10q#\n.end\n", 3);
+  EXPECT_NE(what.find("bad numeric value"), std::string::npos) << what;
+}
+
+TEST(ParserDiagnostics, UnknownCardReportsItsLine) {
+  diag_at("* title\nr1 1 0 1k\nq1 1 0 2 model\n.end\n", 3);
+}
+
+TEST(ParserDiagnostics, UnknownDirectiveReportsItsLine) {
+  diag_at("* title\nr1 1 0 1k\n.tran 1n 1u\n.end\n", 3);
+}
+
+TEST(ParserDiagnostics, NegativeResistanceReportsItsLine) {
+  const auto what = diag_at("* title\nr1 1 0 1k\nr2 1 0 -5\n.end\n", 3);
+  EXPECT_NE(what.find("positive resistance"), std::string::npos) << what;
+}
+
+TEST(ParserDiagnostics, DuplicateElementReportsItsLine) {
+  diag_at("* title\nr1 1 0 1k\nr1 2 0 2k\n.end\n", 3);
+}
+
+TEST(ParserDiagnostics, UnterminatedSubcktReportsTheOpeningLine) {
+  // The .subckt opens on line 4 and never closes; pointing at EOF would
+  // send the user to the wrong end of the file.
+  const auto what = diag_at("* title\nr1 1 0 1k\n\n.subckt pi a b\nrs a b 1k\n", 4);
+  EXPECT_NE(what.find("unterminated .subckt 'pi'"), std::string::npos) << what;
+}
+
+TEST(ParserDiagnostics, DuplicateSubcktReportsTheSecondDefinition) {
+  const auto what = diag_at(
+      "* title\n.subckt pi a b\nrs a b 1k\n.ends\n.subckt pi a b\nrs a b 1k\n.ends\n"
+      "r1 1 0 1k\n.end\n",
+      5);
+  EXPECT_NE(what.find("duplicate .subckt 'pi'"), std::string::npos) << what;
+}
+
+TEST(ParserDiagnostics, EndsWithoutSubcktReportsItsLine) {
+  diag_at("* title\nr1 1 0 1k\n.ends\n.end\n", 3);
+}
+
+TEST(ParserDiagnostics, DirectiveInsideSubcktReportsItsLine) {
+  diag_at("* title\n.subckt pi a b\n.symbol rs\nrs a b 1k\n.ends\nr1 1 0 1\n.end\n", 3);
+}
+
+TEST(ParserDiagnostics, InstanceArityMismatchReportsTheInstanceLine) {
+  const auto what = diag_at(
+      "* title\n.subckt pi a b\nrs a b 1k\n.ends\nr1 1 0 1k\nx1 1 2 3 pi\n.end\n", 6);
+  EXPECT_NE(what.find("expects 2 nodes, got 3"), std::string::npos) << what;
+}
+
+TEST(ParserDiagnostics, UnknownSubcktReportsTheInstanceLine) {
+  diag_at("* title\nr1 1 0 1k\nx1 1 2 nosuch\n.end\n", 3);
+}
+
+TEST(ParserDiagnostics, BadCardInsideSubcktReportsTheBodyLine) {
+  // The instance is on line 6, but the broken card lives on line 3 of the
+  // definition body — that is where the fix goes.
+  const auto what =
+      diag_at("* title\n.subckt pi a b\nrs a b nope!\n.ends\nr1 1 0 1k\nx1 1 2 pi\n.end\n", 3);
+  EXPECT_NE(what.find("bad numeric value"), std::string::npos) << what;
+}
+
+TEST(ParserDiagnostics, ContentAfterEndReportsItsLine) {
+  diag_at("* title\nr1 1 0 1k\n.end\nr2 1 0 2k\n", 4);
+}
+
+TEST(ParserDiagnostics, MutualCouplingRangeReportsItsLine) {
+  const auto what = diag_at(
+      "* title\nr1 1 0 1k\nl1 1 2 1n\nl2 2 0 1n\nk1 l1 l2 1.5\n.end\n", 5);
+  EXPECT_NE(what.find("coupling"), std::string::npos) << what;
+}
+
+TEST(ParserDiagnostics, DottedNameClassifiesByBasename) {
+  // Flattened hierarchical names (writer output for expanded instances)
+  // parse as their basename kind, not as X instance cards.
+  const auto deck = parse_deck_string(
+      "* flat\nvin in 0 1\nx1.rs1 in x1.m 1k\nx1.cs1 x1.m 0 1p\n.end\n");
+  ASSERT_EQ(deck.netlist.elements().size(), 3u);
+  EXPECT_EQ(deck.netlist.elements()[1].kind, ElementKind::kResistor);
+  EXPECT_EQ(deck.netlist.elements()[1].name, "x1.rs1");
+  EXPECT_EQ(deck.netlist.elements()[2].kind, ElementKind::kCapacitor);
+}
+
+}  // namespace
+}  // namespace awe::circuit
