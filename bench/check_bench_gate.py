@@ -1,111 +1,115 @@
 #!/usr/bin/env python3
-"""Perf gate for bench_sweep_scaling.
+"""Perf gate for the benchmark suite.
 
-Compares the `norm_ops_per_s` counter (points/sec x compiled-program
-instruction count — a wall-time-free work rate, see DESIGN.md "Perf gate")
-of a fresh google-benchmark JSON run against the committed
-BENCH_baseline.json and fails on a regression beyond the threshold.
+Compares gated counters of fresh google-benchmark JSON runs against the
+committed BENCH_baseline.json and fails on a regression beyond the
+threshold.  Two counter families are gated by default:
+
+  norm_ops_per_s  (bench_sweep_scaling)      anchored to BM_ScalarLoop
+  builds_per_s    (bench_coupled_setup_cost) anchored to BM_BuildCold
 
 Usage:
-  check_bench_gate.py RESULTS.json BASELINE.json [--threshold 0.35]
-                      [--counter norm_ops_per_s] [--anchor BM_ScalarLoop]
+  check_bench_gate.py RESULTS.json [RESULTS2.json ...] BASELINE.json
+                      [--threshold 0.35] [--gate COUNTER[:ANCHOR] ...]
                       [--no-anchor] [--update]
 
 Exit codes: 0 = pass, 1 = regression or missing benchmark, 2 = bad input.
 
+Several results files (one per benchmark binary) are merged into one run
+before gating; the last positional argument is always the baseline.  Each
+--gate names a counter and the benchmark whose counter anchors it;
+repeat the flag to gate several families, or omit it for the defaults
+above.  The legacy --counter/--anchor pair is still accepted and defines
+a single gate.
+
 By default every counter is divided by the same run's anchor benchmark
-(BM_ScalarLoop) before comparing, so the gated quantity is the engine's
-speedup STRUCTURE relative to the scalar interpreter on the same machine
-— a committed baseline then transfers across runners of different
-absolute speed.  --no-anchor compares raw counter values (only sensible
-on dedicated, stable hardware).
+before comparing, so the gated quantity is a speedup STRUCTURE on the
+same machine (interpreter speedup over the scalar loop; warm-cache and
+parallel-build speedup over a cold serial build) — a committed baseline
+then transfers across runners of different absolute speed.  --no-anchor
+compares raw counter values (only sensible on dedicated, stable
+hardware).
 
 The default threshold is deliberately loose (35%): shared CI runners have
 noisy throughput even after anchoring, and the gate's job is to catch
 *structural* regressions (an interpreter de-optimization, a fusion pass
-that stopped firing, an accidental O(n) -> O(n^2)), not 5% jitter.
-Tighten it only with dedicated hardware.
+that stopped firing, a cache probe that silently started rebuilding), not
+5% jitter.  Tighten it only with dedicated hardware.
 
 To regenerate the baseline after an intentional perf change:
   AWE_BENCH_TABLE=0 bench/bench_sweep_scaling \
-      --benchmark_out=results.json --benchmark_out_format=json
-  python3 bench/check_bench_gate.py results.json BENCH_baseline.json --update
+      --benchmark_out=sweep.json --benchmark_out_format=json
+  AWE_BENCH_TABLE=0 bench/bench_coupled_setup_cost \
+      --benchmark_out=build.json --benchmark_out_format=json
+  python3 bench/check_bench_gate.py sweep.json build.json \
+      BENCH_baseline.json --update
 """
 
 import argparse
 import json
 import math
-import shutil
 import sys
 
 
-def load_counters(path, counter):
-    """Map benchmark name -> counter value, skipping aggregate rows."""
+def load_rows(path):
+    """Benchmark rows of one google-benchmark JSON file (no aggregates)."""
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    out = {}
-    for b in doc.get("benchmarks", []):
-        if b.get("run_type") == "aggregate":
-            continue
-        name = b.get("name")
-        val = b.get(counter)
-        if name is None or val is None:
-            continue
-        out[name] = float(val)
+    rows = [b for b in doc.get("benchmarks", [])
+            if b.get("run_type") != "aggregate" and b.get("name")]
+    if not rows:
+        print(f"error: no benchmark rows in {path}", file=sys.stderr)
+        sys.exit(2)
+    return doc, rows
+
+
+def merge_rows(paths):
+    """Merge several runs into one name -> row map (later files win)."""
+    merged = {}
+    for path in paths:
+        _, rows = load_rows(path)
+        for b in rows:
+            merged[b["name"]] = b
+    return merged
+
+
+def counter_table(rows, counter, origin):
+    """Map benchmark name -> counter value for rows that carry it."""
+    out = {name: float(b[counter]) for name, b in rows.items()
+           if b.get(counter) is not None}
     if not out:
-        print(f"error: no '{counter}' counters found in {path}", file=sys.stderr)
+        print(f"error: no '{counter}' counters found in {origin}",
+              file=sys.stderr)
         sys.exit(2)
     return out
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__,
-                                 formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("results", help="fresh --benchmark_out JSON")
-    ap.add_argument("baseline", help="committed BENCH_baseline.json")
-    ap.add_argument("--threshold", type=float, default=0.35,
-                    help="max allowed fractional drop vs baseline (default 0.35)")
-    ap.add_argument("--counter", default="norm_ops_per_s",
-                    help="counter to gate on (default norm_ops_per_s)")
-    ap.add_argument("--anchor", default="BM_ScalarLoop",
-                    help="benchmark to divide every counter by (default "
-                         "BM_ScalarLoop)")
-    ap.add_argument("--no-anchor", action="store_true",
-                    help="gate on raw counter values instead of "
-                         "anchor-relative ratios")
-    ap.add_argument("--update", action="store_true",
-                    help="copy RESULTS over BASELINE instead of gating")
-    args = ap.parse_args()
+def gate_one(counter, anchor, cur_rows, base_rows, threshold, use_anchor):
+    """Gate one counter family; returns the list of failing benchmarks."""
+    cur = counter_table(cur_rows, counter, "results")
+    base = counter_table(base_rows, counter, "baseline")
 
-    if args.update:
-        shutil.copyfile(args.results, args.baseline)
-        print(f"baseline updated: {args.baseline}")
-        return 0
-
-    cur = load_counters(args.results, args.counter)
-    base = load_counters(args.baseline, args.counter)
-
-    if not args.no_anchor:
-        for name, table in (("results", cur), ("baseline", base)):
-            a = table.get(args.anchor)
+    if use_anchor:
+        for origin, table in (("results", cur), ("baseline", base)):
+            a = table.get(anchor)
             if not a:
-                print(f"error: anchor '{args.anchor}' missing from {name}",
+                print(f"error: anchor '{anchor}' missing from {origin}",
                       file=sys.stderr)
                 sys.exit(2)
             for k in table:
                 table[k] /= a
-        cur.pop(args.anchor, None)
-        base.pop(args.anchor, None)
-        print(f"(counters anchored to {args.anchor} within each run)")
+        cur.pop(anchor, None)
+        base.pop(anchor, None)
+        print(f"(counters anchored to {anchor} within each run)")
 
     failures = []
     width = max(len(n) for n in base)
-    print(f"perf gate on '{args.counter}' (fail below "
-          f"{(1.0 - args.threshold) * 100:.0f}% of baseline):")
+    print(f"perf gate on '{counter}' (fail below "
+          f"{(1.0 - threshold) * 100:.0f}% of baseline):")
     for name in sorted(base):
         b = base[name]
         c = cur.get(name)
@@ -114,13 +118,73 @@ def main():
             print(f"  FAIL {name:<{width}}  missing from results")
             continue
         ratio = c / b if b > 0 else math.inf
-        ok = ratio >= 1.0 - args.threshold
+        ok = ratio >= 1.0 - threshold
         tag = "ok  " if ok else "FAIL"
         print(f"  {tag} {name:<{width}}  {c:.3e} vs {b:.3e}  ({ratio:6.2%})")
         if not ok:
             failures.append(name)
     for name in sorted(set(cur) - set(base)):
         print(f"  note {name:<{width}}  not in baseline (run --update to adopt)")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("results", nargs="+",
+                    help="fresh --benchmark_out JSON file(s), baseline last")
+    ap.add_argument("baseline", help="committed BENCH_baseline.json")
+    ap.add_argument("--threshold", type=float, default=0.35,
+                    help="max allowed fractional drop vs baseline (default 0.35)")
+    ap.add_argument("--gate", action="append", metavar="COUNTER[:ANCHOR]",
+                    help="counter family to gate, with its anchor benchmark; "
+                         "repeatable (default: norm_ops_per_s:BM_ScalarLoop "
+                         "and builds_per_s:BM_BuildCold)")
+    ap.add_argument("--counter", default=None,
+                    help="legacy: single counter to gate on")
+    ap.add_argument("--anchor", default="BM_ScalarLoop",
+                    help="legacy: anchor for --counter (default BM_ScalarLoop)")
+    ap.add_argument("--no-anchor", action="store_true",
+                    help="gate on raw counter values instead of "
+                         "anchor-relative ratios")
+    ap.add_argument("--update", action="store_true",
+                    help="write merged RESULTS over BASELINE instead of gating")
+    args = ap.parse_args()
+
+    if args.update:
+        doc, _ = load_rows(args.results[0])
+        merged = merge_rows(args.results)
+        doc["benchmarks"] = list(merged.values())
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=1)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline} "
+              f"({len(merged)} benchmarks from {len(args.results)} run(s))")
+        return 0
+
+    if args.counter is not None:
+        gates = [(args.counter, args.anchor)]
+    else:
+        specs = args.gate or ["norm_ops_per_s:BM_ScalarLoop",
+                              "builds_per_s:BM_BuildCold"]
+        gates = []
+        for spec in specs:
+            counter, sep, anchor = spec.partition(":")
+            if not counter or (not args.no_anchor and not anchor):
+                print(f"error: bad --gate '{spec}' (want COUNTER:ANCHOR)",
+                      file=sys.stderr)
+                sys.exit(2)
+            gates.append((counter, anchor))
+
+    cur_rows = merge_rows(args.results)
+    base_rows = merge_rows([args.baseline])
+
+    failures = []
+    for i, (counter, anchor) in enumerate(gates):
+        if i:
+            print()
+        failures += gate_one(counter, anchor, cur_rows, base_rows,
+                             args.threshold, not args.no_anchor)
 
     if failures:
         print(f"\nFAILED: {len(failures)} benchmark(s) regressed beyond "

@@ -134,6 +134,14 @@ void Netlist::set_value(std::string_view name, double value) {
   set_value(*idx, value);
 }
 
+void Netlist::truncate_elements(std::size_t count) {
+  if (count > elements_.size())
+    throw std::invalid_argument("truncate_elements: count exceeds element count");
+  for (std::size_t i = count; i < elements_.size(); ++i)
+    element_ids_.erase(elements_[i].name);
+  elements_.resize(count);
+}
+
 std::size_t Netlist::num_storage_elements() const {
   std::size_t n = 0;
   for (const auto& e : elements_)

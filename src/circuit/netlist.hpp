@@ -92,6 +92,12 @@ class Netlist {
   void set_value(std::size_t index, double value) { elements_.at(index).value = value; }
   void set_value(std::string_view name, double value);
 
+  /// Drop every element past the first `count` (their names become free
+  /// again).  Interned nodes are kept — node ids stay stable.  Enables the
+  /// mutate-and-restore pattern in port_admittance_moments: append scratch
+  /// elements, analyze, truncate back, with no O(circuit) netlist copy.
+  void truncate_elements(std::size_t count);
+
   /// Count of energy-storage elements (C and L) — the paper reports this
   /// statistic for the 741 benchmark.
   std::size_t num_storage_elements() const;

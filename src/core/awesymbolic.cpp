@@ -1,9 +1,12 @@
 #include "core/awesymbolic.hpp"
 
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "awe/sensitivity.hpp"
+#include "core/model_cache.hpp"
+#include "engine/thread_pool.hpp"
 
 namespace awe::core {
 
@@ -56,16 +59,43 @@ void check_batch_args(std::size_t nsym, std::size_t out_rows,
     throw std::invalid_argument("moments_batch: ok span too small");
 }
 
+/// Resolve BuildOptions to the pool a build should run with: the caller's
+/// pool when supplied, a build-scoped pool when threads != 1, else serial.
+/// `local` owns the build-scoped pool so it outlives the extraction.
+sweep::ThreadPool* resolve_pool(const BuildOptions& build_opts,
+                                std::optional<sweep::ThreadPool>& local) {
+  if (build_opts.pool) return build_opts.pool;
+  if (build_opts.threads == 1) return nullptr;
+  local.emplace(build_opts.threads);
+  return &*local;
+}
+
 }  // namespace
 
 CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
                                    std::vector<std::string> symbol_elements,
                                    const std::string& input_source,
-                                   circuit::NodeId output_node, const ModelOptions& opts) {
+                                   circuit::NodeId output_node, const ModelOptions& opts,
+                                   const BuildOptions& build_opts) {
   if (opts.order == 0) throw std::invalid_argument("CompiledModel: order must be >= 1");
+
+  // Cache probe before any expensive work: a hit skips partitioning,
+  // adjugate recursion and compilation entirely.
+  std::string cache_key;
+  if (!build_opts.cache_dir.empty()) {
+    const circuit::NodeId outs[] = {output_node};
+    cache_key = model_cache_key(netlist, symbol_elements, input_source, outs, opts);
+    if (auto cached =
+            ModelCache::load_file(ModelCache::entry_path(build_opts.cache_dir, cache_key)))
+      return std::move(*cached);
+  }
+
+  std::optional<sweep::ThreadPool> local_pool;
+  sweep::ThreadPool* pool = resolve_pool(build_opts, local_pool);
+
   part::MomentPartitioner partitioner(netlist, std::move(symbol_elements), input_source,
                                       output_node);
-  part::SymbolicMoments sym = partitioner.compute(2 * opts.order);
+  part::SymbolicMoments sym = partitioner.compute(2 * opts.order, pool);
 
   // Lower [N_0 .. N_{2q-1}, det(Y0)] onto one shared DAG so the CSE pass
   // works across all moments, then compile.
@@ -98,18 +128,21 @@ CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
     }
     grad_program.emplace(ggraph, groots);
   }
-  return CompiledModel(std::move(sym), std::move(program), std::move(grad_program), opts);
+  CompiledModel model(std::move(sym), std::move(program), std::move(grad_program), opts);
+  if (!cache_key.empty())
+    ModelCache::store_file(build_opts.cache_dir, cache_key, model);
+  return model;
 }
 
 CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
                                    std::vector<std::string> symbol_elements,
                                    const std::string& input_source,
                                    const std::string& output_node,
-                                   const ModelOptions& opts) {
+                                   const ModelOptions& opts, const BuildOptions& build_opts) {
   const auto node = netlist.find_node(output_node);
   if (!node)
     throw std::invalid_argument("CompiledModel: unknown output node '" + output_node + "'");
-  return build(netlist, std::move(symbol_elements), input_source, *node, opts);
+  return build(netlist, std::move(symbol_elements), input_source, *node, opts, build_opts);
 }
 
 CompiledModel::Workspace CompiledModel::make_workspace() const {
@@ -335,11 +368,14 @@ MultiOutputModel MultiOutputModel::build(const circuit::Netlist& netlist,
                                          std::vector<std::string> symbol_elements,
                                          const std::string& input_source,
                                          std::vector<circuit::NodeId> output_nodes,
-                                         const ModelOptions& opts) {
+                                         const ModelOptions& opts,
+                                         const BuildOptions& build_opts) {
   if (opts.order == 0) throw std::invalid_argument("MultiOutputModel: order must be >= 1");
+  std::optional<sweep::ThreadPool> local_pool;
+  sweep::ThreadPool* pool = resolve_pool(build_opts, local_pool);
   part::MomentPartitioner partitioner(netlist, std::move(symbol_elements), input_source,
                                       std::move(output_nodes));
-  part::MultiSymbolicMoments sym = partitioner.compute_all(2 * opts.order);
+  part::MultiSymbolicMoments sym = partitioner.compute_all(2 * opts.order, pool);
 
   ExprGraph graph;
   std::vector<symbolic::NodeId> vars;

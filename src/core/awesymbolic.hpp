@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <optional>
 #include <span>
 #include <string>
@@ -17,6 +18,10 @@
 #include "circuit/netlist.hpp"
 #include "partition/partitioner.hpp"
 #include "symbolic/compile.hpp"
+
+namespace awe::sweep {
+class ThreadPool;
+}
 
 namespace awe::core {
 
@@ -47,6 +52,27 @@ struct ModelOptions {
   bool with_gradients = false;
 };
 
+/// How a build RUNS, orthogonal to what it computes (ModelOptions): worker
+/// threads for the numeric-partition extraction, and the persistent
+/// compiled-model cache.  Every combination yields bit-identical models —
+/// parallel extraction writes disjoint slots in a fixed order, and cached
+/// loads restore the exact serialized bytes (DESIGN.md §10).
+struct BuildOptions {
+  /// Workers for the port-moment extraction (the m port RHS columns fan
+  /// out against one shared LU factor).  1 = serial (default); 0 = one
+  /// per hardware thread.  Ignored when `pool` is supplied.
+  std::size_t threads = 1;
+  /// Reuse an existing pool across builds instead of spawning one per
+  /// call (same pattern as sweep::SweepOptions::pool).  Not owned.
+  sweep::ThreadPool* pool = nullptr;
+  /// When non-empty: look the model up in the content-addressed on-disk
+  /// cache under this directory before building, and store it there after
+  /// a cold build.  The directory is created on demand.  See
+  /// core/model_cache.hpp for the key derivation and ModelCache for the
+  /// in-process LRU layered on top.
+  std::string cache_dir;
+};
+
 class CompiledModel {
  public:
   /// Build the compiled symbolic model of the transfer from `input_source`
@@ -54,11 +80,13 @@ class CompiledModel {
   static CompiledModel build(const circuit::Netlist& netlist,
                              std::vector<std::string> symbol_elements,
                              const std::string& input_source,
-                             circuit::NodeId output_node, const ModelOptions& opts = {});
+                             circuit::NodeId output_node, const ModelOptions& opts = {},
+                             const BuildOptions& build_opts = {});
   static CompiledModel build(const circuit::Netlist& netlist,
                              std::vector<std::string> symbol_elements,
                              const std::string& input_source,
-                             const std::string& output_node, const ModelOptions& opts = {});
+                             const std::string& output_node, const ModelOptions& opts = {},
+                             const BuildOptions& build_opts = {});
 
   std::size_t order() const { return opts_.order; }
   const ModelOptions& options() const { return opts_; }
@@ -149,6 +177,17 @@ class CompiledModel {
   /// conductances — see SymbolSpec::reciprocal).
   std::string export_c_source(std::string_view function_name) const;
 
+  /// Binary serialization of the COMPLETE model state — ModelOptions, the
+  /// symbolic moments (symbol specs + numerator/denominator polynomials)
+  /// and the compiled program(s) — so a loaded model is fully functional:
+  /// moments_at/moments_batch/evaluate and the closed forms all work and
+  /// are bit-identical to the freshly built model.  The byte stream is
+  /// versioned and deterministic: save(load(save(m))) == save(m).
+  void save(std::ostream& os) const;
+  /// Throws std::runtime_error on truncated/corrupt input or a format
+  /// version this build does not understand.
+  static CompiledModel load(std::istream& is);
+
  private:
   CompiledModel(part::SymbolicMoments sym, symbolic::CompiledProgram program,
                 std::optional<symbolic::CompiledProgram> grad_program, ModelOptions opts)
@@ -172,11 +211,15 @@ class CompiledModel {
 /// common subexpressions across outputs automatically).
 class MultiOutputModel {
  public:
+  /// `build_opts`: threads/pool parallelize the partition extraction;
+  /// cache_dir is ignored here (multi-output models are not cached —
+  /// they're built once per composite analysis, not per sweep).
   static MultiOutputModel build(const circuit::Netlist& netlist,
                                 std::vector<std::string> symbol_elements,
                                 const std::string& input_source,
                                 std::vector<circuit::NodeId> output_nodes,
-                                const ModelOptions& opts = {});
+                                const ModelOptions& opts = {},
+                                const BuildOptions& build_opts = {});
 
   std::size_t output_count() const { return sym_.outputs.size(); }
   circuit::NodeId output_node(std::size_t o) const { return sym_.outputs.at(o); }

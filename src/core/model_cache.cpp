@@ -1,0 +1,313 @@
+#include "core/model_cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "core/model_format.hpp"
+
+namespace awe::core {
+
+namespace {
+
+// -- canonical request serialization + hashing --------------------------
+//
+// The key is a pair of 64-bit multiply-xor lanes over an unambiguous byte
+// encoding of the build request (every variable-length field is
+// length-prefixed, so no two distinct requests share an encoding).  Two
+// independent lanes give a 128-bit key: accidental collisions are out of
+// reach for any realistic cache population, and the cache is a pure
+// optimization — a collision could at worst serve a stale model, never
+// corrupt state.
+//
+// Keying is on the warm path (it runs before every cache probe), so the
+// hash consumes the buffer a 64-bit word at a time and the encoding is
+// kept compact: element terminals are node IDs, not repeated name
+// strings — the node-name table, encoded once in id order, pins down what
+// each id means.
+
+/// Murmur3-style finalizer: spreads a word-granular running hash so every
+/// input bit diffuses into every hex digit of the printed key.
+std::uint64_t mix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+struct Hash2 {
+  // Lane 1 uses the FNV-1a/64 basis and prime; lane 2 a distinct basis
+  // and odd multiplier, with lane 1 folded in each step to decorrelate.
+  std::uint64_t h1 = 0xcbf29ce484222325ull;
+  std::uint64_t h2 = 0x9e3779b97f4a7c15ull;
+
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t w;
+      std::memcpy(&w, p + i, sizeof(w));
+      h1 = (h1 ^ w) * 0x100000001b3ull;
+      h2 = (h2 ^ w) * 0xc4ceb9fe1a85ec53ull + (h1 >> 32);
+    }
+    for (; i < n; ++i) {
+      h1 = (h1 ^ p[i]) * 0x100000001b3ull;
+      h2 = (h2 ^ p[i]) * 0xc4ceb9fe1a85ec53ull + (h1 >> 32);
+    }
+  }
+
+  std::uint64_t final1() const { return mix64(h1); }
+  std::uint64_t final2() const { return mix64(h2 + 0x9e3779b97f4a7c15ull); }
+};
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  char bytes[8];
+  for (std::size_t i = 0; i < 8; ++i)
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf.append(bytes, sizeof(bytes));
+}
+
+// Node ids and string lengths fit u32 (a netlist with 2^32 nodes is not
+// representable in memory); the narrower fixed width keeps the canonical
+// buffer — built and hashed on every cache probe — compact.
+void put_u32(std::string& buf, std::uint64_t v) {
+  char bytes[4];
+  for (std::size_t i = 0; i < 4; ++i)
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf.append(bytes, sizeof(bytes));
+}
+
+void put_u8(std::string& buf, std::uint8_t v) { buf.push_back(static_cast<char>(v)); }
+
+void put_f64(std::string& buf, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(buf, bits);
+}
+
+void put_str(std::string& buf, const std::string& s) {
+  put_u32(buf, s.size());
+  buf.append(s);
+}
+
+std::string to_hex(std::uint64_t h1, std::uint64_t h2) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[15 - i] = digits[(h1 >> (4 * i)) & 0xf];
+    out[31 - i] = digits[(h2 >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+std::atomic<std::uint64_t> g_tmp_counter{0};
+
+}  // namespace
+
+std::string model_cache_key(const circuit::Netlist& netlist,
+                            std::span<const std::string> symbol_elements,
+                            const std::string& input_source,
+                            std::span<const circuit::NodeId> output_nodes,
+                            const ModelOptions& opts) {
+  // Values of symbolic elements and of the input source never enter the
+  // compiled model (runtime inputs / unit-normalized excitation), so they
+  // are excluded from the encoding: editing them must still hit.
+  std::unordered_set<std::string> value_excluded(symbol_elements.begin(),
+                                                 symbol_elements.end());
+  value_excluded.insert(input_source);
+
+  std::string buf;
+  buf.reserve(256 + 48 * (netlist.num_nodes() + netlist.elements().size()));
+  put_u64(buf, kModelFormatVersion);
+
+  // Node NAMES in id order (ids are an interning artifact; two decks that
+  // intern the same names in the same order are the same circuit).
+  put_u64(buf, netlist.num_nodes());
+  for (circuit::NodeId id = 0; id <= netlist.num_nodes(); ++id)
+    put_str(buf, netlist.node_name(id));
+
+  put_u64(buf, netlist.elements().size());
+  for (const circuit::Element& e : netlist.elements()) {
+    // Terminals by node id — the name table above fixes their meaning.
+    // Control fields appear only for the kinds that read them; the kind
+    // byte leads, so the conditional layout stays self-describing.
+    put_u8(buf, static_cast<std::uint8_t>(e.kind));
+    put_str(buf, e.name);
+    put_u32(buf, e.pos);
+    put_u32(buf, e.neg);
+    switch (e.kind) {
+      case circuit::ElementKind::kVccs:
+      case circuit::ElementKind::kVcvs:
+        put_u32(buf, e.ctrl_pos);
+        put_u32(buf, e.ctrl_neg);
+        break;
+      case circuit::ElementKind::kCccs:
+      case circuit::ElementKind::kCcvs:
+        put_str(buf, e.ctrl_source);
+        break;
+      case circuit::ElementKind::kMutual:
+        put_str(buf, e.ctrl_source);
+        put_str(buf, e.ctrl_source2);
+        break;
+      default:
+        break;
+    }
+    const bool value_matters = value_excluded.find(e.name) == value_excluded.end();
+    put_u8(buf, value_matters ? 1 : 0);
+    if (value_matters) put_f64(buf, e.value);
+  }
+
+  // Symbol order is model-visible (it fixes the input layout), so the set
+  // is encoded in caller order, not sorted.
+  put_u64(buf, symbol_elements.size());
+  for (const std::string& s : symbol_elements) put_str(buf, s);
+  put_str(buf, input_source);
+  put_u64(buf, output_nodes.size());
+  for (circuit::NodeId out : output_nodes) put_u32(buf, out);
+
+  put_u64(buf, opts.order);
+  put_u8(buf, opts.enforce_stability ? 1 : 0);
+  put_u8(buf, opts.allow_order_fallback ? 1 : 0);
+  put_u8(buf, opts.with_gradients ? 1 : 0);
+
+  Hash2 h;
+  h.update(buf.data(), buf.size());
+  return to_hex(h.final1(), h.final2());
+}
+
+ModelCache::ModelCache(std::string cache_dir, std::size_t max_entries)
+    : dir_(std::move(cache_dir)), max_entries_(max_entries) {}
+
+std::string ModelCache::entry_path(const std::string& dir, const std::string& key) {
+  return (std::filesystem::path(dir) / (key + ".awemodel")).string();
+}
+
+std::optional<CompiledModel> ModelCache::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  try {
+    return CompiledModel::load(in);
+  } catch (const std::exception&) {
+    // Corrupt/truncated/foreign-version entry: treat as a miss; the cold
+    // build that follows re-stores a good copy over it.
+    return std::nullopt;
+  }
+}
+
+void ModelCache::store_file(const std::string& dir, const std::string& key,
+                            const CompiledModel& model) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  const std::string final_path = entry_path(dir, key);
+  // Unique temp name per process+store, atomically renamed into place: a
+  // reader never opens a half-written entry, and the last of several
+  // racing builders wins with an identical byte stream anyway.
+  std::ostringstream tmp_name;
+  tmp_name << final_path << ".tmp." << ::getpid() << "."
+           << g_tmp_counter.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp_path = tmp_name.str();
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("ModelCache: cannot write " + tmp_path);
+    model.save(out);
+    if (!out) throw std::runtime_error("ModelCache: write failed for " + tmp_path);
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    throw std::runtime_error("ModelCache: rename into " + final_path + " failed");
+  }
+}
+
+std::shared_ptr<const CompiledModel> ModelCache::memory_get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+  ++stats_.memory_hits;
+  return it->second->second;
+}
+
+void ModelCache::memory_put(const std::string& key,
+                            std::shared_ptr<const CompiledModel> model) {
+  if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = std::move(model);
+    return;
+  }
+  lru_.emplace_front(key, std::move(model));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > max_entries_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::shared_ptr<const CompiledModel> ModelCache::get_or_build(
+    const circuit::Netlist& netlist, std::vector<std::string> symbol_elements,
+    const std::string& input_source, const std::string& output_node,
+    const ModelOptions& opts, const BuildOptions& build_opts) {
+  const auto out_id = netlist.find_node(output_node);
+  if (!out_id)
+    throw std::invalid_argument("ModelCache: unknown output node '" + output_node + "'");
+  const circuit::NodeId outs[] = {*out_id};
+  const std::string key =
+      model_cache_key(netlist, symbol_elements, input_source, outs, opts);
+
+  if (auto hit = memory_get(key)) return hit;
+
+  if (!dir_.empty()) {
+    if (auto loaded = load_file(entry_path(dir_, key))) {
+      auto model = std::make_shared<const CompiledModel>(std::move(*loaded));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.disk_hits;
+      }
+      memory_put(key, model);
+      return model;
+    }
+  }
+
+  // Cold build runs OUTSIDE the lock (it can take seconds); concurrent
+  // misses on one key build redundantly but harmlessly — the results are
+  // byte-identical and the store is atomic.
+  BuildOptions bo = build_opts;
+  bo.cache_dir.clear();  // this cache is the cache layer; no recursion
+  CompiledModel built = CompiledModel::build(netlist, std::move(symbol_elements),
+                                             input_source, *out_id, opts, bo);
+  if (!dir_.empty()) store_file(dir_, key, built);
+  auto model = std::make_shared<const CompiledModel>(std::move(built));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+  }
+  memory_put(key, model);
+  return model;
+}
+
+ModelCache::Stats ModelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t ModelCache::memory_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace awe::core

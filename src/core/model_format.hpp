@@ -1,0 +1,14 @@
+// On-disk compiled-model format identity, shared by the serializer
+// (model_io.cpp) and the cache key derivation (model_cache.cpp): bumping
+// the version both rejects old files at load time AND changes every cache
+// key, so stale entries are simply never looked up again.
+#pragma once
+
+#include <cstdint>
+
+namespace awe::core {
+
+inline constexpr char kModelMagic[4] = {'A', 'W', 'E', 'M'};
+inline constexpr std::uint32_t kModelFormatVersion = 1;
+
+}  // namespace awe::core

@@ -1,0 +1,101 @@
+// CompiledModel binary save/load.  Format (version 1, little-endian):
+//   magic "AWEM", u32 version,
+//   ModelOptions {u64 order, u8 enforce_stability, u8 allow_order_fallback,
+//                 u8 with_gradients},
+//   SymbolicMoments {u64 nsym, per symbol {u64 element_index, string name,
+//                    u8 reciprocal}; u64 nnum, polynomial[nnum]; polynomial
+//                    det_y0; u64 port_count, u64 global_dim},
+//   CompiledProgram (see symbolic/compile_io.cpp),
+//   u8 has_gradients [, CompiledProgram gradient].
+// Every container is ordered and every double is written bit-exact, so
+// save -> load -> save round trips byte-identically (asserted by
+// test_model_cache and the CI cache-determinism job).
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/awesymbolic.hpp"
+#include "core/model_format.hpp"
+#include "symbolic/serialize.hpp"
+
+namespace awe::core {
+
+namespace io = symbolic::io;
+
+void CompiledModel::save(std::ostream& os) const {
+  os.write(kModelMagic, sizeof(kModelMagic));
+  io::write_u32(os, kModelFormatVersion);
+
+  io::write_u64(os, opts_.order);
+  io::write_u8(os, opts_.enforce_stability ? 1 : 0);
+  io::write_u8(os, opts_.allow_order_fallback ? 1 : 0);
+  io::write_u8(os, opts_.with_gradients ? 1 : 0);
+
+  io::write_u64(os, sym_.symbols.size());
+  for (const part::SymbolSpec& s : sym_.symbols) {
+    io::write_u64(os, s.element_index);
+    io::write_string(os, s.name);
+    io::write_u8(os, s.reciprocal ? 1 : 0);
+  }
+  io::write_u64(os, sym_.numerators.size());
+  for (const symbolic::Polynomial& p : sym_.numerators) io::save_polynomial(os, p);
+  io::save_polynomial(os, sym_.det_y0);
+  io::write_u64(os, sym_.port_count);
+  io::write_u64(os, sym_.global_dim);
+
+  program_.save(os);
+  io::write_u8(os, grad_program_.has_value() ? 1 : 0);
+  if (grad_program_) grad_program_->save(os);
+  if (!os) throw std::runtime_error("CompiledModel::save: write failed");
+}
+
+CompiledModel CompiledModel::load(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kModelMagic, sizeof(kModelMagic)) != 0)
+    throw std::runtime_error("CompiledModel::load: bad magic");
+  const std::uint32_t version = io::read_u32(is);
+  if (version != kModelFormatVersion)
+    throw std::runtime_error("CompiledModel::load: unsupported format version");
+
+  ModelOptions opts;
+  opts.order = io::read_count(is, 1u << 16);
+  opts.enforce_stability = io::read_u8(is) != 0;
+  opts.allow_order_fallback = io::read_u8(is) != 0;
+  opts.with_gradients = io::read_u8(is) != 0;
+
+  part::SymbolicMoments sym;
+  const std::uint64_t nsym = io::read_count(is);
+  sym.symbols.resize(nsym);
+  for (part::SymbolSpec& s : sym.symbols) {
+    s.element_index = io::read_count(is);
+    s.name = io::read_string(is);
+    s.reciprocal = io::read_u8(is) != 0;
+  }
+  const std::uint64_t nnum = io::read_count(is);
+  sym.numerators.reserve(nnum);
+  for (std::uint64_t k = 0; k < nnum; ++k)
+    sym.numerators.push_back(io::load_polynomial(is));
+  sym.det_y0 = io::load_polynomial(is);
+  sym.port_count = io::read_count(is);
+  sym.global_dim = io::read_count(is);
+
+  symbolic::CompiledProgram program = symbolic::CompiledProgram::load(is);
+  std::optional<symbolic::CompiledProgram> grad_program;
+  if (io::read_u8(is) != 0) grad_program.emplace(symbolic::CompiledProgram::load(is));
+
+  // Cross-field consistency: a truncated-but-well-formed file must not
+  // produce a model whose program disagrees with its symbolic side.
+  if (program.input_count() != sym.symbols.size() ||
+      program.output_count() != sym.numerators.size() + 1)
+    throw std::runtime_error("CompiledModel::load: program/moments mismatch");
+  if (opts.with_gradients != grad_program.has_value())
+    throw std::runtime_error("CompiledModel::load: gradient flag mismatch");
+  if (sym.numerators.size() != 2 * opts.order)
+    throw std::runtime_error("CompiledModel::load: moment count mismatch");
+
+  return CompiledModel(std::move(sym), std::move(program), std::move(grad_program), opts);
+}
+
+}  // namespace awe::core

@@ -4,64 +4,110 @@
 #include <stdexcept>
 
 #include "awe/pade.hpp"
+#include "engine/thread_pool.hpp"
 #include "partition/port_moments.hpp"
 
 namespace awe::part {
 
-PortMacromodel PortMacromodel::build(const circuit::Netlist& netlist,
-                                     const std::vector<circuit::NodeId>& port_nodes,
-                                     const Options& opts) {
-  if (opts.order == 0) throw std::invalid_argument("PortMacromodel: order must be >= 1");
-  const std::size_t need = std::max(opts.moments, 2 * opts.order + 2);
-  PortMacromodel mm;
-  mm.ports_ = port_nodes.size();
-  mm.yk_ = port_admittance_moments(netlist, port_nodes, need);
-  mm.entries_.resize(mm.ports_ * mm.ports_);
+namespace {
 
-  // Per entry: y(s) = d0 + d1 s + h(s) with h(s) = sum r/(s-p) strictly
-  // proper.  The moments of h for k >= 2 are exactly y's, and
+/// Fit one (i, j) entry from its moment series.  Entries are independent;
+/// the parallel path below fans them out over disjoint slots.
+void fit_entry(const std::vector<std::vector<double>>& yk, std::size_t ports,
+               std::size_t need, std::size_t max_order, std::size_t i, std::size_t j,
+               PortMacromodel::EntryModel& e) {
+  // y(s) = d0 + d1 s + h(s) with h(s) = sum r/(s-p) strictly proper.  The
+  // moments of h for k >= 2 are exactly y's, and
   //   m_{j+2} = -sum (r/p^2) / p^{j+1},
   // i.e. the series [m2, m3, ...] is a pole/residue system with the same
   // poles and residues r' = r/p^2.  Fit those with a Padé, then recover
   //   r = r' p^2,  d0 = m0 + sum r/p,  d1 = m1 + sum r/p^2.
-  for (std::size_t i = 0; i < mm.ports_; ++i) {
-    for (std::size_t j = 0; j < mm.ports_; ++j) {
-      EntryModel& e = mm.entries_[i * mm.ports_ + j];
-      std::vector<double> shifted(need - 2);
-      double scale = 0.0;
-      for (std::size_t k = 2; k < need; ++k) {
-        shifted[k - 2] = mm.yk_[k][i * mm.ports_ + j];
-        scale = std::max(scale, std::abs(shifted[k - 2]));
-      }
-      const double m0 = mm.yk_[0][i * mm.ports_ + j];
-      const double m1 = mm.yk_[1][i * mm.ports_ + j];
-      if (scale == 0.0) {
-        // Frequency-flat entry (purely resistive/capacitive coupling).
-        e.d0 = m0;
-        e.d1 = m1;
-        continue;
-      }
-      std::size_t order = std::min(opts.order, engine::max_feasible_order(shifted));
-      if (order == 0) {
-        e.d0 = m0;
-        e.d1 = m1;
-        continue;
-      }
-      const auto pade = engine::pade_from_moments(shifted, order);
-      e.poles = pade.poles;
-      e.residues.resize(pade.poles.size());
-      std::complex<double> sum_rp{0, 0}, sum_rp2{0, 0};
-      for (std::size_t k = 0; k < pade.poles.size(); ++k) {
-        const auto p = pade.poles[k];
-        e.residues[k] = pade.residues[k] * p * p;
-        sum_rp += e.residues[k] / p;
-        sum_rp2 += e.residues[k] / (p * p);
-      }
-      e.d0 = m0 + sum_rp.real();
-      e.d1 = m1 + sum_rp2.real();
-    }
+  std::vector<double> shifted(need - 2);
+  double scale = 0.0;
+  for (std::size_t k = 2; k < need; ++k) {
+    shifted[k - 2] = yk[k][i * ports + j];
+    scale = std::max(scale, std::abs(shifted[k - 2]));
+  }
+  const double m0 = yk[0][i * ports + j];
+  const double m1 = yk[1][i * ports + j];
+  if (scale == 0.0) {
+    // Frequency-flat entry (purely resistive/capacitive coupling).
+    e.d0 = m0;
+    e.d1 = m1;
+    return;
+  }
+  std::size_t order = std::min(max_order, engine::max_feasible_order(shifted));
+  if (order == 0) {
+    e.d0 = m0;
+    e.d1 = m1;
+    return;
+  }
+  const auto pade = engine::pade_from_moments(shifted, order);
+  e.poles = pade.poles;
+  e.residues.resize(pade.poles.size());
+  std::complex<double> sum_rp{0, 0}, sum_rp2{0, 0};
+  for (std::size_t k = 0; k < pade.poles.size(); ++k) {
+    const auto p = pade.poles[k];
+    e.residues[k] = pade.residues[k] * p * p;
+    sum_rp += e.residues[k] / p;
+    sum_rp2 += e.residues[k] / (p * p);
+  }
+  e.d0 = m0 + sum_rp.real();
+  e.d1 = m1 + sum_rp2.real();
+}
+
+}  // namespace
+
+PortMacromodel PortMacromodel::build(const circuit::Netlist& netlist,
+                                     const std::vector<circuit::NodeId>& port_nodes,
+                                     const Options& opts, sweep::ThreadPool* pool) {
+  if (opts.order == 0) throw std::invalid_argument("PortMacromodel: order must be >= 1");
+  const std::size_t need = std::max(opts.moments, 2 * opts.order + 2);
+  PortMacromodel mm;
+  mm.ports_ = port_nodes.size();
+  mm.yk_ = port_admittance_moments(netlist, port_nodes, need, pool);
+  const std::size_t entries = mm.ports_ * mm.ports_;
+  mm.entries_.resize(entries);
+
+  auto fit = [&](std::size_t idx) {
+    fit_entry(mm.yk_, mm.ports_, need, opts.order, idx / mm.ports_, idx % mm.ports_,
+              mm.entries_[idx]);
+  };
+  if (pool && pool->size() > 1 && entries > 1) {
+    pool->parallel_chunks(entries, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t idx = begin; idx < end; ++idx) fit(idx);
+    });
+  } else {
+    for (std::size_t idx = 0; idx < entries; ++idx) fit(idx);
   }
   return mm;
+}
+
+std::vector<PortMacromodel> PortMacromodel::build_many(
+    const std::vector<PartitionSpec>& parts, const Options& opts,
+    sweep::ThreadPool* pool) {
+  for (const PartitionSpec& p : parts)
+    if (p.netlist == nullptr)
+      throw std::invalid_argument("PortMacromodel::build_many: null netlist");
+
+  // Fill-construct from a member-scope instance: the default ctor is
+  // private, so vector's allocator cannot default-construct elements.
+  std::vector<PortMacromodel> out(parts.size(), PortMacromodel());
+  if (parts.size() == 1) {
+    out[0] = build(*parts[0].netlist, parts[0].ports, opts, pool);
+    return out;
+  }
+  if (pool && pool->size() > 1 && parts.size() > 1) {
+    pool->parallel_chunks(parts.size(),
+                          [&](std::size_t, std::size_t begin, std::size_t end) {
+                            for (std::size_t i = begin; i < end; ++i)
+                              out[i] = build(*parts[i].netlist, parts[i].ports, opts);
+                          });
+  } else {
+    for (std::size_t i = 0; i < parts.size(); ++i)
+      out[i] = build(*parts[i].netlist, parts[i].ports, opts);
+  }
+  return out;
 }
 
 const PortMacromodel::EntryModel& PortMacromodel::entry(std::size_t i,

@@ -19,6 +19,10 @@
 #include "awe/rom.hpp"
 #include "circuit/netlist.hpp"
 
+namespace awe::sweep {
+class ThreadPool;
+}
+
 namespace awe::part {
 
 class PortMacromodel {
@@ -30,10 +34,32 @@ class PortMacromodel {
 
   /// Reduce `netlist` as seen from `port_nodes` (each port is measured
   /// against ground; independent sources inside are zeroed).  Throws when
-  /// the grounded-port DC matrix is singular.
+  /// the grounded-port DC matrix is singular.  `pool` (optional)
+  /// parallelizes both the port-moment extraction columns and the
+  /// per-entry Padé fits; the result is identical whatever the thread
+  /// count (entries are independent and written to disjoint slots).
   static PortMacromodel build(const circuit::Netlist& netlist,
                               const std::vector<circuit::NodeId>& port_nodes,
-                              const Options& opts);
+                              const Options& opts, sweep::ThreadPool* pool = nullptr);
+
+  /// One subnetwork of a multi-partition reduction request.
+  struct PartitionSpec {
+    const circuit::Netlist* netlist = nullptr;
+    std::vector<circuit::NodeId> ports;
+  };
+
+  /// Reduce several independent partitions, fanning WHOLE-partition builds
+  /// (each factors its own MNA matrix, runs its own moment recursion and
+  /// entry fits) across `pool`.  This is the coarse grain the build
+  /// pipeline scales on — each partition's sparse LU factor is serial, so
+  /// only partition-level fan-out turns extra threads into wall-clock
+  /// speedup.  Results are positionally matched to `parts` and identical
+  /// to calling build() per partition, whatever the thread count.  With a
+  /// single partition the pool is delegated to the inner column/fit
+  /// parallelism instead.  The first partition failure is rethrown.
+  static std::vector<PortMacromodel> build_many(
+      const std::vector<PartitionSpec>& parts, const Options& opts,
+      sweep::ThreadPool* pool = nullptr);
 
   std::size_t port_count() const { return ports_; }
 

@@ -204,7 +204,7 @@ std::size_t MomentPartitioner::port_index(NodeId node) const {
 }
 
 std::vector<std::vector<double>> MomentPartitioner::numeric_port_moments(
-    std::size_t count) const {
+    std::size_t count, sweep::ThreadPool* pool) const {
   const std::size_t m = ports_.size();
 
   // Numeric partition: every element except the symbolic ones and the
@@ -260,18 +260,21 @@ std::vector<std::vector<double>> MomentPartitioner::numeric_port_moments(
   std::vector<NodeId> remapped_ports;
   remapped_ports.reserve(m);
   for (std::size_t p = 0; p < m; ++p) remapped_ports.push_back(remap(ports_[p]));
-  return port_admittance_moments(numeric, remapped_ports, count);
+  // `numeric` is already this call's private copy, so the in-place variant
+  // avoids a second O(circuit) deep copy inside the extraction.
+  return port_admittance_moments_inplace(numeric, remapped_ports, count, pool);
 }
 
-SymbolicMoments MomentPartitioner::compute(std::size_t count) const {
-  return compute_all(count).for_output(0);
+SymbolicMoments MomentPartitioner::compute(std::size_t count, sweep::ThreadPool* pool) const {
+  return compute_all(count, pool).for_output(0);
 }
 
-MultiSymbolicMoments MomentPartitioner::compute_all(std::size_t count) const {
+MultiSymbolicMoments MomentPartitioner::compute_all(std::size_t count,
+                                                    sweep::ThreadPool* pool) const {
   if (count == 0) throw std::invalid_argument("MomentPartitioner: count must be >= 1");
   const std::size_t m = ports_.size();
   const std::size_t nvars = symbols_.size();
-  const auto yk_numeric = numeric_port_moments(count);
+  const auto yk_numeric = numeric_port_moments(count, pool);
 
   // ---- Global layout: ports, then aux currents (input V source, symbolic
   // inductor branches).

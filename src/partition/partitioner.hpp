@@ -24,6 +24,10 @@
 #include "symbolic/poly_matrix.hpp"
 #include "symbolic/rational.hpp"
 
+namespace awe::sweep {
+class ThreadPool;
+}
+
 namespace awe::part {
 
 /// How an element's netlist value maps onto its internal symbol variable.
@@ -95,16 +99,20 @@ class MomentPartitioner {
   /// Port node set (original netlist node ids, ordered).
   const std::vector<circuit::NodeId>& ports() const { return ports_; }
 
-  /// Compute the first `count` composite moments symbolically.
-  SymbolicMoments compute(std::size_t count) const;
+  /// Compute the first `count` composite moments symbolically.  `pool`
+  /// (optional) parallelizes the numeric-partition extraction; the result
+  /// is bit-identical whatever the thread count.
+  SymbolicMoments compute(std::size_t count, sweep::ThreadPool* pool = nullptr) const;
 
   /// Compute moments for every output at once (shared adjugate work).
-  MultiSymbolicMoments compute_all(std::size_t count) const;
+  MultiSymbolicMoments compute_all(std::size_t count,
+                                   sweep::ThreadPool* pool = nullptr) const;
 
   /// Numeric-partition admittance moment blocks Y_0..Y_{count-1}
   /// (port_count x port_count, row-major), exposed for tests and the
   /// partitioning ablation bench.
-  std::vector<std::vector<double>> numeric_port_moments(std::size_t count) const;
+  std::vector<std::vector<double>> numeric_port_moments(
+      std::size_t count, sweep::ThreadPool* pool = nullptr) const;
 
  private:
   struct GlobalLayout {

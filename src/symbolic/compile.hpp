@@ -20,6 +20,7 @@
 // evaluation and the strict/fast contract".
 #pragma once
 
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <string_view>
@@ -104,7 +105,19 @@ class CompiledProgram {
   std::string to_c_source(std::string_view function_name,
                           EvalMode mode = EvalMode::kStrict) const;
 
+  /// Binary serialization of the full program state: both instruction
+  /// streams, the constant pool (bit-exact doubles) and both output maps.
+  /// The byte stream is versioned and deterministic — save(load(save(p)))
+  /// is byte-identical to save(p) — which is what the persistent model
+  /// cache relies on.  See DESIGN.md "Persistent compiled-model cache".
+  void save(std::ostream& os) const;
+  /// Throws std::runtime_error on truncated/corrupt input or on a format
+  /// version this build does not understand.
+  static CompiledProgram load(std::istream& is);
+
  private:
+  CompiledProgram() = default;  // for load()
+
   void run_batch_strict(std::span<const double> inputs, std::span<double> outputs,
                         std::span<double> scratch, std::size_t count) const;
   void run_batch_fast(std::span<const double> inputs, std::span<double> outputs,

@@ -1,0 +1,141 @@
+// CompiledProgram binary save/load.  Format (version 1, all little-endian):
+//   magic "AWEP", u32 version,
+//   u64 input_count, u64 register_count,
+//   u64 nconstants, f64[nconstants],
+//   stream x2 (strict, fused): u64 ninstr, per instr {u8 op, u32 dst,a,b,c},
+//   outputs x2 (strict, fused): u64 n, u32[n].
+// Bumping the version invalidates every cached model (the cache key also
+// embeds the version, so stale entries are simply never looked up).
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "symbolic/compile.hpp"
+#include "symbolic/serialize.hpp"
+
+namespace awe::symbolic {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'W', 'E', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+void save_stream(std::ostream& os, const std::vector<Instr>& instrs) {
+  io::write_u64(os, instrs.size());
+  for (const Instr& in : instrs) {
+    io::write_u8(os, static_cast<std::uint8_t>(in.op));
+    io::write_u32(os, in.dst);
+    io::write_u32(os, in.a);
+    io::write_u32(os, in.b);
+    io::write_u32(os, in.c);
+  }
+}
+
+std::vector<Instr> load_stream(std::istream& is) {
+  const std::uint64_t n = io::read_count(is);
+  std::vector<Instr> instrs(n);
+  for (Instr& in : instrs) {
+    const std::uint8_t op = io::read_u8(is);
+    if (op > static_cast<std::uint8_t>(OpCode::kFms))
+      throw std::runtime_error("CompiledProgram::load: unknown opcode");
+    in.op = static_cast<OpCode>(op);
+    in.dst = io::read_u32(is);
+    in.a = io::read_u32(is);
+    in.b = io::read_u32(is);
+    in.c = io::read_u32(is);
+  }
+  return instrs;
+}
+
+void save_regs(std::ostream& os, const std::vector<std::uint32_t>& regs) {
+  io::write_u64(os, regs.size());
+  for (std::uint32_t r : regs) io::write_u32(os, r);
+}
+
+std::vector<std::uint32_t> load_regs(std::istream& is) {
+  const std::uint64_t n = io::read_count(is);
+  std::vector<std::uint32_t> regs(n);
+  for (std::uint32_t& r : regs) r = io::read_u32(is);
+  return regs;
+}
+
+}  // namespace
+
+void CompiledProgram::save(std::ostream& os) const {
+  os.write(kMagic, sizeof(kMagic));
+  io::write_u32(os, kVersion);
+  io::write_u64(os, input_count_);
+  io::write_u64(os, register_count_);
+  io::write_u64(os, constants_.size());
+  for (double c : constants_) io::write_f64(os, c);
+  save_stream(os, instrs_);
+  save_stream(os, fused_instrs_);
+  save_regs(os, output_regs_);
+  save_regs(os, fused_output_regs_);
+  if (!os) throw std::runtime_error("CompiledProgram::save: write failed");
+}
+
+CompiledProgram CompiledProgram::load(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("CompiledProgram::load: bad magic");
+  const std::uint32_t version = io::read_u32(is);
+  if (version != kVersion)
+    throw std::runtime_error("CompiledProgram::load: unsupported format version");
+
+  CompiledProgram p;
+  p.input_count_ = io::read_count(is);
+  p.register_count_ = io::read_count(is);
+  const std::uint64_t nconst = io::read_count(is);
+  p.constants_.resize(nconst);
+  for (double& c : p.constants_) c = io::read_f64(is);
+  p.instrs_ = load_stream(is);
+  p.fused_instrs_ = load_stream(is);
+  p.output_regs_ = load_regs(is);
+  p.fused_output_regs_ = load_regs(is);
+
+  // Structural validation: every operand must stay inside the loaded
+  // register/constant/input bounds so a corrupt file cannot make run()
+  // read out of range.
+  auto check_reg = [&](std::uint32_t r) {
+    if (r >= p.register_count_)
+      throw std::runtime_error("CompiledProgram::load: register out of range");
+  };
+  auto check_stream = [&](const std::vector<Instr>& instrs) {
+    for (const Instr& in : instrs) {
+      check_reg(in.dst);
+      switch (in.op) {
+        case OpCode::kConst:
+          if (in.a >= p.constants_.size())
+            throw std::runtime_error("CompiledProgram::load: constant out of range");
+          break;
+        case OpCode::kInput:
+          if (in.a >= p.input_count_)
+            throw std::runtime_error("CompiledProgram::load: input out of range");
+          break;
+        case OpCode::kNeg:
+          check_reg(in.a);
+          break;
+        case OpCode::kFma:
+        case OpCode::kFms:
+          check_reg(in.c);
+          [[fallthrough]];
+        default:
+          check_reg(in.a);
+          check_reg(in.b);
+          break;
+      }
+    }
+  };
+  check_stream(p.instrs_);
+  check_stream(p.fused_instrs_);
+  for (std::uint32_t r : p.output_regs_) check_reg(r);
+  for (std::uint32_t r : p.fused_output_regs_) check_reg(r);
+  if (p.output_regs_.size() != p.fused_output_regs_.size())
+    throw std::runtime_error("CompiledProgram::load: output count mismatch");
+  return p;
+}
+
+}  // namespace awe::symbolic

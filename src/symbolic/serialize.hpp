@@ -1,0 +1,50 @@
+// Binary serialization primitives shared by the compiled-program and
+// compiled-model writers (symbolic/compile_io.cpp, core/model_io.cpp).
+//
+// The format is deliberately boring: little-endian fixed-width integers,
+// raw IEEE-754 doubles (bit-exact round trips, no text formatting drift)
+// and length-prefixed strings.  Every field is written in a fixed order
+// from fully-ordered containers, so serializing the same object twice —
+// or serializing, loading and re-serializing — produces byte-identical
+// output.  That determinism is what the on-disk model cache and the CI
+// cache-determinism job assert.
+//
+// Readers validate as they go and throw std::runtime_error on truncated
+// or malformed input; they never read uninitialized memory.  Sizes are
+// sanity-bounded so a corrupt length prefix cannot trigger a huge
+// allocation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "symbolic/polynomial.hpp"
+
+namespace awe::symbolic::io {
+
+/// Upper bound accepted for any length prefix (elements, not bytes); a
+/// corrupt file fails fast instead of attempting a multi-GB allocation.
+inline constexpr std::uint64_t kMaxCount = 1ull << 28;
+
+void write_u8(std::ostream& os, std::uint8_t v);
+void write_u16(std::ostream& os, std::uint16_t v);
+void write_u32(std::ostream& os, std::uint32_t v);
+void write_u64(std::ostream& os, std::uint64_t v);
+void write_f64(std::ostream& os, double v);
+void write_string(std::ostream& os, const std::string& s);
+
+std::uint8_t read_u8(std::istream& is);
+std::uint16_t read_u16(std::istream& is);
+std::uint32_t read_u32(std::istream& is);
+std::uint64_t read_u64(std::istream& is);
+double read_f64(std::istream& is);
+std::string read_string(std::istream& is);
+
+/// Reads a length prefix and validates it against `limit`.
+std::uint64_t read_count(std::istream& is, std::uint64_t limit = kMaxCount);
+
+void save_polynomial(std::ostream& os, const Polynomial& poly);
+Polynomial load_polynomial(std::istream& is);
+
+}  // namespace awe::symbolic::io

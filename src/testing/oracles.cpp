@@ -179,9 +179,25 @@ OracleResult run_oracles(const circuit::ParsedDeck& deck, const OracleOptions& o
   Path strict_path, fast_path, sweep_path;
   std::string build_error;
   try {
-    const auto model =
-        core::CompiledModel::build(deck.netlist, deck.symbol_elements,
-                                   deck.input_source, *out_node, {.order = opts.order});
+    // With a cache_dir the model goes build -> store -> load -> use, and a
+    // second save must reproduce the first byte stream; the loaded model
+    // then drives strict/fast/sweep, so any serializer defect shows up as
+    // an oracle mismatch (the "sixth oracle").
+    core::BuildOptions build_opts;
+    build_opts.cache_dir = opts.cache_dir;
+    auto model = core::CompiledModel::build(deck.netlist, deck.symbol_elements,
+                                            deck.input_source, *out_node,
+                                            {.order = opts.order}, build_opts);
+    if (!opts.cache_dir.empty()) {
+      std::ostringstream first, second;
+      model.save(first);
+      std::istringstream in(first.str());
+      model = core::CompiledModel::load(in);
+      model.save(second);
+      if (first.str() != second.str())
+        throw std::runtime_error(
+            "model serializer not byte-stable (save->load->save differs)");
+    }
     // The partitioner preserves the caller's symbol order; re-map by name
     // anyway so a future reordering cannot silently skew the comparison.
     std::vector<double> model_values(values.size());

@@ -53,6 +53,12 @@ struct OracleOptions {
   /// tolerance survives a comparison against an exact 0.
   double zero_tol = 1e-9;
   FaultInjection fault = FaultInjection::kNone;
+  /// When non-empty, the compiled model is built THROUGH the persistent
+  /// model cache (core::ModelCache) and then round-tripped save -> load,
+  /// with the LOADED instance driving the strict/fast/sweep paths.  The
+  /// serializer thereby becomes a sixth implicit oracle: any bug in the
+  /// binary format or the cache surfaces as a cross-path mismatch.
+  std::string cache_dir;
 };
 
 struct OracleResult {

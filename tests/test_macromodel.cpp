@@ -3,7 +3,11 @@
 
 #include <cmath>
 #include <complex>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "engine/thread_pool.hpp"
 #include "partition/macromodel.hpp"
 #include "partition/port_moments.hpp"
 
@@ -155,6 +159,66 @@ TEST(Macromodel, LadderReductionAccuracy) {
     const auto got = mm.admittance(0, 1, s);
     EXPECT_LT(std::abs(got - ref), 1e-3 * std::abs(ref)) << "f=" << f;
   }
+}
+
+TEST(Macromodel, BuildManyMatchesPerPartitionBuilds) {
+  // Six RC ladder sections of different lengths; the pooled batch build
+  // must be bit-identical to six serial single builds.
+  std::vector<Netlist> sections;
+  std::vector<PortMacromodel::PartitionSpec> parts;
+  sections.reserve(6);
+  for (int s = 0; s < 6; ++s) {
+    Netlist nl;
+    auto prev = nl.node("in");
+    const int len = 5 + 3 * s;
+    for (int i = 0; i < len; ++i) {
+      const auto n = (i == len - 1) ? nl.node("out") : nl.node("n" + std::to_string(i));
+      nl.add_resistor("r" + std::to_string(i), prev, n, 40.0 + s);
+      nl.add_capacitor("c" + std::to_string(i), n, kGround, (0.1 + 0.02 * s) * 1e-12);
+      prev = n;
+    }
+    sections.push_back(std::move(nl));
+  }
+  for (Netlist& nl : sections)
+    parts.push_back({&nl, {*nl.find_node("in"), *nl.find_node("out")}});
+
+  const PortMacromodel::Options opts{.order = 2, .moments = 8};
+  sweep::ThreadPool pool(3);
+  const auto pooled = PortMacromodel::build_many(parts, opts, &pool);
+  ASSERT_EQ(pooled.size(), parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const auto single = PortMacromodel::build(*parts[i].netlist, parts[i].ports, opts);
+    ASSERT_EQ(pooled[i].port_count(), single.port_count()) << i;
+    EXPECT_EQ(pooled[i].moment_blocks(), single.moment_blocks()) << i;
+    for (std::size_t r = 0; r < 2; ++r)
+      for (std::size_t c = 0; c < 2; ++c) {
+        const auto& a = pooled[i].entry(r, c);
+        const auto& b = single.entry(r, c);
+        EXPECT_EQ(a.d0, b.d0) << i;
+        EXPECT_EQ(a.d1, b.d1) << i;
+        EXPECT_EQ(a.poles, b.poles) << i;
+        EXPECT_EQ(a.residues, b.residues) << i;
+      }
+  }
+}
+
+TEST(Macromodel, BuildManyValidationAndFailurePropagation) {
+  EXPECT_TRUE(PortMacromodel::build_many({}, {.order = 1}).empty());
+  EXPECT_THROW(PortMacromodel::build_many({{nullptr, {}}}, {.order = 1}),
+               std::invalid_argument);
+
+  // One healthy partition plus one whose port is DC-shorted by an ideal
+  // inductor: the batch rethrows the partition failure.
+  Netlist good;
+  good.add_resistor("r1", good.node("a"), kGround, 1e3);
+  Netlist bad;
+  bad.add_inductor("l1", bad.node("a"), kGround, 1e-9);
+  std::vector<PortMacromodel::PartitionSpec> parts{
+      {&good, {*good.find_node("a")}}, {&bad, {*bad.find_node("a")}}};
+  sweep::ThreadPool pool(2);
+  EXPECT_THROW(PortMacromodel::build_many(parts, {.order = 1}, &pool),
+               std::runtime_error);
+  EXPECT_THROW(PortMacromodel::build_many(parts, {.order = 1}), std::runtime_error);
 }
 
 TEST(Macromodel, Validation) {

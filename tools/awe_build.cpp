@@ -1,0 +1,111 @@
+// awe_build — build compiled models from decks through the persistent
+// model cache.
+//
+// The workhorse behind the cache-determinism CI job: building the same
+// decks into two fresh cache directories must produce byte-identical
+// entries, and a second run against a warm cache must load (not rebuild)
+// every model.  Also handy interactively, to pre-warm a cache before a
+// sweep campaign or to inspect cache keys.
+//
+// Usage:
+//   awe_build --cache-dir DIR [options] deck.sp [deck2.sp ...]
+// Options:
+//   --cache-dir DIR   persistent cache directory (required)
+//   --order Q         Padé order (default 2)
+//   --threads N       extraction worker threads, 0 = hardware (default 1)
+//   --gradients       also compile the exact symbolic gradients
+//   --quiet           suppress the per-deck lines
+//
+// Per deck, prints:  <cache-key>  <cold|warm>  <deck-path>
+// Exit status: 0 on success, 2 on bad usage or any failed deck.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "circuit/parser.hpp"
+#include "core/model_cache.hpp"
+
+namespace {
+
+using namespace awe;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --cache-dir DIR [--order Q] [--threads N] [--gradients]\n"
+               "          [--quiet] deck.sp [deck2.sp ...]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string cache_dir;
+  core::ModelOptions mopts;
+  core::BuildOptions bopts;
+  bool quiet = false;
+  std::vector<std::string> decks;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--cache-dir") {
+      cache_dir = next();
+    } else if (arg == "--order") {
+      mopts.order = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      bopts.threads = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--gradients") {
+      mopts.with_gradients = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else {
+      decks.push_back(arg);
+    }
+  }
+  if (cache_dir.empty() || decks.empty() || mopts.order < 1) usage(argv[0]);
+
+  core::ModelCache cache(cache_dir);
+  int failures = 0;
+  for (const std::string& path : decks) {
+    try {
+      std::ifstream in(path);
+      if (!in) throw std::runtime_error("cannot open deck");
+      const circuit::ParsedDeck deck = circuit::parse_deck(in);
+      if (deck.symbol_elements.empty() || deck.input_source.empty() ||
+          deck.output_node.empty())
+        throw std::runtime_error("deck needs .symbol/.input/.output directives");
+
+      const auto out_node = deck.netlist.find_node(deck.output_node);
+      if (!out_node) throw std::runtime_error("unknown output node");
+      const circuit::NodeId outs[] = {*out_node};
+      const std::string key = core::model_cache_key(
+          deck.netlist, deck.symbol_elements, deck.input_source, outs, mopts);
+
+      const auto before = cache.stats();
+      (void)cache.get_or_build(deck.netlist, deck.symbol_elements, deck.input_source,
+                               deck.output_node, mopts, bopts);
+      const auto after = cache.stats();
+      const char* how = after.misses > before.misses ? "cold" : "warm";
+      if (!quiet) std::printf("%s  %s  %s\n", key.c_str(), how, path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "awe_build: %s: %s\n", path.c_str(), e.what());
+      ++failures;
+    }
+  }
+
+  if (!quiet) {
+    const auto s = cache.stats();
+    std::printf("awe_build: %zu decks — %zu cold builds, %zu disk hits, %zu memory hits\n",
+                decks.size(), s.misses, s.disk_hits, s.memory_hits);
+  }
+  return failures == 0 ? 0 : 2;
+}

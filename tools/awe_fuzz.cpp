@@ -21,6 +21,11 @@
 //   --minimized-out DIR  write each minimized failing deck to DIR
 //   --emit-corpus DIR    ALSO write every deck whose oracles agree to DIR
 //                        (regression-corpus seeding)
+//   --cache-dir DIR      route every compiled-model build through the
+//                        persistent cache under DIR and round-trip the
+//                        model through the binary serializer before use —
+//                        the serializer becomes a sixth implicit oracle
+//                        (any save/load defect reports as a mismatch)
 //   --quiet              summary line only
 //
 // Exit status: 0 = no mismatches, 1 = mismatches found, 2 = bad usage.
@@ -42,7 +47,7 @@ using namespace awe;
                "usage: %s [--count N] [--seed S] [--order Q] [--max-dim D]\n"
                "          [--max-nodes N] [--fault none|perturb-fast] [--no-shrink]\n"
                "          [--json FILE] [--minimized-out DIR] [--emit-corpus DIR]\n"
-               "          [--quiet]\n",
+               "          [--cache-dir DIR] [--quiet]\n",
                argv0);
   std::exit(2);
 }
@@ -96,6 +101,8 @@ int main(int argc, char** argv) {
       minimized_dir = next();
     } else if (arg == "--emit-corpus") {
       corpus_dir = next();
+    } else if (arg == "--cache-dir") {
+      opts.oracle.cache_dir = next();
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
