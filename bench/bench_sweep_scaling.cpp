@@ -171,13 +171,20 @@ void BM_SweepEngine(benchmark::State& state) {
   opts.mode = state.range(2) ? core::EvalMode::kFast : core::EvalMode::kStrict;
   sweep::ThreadPool pool(opts.threads);
   opts.pool = &pool;
+  std::uint64_t degraded = 0;
   for (auto _ : state) {
     const auto res = sweep::run_sweep(model, pts, n, opts);
     benchmark::DoNotOptimize(res.ok_count);
+    degraded = res.health.points_degraded + res.health.points_quarantined;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
   set_norm_counter(state, n);
+  // Health gate: on the golden 741 Monte-Carlo deck every point must fit
+  // on the primary path — any degradation here is a correctness smell the
+  // perf CI fails on (check_bench_gate.py --expect-zero degraded_points).
+  state.counters["degraded_points"] =
+      benchmark::Counter(static_cast<double>(degraded));
 }
 BENCHMARK(BM_SweepEngine)
     ->ArgNames({"threads", "width", "fast"})

@@ -11,7 +11,12 @@ threshold.  Two counter families are gated by default:
 Usage:
   check_bench_gate.py RESULTS.json [RESULTS2.json ...] BASELINE.json
                       [--threshold 0.35] [--gate COUNTER[:ANCHOR] ...]
-                      [--no-anchor] [--update]
+                      [--expect-zero COUNTER ...] [--no-anchor] [--update]
+
+--expect-zero gates a health counter rather than a rate: every RESULTS row
+carrying it must report exactly 0 (e.g. degraded_points — the sweep
+engine's degradation ladder must never fire on the golden example decks).
+It checks the fresh results only; the baseline plays no part.
 
 Exit codes: 0 = pass, 1 = regression or missing benchmark, 2 = bad input.
 
@@ -128,6 +133,26 @@ def gate_one(counter, anchor, cur_rows, base_rows, threshold, use_anchor):
     return failures
 
 
+def expect_zero(counter, cur_rows):
+    """Fail every results row whose `counter` is nonzero (results-only)."""
+    carriers = {name: float(b[counter]) for name, b in cur_rows.items()
+                if b.get(counter) is not None}
+    if not carriers:
+        print(f"error: --expect-zero '{counter}': no results row carries it",
+              file=sys.stderr)
+        sys.exit(2)
+    failures = []
+    width = max(len(n) for n in carriers)
+    print(f"zero gate on '{counter}' (any nonzero value fails):")
+    for name in sorted(carriers):
+        v = carriers[name]
+        ok = v == 0.0
+        print(f"  {'ok  ' if ok else 'FAIL'} {name:<{width}}  {v:g}")
+        if not ok:
+            failures.append(name)
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -144,6 +169,10 @@ def main():
                     help="legacy: single counter to gate on")
     ap.add_argument("--anchor", default="BM_ScalarLoop",
                     help="legacy: anchor for --counter (default BM_ScalarLoop)")
+    ap.add_argument("--expect-zero", action="append", metavar="COUNTER",
+                    default=[],
+                    help="health counter that must be exactly 0 in every "
+                         "results row carrying it; repeatable")
     ap.add_argument("--no-anchor", action="store_true",
                     help="gate on raw counter values instead of "
                          "anchor-relative ratios")
@@ -185,11 +214,19 @@ def main():
             print()
         failures += gate_one(counter, anchor, cur_rows, base_rows,
                              args.threshold, not args.no_anchor)
+    zero_failures = []
+    for counter in args.expect_zero:
+        print()
+        zero_failures += expect_zero(counter, cur_rows)
 
-    if failures:
-        print(f"\nFAILED: {len(failures)} benchmark(s) regressed beyond "
-              f"{args.threshold:.0%}. If intentional, regenerate the baseline "
-              f"(see --help).", file=sys.stderr)
+    if failures or zero_failures:
+        if failures:
+            print(f"\nFAILED: {len(failures)} benchmark(s) regressed beyond "
+                  f"{args.threshold:.0%}. If intentional, regenerate the "
+                  f"baseline (see --help).", file=sys.stderr)
+        if zero_failures:
+            print(f"\nFAILED: {len(zero_failures)} benchmark(s) reported a "
+                  f"nonzero health counter that must be 0.", file=sys.stderr)
         return 1
     print("\nPASSED: all benchmarks within threshold.")
     return 0

@@ -14,6 +14,14 @@
 //   --at v1,v2,...         evaluate at these symbol element values
 //                          (default: the deck's nominal values)
 //   --sweep name=lo:hi:n   sweep one symbol (repeatable once more for 2-D)
+//   --mc N                 Monte-Carlo sweep of N points through the
+//                          parallel sweep engine with the per-point
+//                          degradation ladder; prints an ok/degraded/
+//                          quarantined disposition summary
+//   --seed S               Monte-Carlo seed (default 42)
+//   --threads N            sweep worker threads, 0 = hardware (default 0)
+//   --health-json FILE     write the run's HealthReport as JSON
+//                          ("-" for stdout)
 //   --measure M            dc | p1 | funity | pm | t50   (default dc)
 //   --transient T:N        print N step-response samples up to time T
 //   --ac f0:f1:N           print an AC sweep table from the model
@@ -35,7 +43,9 @@
 #include "awe/sensitivity.hpp"
 #include "circuit/parser.hpp"
 #include "core/awesymbolic.hpp"
+#include "engine/sweep.hpp"
 #include "exact/exact_symbolic.hpp"
+#include "health/report.hpp"
 
 namespace {
 
@@ -44,7 +54,8 @@ using namespace awe;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <deck.sp> [--order N] [--symbols a,b] [--auto-symbols K]\n"
-               "          [--at v1,v2] [--sweep name=lo:hi:n] [--measure M]\n"
+               "          [--at v1,v2] [--sweep name=lo:hi:n] [--mc N] [--seed S]\n"
+               "          [--threads N] [--health-json FILE] [--measure M]\n"
                "          [--transient T:N] [--ac f0:f1:N] [--closed-forms]\n"
                "          [--emit-c FILE]\n",
                argv0);
@@ -116,6 +127,10 @@ int main(int argc, char** argv) {
   bool closed_forms = false;
   bool want_exact = false;
   std::string emit_c_path;
+  std::size_t mc_points = 0;
+  std::uint64_t mc_seed = 42;
+  std::size_t threads = 0;
+  std::string health_json;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -136,6 +151,14 @@ int main(int argc, char** argv) {
           at_values->push_back(circuit::parse_spice_value(v));
       } else if (arg == "--sweep") {
         sweeps.push_back(parse_sweep(next()));
+      } else if (arg == "--mc") {
+        mc_points = std::stoul(next());
+      } else if (arg == "--seed") {
+        mc_seed = std::stoull(next());
+      } else if (arg == "--threads") {
+        threads = std::stoul(next());
+      } else if (arg == "--health-json") {
+        health_json = next();
       } else if (arg == "--measure") {
         what = next();
       } else if (arg == "--transient") {
@@ -242,6 +265,49 @@ int main(int argc, char** argv) {
       std::ofstream cf(emit_c_path);
       cf << model.export_c_source("awesym_moments");
       std::printf("compiled moment program written to %s\n\n", emit_c_path.c_str());
+    }
+
+    if (mc_points > 0) {
+      // Monte-Carlo through the fault-contained sweep engine: lognormal
+      // spread for positive nominals (element values are scale parameters),
+      // normal otherwise.  Pathological draws degrade or quarantine per
+      // point; the run itself never aborts.
+      std::vector<sweep::Distribution> dists;
+      for (const double v : values)
+        dists.push_back(v > 0.0 ? sweep::Distribution::lognormal(v, 0.2)
+                                : sweep::Distribution::normal(v, 0.1 * std::abs(v) + 1e-12));
+      sweep::SweepOptions sopts;
+      sopts.threads = threads;
+      sopts.with_rom = true;
+      const auto sr = sweep::monte_carlo(model, dists, mc_points, mc_seed, sopts);
+      const auto& h = sr.health;
+      std::printf("monte carlo: %zu points, seed %llu\n", mc_points,
+                  static_cast<unsigned long long>(mc_seed));
+      std::printf("  ok %llu, degraded %llu, quarantined %llu\n",
+                  static_cast<unsigned long long>(h.points_ok),
+                  static_cast<unsigned long long>(h.points_degraded),
+                  static_cast<unsigned long long>(h.points_quarantined));
+      std::printf("  ladder: %llu strict re-evals, %llu order fallbacks, %llu shifted refits\n",
+                  static_cast<unsigned long long>(h.strict_reevals),
+                  static_cast<unsigned long long>(h.order_fallbacks),
+                  static_cast<unsigned long long>(h.shifted_refits));
+      if (sr.dc_gain_stats && sr.dc_gain_stats->count > 0)
+        std::printf("  dc gain: mean %.8g, stddev %.8g over %zu fitted points\n",
+                    sr.dc_gain_stats->mean, sr.dc_gain_stats->stddev,
+                    sr.dc_gain_stats->count);
+      if (!health_json.empty()) {
+        health::HealthReport report = sr.health;
+        health::absorb_global_counters(report);
+        const std::string json = report.to_json() + "\n";
+        if (health_json == "-") {
+          std::fputs(json.c_str(), stdout);
+        } else {
+          std::ofstream out(health_json);
+          if (!out) throw std::runtime_error("cannot write " + health_json);
+          out << json;
+        }
+      }
+      return 0;
     }
 
     if (sweeps.empty()) {

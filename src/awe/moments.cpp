@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "health/status.hpp"
+
 namespace awe::engine {
 
 MomentGenerator::MomentGenerator(const circuit::Netlist& netlist, double expansion_point)
@@ -23,7 +25,8 @@ MomentGenerator::MomentGenerator(const circuit::Netlist& netlist, double expansi
     lu = linalg::SparseLu::factor(t.compress());
   }
   if (!lu)
-    throw std::runtime_error(
+    throw health::FailError(
+        health::FailClass::kSingularY0,
         "MomentGenerator: expansion matrix G + s0*C is singular (for s0 = 0: some "
         "node has no DC path; try a shifted expansion point)");
   lu_ = std::move(lu);

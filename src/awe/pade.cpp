@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "health/status.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/polyroots.hpp"
 
@@ -57,7 +58,8 @@ PadeResult pade_from_moments(std::span<const double> moments, std::size_t order)
   }
   auto lu = linalg::LuFactorization::factor(std::move(h));
   if (!lu)
-    throw std::runtime_error(
+    throw health::FailError(
+        health::FailClass::kHankelIllConditioned,
         "pade: singular Hankel system (moment degeneracy; try a lower order)");
   const linalg::Vector b = lu->solve(std::move(rhs));
 
@@ -88,7 +90,8 @@ PadeResult pade_from_moments(std::span<const double> moments, std::size_t order)
     const auto num = linalg::poly_eval(result.numerator, p);
     const auto dden = linalg::poly_eval_derivative(result.denominator, p);
     if (std::abs(dden) == 0.0)
-      throw std::runtime_error("pade: repeated pole; residue expansion invalid");
+      throw health::FailError(health::FailClass::kHankelIllConditioned,
+                              "pade: repeated pole; residue expansion invalid");
     result.residues[i] = num / dden;
   }
   return result;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "health/status.hpp"
+
 namespace awe::engine {
 
 linalg::CVector solve_complex_dense(std::vector<std::complex<double>> a, linalg::CVector b) {
@@ -20,7 +22,9 @@ linalg::CVector solve_complex_dense(std::vector<std::complex<double>> a, linalg:
         best = std::abs(at(i, k));
         piv = i;
       }
-    if (best < 1e-300) throw std::runtime_error("solve_complex_dense: singular system");
+    if (best < 1e-300)
+      throw health::FailError(health::FailClass::kHankelIllConditioned,
+                              "solve_complex_dense: singular system");
     if (piv != k) {
       for (std::size_t j = k; j < n; ++j) std::swap(at(k, j), at(piv, j));
       std::swap(b[k], b[piv]);
@@ -79,7 +83,8 @@ ReducedOrderModel ReducedOrderModel::from_shifted_moments(std::span<const double
     for (const auto& p : rom.poles_)
       if (p.real() < 0.0) stable.push_back(p);
     if (stable.empty())
-      throw std::runtime_error(
+      throw health::FailError(
+          health::FailClass::kAllPolesUnstable,
           "ReducedOrderModel: all shifted Padé poles unstable; circuit/order invalid");
     if (stable.size() != rom.poles_.size()) {
       rom.poles_ = stable;
@@ -99,7 +104,8 @@ ReducedOrderModel ReducedOrderModel::from_moments(std::span<const double> moment
     const std::size_t feasible = max_feasible_order(moments.subspan(
         0, std::min(moments.size(), 2 * order)));
     if (feasible == 0)
-      throw std::runtime_error("ReducedOrderModel: no feasible Padé order");
+      throw health::FailError(health::FailClass::kOrderCollapse,
+                              "ReducedOrderModel: no feasible Padé order");
     order = std::min(order, feasible);
   }
   PadeResult pade = pade_from_moments(moments, order);
@@ -130,7 +136,8 @@ ReducedOrderModel ReducedOrderModel::from_moments(std::span<const double> moment
       if (p.real() < 0.0) stable.push_back(p);
     if (stable.size() != rom.poles_.size()) {
       if (stable.empty())
-        throw std::runtime_error(
+        throw health::FailError(
+            health::FailClass::kAllPolesUnstable,
             "ReducedOrderModel: all Padé poles unstable; circuit/order invalid");
       rom.poles_ = stable;
       // Re-fit with the direct term removed from the zeroth moment

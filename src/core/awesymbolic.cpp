@@ -7,6 +7,7 @@
 #include "awe/sensitivity.hpp"
 #include "core/model_cache.hpp"
 #include "engine/thread_pool.hpp"
+#include "health/report.hpp"
 
 namespace awe::core {
 
@@ -80,13 +81,16 @@ CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
   if (opts.order == 0) throw std::invalid_argument("CompiledModel: order must be >= 1");
 
   // Cache probe before any expensive work: a hit skips partitioning,
-  // adjugate recursion and compilation entirely.
+  // adjugate recursion and compilation entirely.  A corrupt entry is
+  // quarantined to .bad inside load_file and the build proceeds cold —
+  // cache damage must never surface to the caller as an exception.
   std::string cache_key;
+  bool cache_quarantined = false;
   if (!build_opts.cache_dir.empty()) {
     const circuit::NodeId outs[] = {output_node};
     cache_key = model_cache_key(netlist, symbol_elements, input_source, outs, opts);
-    if (auto cached =
-            ModelCache::load_file(ModelCache::entry_path(build_opts.cache_dir, cache_key)))
+    if (auto cached = ModelCache::load_file(
+            ModelCache::entry_path(build_opts.cache_dir, cache_key), &cache_quarantined))
       return std::move(*cached);
   }
 
@@ -129,8 +133,11 @@ CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
     grad_program.emplace(ggraph, groots);
   }
   CompiledModel model(std::move(sym), std::move(program), std::move(grad_program), opts);
-  if (!cache_key.empty())
+  if (!cache_key.empty()) {
     ModelCache::store_file(build_opts.cache_dir, cache_key, model);
+    if (cache_quarantined)
+      health::global_counters().cache_rebuilds.fetch_add(1, std::memory_order_relaxed);
+  }
   return model;
 }
 

@@ -184,11 +184,17 @@ class CompiledModel {
   /// are bit-identical to the freshly built model.  The byte stream is
   /// versioned and deterministic: save(load(save(m))) == save(m).
   void save(std::ostream& os) const;
-  /// Throws std::runtime_error on truncated/corrupt input or a format
-  /// version this build does not understand.
+  /// Throws std::runtime_error on truncated input or a format version this
+  /// build does not understand, and FailError(kCacheCorrupt) when the
+  /// payload checksum does not match (bit damage on otherwise well-formed
+  /// bytes).  The cache layer turns either into quarantine + miss.
   static CompiledModel load(std::istream& is);
 
  private:
+  /// Header-less body shared by save/load: the checksummed payload.
+  void save_payload(std::ostream& os) const;
+  static CompiledModel load_payload(std::istream& is);
+
   CompiledModel(part::SymbolicMoments sym, symbolic::CompiledProgram program,
                 std::optional<symbolic::CompiledProgram> grad_program, ModelOptions opts)
       : sym_(std::move(sym)),

@@ -13,6 +13,8 @@
 #include <utility>
 
 #include "core/model_format.hpp"
+#include "health/failpoints.hpp"
+#include "health/report.hpp"
 
 namespace awe::core {
 
@@ -192,23 +194,57 @@ std::string ModelCache::entry_path(const std::string& dir, const std::string& ke
   return (std::filesystem::path(dir) / (key + ".awemodel")).string();
 }
 
-std::optional<CompiledModel> ModelCache::load_file(const std::string& path) {
+std::optional<CompiledModel> ModelCache::load_file(const std::string& path,
+                                                   bool* corrupt_quarantined) {
+  namespace fp = health::failpoints;
+  if (corrupt_quarantined) *corrupt_quarantined = false;
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
-  try {
-    return CompiledModel::load(in);
-  } catch (const std::exception&) {
-    // Corrupt/truncated/foreign-version entry: treat as a miss; the cold
-    // build that follows re-stores a good copy over it.
-    return std::nullopt;
+  // Injection site: treat a perfectly good entry as corrupt, driving the
+  // quarantine path below without having to damage bytes first.
+  bool corrupt = fp::fires(fp::sites::kCacheLoadCorrupt);
+  std::optional<CompiledModel> model;
+  if (!corrupt) {
+    try {
+      model = CompiledModel::load(in);
+    } catch (const std::exception&) {
+      corrupt = true;
+    }
   }
+  if (!corrupt) return model;
+  in.close();
+  // Corrupt/truncated/foreign-version entry: quarantine it to <path>.bad
+  // (evidence preserved, never re-probed) and report a miss; the cold
+  // build that follows stores a fresh entry at the original path.  Every
+  // failure here is best-effort — a quarantine that cannot rename still
+  // must surface as a miss, never as an exception.
+  std::error_code ec;
+  std::filesystem::remove(quarantine_path(path), ec);
+  std::filesystem::rename(path, quarantine_path(path), ec);
+  if (ec) std::filesystem::remove(path, ec);
+  health::global_counters().cache_corrupt_quarantined.fetch_add(
+      1, std::memory_order_relaxed);
+  if (corrupt_quarantined) *corrupt_quarantined = true;
+  return std::nullopt;
 }
 
 void ModelCache::store_file(const std::string& dir, const std::string& key,
                             const CompiledModel& model) {
   namespace fs = std::filesystem;
+  namespace fp = health::failpoints;
   fs::create_directories(dir);
   const std::string final_path = entry_path(dir, key);
+  // Injection site: a writer that died mid-store WITHOUT the atomic
+  // tmp+rename discipline, leaving a torn entry at the final path.  The
+  // next load must quarantine it, never throw.
+  if (fp::fires(fp::sites::kCacheStoreCrash)) {
+    std::ostringstream bytes;
+    model.save(bytes);
+    const std::string s = bytes.str();
+    std::ofstream out(final_path, std::ios::binary | std::ios::trunc);
+    out.write(s.data(), static_cast<std::streamsize>(s.size() / 2));
+    return;
+  }
   // Unique temp name per process+store, atomically renamed into place: a
   // reader never opens a half-written entry, and the last of several
   // racing builders wins with an identical byte stream anyway.
@@ -227,6 +263,24 @@ void ModelCache::store_file(const std::string& dir, const std::string& key,
   if (ec) {
     fs::remove(tmp_path, ec);
     throw std::runtime_error("ModelCache: rename into " + final_path + " failed");
+  }
+  // Injection sites: post-rename media damage (truncation, a flipped bit)
+  // that the load-side validation must catch and quarantine.
+  if (fp::fires(fp::sites::kCacheStoreTruncate)) {
+    const auto size = fs::file_size(final_path, ec);
+    if (!ec) fs::resize_file(final_path, size / 2, ec);
+  }
+  if (fp::fires(fp::sites::kCacheStoreBitflip)) {
+    std::fstream f(final_path, std::ios::binary | std::ios::in | std::ios::out);
+    const auto size = fs::file_size(final_path, ec);
+    if (f && !ec && size > 0) {
+      const auto pos = static_cast<std::streamoff>(size / 2);
+      f.seekg(pos);
+      char byte = 0;
+      f.get(byte);
+      f.seekp(pos);
+      f.put(static_cast<char>(byte ^ 0x10));
+    }
   }
 }
 
@@ -271,8 +325,9 @@ std::shared_ptr<const CompiledModel> ModelCache::get_or_build(
 
   if (auto hit = memory_get(key)) return hit;
 
+  bool quarantined = false;
   if (!dir_.empty()) {
-    if (auto loaded = load_file(entry_path(dir_, key))) {
+    if (auto loaded = load_file(entry_path(dir_, key), &quarantined)) {
       auto model = std::make_shared<const CompiledModel>(std::move(*loaded));
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -280,6 +335,10 @@ std::shared_ptr<const CompiledModel> ModelCache::get_or_build(
       }
       memory_put(key, model);
       return model;
+    }
+    if (quarantined) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.corrupt_quarantined;
     }
   }
 
@@ -295,7 +354,10 @@ std::shared_ptr<const CompiledModel> ModelCache::get_or_build(
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
+    if (quarantined) ++stats_.rebuilds_after_quarantine;
   }
+  if (quarantined)
+    health::global_counters().cache_rebuilds.fetch_add(1, std::memory_order_relaxed);
   memory_put(key, model);
   return model;
 }

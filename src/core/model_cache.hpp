@@ -62,8 +62,16 @@ class ModelCache {
 
   /// Load one cache file.  Returns nullopt when the file is absent OR
   /// unreadable/corrupt — a damaged entry is a miss, never an error, so
-  /// callers fall back to a cold build (which then overwrites it).
-  static std::optional<CompiledModel> load_file(const std::string& path);
+  /// callers fall back to a cold build.  A corrupt entry is additionally
+  /// QUARANTINED: renamed to "<path>.bad" (preserving the evidence for
+  /// inspection) and counted in health::global_counters(), so the rebuild
+  /// stores a fresh entry instead of overwriting the damaged one in place.
+  /// `corrupt_quarantined`, when non-null, reports whether that happened.
+  static std::optional<CompiledModel> load_file(const std::string& path,
+                                                bool* corrupt_quarantined = nullptr);
+
+  /// "<path>.bad" — where a corrupt entry gets quarantined.
+  static std::string quarantine_path(const std::string& path) { return path + ".bad"; }
 
   /// Persist `model` as `dir`/<key>.awemodel, creating `dir` on demand.
   /// Writes to a unique temp file then renames — concurrent builders can
@@ -84,6 +92,8 @@ class ModelCache {
     std::size_t disk_hits = 0;
     std::size_t misses = 0;  ///< cold builds
     std::size_t evictions = 0;
+    std::size_t corrupt_quarantined = 0;  ///< entries moved to .bad on load
+    std::size_t rebuilds_after_quarantine = 0;  ///< cold builds replacing them
   };
   Stats stats() const;
   std::size_t memory_entries() const;

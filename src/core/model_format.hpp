@@ -9,6 +9,6 @@
 namespace awe::core {
 
 inline constexpr char kModelMagic[4] = {'A', 'W', 'E', 'M'};
-inline constexpr std::uint32_t kModelFormatVersion = 1;
+inline constexpr std::uint32_t kModelFormatVersion = 2;
 
 }  // namespace awe::core

@@ -1,32 +1,60 @@
-// CompiledModel binary save/load.  Format (version 1, little-endian):
-//   magic "AWEM", u32 version,
-//   ModelOptions {u64 order, u8 enforce_stability, u8 allow_order_fallback,
-//                 u8 with_gradients},
-//   SymbolicMoments {u64 nsym, per symbol {u64 element_index, string name,
-//                    u8 reciprocal}; u64 nnum, polynomial[nnum]; polynomial
-//                    det_y0; u64 port_count, u64 global_dim},
-//   CompiledProgram (see symbolic/compile_io.cpp),
-//   u8 has_gradients [, CompiledProgram gradient].
+// CompiledModel binary save/load.  Format (version 2, little-endian):
+//   magic "AWEM", u32 version, u64 payload_size, u64 fnv1a64(payload),
+//   payload:
+//     ModelOptions {u64 order, u8 enforce_stability, u8 allow_order_fallback,
+//                   u8 with_gradients},
+//     SymbolicMoments {u64 nsym, per symbol {u64 element_index, string name,
+//                      u8 reciprocal}; u64 nnum, polynomial[nnum]; polynomial
+//                      det_y0; u64 port_count, u64 global_dim},
+//     CompiledProgram (see symbolic/compile_io.cpp),
+//     u8 has_gradients [, CompiledProgram gradient].
 // Every container is ordered and every double is written bit-exact, so
 // save -> load -> save round trips byte-identically (asserted by
-// test_model_cache and the CI cache-determinism job).
+// test_model_cache and the CI cache-determinism job).  The checksum makes
+// silent media damage (a flipped bit in a program constant would otherwise
+// load as a plausible-but-wrong model) a detected load failure, which the
+// cache layer quarantines like any other corrupt entry (DESIGN.md §11).
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/awesymbolic.hpp"
 #include "core/model_format.hpp"
+#include "health/status.hpp"
 #include "symbolic/serialize.hpp"
 
 namespace awe::core {
 
 namespace io = symbolic::io;
 
+namespace {
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
 void CompiledModel::save(std::ostream& os) const {
+  std::ostringstream body;
+  save_payload(body);
+  const std::string bytes = body.str();
   os.write(kModelMagic, sizeof(kModelMagic));
   io::write_u32(os, kModelFormatVersion);
+  io::write_u64(os, bytes.size());
+  io::write_u64(os, fnv1a64(bytes));
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw std::runtime_error("CompiledModel::save: write failed");
+}
 
+void CompiledModel::save_payload(std::ostream& os) const {
   io::write_u64(os, opts_.order);
   io::write_u8(os, opts_.enforce_stability ? 1 : 0);
   io::write_u8(os, opts_.allow_order_fallback ? 1 : 0);
@@ -59,6 +87,24 @@ CompiledModel CompiledModel::load(std::istream& is) {
   if (version != kModelFormatVersion)
     throw std::runtime_error("CompiledModel::load: unsupported format version");
 
+  // Sized, checksummed payload: truncation and bit damage both fail HERE,
+  // before any field is trusted.
+  const std::uint64_t size = io::read_u64(is);
+  const std::uint64_t checksum = io::read_u64(is);
+  if (!is || size > (1ull << 32))
+    throw std::runtime_error("CompiledModel::load: bad payload size");
+  std::string bytes(size, '\0');
+  is.read(bytes.data(), static_cast<std::streamsize>(size));
+  if (!is || static_cast<std::uint64_t>(is.gcount()) != size)
+    throw std::runtime_error("CompiledModel::load: truncated payload");
+  if (fnv1a64(bytes) != checksum)
+    throw health::FailError(health::FailClass::kCacheCorrupt,
+                            "CompiledModel::load: payload checksum mismatch");
+  std::istringstream payload(std::move(bytes));
+  return load_payload(payload);
+}
+
+CompiledModel CompiledModel::load_payload(std::istream& is) {
   ModelOptions opts;
   opts.order = io::read_count(is, 1u << 16);
   opts.enforce_stability = io::read_u8(is) != 0;

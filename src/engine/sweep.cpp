@@ -8,9 +8,26 @@
 #include <stdexcept>
 
 namespace awe::sweep {
+
+const char* to_string(LadderStage s) {
+  switch (s) {
+    case LadderStage::kPrimary: return "primary";
+    case LadderStage::kStrictReeval: return "strict-reeval";
+    case LadderStage::kOrderFallback: return "order-fallback";
+    case LadderStage::kShiftedRefit: return "shifted-refit";
+    case LadderStage::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
 namespace {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// fail_class value meaning "the parallel phase never reached this point".
+/// Distinct from every FailClass so task-death containment can tell which
+/// points the dead task left behind.
+constexpr std::uint8_t kUnprocessed = 0xff;
 
 engine::RomOptions rom_options(const core::ModelOptions& m) {
   engine::RomOptions r;
@@ -30,14 +47,56 @@ RomSamples make_rom_samples(std::size_t n, std::size_t max_order) {
   return rs;
 }
 
-/// Fit point p's ROM from its moment lane and record it.  A failed Padé
-/// fit leaves order 0 / NaN samples and a 0 pass flag.
-void fit_point_rom(const engine::RomOptions& ropts, std::span<const double> lane_moments,
-                   std::size_t p, RomSamples& rs,
-                   const std::function<bool(const engine::ReducedOrderModel&)>& pred,
-                   std::vector<std::uint8_t>* pass) {
-  try {
-    const auto rom = engine::ReducedOrderModel::from_moments(lane_moments, ropts);
+/// Ladder verdict for one point: deepest stage that ran, and the terminal
+/// FailClass when the point ended up quarantined (kNone otherwise).
+struct FitOutcome {
+  LadderStage stage = LadderStage::kPrimary;
+  health::FailClass fail = health::FailClass::kNone;
+};
+
+/// Deterministic expansion shift for the refit stage: half the |m0/m1|
+/// dominant-pole magnitude estimate, or 1 when that estimate is unusable.
+/// Depends only on the point's own moments, never on sweep geometry.
+double pick_shift(std::span<const double> m) {
+  if (m.size() >= 2 && std::isfinite(m[0]) && std::isfinite(m[1]) && m[1] != 0.0) {
+    const double s0 = 0.5 * std::abs(m[0] / m[1]);
+    if (std::isfinite(s0) && s0 > 0.0) return s0;
+  }
+  return 1.0;
+}
+
+/// Exact truncated Taylor shift of the moment polynomial: with
+/// H(s) = sum_k m_k s^k and s = s0 + sigma, the sigma-domain moments are
+/// mhat_j = sum_{k>=j} C(k,j) m_k s0^(k-j).  Truncation keeps this an
+/// approximation of H about s0, but a deterministic one — good enough to
+/// rescue Hankel systems that are singular at the origin.
+std::vector<double> shift_moments(std::span<const double> m, double s0) {
+  const std::size_t nm = m.size();
+  std::vector<double> out(nm, 0.0);
+  for (std::size_t j = 0; j < nm; ++j) {
+    double binom = 1.0;  // C(k, j), starting at k = j
+    double pow_s = 1.0;  // s0^(k-j)
+    double acc = 0.0;
+    for (std::size_t k = j; k < nm; ++k) {
+      acc += binom * m[k] * pow_s;
+      pow_s *= s0;
+      binom = binom * static_cast<double>(k + 1) / static_cast<double>(k + 1 - j);
+    }
+    out[j] = acc;
+  }
+  return out;
+}
+
+/// Fit point p's ROM from its moment lane, riding the degradation ladder:
+/// user options -> order fallback -> shifted-moment refit -> quarantine.
+/// Only fit failures (health::FailError) ride the ladder; programming
+/// errors (std::bad_alloc, std::logic_error, ...) propagate to the caller.
+/// A quarantined point keeps order 0 / NaN samples and a 0 pass flag.
+FitOutcome fit_point_rom(const engine::RomOptions& ropts, std::span<const double> lane_moments,
+                         std::size_t p, RomSamples& rs,
+                         const std::function<bool(const engine::ReducedOrderModel&)>& pred,
+                         std::vector<std::uint8_t>* pass, health::HealthReport& hr) {
+  const auto record = [&](const engine::ReducedOrderModel& rom) {
     const std::size_t q = std::min(rom.order(), rs.max_order);
     rs.order[p] = static_cast<std::uint8_t>(q);
     for (std::size_t j = 0; j < q; ++j) {
@@ -45,10 +104,77 @@ void fit_point_rom(const engine::RomOptions& ropts, std::span<const double> lane
       rs.residues[p * rs.max_order + j] = rom.residues()[j];
     }
     rs.dc_gain[p] = rom.dc_gain();
-    if (pred) (*pass)[p] = pred(rom) ? 1 : 0;
-  } catch (...) {
-    // Point stays marked as an unfitted sample.
+    if (pred && pass) (*pass)[p] = pred(rom) ? 1 : 0;
+  };
+  health::FailClass last = health::FailClass::kUnknown;
+  try {
+    record(engine::ReducedOrderModel::from_moments(lane_moments, ropts));
+    return {};
+  } catch (const health::FailError& e) {
+    last = e.fail_class();
   }
+  if (!ropts.allow_order_fallback) {
+    ++hr.order_fallbacks;
+    engine::RomOptions relaxed = ropts;
+    relaxed.allow_order_fallback = true;
+    try {
+      record(engine::ReducedOrderModel::from_moments(lane_moments, relaxed));
+      return {LadderStage::kOrderFallback, health::FailClass::kNone};
+    } catch (const health::FailError& e) {
+      last = e.fail_class();
+    }
+  }
+  ++hr.shifted_refits;
+  try {
+    const double s0 = pick_shift(lane_moments);
+    engine::RomOptions relaxed = ropts;
+    relaxed.allow_order_fallback = true;
+    record(engine::ReducedOrderModel::from_shifted_moments(shift_moments(lane_moments, s0),
+                                                           relaxed, s0));
+    return {LadderStage::kShiftedRefit, health::FailClass::kNone};
+  } catch (const health::FailError& e) {
+    last = e.fail_class();
+  }
+  return {LadderStage::kQuarantined, last};
+}
+
+/// True when all `rows` output lanes of point p hold finite values.
+bool lanes_finite(const std::vector<double>& soa, std::size_t rows, std::size_t n,
+                  std::size_t p) {
+  for (std::size_t r = 0; r < rows; ++r)
+    if (!std::isfinite(soa[r * n + p])) return false;
+  return true;
+}
+
+/// Evaluation rung of the ladder for one point whose lanes were just
+/// filled by a moments_batch call.  In fast mode a rejected or non-finite
+/// point gets one width-1 strict re-evaluation (fast-mode fusion is the
+/// usual suspect) before being quarantined.  Writes recovered moments back
+/// into the shared SoA block.
+template <typename Model>
+FitOutcome eval_ladder_point(const Model& model, const std::vector<double>& pts,
+                             std::vector<double>& soa, std::vector<std::uint8_t>& ok,
+                             std::size_t rows, std::size_t n, std::size_t p,
+                             core::EvalMode mode, std::optional<core::BatchWorkspace>& ws1,
+                             std::uint64_t& strict_reevals) {
+  bool finite = lanes_finite(soa, rows, n, p);
+  LadderStage stage = LadderStage::kPrimary;
+  if (mode == core::EvalMode::kFast && (!ok[p] || !finite)) {
+    ++strict_reevals;
+    if (!ws1) ws1 = model.make_batch_workspace(1);
+    model.moments_batch(std::span<const double>(pts.data() + p, pts.size() - p), n, 1, *ws1,
+                        std::span<double>(soa.data() + p, soa.size() - p), n,
+                        std::span<unsigned char>(ok.data() + p, 1), core::EvalMode::kStrict);
+    finite = lanes_finite(soa, rows, n, p);
+    if (ok[p] && finite) stage = LadderStage::kStrictReeval;
+  }
+  if (!ok[p] || !finite) {
+    const health::FailClass fail =
+        !ok[p] ? health::FailClass::kSingularY0 : health::FailClass::kNonFiniteEval;
+    ok[p] = 0;
+    return {LadderStage::kQuarantined, fail};
+  }
+  return {stage, health::FailClass::kNone};
 }
 
 /// Two-pass min/max/mean/stddev over the finite values of ok points.
@@ -93,6 +219,34 @@ void finalize_result(SweepResult& res) {
   res.pass_count = 0;
   for (const std::uint8_t f : res.pass) res.pass_count += f;
   if (res.rom) res.dc_gain_stats = stats_over(res.rom->dc_gain.data(), n, res.ok);
+  // Health disposition: every point lands in exactly one bucket, so
+  // ok + degraded + quarantined == num_points always holds.
+  res.health.points_total = n;
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto stage = static_cast<LadderStage>(res.ladder_stage[p]);
+    if (stage == LadderStage::kQuarantined) {
+      ++res.health.points_quarantined;
+      res.health.record_failure(static_cast<health::FailClass>(res.fail_class[p]));
+    } else if (stage == LadderStage::kPrimary) {
+      ++res.health.points_ok;
+    } else {
+      ++res.health.points_degraded;
+    }
+  }
+}
+
+/// A pool task died outside any point's ladder (e.g. an injected
+/// thread_pool.task fault).  Results already written stand; every point
+/// the dead task never reached is quarantined as a task casualty.
+void contain_task_failure(std::vector<std::uint8_t>& fail_class,
+                          std::vector<std::uint8_t>& ladder_stage,
+                          std::vector<std::uint8_t>& ok) {
+  for (std::size_t p = 0; p < fail_class.size(); ++p) {
+    if (fail_class[p] != kUnprocessed) continue;
+    ok[p] = 0;
+    ladder_stage[p] = static_cast<std::uint8_t>(LadderStage::kQuarantined);
+    fail_class[p] = static_cast<std::uint8_t>(health::FailClass::kTaskException);
+  }
 }
 
 }  // namespace
@@ -111,6 +265,8 @@ SweepResult run_sweep(const core::CompiledModel& model, std::vector<double> poin
   res.points = std::move(points);
   res.moments.assign(nm * num_points, 0.0);
   res.ok.assign(num_points, 1);
+  res.ladder_stage.assign(num_points, 0);
+  res.fail_class.assign(num_points, kUnprocessed);
   const bool need_rom = opts.with_rom || static_cast<bool>(opts.pass_predicate);
   if (need_rom) res.rom = make_rom_samples(num_points, model.order());
   if (opts.pass_predicate) res.pass.assign(num_points, 0);
@@ -126,24 +282,50 @@ SweepResult run_sweep(const core::CompiledModel& model, std::vector<double> poin
   const engine::RomOptions ropts = rom_options(model.options());
   const std::size_t n = num_points;
 
-  pool->parallel_chunks(n, [&](std::size_t, std::size_t begin, std::size_t end) {
-    core::BatchWorkspace ws = model.make_batch_workspace(width);
-    std::vector<double> lane(nm);
-    for (std::size_t b = begin; b < end; b += width) {
-      const std::size_t w = std::min(width, end - b);
-      model.moments_batch(
-          std::span<const double>(res.points.data() + b, res.points.size() - b), n, w, ws,
-          std::span<double>(res.moments.data() + b, res.moments.size() - b), n,
-          std::span<unsigned char>(res.ok.data() + b, w), opts.mode);
-      if (!need_rom) continue;
-      for (std::size_t p = b; p < b + w; ++p) {
-        if (!res.ok[p]) continue;
-        for (std::size_t k = 0; k < nm; ++k) lane[k] = res.moments[k * n + p];
-        fit_point_rom(ropts, lane, p, *res.rom, opts.pass_predicate,
-                      res.pass.empty() ? nullptr : &res.pass);
+  // One HealthReport per static chunk; merged serially after the join, so
+  // the ladder counters are deterministic for a given chunk geometry and
+  // (being pure sums) identical across geometries.
+  std::vector<health::HealthReport> worker_health(pool->size());
+
+  try {
+    pool->parallel_chunks(n, [&](std::size_t worker, std::size_t begin, std::size_t end) {
+      health::HealthReport& hr = worker_health[worker];
+      core::BatchWorkspace ws = model.make_batch_workspace(width);
+      std::optional<core::BatchWorkspace> ws1;
+      std::vector<double> lane(nm);
+      for (std::size_t b = begin; b < end; b += width) {
+        const std::size_t w = std::min(width, end - b);
+        model.moments_batch(
+            std::span<const double>(res.points.data() + b, res.points.size() - b), n, w, ws,
+            std::span<double>(res.moments.data() + b, res.moments.size() - b), n,
+            std::span<unsigned char>(res.ok.data() + b, w), opts.mode);
+        for (std::size_t p = b; p < b + w; ++p) {
+          FitOutcome out = eval_ladder_point(model, res.points, res.moments, res.ok, nm, n, p,
+                                             opts.mode, ws1, hr.strict_reevals);
+          if (out.fail == health::FailClass::kNone && need_rom) {
+            for (std::size_t k = 0; k < nm; ++k) lane[k] = res.moments[k * n + p];
+            const FitOutcome fit =
+                fit_point_rom(ropts, lane, p, *res.rom, opts.pass_predicate,
+                              res.pass.empty() ? nullptr : &res.pass, hr);
+            if (fit.fail != health::FailClass::kNone) {
+              out = fit;
+            } else {
+              out.stage = std::max(out.stage, fit.stage);
+            }
+          }
+          res.ladder_stage[p] = static_cast<std::uint8_t>(out.stage);
+          res.fail_class[p] = static_cast<std::uint8_t>(out.fail);
+        }
       }
-    }
-  });
+    });
+  } catch (const health::FailError&) {
+    contain_task_failure(res.fail_class, res.ladder_stage, res.ok);
+  }
+  for (const health::HealthReport& hr : worker_health) {
+    res.health.strict_reevals += hr.strict_reevals;
+    res.health.order_fallbacks += hr.order_fallbacks;
+    res.health.shifted_refits += hr.shifted_refits;
+  }
 
   finalize_result(res);
   return res;
@@ -168,6 +350,8 @@ std::vector<SweepResult> run_sweep(const core::MultiOutputModel& model,
     r.num_moments = nm;
     r.points = points;
     r.ok.assign(n, 1);
+    r.ladder_stage.assign(n, 0);
+    r.fail_class.assign(n, kUnprocessed);
     if (need_rom) r.rom = make_rom_samples(n, model.order());
     if (opts.pass_predicate) r.pass.assign(n, 0);
   }
@@ -183,25 +367,61 @@ std::vector<SweepResult> run_sweep(const core::MultiOutputModel& model,
     const std::size_t width = std::max<std::size_t>(1, opts.batch_width);
     const engine::RomOptions ropts = rom_options(model.options());
 
-    pool->parallel_chunks(n, [&](std::size_t, std::size_t begin, std::size_t end) {
-      core::BatchWorkspace ws = model.make_batch_workspace(width);
-      std::vector<double> lane(nm);
-      for (std::size_t b = begin; b < end; b += width) {
-        const std::size_t w = std::min(width, end - b);
-        model.moments_batch(std::span<const double>(points.data() + b, points.size() - b),
-                            n, w, ws, std::span<double>(all.data() + b, all.size() - b), n,
-                            std::span<unsigned char>(ok.data() + b, w), opts.mode);
-        if (!need_rom) continue;
-        for (std::size_t p = b; p < b + w; ++p) {
-          if (!ok[p]) continue;
-          for (std::size_t o = 0; o < nout; ++o) {
-            for (std::size_t k = 0; k < nm; ++k) lane[k] = all[(o * nm + k) * n + p];
-            fit_point_rom(ropts, lane, p, *results[o].rom, opts.pass_predicate,
-                          results[o].pass.empty() ? nullptr : &results[o].pass);
+    // Ladder counters per (chunk, output); strict re-evals recompute every
+    // output of the point at once, so that count is shared per chunk and
+    // credited to each output's report after the join.
+    struct WorkerHealth {
+      std::uint64_t strict_reevals = 0;
+      std::vector<health::HealthReport> per_output;
+    };
+    std::vector<WorkerHealth> worker_health(pool->size());
+    for (WorkerHealth& wh : worker_health) wh.per_output.resize(nout);
+
+    try {
+      pool->parallel_chunks(n, [&](std::size_t worker, std::size_t begin, std::size_t end) {
+        WorkerHealth& wh = worker_health[worker];
+        core::BatchWorkspace ws = model.make_batch_workspace(width);
+        std::optional<core::BatchWorkspace> ws1;
+        std::vector<double> lane(nm);
+        for (std::size_t b = begin; b < end; b += width) {
+          const std::size_t w = std::min(width, end - b);
+          model.moments_batch(std::span<const double>(points.data() + b, points.size() - b),
+                              n, w, ws, std::span<double>(all.data() + b, all.size() - b), n,
+                              std::span<unsigned char>(ok.data() + b, w), opts.mode);
+          for (std::size_t p = b; p < b + w; ++p) {
+            const FitOutcome ev = eval_ladder_point(model, points, all, ok, nout * nm, n, p,
+                                                    opts.mode, ws1, wh.strict_reevals);
+            for (std::size_t o = 0; o < nout; ++o) {
+              FitOutcome out = ev;
+              if (ev.fail == health::FailClass::kNone && need_rom) {
+                for (std::size_t k = 0; k < nm; ++k) lane[k] = all[(o * nm + k) * n + p];
+                const FitOutcome fit =
+                    fit_point_rom(ropts, lane, p, *results[o].rom, opts.pass_predicate,
+                                  results[o].pass.empty() ? nullptr : &results[o].pass,
+                                  wh.per_output[o]);
+                if (fit.fail != health::FailClass::kNone) {
+                  out = fit;
+                } else {
+                  out.stage = std::max(out.stage, fit.stage);
+                }
+              }
+              results[o].ladder_stage[p] = static_cast<std::uint8_t>(out.stage);
+              results[o].fail_class[p] = static_cast<std::uint8_t>(out.fail);
+            }
           }
         }
+      });
+    } catch (const health::FailError&) {
+      for (std::size_t o = 0; o < nout; ++o)
+        contain_task_failure(results[o].fail_class, results[o].ladder_stage, ok);
+    }
+    for (const WorkerHealth& wh : worker_health) {
+      for (std::size_t o = 0; o < nout; ++o) {
+        results[o].health.strict_reevals += wh.strict_reevals;
+        results[o].health.order_fallbacks += wh.per_output[o].order_fallbacks;
+        results[o].health.shifted_refits += wh.per_output[o].shifted_refits;
       }
-    });
+    }
   }
 
   for (std::size_t o = 0; o < nout; ++o) {

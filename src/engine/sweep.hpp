@@ -27,8 +27,26 @@
 #include "awe/rom.hpp"
 #include "core/awesymbolic.hpp"
 #include "engine/thread_pool.hpp"
+#include "health/report.hpp"
+#include "health/status.hpp"
 
 namespace awe::sweep {
+
+/// Deterministic per-point degradation ladder (DESIGN.md §11).  Each point
+/// records the DEEPEST stage that had to run for it to produce a result;
+/// kQuarantined means every stage failed and SweepResult::fail_class holds
+/// why.  The ladder is a fixed per-point sequence with no cross-point or
+/// cross-thread state, so it terminates deterministically and preserves
+/// the sweep engine's bit-identical-across-thread-counts guarantee.
+enum class LadderStage : std::uint8_t {
+  kPrimary = 0,       ///< first-try eval (and ROM fit) succeeded
+  kStrictReeval = 1,  ///< fast-mode point re-evaluated in strict mode
+  kOrderFallback = 2, ///< Padé order fallback recovered the ROM fit
+  kShiftedRefit = 3,  ///< shifted-moment refit recovered the ROM fit
+  kQuarantined = 4,   ///< no stage recovered; fail_class records why
+};
+
+const char* to_string(LadderStage s);
 
 struct SweepOptions {
   std::size_t threads = 0;       ///< total workers; 0 = hardware concurrency
@@ -79,9 +97,22 @@ struct SweepResult {
   std::optional<Stats> dc_gain_stats;  ///< filled alongside rom/predicate
   std::size_t ok_count = 0;
   std::size_t pass_count = 0;
+  /// Per point: deepest LadderStage that ran for it (values of LadderStage).
+  std::vector<std::uint8_t> ladder_stage;
+  /// Per point: FailClass of quarantined points (kNone when not quarantined).
+  std::vector<std::uint8_t> fail_class;
+  /// Aggregated fault/degradation accounting for this sweep.  points_ok +
+  /// points_degraded + points_quarantined == num_points, always.
+  health::HealthReport health;
 
   double point(std::size_t symbol, std::size_t p) const { return points[symbol * num_points + p]; }
   double moment(std::size_t k, std::size_t p) const { return moments[k * num_points + p]; }
+  LadderStage point_stage(std::size_t p) const {
+    return static_cast<LadderStage>(ladder_stage[p]);
+  }
+  health::FailClass point_fail_class(std::size_t p) const {
+    return static_cast<health::FailClass>(fail_class[p]);
+  }
   /// Fraction of ALL points passing the predicate (failures count against).
   double yield() const {
     return num_points == 0 ? 0.0 : static_cast<double>(pass_count) / static_cast<double>(num_points);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "health/failpoints.hpp"
+
 namespace awe::sweep {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -40,6 +42,9 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     }
     std::exception_ptr err;
     try {
+      // Injection site: a task that dies before touching its chunk, to
+      // exercise the contain-rethrow-stay-usable contract.
+      health::failpoints::maybe_fail(health::failpoints::sites::kThreadPoolTask);
       const auto [begin, end] = chunk(n, worker_index);
       if (begin < end) (*job)(worker_index, begin, end);
     } catch (...) {
@@ -56,6 +61,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 void ThreadPool::parallel_chunks(std::size_t n, const ChunkFn& fn) {
   if (n == 0) return;
   if (workers_.empty()) {
+    health::failpoints::maybe_fail(health::failpoints::sites::kThreadPoolTask);
     fn(0, 0, n);
     return;
   }

@@ -1,0 +1,61 @@
+#include "health/report.hpp"
+
+#include <sstream>
+
+namespace awe::health {
+
+void HealthReport::merge(const HealthReport& other) {
+  for (std::size_t i = 0; i < kFailClassCount; ++i)
+    fail_counts[i] += other.fail_counts[i];
+  points_total += other.points_total;
+  points_ok += other.points_ok;
+  points_degraded += other.points_degraded;
+  points_quarantined += other.points_quarantined;
+  strict_reevals += other.strict_reevals;
+  order_fallbacks += other.order_fallbacks;
+  shifted_refits += other.shifted_refits;
+  cache_corrupt_quarantined += other.cache_corrupt_quarantined;
+  cache_rebuilds += other.cache_rebuilds;
+  failpoint_fires += other.failpoint_fires;
+}
+
+std::string HealthReport::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string in1 = pad + "  ";
+  const std::string in2 = pad + "    ";
+  std::ostringstream os;
+  os << "{\n";
+  os << in1 << "\"points\": {\"total\": " << points_total << ", \"ok\": " << points_ok
+     << ", \"degraded\": " << points_degraded
+     << ", \"quarantined\": " << points_quarantined << "},\n";
+  os << in1 << "\"ladder\": {\"strict_reevals\": " << strict_reevals
+     << ", \"order_fallbacks\": " << order_fallbacks
+     << ", \"shifted_refits\": " << shifted_refits << "},\n";
+  os << in1 << "\"cache\": {\"corrupt_quarantined\": " << cache_corrupt_quarantined
+     << ", \"rebuilds\": " << cache_rebuilds << "},\n";
+  os << in1 << "\"failpoint_fires\": " << failpoint_fires << ",\n";
+  os << in1 << "\"fail_classes\": {\n";
+  // kNone is a non-event; every real class appears, fired or not.
+  for (std::size_t i = 1; i < kFailClassCount; ++i) {
+    os << in2 << "\"" << code(static_cast<FailClass>(i)) << "\": " << fail_counts[i]
+       << (i + 1 < kFailClassCount ? ",\n" : "\n");
+  }
+  os << in1 << "}\n";
+  os << pad << "}";
+  return os.str();
+}
+
+GlobalCounters& global_counters() {
+  static GlobalCounters g;
+  return g;
+}
+
+void absorb_global_counters(HealthReport& report) {
+  const GlobalCounters& g = global_counters();
+  report.cache_corrupt_quarantined =
+      g.cache_corrupt_quarantined.load(std::memory_order_relaxed);
+  report.cache_rebuilds = g.cache_rebuilds.load(std::memory_order_relaxed);
+  report.failpoint_fires = g.failpoint_fires.load(std::memory_order_relaxed);
+}
+
+}  // namespace awe::health

@@ -5,10 +5,16 @@
 #include <limits>
 #include <stdexcept>
 
+#include "health/failpoints.hpp"
+
 namespace awe::linalg {
 
 std::optional<LuFactorization> LuFactorization::factor(Matrix a, double pivot_tol) {
   if (a.rows() != a.cols()) throw std::invalid_argument("LU requires square matrix");
+  // Injection site: report the matrix as singular (pivot degeneracy) so
+  // every caller exercises its ill-conditioned-factor handling.
+  if (health::failpoints::fires(health::failpoints::sites::kLuSingular))
+    return std::nullopt;
   const std::size_t n = a.rows();
   std::vector<std::size_t> perm(n);
   for (std::size_t i = 0; i < n; ++i) perm[i] = i;

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "health/failpoints.hpp"
+
 namespace awe::linalg {
 namespace {
 
@@ -89,6 +91,10 @@ std::vector<std::size_t> compute_ordering(const SparseMatrix& a, OrderingKind ki
 
 std::optional<SparseLu> SparseLu::factor(const SparseMatrix& a, const Options& opts) {
   if (a.rows() != a.cols()) throw std::invalid_argument("SparseLu requires square matrix");
+  // Injection site: report the matrix as singular so MNA-layer callers
+  // exercise their singular-Y0 handling.
+  if (health::failpoints::fires(health::failpoints::sites::kSparseSingular))
+    return std::nullopt;
   const std::size_t n = a.rows();
   constexpr std::size_t kNone = ~std::size_t{0};
 

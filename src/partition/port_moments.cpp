@@ -6,6 +6,8 @@
 
 #include "circuit/mna.hpp"
 #include "engine/thread_pool.hpp"
+#include "health/failpoints.hpp"
+#include "health/status.hpp"
 #include "linalg/sparse_lu.hpp"
 
 namespace awe::part {
@@ -62,7 +64,8 @@ std::vector<std::vector<double>> port_admittance_moments_inplace(
   const auto c = assembler.build_c();
   auto lu = linalg::SparseLu::factor(g);
   if (!lu)
-    throw std::runtime_error(
+    throw health::FailError(
+        health::FailClass::kSingularY0,
         "port_admittance_moments: grounded-port DC matrix is singular — a port is "
         "DC-shorted by an ideal inductor (its port admittance has a pole at s=0 "
         "and no Maclaurin expansion), or an internal node lost its DC path");
@@ -75,6 +78,7 @@ std::vector<std::vector<double>> port_admittance_moments_inplace(
   // Column j: excite port j, run the moment recursion against the shared
   // factor.  Columns are independent and write disjoint (i*m + j) slots.
   auto solve_column = [&](std::size_t j) {
+    health::failpoints::maybe_fail(health::failpoints::sites::kPartitionMomentSolve);
     linalg::Vector x = lu->solve(assembler.rhs("__port" + std::to_string(j), 1.0));
     for (std::size_t k = 0; k < count; ++k) {
       if (k > 0) {

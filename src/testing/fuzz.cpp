@@ -56,6 +56,7 @@ std::string FuzzSummary::to_json() const {
   os << "  \"max_mna_dim\": " << max_mna_dim << ",\n";
   os << "  \"worst_rel_err\": " << json_double(worst_rel_err) << ",\n";
   os << "  \"worst_seed\": " << worst_seed << ",\n";
+  os << "  \"health\": " << health.to_json(2) << ",\n";
   os << "  \"failures\": [";
   for (std::size_t i = 0; i < failures.size(); ++i) {
     const auto& f = failures[i];
@@ -90,6 +91,7 @@ FuzzSummary run_fuzz(const FuzzOptions& opts) {
 
     const OracleResult r = run_oracles(g.parsed, opts.oracle);
     if (opts.on_case) opts.on_case(g, r);
+    sum.health.merge(r.health);
     sum.moments_compared += r.moments_compared;
     sum.moments_skipped += r.moments_skipped;
     if (!r.pade_ok) ++sum.pade_flagged;
@@ -126,6 +128,7 @@ FuzzSummary run_fuzz(const FuzzOptions& opts) {
       }
     }
   }
+  health::absorb_global_counters(sum.health);
   return sum;
 }
 

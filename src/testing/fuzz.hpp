@@ -51,6 +51,9 @@ struct FuzzSummary {
   std::size_t max_mna_dim = 0;
   double worst_rel_err = 0.0;        ///< over agreeing cases
   std::uint64_t worst_seed = 0;
+  /// Merged per-class failure accounting over every case's oracle paths,
+  /// with the process-global failpoint/cache counters folded in.
+  health::HealthReport health;
   std::vector<FuzzFailure> failures;
 
   /// Deterministic JSON (fixed key order, C locale, %.17g doubles).

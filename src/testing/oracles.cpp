@@ -22,6 +22,8 @@ struct Path {
   bool ok = false;
   std::vector<double> m;
   std::string error;
+  /// Why the path failed, when it did (kNone while ok).
+  health::FailClass fail = health::FailClass::kNone;
 };
 
 Path run_path(const std::function<std::vector<double>()>& fn) {
@@ -33,11 +35,16 @@ Path run_path(const std::function<std::vector<double>()>& fn) {
       if (!std::isfinite(v)) {
         p.ok = false;
         p.error = "non-finite moments";
+        p.fail = health::FailClass::kNonFiniteEval;
         p.m.clear();
         break;
       }
+  } catch (const health::FailError& e) {
+    p.error = e.what();
+    p.fail = e.fail_class();
   } catch (const std::exception& e) {
     p.error = e.what();
+    p.fail = health::FailClass::kUnknown;
   }
   return p;
 }
@@ -237,6 +244,8 @@ OracleResult run_oracles(const circuit::ParsedDeck& deck, const OracleOptions& o
   } catch (const std::exception& e) {
     build_error = e.what();
     strict_path.error = fast_path.error = sweep_path.error = build_error;
+    const health::FailClass fc = health::fail_class_of(e);
+    strict_path.fail = fast_path.fail = sweep_path.fail = fc;
   }
 
   // -- fault injection (tests the detector, not the product) ------------
@@ -252,6 +261,9 @@ OracleResult run_oracles(const circuit::ParsedDeck& deck, const OracleOptions& o
   res.exact_error = exact_path.error;
   res.awe_error = awe_path.error;
   res.compiled_error = strict_path.error;
+  for (const Path* p : std::initializer_list<const Path*>{
+           &exact_path, &awe_path, &strict_path, &fast_path, &sweep_path})
+    if (!p->ok) res.health.record_failure(p->fail);
 
   // -- classification ----------------------------------------------------
   if (!awe_path.ok && !exact_path.ok && !strict_path.ok) {
@@ -288,7 +300,10 @@ OracleResult run_oracles(const circuit::ParsedDeck& deck, const OracleOptions& o
   auto require_ok = [&](const Path& p, const char* label) {
     if (!p.ok && res.status == OracleStatus::kAgree) {
       res.status = OracleStatus::kMismatch;
-      res.mismatch_kind = std::string(label) + " failed";
+      // The FailClass code is part of the signature: the shrinker must not
+      // turn e.g. a hankel-ill-conditioned failure into a singular-y0 one.
+      res.mismatch_kind =
+          std::string(label) + " failed [" + health::code(p.fail) + "]";
       res.detail = std::string(label) + " failed while " +
                    (awe_path.ok ? "awe" : (strict_path.ok ? "strict" : "exact")) +
                    " succeeded: " + p.error;

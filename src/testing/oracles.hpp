@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "circuit/parser.hpp"
+#include "health/report.hpp"
+#include "health/status.hpp"
 
 namespace awe::testing {
 
@@ -65,9 +67,13 @@ struct OracleResult {
   OracleStatus status = OracleStatus::kAgree;
   std::string detail;  ///< human-readable reason for non-agree statuses
   /// Stable signature of HOW the paths disagreed ("strict vs fast",
-  /// "awe failed", ...) — the shrinker preserves this so minimization
-  /// cannot morph one finding into a structurally different one.
+  /// "awe failed [hankel-ill-conditioned]", ...) — the shrinker preserves
+  /// this so minimization cannot morph one finding into a structurally
+  /// different one.  Path-failure signatures carry the FailClass code so a
+  /// shrink cannot swap one failure class for another either.
   std::string mismatch_kind;
+  /// Per-class failure accounting over the five paths (DESIGN.md §11).
+  health::HealthReport health;
   /// Per-path moments (empty when that path failed) and failure messages.
   std::vector<double> exact, awe, strict_c, fast, sweep;
   std::string exact_error, awe_error, compiled_error;

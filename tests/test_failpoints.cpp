@@ -1,0 +1,294 @@
+// Deterministic fault injection (DESIGN.md §11).
+//
+// What must hold, and what these tests pin down:
+//   - the failpoint registry / arming grammar behaves as documented
+//     (always / once / nth:<k> / off, AWE_FAILPOINTS spec parsing,
+//     unknown sites and malformed modes rejected, reset() disarms);
+//   - each production site actually injects: LU and sparse-LU report a
+//     singular factorization, the partition moment solve and thread-pool
+//     tasks throw FailError(kInjectedFault), and the pool survives it;
+//   - every cache-corruption mode (torn store, truncation, bit flip,
+//     load-side corruption) degrades to quarantine + rebuild — the
+//     damaged entry lands at <path>.bad, a fresh entry replaces it, and
+//     NO exception ever reaches the caller.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "circuit/parser.hpp"
+#include "core/model_cache.hpp"
+#include "engine/thread_pool.hpp"
+#include "health/failpoints.hpp"
+#include "health/report.hpp"
+#include "health/status.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/sparse_lu.hpp"
+
+namespace awe {
+namespace {
+
+namespace fp = health::failpoints;
+using health::FailClass;
+using health::FailError;
+
+/// Every test must leave the process with no armed sites, whatever path
+/// it exits through.
+struct FailpointGuard {
+  FailpointGuard() { fp::reset(); }
+  ~FailpointGuard() { fp::reset(); }
+};
+
+// -- registry and arming grammar -----------------------------------------
+
+TEST(FailpointsTest, RegistryListsEverySite) {
+  const auto sites = fp::registered_sites();
+  for (const char* s :
+       {fp::sites::kLuSingular, fp::sites::kSparseSingular,
+        fp::sites::kPartitionMomentSolve, fp::sites::kCacheStoreTruncate,
+        fp::sites::kCacheStoreBitflip, fp::sites::kCacheStoreCrash,
+        fp::sites::kCacheLoadCorrupt, fp::sites::kThreadPoolTask}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), s), sites.end()) << s;
+  }
+}
+
+TEST(FailpointsTest, DisabledByDefaultAndAfterReset) {
+  FailpointGuard guard;
+  EXPECT_FALSE(fp::enabled());
+  EXPECT_FALSE(fp::fires(fp::sites::kLuSingular));
+  fp::arm(fp::sites::kLuSingular, "always");
+  EXPECT_TRUE(fp::enabled());
+  fp::reset();
+  EXPECT_FALSE(fp::enabled());
+  EXPECT_FALSE(fp::fires(fp::sites::kLuSingular));
+  EXPECT_EQ(fp::fire_count(fp::sites::kLuSingular), 0u);
+}
+
+TEST(FailpointsTest, ModesFireOnSchedule) {
+  FailpointGuard guard;
+  fp::arm(fp::sites::kLuSingular, "once");
+  EXPECT_TRUE(fp::fires(fp::sites::kLuSingular));
+  EXPECT_FALSE(fp::fires(fp::sites::kLuSingular));
+  EXPECT_EQ(fp::fire_count(fp::sites::kLuSingular), 1u);
+
+  fp::reset();
+  fp::arm(fp::sites::kSparseSingular, "nth:3");
+  EXPECT_FALSE(fp::fires(fp::sites::kSparseSingular));
+  EXPECT_FALSE(fp::fires(fp::sites::kSparseSingular));
+  EXPECT_TRUE(fp::fires(fp::sites::kSparseSingular));
+  EXPECT_FALSE(fp::fires(fp::sites::kSparseSingular));
+  EXPECT_EQ(fp::fire_count(fp::sites::kSparseSingular), 1u);
+
+  fp::reset();
+  fp::arm(fp::sites::kLuSingular, "always");
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(fp::fires(fp::sites::kLuSingular));
+  EXPECT_EQ(fp::fire_count(fp::sites::kLuSingular), 5u);
+  fp::arm(fp::sites::kLuSingular, "off");
+  EXPECT_FALSE(fp::fires(fp::sites::kLuSingular));
+}
+
+TEST(FailpointsTest, SpecParsingMatchesEnvGrammar) {
+  FailpointGuard guard;
+  fp::arm_from_spec("");  // no-op
+  EXPECT_FALSE(fp::enabled());
+  fp::arm_from_spec("linalg.lu_singular=once,thread_pool.task=nth:2");
+  EXPECT_TRUE(fp::fires(fp::sites::kLuSingular));
+  EXPECT_FALSE(fp::fires(fp::sites::kThreadPoolTask));
+  EXPECT_TRUE(fp::fires(fp::sites::kThreadPoolTask));
+}
+
+TEST(FailpointsTest, RejectsUnknownSitesAndBadModes) {
+  FailpointGuard guard;
+  EXPECT_THROW(fp::arm("no.such_site", "always"), std::invalid_argument);
+  EXPECT_THROW(fp::arm(fp::sites::kLuSingular, "sometimes"), std::invalid_argument);
+  EXPECT_THROW(fp::arm(fp::sites::kLuSingular, "nth:0"), std::invalid_argument);
+  EXPECT_THROW(fp::arm_from_spec("linalg.lu_singular"), std::invalid_argument);
+  EXPECT_FALSE(fp::enabled());
+}
+
+TEST(FailpointsTest, MaybeFailThrowsClassifiedNamingSite) {
+  FailpointGuard guard;
+  fp::maybe_fail(fp::sites::kPartitionMomentSolve);  // disarmed: no-op
+  fp::arm(fp::sites::kPartitionMomentSolve, "once");
+  try {
+    fp::maybe_fail(fp::sites::kPartitionMomentSolve);
+    FAIL() << "expected FailError";
+  } catch (const FailError& e) {
+    EXPECT_EQ(e.fail_class(), FailClass::kInjectedFault);
+    EXPECT_NE(std::string(e.what()).find(fp::sites::kPartitionMomentSolve),
+              std::string::npos);
+  }
+  fp::maybe_fail(fp::sites::kPartitionMomentSolve);  // disarmed again
+}
+
+// -- linalg and thread-pool sites ----------------------------------------
+
+TEST(FailpointsTest, LuSiteForcesSingularResult) {
+  FailpointGuard guard;
+  const linalg::Matrix id{{1.0, 0.0}, {0.0, 1.0}};
+  ASSERT_TRUE(linalg::LuFactorization::factor(id).has_value());
+  fp::arm(fp::sites::kLuSingular, "once");
+  EXPECT_FALSE(linalg::LuFactorization::factor(id).has_value());
+  EXPECT_TRUE(linalg::LuFactorization::factor(id).has_value());
+}
+
+TEST(FailpointsTest, SparseLuSiteForcesSingularResult) {
+  FailpointGuard guard;
+  linalg::TripletMatrix t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  const auto a = t.compress();
+  ASSERT_TRUE(linalg::SparseLu::factor(a).has_value());
+  fp::arm(fp::sites::kSparseSingular, "once");
+  EXPECT_FALSE(linalg::SparseLu::factor(a).has_value());
+  EXPECT_TRUE(linalg::SparseLu::factor(a).has_value());
+}
+
+TEST(FailpointsTest, ThreadPoolContainsInjectedTaskFaultAndStaysUsable) {
+  FailpointGuard guard;
+  sweep::ThreadPool pool(4);
+  fp::arm(fp::sites::kThreadPoolTask, "once");
+  std::vector<int> touched(100, 0);
+  EXPECT_THROW(pool.parallel_chunks(100,
+                                    [&](std::size_t, std::size_t b, std::size_t e) {
+                                      for (std::size_t i = b; i < e; ++i) touched[i] = 1;
+                                    }),
+               FailError);
+  // The pool must drain and stay usable after the injected fault.
+  fp::reset();
+  std::fill(touched.begin(), touched.end(), 0);
+  pool.parallel_chunks(100, [&](std::size_t, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) touched[i] = 1;
+  });
+  for (int v : touched) EXPECT_EQ(v, 1);
+}
+
+// -- cache corruption matrix ---------------------------------------------
+
+const char* kDeck =
+    "vin in 0 1\n"
+    "r1 in a 1k\n"
+    "c1 a 0 10p\n"
+    "r2 a out 2k\n"
+    "c2 out 0 5p\n"
+    ".symbol r2\n"
+    ".symbol c2\n"
+    ".input vin\n"
+    ".output out\n"
+    ".end\n";
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("failpoints_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Arm `site`, run a store-then-load cycle through the cache, and assert
+/// the corruption was quarantined and rebuilt without any exception.
+void check_cache_corruption(const std::string& site, bool arm_before_store) {
+  FailpointGuard guard;
+  const auto deck = circuit::parse_deck_string(kDeck);
+  const auto dir = fresh_dir(site.substr(site.rfind('.') + 1));
+  const auto before =
+      health::global_counters().cache_corrupt_quarantined.load();
+
+  if (arm_before_store) fp::arm(site, "once");
+  {
+    core::ModelCache cache(dir.string());
+    (void)cache.get_or_build(deck.netlist, deck.symbol_elements, "vin", "out");
+    EXPECT_EQ(cache.stats().misses, 1u);
+  }
+  if (!arm_before_store) fp::arm(site, "once");
+
+  // One on-disk entry exists (possibly damaged).  A FRESH cache (empty
+  // LRU) probing the same key must treat damage as a miss: quarantine the
+  // entry to <path>.bad, rebuild cold, store a clean replacement.
+  std::string entry;
+  for (const auto& f : std::filesystem::directory_iterator(dir))
+    if (f.path().extension() == ".awemodel") entry = f.path().string();
+  ASSERT_FALSE(entry.empty());
+  {
+    core::ModelCache cache(dir.string());
+    std::shared_ptr<const core::CompiledModel> model;
+    ASSERT_NO_THROW(model = cache.get_or_build(deck.netlist, deck.symbol_elements,
+                                               "vin", "out"));
+    ASSERT_TRUE(model);
+    const auto st = cache.stats();
+    EXPECT_EQ(st.corrupt_quarantined, 1u) << site;
+    EXPECT_EQ(st.rebuilds_after_quarantine, 1u) << site;
+    EXPECT_EQ(st.disk_hits, 0u) << site;
+  }
+  EXPECT_TRUE(std::filesystem::exists(core::ModelCache::quarantine_path(entry)))
+      << site;
+  EXPECT_TRUE(std::filesystem::exists(entry)) << site;  // rebuilt replacement
+  EXPECT_GE(health::global_counters().cache_corrupt_quarantined.load(),
+            before + 1);
+
+  // The replacement is clean: a third cache gets a plain disk hit.
+  fp::reset();
+  core::ModelCache cache(dir.string());
+  (void)cache.get_or_build(deck.netlist, deck.symbol_elements, "vin", "out");
+  EXPECT_EQ(cache.stats().disk_hits, 1u) << site;
+  EXPECT_EQ(cache.stats().corrupt_quarantined, 0u) << site;
+}
+
+TEST(FailpointsTest, CacheStoreCrashIsQuarantinedAndRebuilt) {
+  check_cache_corruption(fp::sites::kCacheStoreCrash, /*arm_before_store=*/true);
+}
+
+TEST(FailpointsTest, CacheStoreTruncateIsQuarantinedAndRebuilt) {
+  check_cache_corruption(fp::sites::kCacheStoreTruncate, /*arm_before_store=*/true);
+}
+
+TEST(FailpointsTest, CacheStoreBitflipIsQuarantinedAndRebuilt) {
+  check_cache_corruption(fp::sites::kCacheStoreBitflip, /*arm_before_store=*/true);
+}
+
+TEST(FailpointsTest, CacheLoadCorruptIsQuarantinedAndRebuilt) {
+  check_cache_corruption(fp::sites::kCacheLoadCorrupt, /*arm_before_store=*/false);
+}
+
+TEST(FailpointsTest, LoadFileReportsQuarantineThroughOutParam) {
+  FailpointGuard guard;
+  const auto deck = circuit::parse_deck_string(kDeck);
+  const auto dir = fresh_dir("load_file");
+  const auto model = core::CompiledModel::build(deck.netlist, deck.symbol_elements,
+                                                "vin", "out");
+  core::ModelCache::store_file(dir.string(), "deadbeef", model);
+  const auto path = core::ModelCache::entry_path(dir.string(), "deadbeef");
+
+  bool quarantined = true;
+  auto loaded = core::ModelCache::load_file(path, &quarantined);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_FALSE(quarantined);
+
+  fp::arm(fp::sites::kCacheLoadCorrupt, "once");
+  loaded = core::ModelCache::load_file(path, &quarantined);
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_TRUE(quarantined);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(core::ModelCache::quarantine_path(path)));
+}
+
+// -- global counters -----------------------------------------------------
+
+TEST(FailpointsTest, FiresAreCountedInGlobalCounters) {
+  FailpointGuard guard;
+  const auto before = health::global_counters().failpoint_fires.load();
+  fp::arm(fp::sites::kLuSingular, "always");
+  (void)fp::fires(fp::sites::kLuSingular);
+  (void)fp::fires(fp::sites::kLuSingular);
+  EXPECT_GE(health::global_counters().failpoint_fires.load(), before + 2);
+  health::HealthReport report;
+  health::absorb_global_counters(report);
+  EXPECT_GE(report.failpoint_fires, before + 2);
+}
+
+}  // namespace
+}  // namespace awe

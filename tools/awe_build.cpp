@@ -14,10 +14,14 @@
 //   --order Q         Padé order (default 2)
 //   --threads N       extraction worker threads, 0 = hardware (default 1)
 //   --gradients       also compile the exact symbolic gradients
+//   --health-json F   write a HealthReport (cache quarantines, rebuilds,
+//                     failpoint fires) as JSON to F ("-" for stdout)
 //   --quiet           suppress the per-deck lines
 //
 // Per deck, prints:  <cache-key>  <cold|warm>  <deck-path>
-// Exit status: 0 on success, 2 on bad usage or any failed deck.
+// Exit status: 0 on success, 2 on bad usage or any failed deck.  A corrupt
+// cache entry is NOT a failure: it is quarantined to <entry>.bad, rebuilt,
+// and reported in the health JSON.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +31,7 @@
 
 #include "circuit/parser.hpp"
 #include "core/model_cache.hpp"
+#include "health/report.hpp"
 
 namespace {
 
@@ -35,7 +40,7 @@ using namespace awe;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --cache-dir DIR [--order Q] [--threads N] [--gradients]\n"
-               "          [--quiet] deck.sp [deck2.sp ...]\n",
+               "          [--health-json FILE] [--quiet] deck.sp [deck2.sp ...]\n",
                argv0);
   std::exit(2);
 }
@@ -47,6 +52,7 @@ int main(int argc, char** argv) {
   core::ModelOptions mopts;
   core::BuildOptions bopts;
   bool quiet = false;
+  std::string health_json;
   std::vector<std::string> decks;
 
   for (int i = 1; i < argc; ++i) {
@@ -63,6 +69,8 @@ int main(int argc, char** argv) {
       bopts.threads = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--gradients") {
       mopts.with_gradients = true;
+    } else if (arg == "--health-json") {
+      health_json = next();
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -106,6 +114,22 @@ int main(int argc, char** argv) {
     const auto s = cache.stats();
     std::printf("awe_build: %zu decks — %zu cold builds, %zu disk hits, %zu memory hits\n",
                 decks.size(), s.misses, s.disk_hits, s.memory_hits);
+  }
+
+  if (!health_json.empty()) {
+    health::HealthReport report;
+    health::absorb_global_counters(report);
+    const std::string json = report.to_json() + "\n";
+    if (health_json == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(health_json);
+      if (!out) {
+        std::fprintf(stderr, "awe_build: cannot write %s\n", health_json.c_str());
+        return 2;
+      }
+      out << json;
+    }
   }
   return failures == 0 ? 0 : 2;
 }
