@@ -133,6 +133,39 @@ def gate_one(counter, anchor, cur_rows, base_rows, threshold, use_anchor):
     return failures
 
 
+def dominates(spec, cur_rows):
+    """Results-only ordering gate: WINNER's counter must exceed LOSER's.
+
+    Spec is WINNER,LOSER[,COUNTER] (counter defaults to norm_ops_per_s;
+    comma-separated because google-benchmark row names contain colons).
+    Both rows come from the same fresh run, so no anchoring is needed —
+    the comparison is within-machine by construction.  Used to assert
+    structural superiority claims, e.g. the native AOT backend beating the
+    fast interpreter on the sweep workload.
+    """
+    parts = spec.split(",")
+    if len(parts) not in (2, 3) or not all(parts):
+        print(f"error: bad --dominates '{spec}' (want WINNER,LOSER[,COUNTER])",
+              file=sys.stderr)
+        sys.exit(2)
+    winner, loser = parts[0], parts[1]
+    counter = parts[2] if len(parts) == 3 else "norm_ops_per_s"
+    values = {}
+    for name in (winner, loser):
+        row = cur_rows.get(name)
+        if row is None or row.get(counter) is None:
+            print(f"error: --dominates: no '{counter}' for '{name}' in results",
+                  file=sys.stderr)
+            sys.exit(2)
+        values[name] = float(row[counter])
+    ok = values[winner] > values[loser]
+    ratio = values[winner] / values[loser] if values[loser] > 0 else math.inf
+    print(f"dominance gate on '{counter}':")
+    print(f"  {'ok  ' if ok else 'FAIL'} {winner} ({values[winner]:.3e}) "
+          f"{'>' if ok else '<='} {loser} ({values[loser]:.3e})  ({ratio:6.2%})")
+    return [] if ok else [f"{winner} !> {loser}"]
+
+
 def expect_zero(counter, cur_rows):
     """Fail every results row whose `counter` is nonzero (results-only)."""
     carriers = {name: float(b[counter]) for name, b in cur_rows.items()
@@ -173,6 +206,11 @@ def main():
                     default=[],
                     help="health counter that must be exactly 0 in every "
                          "results row carrying it; repeatable")
+    ap.add_argument("--dominates", action="append", metavar="WINNER,LOSER[,COUNTER]",
+                    default=[],
+                    help="results-only ordering gate: WINNER's counter "
+                         "(default norm_ops_per_s) must exceed LOSER's in "
+                         "the fresh run; repeatable")
     ap.add_argument("--no-anchor", action="store_true",
                     help="gate on raw counter values instead of "
                          "anchor-relative ratios")
@@ -218,8 +256,12 @@ def main():
     for counter in args.expect_zero:
         print()
         zero_failures += expect_zero(counter, cur_rows)
+    dom_failures = []
+    for spec in args.dominates:
+        print()
+        dom_failures += dominates(spec, cur_rows)
 
-    if failures or zero_failures:
+    if failures or zero_failures or dom_failures:
         if failures:
             print(f"\nFAILED: {len(failures)} benchmark(s) regressed beyond "
                   f"{args.threshold:.0%}. If intentional, regenerate the "
@@ -227,6 +269,9 @@ def main():
         if zero_failures:
             print(f"\nFAILED: {len(zero_failures)} benchmark(s) reported a "
                   f"nonzero health counter that must be 0.", file=sys.stderr)
+        if dom_failures:
+            print(f"\nFAILED: {len(dom_failures)} dominance gate(s) not met: "
+                  f"{'; '.join(dom_failures)}.", file=sys.stderr)
         return 1
     print("\nPASSED: all benchmarks within threshold.")
     return 0

@@ -20,6 +20,14 @@
 //                          quarantined disposition summary
 //   --seed S               Monte-Carlo seed (default 42)
 //   --threads N            sweep worker threads, 0 = hardware (default 0)
+//   --backend B            interpreter | native (default interpreter).
+//                          native AOT-compiles the moment program to a
+//                          content-addressed .so (see --cache-dir) and
+//                          runs batch evaluations through it; degrades to
+//                          the interpreter — visible in --health-json —
+//                          when no C compiler is available
+//   --cache-dir DIR        build through the persistent model cache under
+//                          DIR (also where --backend native keeps its .so)
 //   --health-json FILE     write the run's HealthReport as JSON
 //                          ("-" for stdout)
 //   --measure M            dc | p1 | funity | pm | t50   (default dc)
@@ -55,7 +63,8 @@ using namespace awe;
   std::fprintf(stderr,
                "usage: %s <deck.sp> [--order N] [--symbols a,b] [--auto-symbols K]\n"
                "          [--at v1,v2] [--sweep name=lo:hi:n] [--mc N] [--seed S]\n"
-               "          [--threads N] [--health-json FILE] [--measure M]\n"
+               "          [--threads N] [--backend interpreter|native] [--cache-dir DIR]\n"
+               "          [--health-json FILE] [--measure M]\n"
                "          [--transient T:N] [--ac f0:f1:N] [--closed-forms]\n"
                "          [--emit-c FILE]\n",
                argv0);
@@ -130,6 +139,8 @@ int main(int argc, char** argv) {
   std::size_t mc_points = 0;
   std::uint64_t mc_seed = 42;
   std::size_t threads = 0;
+  core::EvalBackend backend = core::EvalBackend::kInterpreter;
+  std::string cache_dir;
   std::string health_json;
 
   try {
@@ -157,6 +168,17 @@ int main(int argc, char** argv) {
         mc_seed = std::stoull(next());
       } else if (arg == "--threads") {
         threads = std::stoul(next());
+      } else if (arg == "--backend") {
+        const std::string b = next();
+        if (b == "interpreter") {
+          backend = core::EvalBackend::kInterpreter;
+        } else if (b == "native") {
+          backend = core::EvalBackend::kNative;
+        } else {
+          usage(argv[0]);
+        }
+      } else if (arg == "--cache-dir") {
+        cache_dir = next();
       } else if (arg == "--health-json") {
         health_json = next();
       } else if (arg == "--measure") {
@@ -213,13 +235,19 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    core::BuildOptions build_opts;
+    build_opts.cache_dir = cache_dir;
+    build_opts.backend = backend;
     const auto model = core::CompiledModel::build(deck.netlist, symbols,
                                                   deck.input_source, *out_node,
-                                                  {.order = order});
+                                                  {.order = order}, build_opts);
     std::printf("model: order %zu, symbols", order);
     for (const auto& s : model.symbol_names()) std::printf(" %s", s.c_str());
-    std::printf(", %zu ports, %zu compiled instructions\n\n", model.port_count(),
+    std::printf(", %zu ports, %zu compiled instructions", model.port_count(),
                 model.instruction_count());
+    if (backend == core::EvalBackend::kNative)
+      std::printf(", native backend %s", model.has_native() ? "attached" : "fallback");
+    std::printf("\n\n");
 
     // Nominal values.
     std::vector<double> values;
@@ -278,6 +306,7 @@ int main(int argc, char** argv) {
                                 : sweep::Distribution::normal(v, 0.1 * std::abs(v) + 1e-12));
       sweep::SweepOptions sopts;
       sopts.threads = threads;
+      sopts.backend = backend;
       sopts.with_rom = true;
       const auto sr = sweep::monte_carlo(model, dists, mc_points, mc_seed, sopts);
       const auto& h = sr.health;

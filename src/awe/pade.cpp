@@ -1,5 +1,6 @@
 #include "awe/pade.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -95,6 +96,46 @@ PadeResult pade_from_moments(std::span<const double> moments, std::size_t order)
     result.residues[i] = num / dden;
   }
   return result;
+}
+
+std::size_t pade_solve_batch(std::span<const double> moments, std::size_t stride,
+                             std::size_t count, std::size_t order, bool allow_fallback,
+                             std::span<const unsigned char> ok,
+                             std::span<PadeResult> results) {
+  if (order == 0) throw std::invalid_argument("pade_solve_batch: order must be >= 1");
+  const std::size_t nm = 2 * order;
+  if (stride < count)
+    throw std::invalid_argument("pade_solve_batch: stride smaller than count");
+  if (count > 0 && moments.size() < (nm - 1) * stride + count)
+    throw std::invalid_argument("pade_solve_batch: moments span too small");
+  if (ok.size() < count || results.size() < count)
+    throw std::invalid_argument("pade_solve_batch: ok/results span too small");
+
+  std::vector<double> lane(nm);  // reused AoS gather of one lane
+  std::size_t solved = 0;
+  for (std::size_t p = 0; p < count; ++p) {
+    results[p] = PadeResult{};  // order 0 == not solved here
+    if (!ok[p]) continue;
+    bool finite = true;
+    for (std::size_t k = 0; k < nm; ++k) {
+      lane[k] = moments[k * stride + p];
+      finite = finite && std::isfinite(lane[k]);
+    }
+    if (!finite) continue;  // the eval ladder owns non-finite lanes
+    std::size_t q = order;
+    if (allow_fallback) {
+      const std::size_t feasible = max_feasible_order(lane);
+      if (feasible == 0) continue;  // scalar re-run classifies kOrderCollapse
+      q = std::min(q, feasible);
+    }
+    try {
+      results[p] = pade_from_moments(lane, q);
+      ++solved;
+    } catch (const health::FailError&) {
+      results[p] = PadeResult{};  // scalar re-run classifies identically
+    }
+  }
+  return solved;
 }
 
 std::size_t max_feasible_order(std::span<const double> moments) {

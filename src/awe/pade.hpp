@@ -41,6 +41,24 @@ PadeResult pade_from_moments(std::span<const double> moments, std::size_t order)
 /// numerically nonsingular; useful for automatic order selection.
 std::size_t max_feasible_order(std::span<const double> moments);
 
+/// Batched SoA Padé pre-pass for the sweep hot path (DESIGN.md §12): for
+/// each lane p < count with ok[p] != 0 and fully finite moments, replicate
+/// bit-for-bit the scalar sequence ReducedOrderModel::from_moments runs on
+/// that lane — the max_feasible_order probe when allow_fallback, then
+/// pade_from_moments — and store the approximant in results[p].  Moment k
+/// of lane p is read at moments[k*stride + p] (2*order moments per lane).
+/// Lanes that fail anywhere (no feasible order, singular Hankel, repeated
+/// pole) get results[p].order = 0 and raise nothing: the caller's
+/// per-point degradation ladder re-runs the scalar path on exactly those
+/// lanes and classifies the failure as before.  The happy path through a
+/// lane block is thereby free of per-point exception dispatch; combined
+/// with ReducedOrderModel::from_pade it moves the whole q x q solve phase
+/// out of the per-point loop.  Returns the number of lanes solved.
+std::size_t pade_solve_batch(std::span<const double> moments, std::size_t stride,
+                             std::size_t count, std::size_t order, bool allow_fallback,
+                             std::span<const unsigned char> ok,
+                             std::span<PadeResult> results);
+
 /// Evaluate N(s)/D(s) at complex s.
 std::complex<double> evaluate_pade(const PadeResult& pade, std::complex<double> s);
 

@@ -108,8 +108,13 @@ ReducedOrderModel ReducedOrderModel::from_moments(std::span<const double> moment
                               "ReducedOrderModel: no feasible Padé order");
     order = std::min(order, feasible);
   }
-  PadeResult pade = pade_from_moments(moments, order);
+  return from_pade(pade_from_moments(moments, order), moments, opts);
+}
 
+ReducedOrderModel ReducedOrderModel::from_pade(PadeResult pade,
+                                               std::span<const double> moments,
+                                               const RomOptions& opts) {
+  const std::size_t order = pade.order;
   ReducedOrderModel rom;
   rom.moments_.assign(moments.begin(), moments.begin() + static_cast<std::ptrdiff_t>(2 * order));
   rom.poles_ = pade.poles;

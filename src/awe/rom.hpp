@@ -37,6 +37,16 @@ class ReducedOrderModel {
   static ReducedOrderModel from_moments(std::span<const double> moments,
                                         const RomOptions& opts);
 
+  /// Assemble a model from an already-computed Padé approximant of
+  /// `moments` (direct-term extraction, stability filter, residue re-fit —
+  /// the tail of from_moments).  `pade` must have been produced by
+  /// pade_from_moments at the order from_moments would have selected for
+  /// these moments; then from_pade(pade, moments, opts) equals
+  /// from_moments(moments, opts) bit for bit.  This is the assembly half of
+  /// the sweep engine's batched pade_solve_batch pre-pass.
+  static ReducedOrderModel from_pade(PadeResult pade, std::span<const double> moments,
+                                     const RomOptions& opts);
+
   /// Build from moments of the expansion about a real shift point s0
   /// (i.e. Maclaurin coefficients of H(s0 + sigma) in sigma).  Poles are
   /// shifted back to the s-domain; residues are shift-invariant.  The

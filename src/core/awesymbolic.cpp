@@ -6,6 +6,7 @@
 
 #include "awe/sensitivity.hpp"
 #include "core/model_cache.hpp"
+#include "core/native_backend.hpp"
 #include "engine/thread_pool.hpp"
 #include "health/report.hpp"
 
@@ -90,8 +91,13 @@ CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
     const circuit::NodeId outs[] = {output_node};
     cache_key = model_cache_key(netlist, symbol_elements, input_source, outs, opts);
     if (auto cached = ModelCache::load_file(
-            ModelCache::entry_path(build_opts.cache_dir, cache_key), &cache_quarantined))
+            ModelCache::entry_path(build_opts.cache_dir, cache_key), &cache_quarantined)) {
+      // Attach outcome deliberately ignored: a failed attach degrades to
+      // the interpreter and is already counted in global_counters().
+      if (build_opts.backend == EvalBackend::kNative)
+        (void)cached->attach_native(build_opts.cache_dir);
       return std::move(*cached);
+    }
   }
 
   std::optional<sweep::ThreadPool> local_pool;
@@ -138,7 +144,15 @@ CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
     if (cache_quarantined)
       health::global_counters().cache_rebuilds.fetch_add(1, std::memory_order_relaxed);
   }
+  if (build_opts.backend == EvalBackend::kNative)
+    (void)model.attach_native(build_opts.cache_dir);
   return model;
+}
+
+Status CompiledModel::attach_native(const std::string& dir) {
+  Status why;
+  native_ = native::load_or_compile(program_, dir, &why);
+  return why;
 }
 
 CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
@@ -209,7 +223,8 @@ BatchWorkspace CompiledModel::make_batch_workspace(std::size_t width) const {
 void CompiledModel::moments_batch(std::span<const double> element_values, std::size_t stride,
                                   std::size_t count, BatchWorkspace& ws,
                                   std::span<double> moments_out, std::size_t out_stride,
-                                  std::span<unsigned char> ok, EvalMode mode) const {
+                                  std::span<unsigned char> ok, EvalMode mode,
+                                  EvalBackend backend) const {
   if (count == 0) return;
   const std::size_t nsym = sym_.symbols.size();
   const std::size_t nm = sym_.count();
@@ -222,11 +237,22 @@ void CompiledModel::moments_batch(std::span<const double> element_values, std::s
         "make_batch_workspace())");
 
   pack_symbol_block(sym_.symbols, element_values, stride, count, ws, ok);
-  program_.run_batch(std::span<const double>(ws.symbol_values.data(), nsym * count),
-                     std::span<double>(ws.program_outputs.data(),
-                                       program_.output_count() * count),
-                     std::span<double>(ws.registers.data(), program_.register_count() * count),
-                     count, mode);
+  // kNative without an attached module silently runs the interpreter: the
+  // fallback was counted once at attach time, and the numeric contract
+  // (strict bit-identity, fast ULP bound) holds on either backend.
+  if (backend == EvalBackend::kNative && native_) {
+    native_->run_batch(std::span<const double>(ws.symbol_values.data(), nsym * count),
+                       std::span<double>(ws.program_outputs.data(),
+                                         program_.output_count() * count),
+                       count, mode);
+  } else {
+    program_.run_batch(std::span<const double>(ws.symbol_values.data(), nsym * count),
+                       std::span<double>(ws.program_outputs.data(),
+                                         program_.output_count() * count),
+                       std::span<double>(ws.registers.data(),
+                                         program_.register_count() * count),
+                       count, mode);
+  }
   const double* const det = ws.program_outputs.data() + nm * count;
   constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
   for (std::size_t p = 0; p < count; ++p) {
@@ -444,7 +470,8 @@ void MultiOutputModel::moments_batch(std::span<const double> element_values,
                                      std::size_t stride, std::size_t count,
                                      BatchWorkspace& ws, std::span<double> moments_out,
                                      std::size_t out_stride,
-                                     std::span<unsigned char> ok, EvalMode mode) const {
+                                     std::span<unsigned char> ok, EvalMode mode,
+                                     EvalBackend /*backend: interpreter only*/) const {
   if (count == 0) return;
   const std::size_t nsym = sym_.symbols.size();
   const std::size_t nm = moment_count();

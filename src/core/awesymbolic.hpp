@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -16,6 +18,7 @@
 
 #include "awe/rom.hpp"
 #include "circuit/netlist.hpp"
+#include "health/status.hpp"
 #include "partition/partitioner.hpp"
 #include "symbolic/compile.hpp"
 
@@ -29,6 +32,21 @@ namespace awe::core {
 /// symbolic::EvalMode): kStrict is bit-identical to the scalar path,
 /// kFast runs the peephole-fused stream within a small ULP bound.
 using symbolic::EvalMode;
+
+namespace native {
+class NativeModule;
+}
+
+/// Which executable form of the compiled program runs a batch (orthogonal
+/// to EvalMode, which is the numeric contract).  kNative selects the AOT
+/// machine-code module (DESIGN.md §12) when one is attached; when the
+/// attach failed — no compiler, compile error, bad .so — evaluation falls
+/// back to the interpreter transparently, so asking for kNative is always
+/// safe and never changes which answers are correct.
+enum class EvalBackend : std::uint8_t {
+  kInterpreter,  ///< batched interpreter over the register program
+  kNative,       ///< dlopen'd AOT-compiled kernels (same SoA layout)
+};
 
 /// Structure-of-arrays scratch for batched evaluation: `width` points per
 /// lane-block, arrays sized field_count * width with lane stride equal to
@@ -71,6 +89,15 @@ struct BuildOptions {
   /// core/model_cache.hpp for the key derivation and ModelCache for the
   /// in-process LRU layered on top.
   std::string cache_dir;
+  /// kNative: after the build (cold or cached), compile/load the native
+  /// AOT module for the program — content-addressed .so next to the model
+  /// artifact when cache_dir is set, in a temp scratch dir otherwise — and
+  /// attach it to the model.  Attach failure is not a build failure: the
+  /// model comes back interpreter-only with the degradation recorded in
+  /// health::global_counters() (kNativeBackend).  Note a .so is only ever
+  /// written when this is kNative, keeping interpreter-run cache
+  /// directories byte-identical across machines.
+  EvalBackend backend = EvalBackend::kInterpreter;
 };
 
 class CompiledModel {
@@ -130,7 +157,18 @@ class CompiledModel {
   void moments_batch(std::span<const double> element_values, std::size_t stride,
                      std::size_t count, BatchWorkspace& ws, std::span<double> moments_out,
                      std::size_t out_stride, std::span<unsigned char> ok,
-                     EvalMode mode = EvalMode::kStrict) const;
+                     EvalMode mode = EvalMode::kStrict,
+                     EvalBackend backend = EvalBackend::kInterpreter) const;
+
+  /// Attach the native AOT module for this model's program (compiling it
+  /// under `dir` if needed; empty = temp scratch dir).  Returns the
+  /// attach outcome: on failure the model simply stays interpreter-only
+  /// and kNative requests keep evaluating correctly.  Counters for both
+  /// outcomes land in health::global_counters() (DESIGN.md §12).
+  Status attach_native(const std::string& dir);
+  /// True when a validated native module is attached (kNative will
+  /// actually run machine code rather than fall back).
+  bool has_native() const { return native_ != nullptr; }
 
   /// Full evaluation: compiled moments -> Padé -> reduced-order model.
   engine::ReducedOrderModel evaluate(std::span<const double> element_values) const;
@@ -207,6 +245,11 @@ class CompiledModel {
   /// Gradient program outputs: per symbol i: [dN_0/de_i .. dN_{2q-1}/de_i,
   /// d det/de_i] (internal symbol variables).
   std::optional<symbolic::CompiledProgram> grad_program_;
+  /// AOT module for program_, when attach_native succeeded (shared: copies
+  /// of the model share one dlopen handle).  Never required for
+  /// correctness — every kNative call path falls back to the interpreter
+  /// when this is null.
+  std::shared_ptr<const native::NativeModule> native_;
   ModelOptions opts_;
 };
 
@@ -251,10 +294,15 @@ class MultiOutputModel {
   /// block.  Same layout contract as CompiledModel::moments_batch, except
   /// moment k of output o for point p lands at
   /// moments_out[(o*moment_count() + k)*out_stride + p].
+  /// `backend` is accepted for signature parity with CompiledModel but
+  /// multi-output programs are not AOT-compiled (they are built once per
+  /// composite analysis, not per sweep) — kNative falls back to the
+  /// interpreter, which is the documented contract of the backend anyway.
   void moments_batch(std::span<const double> element_values, std::size_t stride,
                      std::size_t count, BatchWorkspace& ws, std::span<double> moments_out,
                      std::size_t out_stride, std::span<unsigned char> ok,
-                     EvalMode mode = EvalMode::kStrict) const;
+                     EvalMode mode = EvalMode::kStrict,
+                     EvalBackend backend = EvalBackend::kInterpreter) const;
 
  private:
   MultiOutputModel(part::MultiSymbolicMoments sym, symbolic::CompiledProgram program,

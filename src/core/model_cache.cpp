@@ -328,6 +328,7 @@ std::shared_ptr<const CompiledModel> ModelCache::get_or_build(
   bool quarantined = false;
   if (!dir_.empty()) {
     if (auto loaded = load_file(entry_path(dir_, key), &quarantined)) {
+      if (build_opts.backend == EvalBackend::kNative) (void)loaded->attach_native(dir_);
       auto model = std::make_shared<const CompiledModel>(std::move(*loaded));
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -347,9 +348,14 @@ std::shared_ptr<const CompiledModel> ModelCache::get_or_build(
   // byte-identical and the store is atomic.
   BuildOptions bo = build_opts;
   bo.cache_dir.clear();  // this cache is the cache layer; no recursion
+  bo.backend = EvalBackend::kInterpreter;  // attached below, next to OUR entry
   CompiledModel built = CompiledModel::build(netlist, std::move(symbol_elements),
                                              input_source, *out_id, opts, bo);
   if (!dir_.empty()) store_file(dir_, key, built);
+  // The .so lands beside the .awemodel entry, content-addressed by program
+  // checksum (a scratch directory for memory-only caches).  Only requested
+  // builds ever emit one, keeping interpreter cache dirs byte-comparable.
+  if (build_opts.backend == EvalBackend::kNative) (void)built.attach_native(dir_);
   auto model = std::make_shared<const CompiledModel>(std::move(built));
   {
     std::lock_guard<std::mutex> lock(mu_);

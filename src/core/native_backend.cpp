@@ -1,0 +1,320 @@
+#include "core/native_backend.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "health/failpoints.hpp"
+#include "health/report.hpp"
+
+namespace awe::core::native {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Single-quote `s` for /bin/sh (cache dirs can contain spaces).
+std::string sh_quote(const std::string& s) {
+  std::string q = "'";
+  for (const char c : s) {
+    if (c == '\'')
+      q += "'\\''";
+    else
+      q += c;
+  }
+  q += "'";
+  return q;
+}
+
+bool is_executable(const std::string& path) {
+  return ::access(path.c_str(), X_OK) == 0;
+}
+
+/// Resolve a compiler candidate: a path with '/' must itself be
+/// executable; a bare name is searched on PATH.
+bool resolvable(const std::string& cand) {
+  if (cand.empty()) return false;
+  if (cand.find('/') != std::string::npos) return is_executable(cand);
+  const char* path_env = std::getenv("PATH");
+  if (!path_env) return false;
+  const std::string path(path_env);
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t colon = path.find(':', start);
+    if (colon == std::string::npos) colon = path.size();
+    const std::string entry = path.substr(start, colon - start);
+    if (!entry.empty() && is_executable(entry + "/" + cand)) return true;
+    start = colon + 1;
+  }
+  return false;
+}
+
+/// Scratch module directory for builds with no cache_dir: content
+/// addressing makes one shared directory safe across processes.
+std::string default_scratch_dir() {
+  std::error_code ec;
+  fs::path tmp = fs::temp_directory_path(ec);
+  if (ec) tmp = "/tmp";
+  return (tmp / "awe_native_cache").string();
+}
+
+/// Run `cmd` under sh with stderr captured to `log_path`; on failure
+/// return the first chunk of the log as a diagnostic.
+bool run_command(const std::string& cmd, const std::string& log_path,
+                 std::string* diagnostic) {
+  const int rc = std::system((cmd + " 2> " + sh_quote(log_path)).c_str());
+  if (rc == 0) return true;
+  if (diagnostic) {
+    std::ifstream log(log_path);
+    char buf[512] = {};
+    log.read(buf, sizeof buf - 1);
+    *diagnostic = buf;
+    // First line is enough to identify the error in a Status message.
+    const std::size_t nl = diagnostic->find('\n');
+    if (nl != std::string::npos) diagnostic->resize(nl);
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::shared_ptr<NativeModule> open_and_validate(const std::string& path,
+                                                std::uint64_t expect_checksum,
+                                                std::size_t expect_inputs,
+                                                std::size_t expect_outputs,
+                                                std::string* err) {
+  void* handle = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!handle) {
+    const char* why = ::dlerror();
+    *err = std::string("dlopen failed: ") + (why ? why : "unknown error");
+    return nullptr;
+  }
+  auto sym = [&](const char* name) { return ::dlsym(handle, name); };
+  using MetaFn = unsigned long (*)(void);
+  using ChecksumFn = unsigned long long (*)(void);
+  const auto abi_fn = reinterpret_cast<MetaFn>(sym("awe_abi_version"));
+  const auto checksum_fn = reinterpret_cast<ChecksumFn>(sym("awe_program_checksum"));
+  const auto inputs_fn = reinterpret_cast<MetaFn>(sym("awe_input_count"));
+  const auto outputs_fn = reinterpret_cast<MetaFn>(sym("awe_output_count"));
+  const auto strict_fn =
+      reinterpret_cast<NativeModule::BatchFn>(sym("awe_run_batch_strict"));
+  const auto fast_fn = reinterpret_cast<NativeModule::BatchFn>(sym("awe_run_batch_fast"));
+  auto reject = [&](const std::string& why) -> std::shared_ptr<NativeModule> {
+    ::dlclose(handle);
+    *err = why;
+    return nullptr;
+  };
+  if (!abi_fn || !checksum_fn || !inputs_fn || !outputs_fn || !strict_fn || !fast_fn)
+    return reject("module is missing a required awe_* symbol");
+  if (abi_fn() != kAbiVersion)
+    return reject("ABI version mismatch: module has " + std::to_string(abi_fn()) +
+                  ", expected " + std::to_string(kAbiVersion));
+  if (checksum_fn() != expect_checksum)
+    return reject("program checksum mismatch: module was compiled from a different "
+                  "program (have " +
+                  hex16(checksum_fn()) + ", expected " + hex16(expect_checksum) + ")");
+  if (inputs_fn() != expect_inputs || outputs_fn() != expect_outputs)
+    return reject("input/output arity mismatch");
+
+  auto m = std::shared_ptr<NativeModule>(new NativeModule());
+  m->handle_ = handle;
+  m->strict_fn_ = strict_fn;
+  m->fast_fn_ = fast_fn;
+  m->input_count_ = expect_inputs;
+  m->output_count_ = expect_outputs;
+  m->checksum_ = expect_checksum;
+  m->path_ = path;
+  return m;
+}
+
+}  // namespace detail
+
+using detail::open_and_validate;
+
+std::uint64_t program_checksum(const symbolic::CompiledProgram& program) {
+  std::ostringstream os;
+  program.save(os);
+  return fnv1a(os.str());
+}
+
+std::string module_path(const std::string& dir, std::uint64_t checksum) {
+  return dir + "/native_" + hex16(checksum) + ".so";
+}
+
+std::string find_compiler() {
+  // AWE_CC is an absolute override: a value that does not resolve DISABLES
+  // the backend (this is how CI simulates a machine without a toolchain).
+  if (const char* awe_cc = std::getenv("AWE_CC"))
+    return resolvable(awe_cc) ? std::string(awe_cc) : std::string();
+  if (const char* cc = std::getenv("CC"))
+    if (resolvable(cc)) return cc;
+  for (const char* cand : {"cc", "gcc", "clang"})
+    if (resolvable(cand)) return cand;
+  return {};
+}
+
+NativeModule::~NativeModule() {
+  if (handle_) ::dlclose(handle_);
+}
+
+void NativeModule::run_batch(std::span<const double> inputs, std::span<double> outputs,
+                             std::size_t count, symbolic::EvalMode mode) const {
+  if (inputs.size() < input_count_ * count || outputs.size() < output_count_ * count)
+    throw std::invalid_argument("NativeModule::run_batch: span too small");
+  const BatchFn fn = mode == symbolic::EvalMode::kFast ? fast_fn_ : strict_fn_;
+  fn(inputs.data(), outputs.data(), static_cast<unsigned long>(count));
+}
+
+std::shared_ptr<const NativeModule> load_or_compile(
+    const symbolic::CompiledProgram& program, const std::string& dir,
+    health::Status* why) {
+  namespace failpoints = health::failpoints;
+  health::Status local;
+  if (!why) why = &local;
+
+  auto fallback = [&](FailClass c, std::string msg) -> std::shared_ptr<const NativeModule> {
+    auto& g = health::global_counters();
+    g.native_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    g.native_fail_counts[static_cast<std::size_t>(c)].fetch_add(
+        1, std::memory_order_relaxed);
+    *why = health::Status::failure(c, std::move(msg));
+    return nullptr;
+  };
+  auto attached = [&](std::shared_ptr<NativeModule> m) {
+    health::global_counters().native_compiled.fetch_add(1, std::memory_order_relaxed);
+    *why = health::Status::success();
+    return std::shared_ptr<const NativeModule>(std::move(m));
+  };
+
+  const std::uint64_t checksum = program_checksum(program);
+  const std::string d = dir.empty() ? default_scratch_dir() : dir;
+  std::error_code ec;
+  fs::create_directories(d, ec);
+  if (ec)
+    return fallback(FailClass::kNativeBackend,
+                    "cannot create module directory " + d + ": " + ec.message());
+  const std::string so_path = module_path(d, checksum);
+
+  std::string err;
+  if (fs::exists(so_path, ec) && !ec) {
+    if (failpoints::fires(failpoints::sites::kNativeDlopen))
+      return fallback(FailClass::kInjectedFault,
+                      "injected fault at failpoint 'native.dlopen'");
+    auto m = open_and_validate(so_path, checksum, program.input_count(),
+                               program.output_count(), &err);
+    if (m) return attached(std::move(m));
+    // Damaged or stale module: quarantine the evidence (mirroring the
+    // model cache's .bad convention) and fall through to a recompile.
+    fs::rename(so_path, so_path + ".bad", ec);
+  }
+
+  if (failpoints::fires(failpoints::sites::kNativeCompile))
+    return fallback(FailClass::kInjectedFault,
+                    "injected fault at failpoint 'native.compile'");
+
+  const std::string cc = find_compiler();
+  if (cc.empty())
+    return fallback(FailClass::kNativeBackend, "no C compiler available");
+
+  // Unique intermediate names (pid suffix) so concurrent compilers of the
+  // same program never clobber each other; the final rename is atomic and
+  // both produce byte-equivalent modules anyway.
+  const std::string base = so_path + "." + std::to_string(::getpid());
+  const std::string strict_c = base + ".strict.c";
+  const std::string fast_c = base + ".fast.c";
+  const std::string strict_o = base + ".strict.o";
+  const std::string fast_o = base + ".fast.o";
+  const std::string so_tmp = base + ".so.tmp";
+  const std::string log = base + ".log";
+  auto cleanup = [&] {
+    std::error_code ignore;
+    for (const std::string& f : {strict_c, fast_c, strict_o, fast_o, so_tmp, log})
+      fs::remove(f, ignore);
+  };
+
+  {
+    std::ofstream strict_src(strict_c);
+    strict_src << "/* AWEsymbolic native module " << hex16(checksum)
+               << " - generated code; do not edit. */\n"
+               << "unsigned long awe_abi_version(void) { return " << kAbiVersion
+               << "ul; }\n"
+               << "unsigned long long awe_program_checksum(void) { return 0x"
+               << hex16(checksum) << "ull; }\n"
+               << "unsigned long awe_input_count(void) { return "
+               << program.input_count() << "ul; }\n"
+               << "unsigned long awe_output_count(void) { return "
+               << program.output_count() << "ul; }\n"
+               << program.to_c_source_batch("awe_run_batch_strict",
+                                            symbolic::EvalMode::kStrict);
+    std::ofstream fast_src(fast_c);
+    fast_src << program.to_c_source_batch("awe_run_batch_fast",
+                                          symbolic::EvalMode::kFast);
+    if (!strict_src || !fast_src) {
+      cleanup();
+      return fallback(FailClass::kNativeBackend, "cannot write kernel source under " + d);
+    }
+  }
+
+  // The strict TU MUST disable FP contraction: the bit-identity contract
+  // requires exactly one rounding per emitted statement, and compilers
+  // otherwise fuse mul+add across statements at -O2.  The fast TU enables
+  // it — the same license the fused interpreter's TU is built with.
+  std::string diag;
+  const bool compiled =
+      run_command(sh_quote(cc) + " -O2 -fPIC -ffp-contract=off -c " +
+                      sh_quote(strict_c) + " -o " + sh_quote(strict_o),
+                  log, &diag) &&
+      run_command(sh_quote(cc) + " -O2 -fPIC -ffp-contract=fast -c " +
+                      sh_quote(fast_c) + " -o " + sh_quote(fast_o),
+                  log, &diag) &&
+      run_command(sh_quote(cc) + " -shared -o " + sh_quote(so_tmp) + " " +
+                      sh_quote(strict_o) + " " + sh_quote(fast_o),
+                  log, &diag);
+  if (!compiled) {
+    cleanup();
+    return fallback(FailClass::kNativeBackend,
+                    "native compile failed (" + cc + "): " + diag);
+  }
+  fs::rename(so_tmp, so_path, ec);
+  if (ec) {
+    cleanup();
+    return fallback(FailClass::kNativeBackend,
+                    "cannot install module " + so_path + ": " + ec.message());
+  }
+  cleanup();
+
+  if (failpoints::fires(failpoints::sites::kNativeDlopen))
+    return fallback(FailClass::kInjectedFault,
+                    "injected fault at failpoint 'native.dlopen'");
+  auto m = open_and_validate(so_path, checksum, program.input_count(),
+                             program.output_count(), &err);
+  if (!m)
+    return fallback(FailClass::kNativeBackend,
+                    "freshly compiled module failed validation: " + err);
+  return attached(std::move(m));
+}
+
+}  // namespace awe::core::native

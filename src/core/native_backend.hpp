@@ -1,0 +1,122 @@
+// Native AOT codegen backend (DESIGN.md §12).
+//
+// The interpreter realizes the paper's compiled-evaluation claim up to one
+// remaining per-instruction dispatch on the sweep hot path.  This backend
+// removes it: the CompiledProgram is emitted as C (width-N SoA batch
+// kernels via CompiledProgram::to_c_source_batch), compiled by the system
+// C compiler into a content-addressed shared object next to the model
+// artifact, and dlopen'd with symbol/version/checksum validation.  The
+// pipeline is emit -> compile -> cache -> dlopen -> validate, and every
+// rung can fail without consequence: the caller keeps the interpreter and
+// records the degradation (FailClass::kNativeBackend) in the health report.
+//
+// Strict/fast contract: the strict kernel's translation unit is compiled
+// with FP contraction OFF, so its per-point operation sequence is the same
+// IEEE double sequence the strict interpreter executes — bit-identical
+// results.  The fast kernel's TU is compiled with contraction ON (the same
+// freedom EvalMode::kFast grants the fused interpreter), so it is ULP-close
+// to strict but not bit-reproducible across compilers or targets.
+//
+// Determinism note: a .so is only ever emitted when a caller explicitly
+// selects EvalBackend::kNative — cache directories stay byte-identical
+// across machines for interpreter-only runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "health/status.hpp"
+#include "symbolic/compile.hpp"
+
+namespace awe::core::native {
+
+/// ABI contract version baked into every emitted module as
+/// awe_abi_version(); bump when the exported symbol set or the kernel
+/// signature changes so stale .so files are rejected, not misused.
+inline constexpr std::uint64_t kAbiVersion = 1;
+
+/// FNV-1a over the program's deterministic serialization — the identity a
+/// module is content-addressed and validated by.  Two programs with the
+/// same checksum produce byte-identical kernels.
+std::uint64_t program_checksum(const symbolic::CompiledProgram& program);
+
+/// "<dir>/native_<16-hex-checksum>.so" — where the module for `checksum`
+/// lives (next to the .awemodel artifacts when dir is a model cache).
+std::string module_path(const std::string& dir, std::uint64_t checksum);
+
+/// Resolve the C compiler the backend will invoke.  AWE_CC overrides
+/// everything (pointing it at a non-executable path deliberately disables
+/// the backend — how CI exercises the no-compiler fallback); then CC; then
+/// the first of cc/gcc/clang found on PATH.  Empty when none is available.
+/// Re-resolved on every call so tests can flip the environment.
+std::string find_compiler();
+
+class NativeModule;
+
+namespace detail {
+/// dlopen `path` and validate symbols, ABI version, checksum and arity
+/// against the expectations.  Returns nullptr (with `err` explaining why)
+/// on any failure, leaving no handle open.
+std::shared_ptr<NativeModule> open_and_validate(const std::string& path,
+                                                std::uint64_t expect_checksum,
+                                                std::size_t expect_inputs,
+                                                std::size_t expect_outputs,
+                                                std::string* err);
+}  // namespace detail
+
+/// A validated, loaded native module.  Immutable and thread-safe: the
+/// kernels are pure functions over their argument arrays.  Closes the
+/// dlopen handle on destruction.
+class NativeModule {
+ public:
+  ~NativeModule();
+  NativeModule(const NativeModule&) = delete;
+  NativeModule& operator=(const NativeModule&) = delete;
+
+  std::size_t input_count() const { return input_count_; }
+  std::size_t output_count() const { return output_count_; }
+  std::uint64_t checksum() const { return checksum_; }
+  const std::string& path() const { return path_; }
+
+  /// SoA batch evaluation of `count` points — the exact memory contract of
+  /// CompiledProgram::run_batch (lane stride = count), minus the scratch
+  /// array: registers live in machine registers inside the kernel.
+  /// kStrict is bit-identical to the strict interpreter; kFast is within
+  /// the fused interpreter's ULP bound of strict.
+  void run_batch(std::span<const double> inputs, std::span<double> outputs,
+                 std::size_t count, symbolic::EvalMode mode) const;
+
+ private:
+  friend std::shared_ptr<NativeModule> detail::open_and_validate(
+      const std::string&, std::uint64_t, std::size_t, std::size_t, std::string*);
+  NativeModule() = default;
+
+  using BatchFn = void (*)(const double*, double*, unsigned long);
+  void* handle_ = nullptr;
+  BatchFn strict_fn_ = nullptr;
+  BatchFn fast_fn_ = nullptr;
+  std::size_t input_count_ = 0;
+  std::size_t output_count_ = 0;
+  std::uint64_t checksum_ = 0;
+  std::string path_;
+};
+
+/// The backend's single entry point: return a validated module for
+/// `program`, loading the content-addressed .so under `dir` when one
+/// exists and compiling it otherwise.  `dir` empty selects a shared
+/// scratch directory under the system temp dir (sweeps without a model
+/// cache still get native speed).  An existing .so that fails dlopen or
+/// validation is quarantined to "<path>.bad" and recompiled once.
+///
+/// Never throws: on any failure (no compiler, compile error, dlopen error,
+/// ABI/checksum mismatch, armed native.* failpoint) returns nullptr and
+/// explains why in `why` (FailClass::kNativeBackend, or kInjectedFault for
+/// failpoints).  Success/fallback counters land in
+/// health::global_counters() here — exactly once per attach attempt.
+std::shared_ptr<const NativeModule> load_or_compile(
+    const symbolic::CompiledProgram& program, const std::string& dir,
+    health::Status* why = nullptr);
+
+}  // namespace awe::core::native

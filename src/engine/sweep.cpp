@@ -92,10 +92,15 @@ std::vector<double> shift_moments(std::span<const double> m, double s0) {
 /// Only fit failures (health::FailError) ride the ladder; programming
 /// errors (std::bad_alloc, std::logic_error, ...) propagate to the caller.
 /// A quarantined point keeps order 0 / NaN samples and a 0 pass flag.
+/// `pre` (optional) is the point's approximant from the batched
+/// pade_solve_batch pre-pass; when present the primary rung assembles the
+/// ROM from it via from_pade — bit-identical to from_moments, minus the
+/// redundant solve — and all failure rungs below stay unchanged.
 FitOutcome fit_point_rom(const engine::RomOptions& ropts, std::span<const double> lane_moments,
                          std::size_t p, RomSamples& rs,
                          const std::function<bool(const engine::ReducedOrderModel&)>& pred,
-                         std::vector<std::uint8_t>* pass, health::HealthReport& hr) {
+                         std::vector<std::uint8_t>* pass, health::HealthReport& hr,
+                         const engine::PadeResult* pre = nullptr) {
   const auto record = [&](const engine::ReducedOrderModel& rom) {
     const std::size_t q = std::min(rom.order(), rs.max_order);
     rs.order[p] = static_cast<std::uint8_t>(q);
@@ -108,7 +113,9 @@ FitOutcome fit_point_rom(const engine::RomOptions& ropts, std::span<const double
   };
   health::FailClass last = health::FailClass::kUnknown;
   try {
-    record(engine::ReducedOrderModel::from_moments(lane_moments, ropts));
+    record(pre && pre->order > 0
+               ? engine::ReducedOrderModel::from_pade(*pre, lane_moments, ropts)
+               : engine::ReducedOrderModel::from_moments(lane_moments, ropts));
     return {};
   } catch (const health::FailError& e) {
     last = e.fail_class();
@@ -293,12 +300,24 @@ SweepResult run_sweep(const core::CompiledModel& model, std::vector<double> poin
       core::BatchWorkspace ws = model.make_batch_workspace(width);
       std::optional<core::BatchWorkspace> ws1;
       std::vector<double> lane(nm);
+      std::vector<engine::PadeResult> pre;
       for (std::size_t b = begin; b < end; b += width) {
         const std::size_t w = std::min(width, end - b);
         model.moments_batch(
             std::span<const double>(res.points.data() + b, res.points.size() - b), n, w, ws,
             std::span<double>(res.moments.data() + b, res.moments.size() - b), n,
-            std::span<unsigned char>(res.ok.data() + b, w), opts.mode);
+            std::span<unsigned char>(res.ok.data() + b, w), opts.mode, opts.backend);
+        if (need_rom) {
+          // Batched q x q Padé solves straight off the SoA moment block.
+          // A fast-mode strict re-eval below rewrites the lane, so the
+          // pre-solved approximant is only used for kPrimary points.
+          pre.resize(w);
+          engine::pade_solve_batch(
+              std::span<const double>(res.moments.data() + b, res.moments.size() - b), n, w,
+              ropts.order, ropts.allow_order_fallback,
+              std::span<const unsigned char>(res.ok.data() + b, w),
+              std::span<engine::PadeResult>(pre.data(), w));
+        }
         for (std::size_t p = b; p < b + w; ++p) {
           FitOutcome out = eval_ladder_point(model, res.points, res.moments, res.ok, nm, n, p,
                                              opts.mode, ws1, hr.strict_reevals);
@@ -306,7 +325,8 @@ SweepResult run_sweep(const core::CompiledModel& model, std::vector<double> poin
             for (std::size_t k = 0; k < nm; ++k) lane[k] = res.moments[k * n + p];
             const FitOutcome fit =
                 fit_point_rom(ropts, lane, p, *res.rom, opts.pass_predicate,
-                              res.pass.empty() ? nullptr : &res.pass, hr);
+                              res.pass.empty() ? nullptr : &res.pass, hr,
+                              out.stage == LadderStage::kPrimary ? &pre[p - b] : nullptr);
             if (fit.fail != health::FailClass::kNone) {
               out = fit;
             } else {
@@ -385,9 +405,12 @@ std::vector<SweepResult> run_sweep(const core::MultiOutputModel& model,
         std::vector<double> lane(nm);
         for (std::size_t b = begin; b < end; b += width) {
           const std::size_t w = std::min(width, end - b);
+          // Multi-output programs are not AOT-compiled; the backend knob is
+          // forwarded for signature symmetry and interprets regardless.
           model.moments_batch(std::span<const double>(points.data() + b, points.size() - b),
                               n, w, ws, std::span<double>(all.data() + b, all.size() - b), n,
-                              std::span<unsigned char>(ok.data() + b, w), opts.mode);
+                              std::span<unsigned char>(ok.data() + b, w), opts.mode,
+                              opts.backend);
           for (std::size_t p = b; p < b + w; ++p) {
             const FitOutcome ev = eval_ladder_point(model, points, all, ok, nout * nm, n, p,
                                                     opts.mode, ws1, wh.strict_reevals);

@@ -16,6 +16,7 @@ constexpr const char* kAllSites[] = {
     sites::kPartitionMomentSolve, sites::kCacheStoreTruncate,
     sites::kCacheStoreBitflip,  sites::kCacheStoreCrash,
     sites::kCacheLoadCorrupt,   sites::kThreadPoolTask,
+    sites::kNativeCompile,      sites::kNativeDlopen,
 };
 
 enum class Mode : std::uint8_t { kOff, kAlways, kOnce, kNth };

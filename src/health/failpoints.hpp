@@ -39,6 +39,8 @@ inline constexpr const char* kCacheStoreBitflip = "model_cache.store_bitflip";
 inline constexpr const char* kCacheStoreCrash = "model_cache.store_crash";
 inline constexpr const char* kCacheLoadCorrupt = "model_cache.load_corrupt";
 inline constexpr const char* kThreadPoolTask = "thread_pool.task";
+inline constexpr const char* kNativeCompile = "native.compile";
+inline constexpr const char* kNativeDlopen = "native.dlopen";
 }  // namespace sites
 
 /// All registered site names, in registry order.

@@ -16,6 +16,8 @@ void HealthReport::merge(const HealthReport& other) {
   shifted_refits += other.shifted_refits;
   cache_corrupt_quarantined += other.cache_corrupt_quarantined;
   cache_rebuilds += other.cache_rebuilds;
+  native_compiled += other.native_compiled;
+  native_fallbacks += other.native_fallbacks;
   failpoint_fires += other.failpoint_fires;
 }
 
@@ -33,6 +35,8 @@ std::string HealthReport::to_json(int indent) const {
      << ", \"shifted_refits\": " << shifted_refits << "},\n";
   os << in1 << "\"cache\": {\"corrupt_quarantined\": " << cache_corrupt_quarantined
      << ", \"rebuilds\": " << cache_rebuilds << "},\n";
+  os << in1 << "\"native\": {\"compiled\": " << native_compiled
+     << ", \"fallbacks\": " << native_fallbacks << "},\n";
   os << in1 << "\"failpoint_fires\": " << failpoint_fires << ",\n";
   os << in1 << "\"fail_classes\": {\n";
   // kNone is a non-event; every real class appears, fired or not.
@@ -56,6 +60,10 @@ void absorb_global_counters(HealthReport& report) {
       g.cache_corrupt_quarantined.load(std::memory_order_relaxed);
   report.cache_rebuilds = g.cache_rebuilds.load(std::memory_order_relaxed);
   report.failpoint_fires = g.failpoint_fires.load(std::memory_order_relaxed);
+  report.native_compiled = g.native_compiled.load(std::memory_order_relaxed);
+  report.native_fallbacks = g.native_fallbacks.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kFailClassCount; ++i)
+    report.fail_counts[i] += g.native_fail_counts[i].load(std::memory_order_relaxed);
 }
 
 }  // namespace awe::health

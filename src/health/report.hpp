@@ -37,6 +37,10 @@ struct HealthReport {
   std::uint64_t cache_corrupt_quarantined = 0;  ///< entries moved to .bad
   std::uint64_t cache_rebuilds = 0;             ///< rebuilds after quarantine
 
+  // Native AOT backend (DESIGN.md §12).
+  std::uint64_t native_compiled = 0;   ///< .so modules compiled or validated+loaded
+  std::uint64_t native_fallbacks = 0;  ///< attach attempts that fell back to the interpreter
+
   std::uint64_t failpoint_fires = 0;  ///< injected faults observed
 
   void record_failure(FailClass c) {
@@ -61,12 +65,18 @@ struct GlobalCounters {
   std::atomic<std::uint64_t> cache_corrupt_quarantined{0};
   std::atomic<std::uint64_t> cache_rebuilds{0};
   std::atomic<std::uint64_t> failpoint_fires{0};
+  std::atomic<std::uint64_t> native_compiled{0};
+  std::atomic<std::uint64_t> native_fallbacks{0};
+  /// Terminal FailClass of each native fallback, indexed by FailClass
+  /// (attach happens on static build paths with no HealthReport in scope).
+  std::array<std::atomic<std::uint64_t>, kFailClassCount> native_fail_counts{};
 };
 
 GlobalCounters& global_counters();
 
-/// Fold the process-global counters into `report` (overwrites the three
-/// corresponding fields; they are process-scope, not additive per sweep).
+/// Fold the process-global counters into `report` (overwrites the scalar
+/// fields — they are process-scope, not additive per sweep — and ADDS the
+/// native per-class failure counts into fail_counts; call once per report).
 void absorb_global_counters(HealthReport& report);
 
 }  // namespace awe::health

@@ -14,6 +14,7 @@ const char* to_string(FailClass c) {
     case FailClass::kInjectedFault: return "injected fault";
     case FailClass::kTaskException: return "task exception";
     case FailClass::kUnknown: return "unknown failure";
+    case FailClass::kNativeBackend: return "native backend unavailable";
   }
   return "?";
 }
@@ -30,6 +31,7 @@ const char* code(FailClass c) {
     case FailClass::kInjectedFault: return "injected-fault";
     case FailClass::kTaskException: return "task-exception";
     case FailClass::kUnknown: return "unknown";
+    case FailClass::kNativeBackend: return "native-backend";
   }
   return "?";
 }

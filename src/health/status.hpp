@@ -32,9 +32,10 @@ enum class FailClass : std::uint8_t {
   kInjectedFault = 7,     ///< a failpoint fired (testing only)
   kTaskException = 8,     ///< a thread-pool task died; point never processed
   kUnknown = 9,           ///< classified failure of unrecognized origin
+  kNativeBackend = 10,    ///< native .so compile/load/validate failed; interpreter used
 };
 
-inline constexpr std::size_t kFailClassCount = 10;
+inline constexpr std::size_t kFailClassCount = 11;
 
 /// Long human-readable name ("Hankel system ill-conditioned").
 const char* to_string(FailClass c);

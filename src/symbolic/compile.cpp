@@ -542,6 +542,21 @@ void CompiledProgram::run_batch_fast(std::span<const double> inputs,
 #undef AWE_LANE_KERNEL
 #undef AWE_SIMD
 
+namespace {
+
+/// Format a double as a self-contained C expression.  %.17g round-trips
+/// every finite value; infinities and NaN have no portable C literal, so
+/// they are emitted as IEEE division expressions (no <math.h> required).
+std::string c_literal(double v) {
+  if (std::isnan(v)) return "(0.0 / 0.0)";
+  if (std::isinf(v)) return v > 0.0 ? "(1.0 / 0.0)" : "(-1.0 / 0.0)";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
 std::string CompiledProgram::to_c_source(std::string_view function_name,
                                          EvalMode mode) const {
   const std::vector<Instr>& stream =
@@ -553,13 +568,10 @@ std::string CompiledProgram::to_c_source(std::string_view function_name,
   if (mode == EvalMode::kFast)
     src += "/* fused stream: requires <math.h> for fma() */\n";
   src += "void " + std::string(function_name) + "(const double* in, double* out) {\n";
+  if (input_count_ == 0) src += "  (void)in;\n";  // a constant program reads no inputs
   src += "  double r[" + std::to_string(register_count_ == 0 ? 1 : register_count_) +
          "];\n";
-  char buf[64];
-  auto num = [&](double v) {
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    return std::string(buf);
-  };
+  auto num = [](double v) { return c_literal(v); };
   for (const Instr& ins : stream) {
     const std::string d = "  r[" + std::to_string(ins.dst) + "] = ";
     const std::string a = "r[" + std::to_string(ins.a) + "]";
@@ -598,6 +610,69 @@ std::string CompiledProgram::to_c_source(std::string_view function_name,
   for (std::size_t k = 0; k < out_regs.size(); ++k)
     src += "  out[" + std::to_string(k) + "] = r[" + std::to_string(out_regs[k]) +
            "];\n";
+  src += "}\n";
+  return src;
+}
+
+std::string CompiledProgram::to_c_source_batch(std::string_view function_name,
+                                               EvalMode mode) const {
+  const std::vector<Instr>& stream =
+      mode == EvalMode::kFast ? fused_instrs_ : instrs_;
+  const std::vector<std::uint32_t>& out_regs =
+      mode == EvalMode::kFast ? fused_output_regs_ : output_regs_;
+
+  // Per-point loop with a per-iteration register file: the registers are
+  // scalarized into machine registers by any optimizing C compiler, so the
+  // generated kernel carries zero dispatch and zero lane-array traffic.
+  // Fused ops are emitted as a*b + c so FP-contract rules (not an explicit
+  // libm fma() call) decide contraction per target.
+  std::string src;
+  src += "void " + std::string(function_name) +
+         "(const double* in, double* out, unsigned long n) {\n";
+  if (input_count_ == 0) src += "  (void)in;\n";  // a constant program reads no inputs
+  src += "  unsigned long p;\n";
+  src += "  for (p = 0; p < n; ++p) {\n";
+  src += "    double r[" + std::to_string(register_count_ == 0 ? 1 : register_count_) +
+         "];\n";
+  for (const Instr& ins : stream) {
+    const std::string d = "    r[" + std::to_string(ins.dst) + "] = ";
+    const std::string a = "r[" + std::to_string(ins.a) + "]";
+    const std::string b = "r[" + std::to_string(ins.b) + "]";
+    const std::string c = "r[" + std::to_string(ins.c) + "]";
+    switch (ins.op) {
+      case OpCode::kConst:
+        src += d + c_literal(constants_[ins.a]) + ";\n";
+        break;
+      case OpCode::kInput:
+        src += d + "in[" + std::to_string(ins.a) + " * n + p];\n";
+        break;
+      case OpCode::kAdd:
+        src += d + a + " + " + b + ";\n";
+        break;
+      case OpCode::kSub:
+        src += d + a + " - " + b + ";\n";
+        break;
+      case OpCode::kMul:
+        src += d + a + " * " + b + ";\n";
+        break;
+      case OpCode::kDiv:
+        src += d + a + " / " + b + ";\n";
+        break;
+      case OpCode::kNeg:
+        src += d + "-" + a + ";\n";
+        break;
+      case OpCode::kFma:
+        src += d + a + " * " + b + " + " + c + ";\n";
+        break;
+      case OpCode::kFms:
+        src += d + a + " * " + b + " - " + c + ";\n";
+        break;
+    }
+  }
+  for (std::size_t k = 0; k < out_regs.size(); ++k)
+    src += "    out[" + std::to_string(k) + " * n + p] = r[" +
+           std::to_string(out_regs[k]) + "];\n";
+  src += "  }\n";
   src += "}\n";
   return src;
 }

@@ -50,6 +50,8 @@ std::string FuzzSummary::to_json() const {
   os << "  \"ill_conditioned\": " << ill_conditioned << ",\n";
   os << "  \"singular\": " << singular << ",\n";
   os << "  \"pade_flagged\": " << pade_flagged << ",\n";
+  os << "  \"native_checked\": " << native_checked << ",\n";
+  os << "  \"native_skipped\": " << native_skipped << ",\n";
   os << "  \"moments_compared\": " << moments_compared << ",\n";
   os << "  \"moments_skipped\": " << moments_skipped << ",\n";
   os << "  \"elements_generated\": " << elements_generated << ",\n";
@@ -95,6 +97,7 @@ FuzzSummary run_fuzz(const FuzzOptions& opts) {
     sum.moments_compared += r.moments_compared;
     sum.moments_skipped += r.moments_skipped;
     if (!r.pade_ok) ++sum.pade_flagged;
+    if (opts.oracle.native) ++(r.native_ran ? sum.native_checked : sum.native_skipped);
     switch (r.status) {
       case OracleStatus::kAgree:
         ++sum.agree;

@@ -61,6 +61,15 @@ struct OracleOptions {
   /// serializer thereby becomes a sixth implicit oracle: any bug in the
   /// binary format or the cache surfaces as a cross-path mismatch.
   std::string cache_dir;
+  /// Run the native AOT backend as a SEVENTH oracle: the compiled model is
+  /// emitted as C, compiled to a shared object (under cache_dir when set,
+  /// a scratch directory otherwise) and its strict and fast lanes are
+  /// cross-checked against the interpreter with the same condition-aware
+  /// tolerance policy as strict-vs-fast.  When no C compiler is available
+  /// (or compilation fails) the attach falls back to the interpreter —
+  /// recorded in the health report as kNativeBackend and the native paths
+  /// are SKIPPED, never reported as a mismatch.
+  bool native = false;
 };
 
 struct OracleResult {
@@ -77,6 +86,12 @@ struct OracleResult {
   /// Per-path moments (empty when that path failed) and failure messages.
   std::vector<double> exact, awe, strict_c, fast, sweep;
   std::string exact_error, awe_error, compiled_error;
+  /// Seventh-oracle lanes (only with OracleOptions::native); native_ran is
+  /// false when the backend fell back to the interpreter (native_error says
+  /// why) and the native lanes were skipped.
+  std::vector<double> native_strict, native_fast;
+  bool native_ran = false;
+  std::string native_error;
   double max_rel_err = 0.0;       ///< worst pairwise rel error over compared moments
   double worst_cancellation = 1.0;///< max c_k observed
   bool pade_ok = true;            ///< classification only, never a failure

@@ -1,0 +1,330 @@
+// Native backend failure paths (DESIGN.md §12): every rung of the
+// emit -> compile -> cache -> dlopen -> validate pipeline can fail, and the
+// contract is uniform — the model stays interpreter-only, the attach
+// outcome names FailClass::kNativeBackend (kInjectedFault for armed
+// failpoints), the global native counters record the fallback, and kNative
+// evaluation requests keep returning bit-identical interpreter results.
+// "Zero wrong answers": no failure mode below is allowed to change a
+// single moment.
+//
+// The matrix covered here:
+//   - no C compiler at all (AWE_CC pointed at a non-executable path);
+//   - compiler present but failing (AWE_CC=/bin/false);
+//   - cached .so truncated/corrupted on disk (quarantine + recompile);
+//   - corrupted .so AND no compiler (quarantine, then clean fallback);
+//   - valid module with the wrong checksum (cross-model .so swap);
+//   - valid shared object missing the awe_* symbol set;
+//   - armed native.compile / native.dlopen failpoints (deterministic
+//     injection, no real fault needed).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuits/fig1_rc.hpp"
+#include "core/awesymbolic.hpp"
+#include "core/native_backend.hpp"
+#include "health/failpoints.hpp"
+#include "health/report.hpp"
+
+namespace awe {
+namespace {
+
+namespace fp = health::failpoints;
+using core::CompiledModel;
+using core::EvalBackend;
+using core::EvalMode;
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    static int counter = 0;
+    path = std::filesystem::temp_directory_path() /
+           ("awe_fallback_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+/// Scoped environment override restoring the previous value on exit.
+struct EnvVarGuard {
+  std::string name;
+  std::optional<std::string> saved;
+  EnvVarGuard(const char* n, const char* value) : name(n) {
+    if (const char* v = std::getenv(n)) saved = v;
+    ::setenv(n, value, 1);
+  }
+  ~EnvVarGuard() {
+    if (saved)
+      ::setenv(name.c_str(), saved->c_str(), 1);
+    else
+      ::unsetenv(name.c_str());
+  }
+};
+
+struct FailpointGuard {
+  FailpointGuard() { fp::reset(); }
+  ~FailpointGuard() { fp::reset(); }
+};
+
+bool have_compiler() { return !core::native::find_compiler().empty(); }
+
+CompiledModel make_model() {
+  auto fig = circuits::make_fig1();
+  return CompiledModel::build(fig.netlist, {"g2", "c2"}, circuits::Fig1Circuit::kInput,
+                              fig.v2, {.order = 2});
+}
+
+/// Snapshot of the process-global native counters (for before/after deltas;
+/// the counters are process-global, so only relative assertions are valid).
+struct NativeCounters {
+  std::uint64_t compiled, fallbacks, backend_class, injected_class;
+  static NativeCounters now() {
+    const auto& g = health::global_counters();
+    return {g.native_compiled.load(), g.native_fallbacks.load(),
+            g.native_fail_counts[static_cast<std::size_t>(
+                                     health::FailClass::kNativeBackend)]
+                .load(),
+            g.native_fail_counts[static_cast<std::size_t>(
+                                     health::FailClass::kInjectedFault)]
+                .load()};
+  }
+};
+
+/// kNative requests against a fallen-back model must be bit-identical to
+/// the interpreter — the "zero wrong answers" clause.
+void expect_interpreter_answers(const CompiledModel& model) {
+  const std::size_t n = 8;
+  std::vector<double> pts(2 * n);
+  for (std::size_t p = 0; p < n; ++p) {
+    pts[p] = 0.5 + 0.25 * static_cast<double>(p);      // g2
+    pts[n + p] = 2.0 - 0.125 * static_cast<double>(p); // c2
+  }
+  const std::size_t nm = model.moment_count();
+  std::vector<double> a(nm * n, 0.0), b(nm * n, 1.0);
+  std::vector<unsigned char> oka(n, 1), okb(n, 1);
+  auto wsa = model.make_batch_workspace(n);
+  auto wsb = model.make_batch_workspace(n);
+  model.moments_batch(pts, n, n, wsa, a, n, oka, EvalMode::kStrict,
+                      EvalBackend::kInterpreter);
+  model.moments_batch(pts, n, n, wsb, b, n, okb, EvalMode::kStrict,
+                      EvalBackend::kNative);
+  EXPECT_EQ(oka, okb);
+  EXPECT_EQ(a, b);
+}
+
+/// The single content-addressed module under `dir` ("" when none).
+std::filesystem::path find_module(const std::filesystem::path& dir) {
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.path().extension() == ".so") return e.path();
+  return {};
+}
+
+TEST(NativeFallbackTest, MissingCompilerDegradesWithNativeBackendClass) {
+  EnvVarGuard cc("AWE_CC", "/nonexistent/awe-no-such-compiler");
+  TempDir dir;
+  auto model = make_model();
+  const auto before = NativeCounters::now();
+  const health::Status st = model.attach_native(dir.str());
+  const auto after = NativeCounters::now();
+
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.fail_class, health::FailClass::kNativeBackend);
+  EXPECT_FALSE(model.has_native());
+  EXPECT_EQ(after.fallbacks, before.fallbacks + 1);
+  EXPECT_EQ(after.backend_class, before.backend_class + 1);
+  EXPECT_EQ(after.compiled, before.compiled);
+  EXPECT_TRUE(find_module(dir.path).empty());  // nothing half-written
+  expect_interpreter_answers(model);
+}
+
+TEST(NativeFallbackTest, FailingCompilerDegradesWithNativeBackendClass) {
+  if (!std::filesystem::exists("/bin/false")) GTEST_SKIP() << "no /bin/false";
+  EnvVarGuard cc("AWE_CC", "/bin/false");
+  TempDir dir;
+  auto model = make_model();
+  const auto before = NativeCounters::now();
+  const health::Status st = model.attach_native(dir.str());
+  const auto after = NativeCounters::now();
+
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.fail_class, health::FailClass::kNativeBackend);
+  EXPECT_FALSE(model.has_native());
+  EXPECT_EQ(after.fallbacks, before.fallbacks + 1);
+  EXPECT_TRUE(find_module(dir.path).empty());
+  expect_interpreter_answers(model);
+}
+
+TEST(NativeFallbackTest, CorruptedModuleIsQuarantinedAndRecompiled) {
+  if (!have_compiler()) GTEST_SKIP() << "no C compiler available";
+  TempDir dir;
+  {
+    auto warm = make_model();
+    ASSERT_TRUE(warm.attach_native(dir.str()).ok());
+  }
+  const auto so = find_module(dir.path);
+  ASSERT_FALSE(so.empty());
+  {  // truncate + garbage: dlopen must reject it
+    std::ofstream out(so, std::ios::trunc | std::ios::binary);
+    out << "this is not an ELF shared object";
+  }
+
+  auto model = make_model();
+  const auto before = NativeCounters::now();
+  EXPECT_TRUE(model.attach_native(dir.str()).ok());
+  EXPECT_TRUE(model.has_native());
+  EXPECT_EQ(NativeCounters::now().compiled, before.compiled + 1);
+  // Quarantine evidence plus a fresh valid module in its place.
+  EXPECT_TRUE(std::filesystem::exists(so.string() + ".bad"));
+  EXPECT_TRUE(std::filesystem::exists(so));
+  expect_interpreter_answers(model);
+}
+
+TEST(NativeFallbackTest, CorruptedModuleWithoutCompilerFallsBackCleanly) {
+  if (!have_compiler()) GTEST_SKIP() << "no C compiler available";
+  TempDir dir;
+  {
+    auto warm = make_model();
+    ASSERT_TRUE(warm.attach_native(dir.str()).ok());
+  }
+  const auto so = find_module(dir.path);
+  ASSERT_FALSE(so.empty());
+  {
+    std::ofstream out(so, std::ios::trunc | std::ios::binary);
+    out << "garbage";
+  }
+
+  EnvVarGuard cc("AWE_CC", "/nonexistent/awe-no-such-compiler");
+  auto model = make_model();
+  const auto before = NativeCounters::now();
+  const health::Status st = model.attach_native(dir.str());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.fail_class, health::FailClass::kNativeBackend);
+  EXPECT_FALSE(model.has_native());
+  EXPECT_EQ(NativeCounters::now().fallbacks, before.fallbacks + 1);
+  EXPECT_TRUE(std::filesystem::exists(so.string() + ".bad"));
+  expect_interpreter_answers(model);
+}
+
+TEST(NativeFallbackTest, WrongChecksumModuleIsRejectedAndRecompiled) {
+  if (!have_compiler()) GTEST_SKIP() << "no C compiler available";
+  // Compile the module of a DIFFERENT program (extra symbol -> different
+  // checksum), then plant it at this model's content address.  Validation
+  // must reject it on the checksum — a valid module is not enough.
+  TempDir dir_other, dir;
+  {
+    auto fig = circuits::make_fig1();
+    auto other = CompiledModel::build(fig.netlist, {"g1", "g2", "c2"},
+                                      circuits::Fig1Circuit::kInput, fig.v2,
+                                      {.order = 2});
+    ASSERT_TRUE(other.attach_native(dir_other.str()).ok());
+  }
+  {
+    auto warm = make_model();
+    ASSERT_TRUE(warm.attach_native(dir.str()).ok());
+  }
+  const auto other_so = find_module(dir_other.path);
+  const auto so = find_module(dir.path);
+  ASSERT_FALSE(other_so.empty());
+  ASSERT_FALSE(so.empty());
+  EXPECT_NE(other_so.filename(), so.filename());  // distinct content addresses
+  std::filesystem::copy_file(other_so, so,
+                             std::filesystem::copy_options::overwrite_existing);
+
+  auto model = make_model();
+  EXPECT_TRUE(model.attach_native(dir.str()).ok());
+  EXPECT_TRUE(model.has_native());
+  EXPECT_TRUE(std::filesystem::exists(so.string() + ".bad"));
+  expect_interpreter_answers(model);
+}
+
+TEST(NativeFallbackTest, ModuleMissingSymbolsIsRejectedAndRecompiled) {
+  if (!have_compiler()) GTEST_SKIP() << "no C compiler available";
+  TempDir dir;
+  {
+    auto warm = make_model();
+    ASSERT_TRUE(warm.attach_native(dir.str()).ok());
+  }
+  const auto so = find_module(dir.path);
+  ASSERT_FALSE(so.empty());
+  // A perfectly loadable shared object that simply is not an awe module.
+  const auto src = dir.path / "dummy.c";
+  {
+    std::ofstream out(src);
+    out << "int awe_unrelated = 0;\n";
+  }
+  const std::string cmd = core::native::find_compiler() + " -shared -fPIC -o '" +
+                          so.string() + "' '" + src.string() + "'";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+  auto model = make_model();
+  EXPECT_TRUE(model.attach_native(dir.str()).ok());
+  EXPECT_TRUE(model.has_native());
+  EXPECT_TRUE(std::filesystem::exists(so.string() + ".bad"));
+  expect_interpreter_answers(model);
+}
+
+TEST(NativeFallbackTest, CompileFailpointInjectsDeterministically) {
+  FailpointGuard guard;
+  fp::arm(fp::sites::kNativeCompile, "always");
+  TempDir dir;
+  auto model = make_model();
+  const auto before = NativeCounters::now();
+  const health::Status st = model.attach_native(dir.str());
+  const auto after = NativeCounters::now();
+
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.fail_class, health::FailClass::kInjectedFault);
+  EXPECT_FALSE(model.has_native());
+  EXPECT_EQ(after.fallbacks, before.fallbacks + 1);
+  EXPECT_EQ(after.injected_class, before.injected_class + 1);
+  EXPECT_GE(fp::fire_count(fp::sites::kNativeCompile), 1u);
+  expect_interpreter_answers(model);
+}
+
+TEST(NativeFallbackTest, DlopenFailpointInjectsAfterSuccessfulCompile) {
+  if (!have_compiler()) GTEST_SKIP() << "no C compiler available";
+  FailpointGuard guard;
+  fp::arm(fp::sites::kNativeDlopen, "once");
+  TempDir dir;
+  auto model = make_model();
+  const health::Status st = model.attach_native(dir.str());
+
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.fail_class, health::FailClass::kInjectedFault);
+  EXPECT_FALSE(model.has_native());
+  // The compile itself succeeded: the module is on disk and a later
+  // attach (failpoint disarmed by "once") loads it without recompiling.
+  ASSERT_FALSE(find_module(dir.path).empty());
+  auto retry = make_model();
+  EXPECT_TRUE(retry.attach_native(dir.str()).ok());
+  EXPECT_TRUE(retry.has_native());
+  expect_interpreter_answers(model);
+}
+
+TEST(NativeFallbackTest, FallbacksSurfaceInHealthReportJson) {
+  EnvVarGuard cc("AWE_CC", "/nonexistent/awe-no-such-compiler");
+  TempDir dir;
+  auto model = make_model();
+  (void)model.attach_native(dir.str());
+
+  health::HealthReport report;
+  health::absorb_global_counters(report);
+  EXPECT_GE(report.native_fallbacks, 1u);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"native\": {\"compiled\": "), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fallbacks\": "), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace awe

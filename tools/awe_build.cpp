@@ -14,6 +14,12 @@
 //   --order Q         Padé order (default 2)
 //   --threads N       extraction worker threads, 0 = hardware (default 1)
 //   --gradients       also compile the exact symbolic gradients
+//   --native          additionally AOT-compile each model to a
+//                     content-addressed .so beside its cache entry
+//                     (requires a C compiler; degrades to the interpreter
+//                     and reports kNativeBackend in the health JSON when
+//                     none is available).  Never the default: interpreter
+//                     cache directories stay byte-comparable.
 //   --health-json F   write a HealthReport (cache quarantines, rebuilds,
 //                     failpoint fires) as JSON to F ("-" for stdout)
 //   --quiet           suppress the per-deck lines
@@ -40,7 +46,7 @@ using namespace awe;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --cache-dir DIR [--order Q] [--threads N] [--gradients]\n"
-               "          [--health-json FILE] [--quiet] deck.sp [deck2.sp ...]\n",
+               "          [--native] [--health-json FILE] [--quiet] deck.sp [deck2.sp ...]\n",
                argv0);
   std::exit(2);
 }
@@ -69,6 +75,8 @@ int main(int argc, char** argv) {
       bopts.threads = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--gradients") {
       mopts.with_gradients = true;
+    } else if (arg == "--native") {
+      bopts.backend = core::EvalBackend::kNative;
     } else if (arg == "--health-json") {
       health_json = next();
     } else if (arg == "--quiet") {
