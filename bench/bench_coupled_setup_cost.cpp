@@ -117,6 +117,27 @@ void print_comparison() {
                                               c.line2_out, {.order = 2}, cached);
     benchmark::DoNotOptimize(m.instruction_count());
   });
+  // Incremental rebuild after a one-element edit (DESIGN.md §13): only
+  // the dirty cell re-extracts; every clean cell reloads its cached
+  // moment blocks bit-identically.
+  core::BuildOptions inc;
+  inc.incremental = true;
+  inc.partition_block_dir = fresh_cache_dir("table_blocks");
+  (void)core::CompiledModel::build(c.netlist, kSymbols,
+                                   circuits::CoupledLinesCircuit::kInput, c.line2_out,
+                                   {.order = 2}, inc);  // warm the block store
+  const double r0 = c.netlist.elements()[*c.netlist.find_element("r1_500")].value;
+  int edit_seq = 0;
+  const double t_inc_edit = time_median(5, [&] {
+    c.netlist.set_value("r1_500", r0 * (1.0 + 1e-6 * ++edit_seq));
+    const auto m = core::CompiledModel::build(c.netlist, kSymbols,
+                                              circuits::CoupledLinesCircuit::kInput,
+                                              c.line2_out, {.order = 2}, inc);
+    benchmark::DoNotOptimize(m.instruction_count());
+  });
+  c.netlist.set_value("r1_500", r0);
+  std::filesystem::remove_all(inc.partition_block_dir);
+
   const PartitionedBus bus(8, v.segments);
   const double t_mm_serial = time_median(3, [&] {
     const auto mms = part::PortMacromodel::build_many(bus.parts, {.order = 2});
@@ -132,6 +153,7 @@ void print_comparison() {
   benchutil::print_time("single full AWE analysis", t_awe);
   benchutil::print_time("AWEsymbolic setup (partition+symbolic+compile)", t_setup);
   benchutil::print_time("AWEsymbolic setup, warm model cache", t_warm);
+  benchutil::print_time("one-element edit, incremental rebuild", t_inc_edit);
   benchutil::print_time("8-partition macromodel reduction, serial", t_mm_serial);
   benchutil::print_time("8-partition macromodel reduction, 4 threads", t_mm_par);
   benchutil::print_time("AWEsymbolic incremental cost per evaluation", t_inc);
@@ -140,8 +162,10 @@ void print_comparison() {
   std::printf("incremental   : AWE/symbolic = %.0fx    (paper: ~1e4x)\n", t_awe / t_inc);
   std::printf("parallel build: serial/parallel = %.2fx   (8 partitions, 4 threads)\n",
               t_mm_serial / t_mm_par);
-  std::printf("warm cache    : cold/warm = %.1fx   (acceptance floor: 10x)\n\n",
+  std::printf("warm cache    : cold/warm = %.1fx   (acceptance floor: 10x)\n",
               t_setup / t_warm);
+  std::printf("incr. rebuild : cold/edit = %.1fx   (acceptance floor: 10x)\n\n",
+              t_setup / t_inc_edit);
 }
 
 void BM_FullAwe_CoupledLines(benchmark::State& state) {
@@ -236,6 +260,38 @@ void BM_BuildWarmCache(benchmark::State& state) {
   std::filesystem::remove_all(opts.cache_dir);
 }
 BENCHMARK(BM_BuildWarmCache)->Unit(benchmark::kMillisecond);
+
+// Incremental partition-level rebuild (DESIGN.md §13): each iteration
+// edits ONE element (a fresh value every time, so its cell is genuinely
+// dirty) and rebuilds against a warm per-cell block store — the dirty
+// cell re-extracts, every clean cell reloads its cached moment blocks.
+// Gated against BM_BuildCold: a one-element edit must rebuild >= 10x
+// faster than a cold build of the same circuit.
+void BM_BuildIncrementalEdit(benchmark::State& state) {
+  circuits::CoupledLineValues v;
+  v.segments = kBuildSegments;
+  auto c = circuits::make_coupled_lines(v);
+  core::BuildOptions opts;
+  opts.incremental = true;
+  opts.partition_block_dir = fresh_cache_dir("inc_blocks");
+  (void)core::CompiledModel::build(c.netlist, kSymbols,
+                                   circuits::CoupledLinesCircuit::kInput, c.line2_out,
+                                   {.order = 2}, opts);  // warm the block store
+  const double r0 = c.netlist.elements()[*c.netlist.find_element("r1_500")].value;
+  int i = 0;
+  for (auto _ : state) {
+    c.netlist.set_value("r1_500", r0 * (1.0 + 1e-6 * ++i));
+    const auto model = core::CompiledModel::build(
+        c.netlist, kSymbols, circuits::CoupledLinesCircuit::kInput, c.line2_out,
+        {.order = 2}, opts);
+    benchmark::DoNotOptimize(model.instruction_count());
+  }
+  state.counters["builds_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  std::filesystem::remove_all(opts.partition_block_dir);
+}
+BENCHMARK(BM_BuildIncrementalEdit)->Unit(benchmark::kMillisecond);
 
 // The multi-partition series: 8 bus sections reduced per iteration via
 // PortMacromodel::build_many.  builds_per_s counts PARTITION builds, so

@@ -111,8 +111,18 @@ def gate_one(counter, anchor, cur_rows, base_rows, threshold, use_anchor):
         base.pop(anchor, None)
         print(f"(counters anchored to {anchor} within each run)")
 
+    # A gate whose counter exists on no baseline row beyond the anchor
+    # would otherwise gate nothing and "pass" vacuously (or crash on the
+    # width computation): refuse loudly instead — the --gate spec or the
+    # committed baseline is wrong.
+    if not base:
+        print(f"error: counter '{counter}' has no gated baseline rows "
+              f"(beyond the anchor); wrong --gate or stale baseline?",
+              file=sys.stderr)
+        sys.exit(2)
+
     failures = []
-    width = max(len(n) for n in base)
+    width = max(len(n) for n in set(base) | set(cur))
     print(f"perf gate on '{counter}' (fail below "
           f"{(1.0 - threshold) * 100:.0f}% of baseline):")
     for name in sorted(base):
@@ -136,20 +146,31 @@ def gate_one(counter, anchor, cur_rows, base_rows, threshold, use_anchor):
 def dominates(spec, cur_rows):
     """Results-only ordering gate: WINNER's counter must exceed LOSER's.
 
-    Spec is WINNER,LOSER[,COUNTER] (counter defaults to norm_ops_per_s;
-    comma-separated because google-benchmark row names contain colons).
+    Spec is WINNER,LOSER[,COUNTER[,FACTOR]] (counter defaults to
+    norm_ops_per_s, factor to 1.0; comma-separated because
+    google-benchmark row names contain colons).  The gate passes when
+    winner > factor * loser, so FACTOR asserts a minimum speedup — e.g.
+    the incremental rebuild must beat a cold build by at least 10x.
     Both rows come from the same fresh run, so no anchoring is needed —
     the comparison is within-machine by construction.  Used to assert
     structural superiority claims, e.g. the native AOT backend beating the
     fast interpreter on the sweep workload.
     """
     parts = spec.split(",")
-    if len(parts) not in (2, 3) or not all(parts):
-        print(f"error: bad --dominates '{spec}' (want WINNER,LOSER[,COUNTER])",
-              file=sys.stderr)
+    if len(parts) not in (2, 3, 4) or not all(parts):
+        print(f"error: bad --dominates '{spec}' "
+              f"(want WINNER,LOSER[,COUNTER[,FACTOR]])", file=sys.stderr)
         sys.exit(2)
     winner, loser = parts[0], parts[1]
-    counter = parts[2] if len(parts) == 3 else "norm_ops_per_s"
+    counter = parts[2] if len(parts) >= 3 else "norm_ops_per_s"
+    try:
+        factor = float(parts[3]) if len(parts) == 4 else 1.0
+    except ValueError:
+        factor = -1.0
+    if factor <= 0.0 or not math.isfinite(factor):
+        print(f"error: bad --dominates factor in '{spec}' "
+              f"(want a positive number)", file=sys.stderr)
+        sys.exit(2)
     values = {}
     for name in (winner, loser):
         row = cur_rows.get(name)
@@ -158,12 +179,13 @@ def dominates(spec, cur_rows):
                   file=sys.stderr)
             sys.exit(2)
         values[name] = float(row[counter])
-    ok = values[winner] > values[loser]
+    ok = values[winner] > factor * values[loser]
     ratio = values[winner] / values[loser] if values[loser] > 0 else math.inf
-    print(f"dominance gate on '{counter}':")
+    print(f"dominance gate on '{counter}' (need winner > {factor:g}x loser):")
     print(f"  {'ok  ' if ok else 'FAIL'} {winner} ({values[winner]:.3e}) "
-          f"{'>' if ok else '<='} {loser} ({values[loser]:.3e})  ({ratio:6.2%})")
-    return [] if ok else [f"{winner} !> {loser}"]
+          f"{'>' if ok else '<='} {factor:g} x {loser} ({values[loser]:.3e})"
+          f"  ({ratio:.2f}x)")
+    return [] if ok else [f"{winner} !> {factor:g}*{loser}"]
 
 
 def expect_zero(counter, cur_rows):
@@ -206,11 +228,13 @@ def main():
                     default=[],
                     help="health counter that must be exactly 0 in every "
                          "results row carrying it; repeatable")
-    ap.add_argument("--dominates", action="append", metavar="WINNER,LOSER[,COUNTER]",
+    ap.add_argument("--dominates", action="append",
+                    metavar="WINNER,LOSER[,COUNTER[,FACTOR]]",
                     default=[],
                     help="results-only ordering gate: WINNER's counter "
-                         "(default norm_ops_per_s) must exceed LOSER's in "
-                         "the fresh run; repeatable")
+                         "(default norm_ops_per_s) must exceed FACTOR "
+                         "(default 1.0) times LOSER's in the fresh run; "
+                         "repeatable")
     ap.add_argument("--no-anchor", action="store_true",
                     help="gate on raw counter values instead of "
                          "anchor-relative ratios")

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Self-test for check_bench_gate.py (runs the script as a subprocess).
+
+Exercises the exit-code contract the CI bench-gate job relies on:
+  0 = pass, 1 = regression / gate not met, 2 = bad input — and "bad
+input" must be a clean one-line error, never a traceback.  The cases
+cover the anchored regression gate, the vacuous-gate refusal (a --gate
+whose counter lives only on the anchor row), the --expect-zero health
+gate and the --dominates ordering gate with a minimum-speedup factor.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_bench_gate.py")
+
+
+def bench_doc(rows):
+    """Minimal google-benchmark JSON with the given (name, counters) rows."""
+    return {
+        "context": {"library_build_type": "release"},
+        "benchmarks": [dict({"name": name, "run_type": "iteration"}, **counters)
+                       for name, counters in rows],
+    }
+
+
+class GateScriptTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def path(self, name, doc):
+        p = os.path.join(self.tmp.name, name)
+        with open(p, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return p
+
+    def run_gate(self, *args):
+        return subprocess.run([sys.executable, SCRIPT, *args],
+                              capture_output=True, text=True)
+
+    def std_results(self, cold=100.0, warm=400.0):
+        return bench_doc([("BM_BuildCold", {"builds_per_s": cold}),
+                          ("BM_BuildWarm", {"builds_per_s": warm})])
+
+    def test_pass_when_results_match_baseline(self):
+        results = self.path("r.json", self.std_results())
+        baseline = self.path("b.json", self.std_results())
+        r = self.run_gate(results, baseline, "--gate", "builds_per_s:BM_BuildCold")
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("PASSED", r.stdout)
+
+    def test_regression_beyond_threshold_fails(self):
+        # Warm speedup collapses from 4x to 1.2x: far past the 35% gate.
+        results = self.path("r.json", self.std_results(warm=120.0))
+        baseline = self.path("b.json", self.std_results())
+        r = self.run_gate(results, baseline, "--gate", "builds_per_s:BM_BuildCold")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("FAILED", r.stderr)
+
+    def test_counter_missing_from_results_is_loud(self):
+        results = self.path("r.json", self.std_results())
+        baseline = self.path("b.json", self.std_results())
+        r = self.run_gate(results, baseline, "--gate", "no_such_counter:BM_BuildCold")
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("no_such_counter", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_counter_only_on_anchor_row_is_loud_not_a_crash(self):
+        # The counter exists, but only on the anchor row: after anchoring
+        # there is nothing left to gate.  Must refuse with exit 2, not
+        # pass vacuously or die in the report formatting.
+        doc = bench_doc([("BM_BuildCold", {"builds_per_s": 100.0}),
+                         ("BM_BuildWarm", {"other": 1.0})])
+        results = self.path("r.json", doc)
+        baseline = self.path("b.json", doc)
+        r = self.run_gate(results, baseline, "--gate", "builds_per_s:BM_BuildCold")
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("builds_per_s", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_expect_zero(self):
+        results = self.path("r.json", bench_doc(
+            [("BM_BuildCold", {"builds_per_s": 100.0, "degraded": 0.0}),
+             ("BM_Sweep", {"builds_per_s": 90.0, "degraded": 2.0})]))
+        baseline = self.path("b.json", self.std_results())
+        r = self.run_gate(results, baseline, "--gate", "builds_per_s:BM_BuildCold",
+                          "--expect-zero", "degraded")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("nonzero health counter", r.stderr)
+
+    def test_dominates_with_factor(self):
+        results = self.path("r.json", bench_doc(
+            [("BM_BuildCold", {"builds_per_s": 100.0}),
+             ("BM_BuildWarm", {"builds_per_s": 400.0}),
+             ("BM_BuildIncrementalEdit", {"builds_per_s": 1500.0})]))
+        baseline = self.path("b.json", self.std_results())
+        common = [results, baseline, "--gate", "builds_per_s:BM_BuildCold"]
+        # 15x > 10x: passes.
+        r = self.run_gate(*common, "--dominates",
+                          "BM_BuildIncrementalEdit,BM_BuildCold,builds_per_s,10")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        # 15x is not > 20x: fails with exit 1 and names the gate.
+        r = self.run_gate(*common, "--dominates",
+                          "BM_BuildIncrementalEdit,BM_BuildCold,builds_per_s,20")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("dominance gate", r.stderr)
+
+    def test_dominates_bad_factor_is_loud(self):
+        results = self.path("r.json", self.std_results())
+        baseline = self.path("b.json", self.std_results())
+        r = self.run_gate(results, baseline, "--gate", "builds_per_s:BM_BuildCold",
+                          "--dominates", "BM_BuildWarm,BM_BuildCold,builds_per_s,zero")
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("factor", r.stderr)
+
+    def test_missing_dominates_row_is_loud(self):
+        results = self.path("r.json", self.std_results())
+        baseline = self.path("b.json", self.std_results())
+        r = self.run_gate(results, baseline, "--gate", "builds_per_s:BM_BuildCold",
+                          "--dominates", "BM_DoesNotExist,BM_BuildCold,builds_per_s")
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("BM_DoesNotExist", r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

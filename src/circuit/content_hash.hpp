@@ -1,0 +1,110 @@
+// Canonical byte encoding + dual-lane content hashing, shared by every
+// content-addressed store in the tree (the whole-model cache key in
+// src/core/model_cache.cpp and the per-partition block keys in
+// src/partition/cells.cpp).
+//
+// The hash is a pair of 64-bit multiply-xor lanes over an unambiguous
+// byte encoding (every variable-length field is length-prefixed, so no
+// two distinct requests share an encoding).  Two independent lanes give
+// a 128-bit key: accidental collisions are out of reach for any
+// realistic cache population, and the caches are pure optimizations — a
+// collision could at worst serve a stale result, never corrupt state.
+//
+// Keying is on the warm path (it runs before every cache probe), so the
+// hash consumes the buffer a 64-bit word at a time and encodings are
+// kept compact (u32 for node ids and string lengths).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace awe::enc {
+
+/// Murmur3-style finalizer: spreads a word-granular running hash so every
+/// input bit diffuses into every hex digit of the printed key.
+inline std::uint64_t mix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+struct Hash2 {
+  // Lane 1 uses the FNV-1a/64 basis and prime; lane 2 a distinct basis
+  // and odd multiplier, with lane 1 folded in each step to decorrelate.
+  std::uint64_t h1 = 0xcbf29ce484222325ull;
+  std::uint64_t h2 = 0x9e3779b97f4a7c15ull;
+
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t w;
+      std::memcpy(&w, p + i, sizeof(w));
+      h1 = (h1 ^ w) * 0x100000001b3ull;
+      h2 = (h2 ^ w) * 0xc4ceb9fe1a85ec53ull + (h1 >> 32);
+    }
+    for (; i < n; ++i) {
+      h1 = (h1 ^ p[i]) * 0x100000001b3ull;
+      h2 = (h2 ^ p[i]) * 0xc4ceb9fe1a85ec53ull + (h1 >> 32);
+    }
+  }
+
+  std::uint64_t final1() const { return mix64(h1); }
+  std::uint64_t final2() const { return mix64(h2 + 0x9e3779b97f4a7c15ull); }
+};
+
+inline void put_u64(std::string& buf, std::uint64_t v) {
+  char bytes[8];
+  for (std::size_t i = 0; i < 8; ++i)
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf.append(bytes, sizeof(bytes));
+}
+
+// Node ids and string lengths fit u32 (a netlist with 2^32 nodes is not
+// representable in memory); the narrower fixed width keeps canonical
+// buffers — built and hashed on every cache probe — compact.
+inline void put_u32(std::string& buf, std::uint64_t v) {
+  char bytes[4];
+  for (std::size_t i = 0; i < 4; ++i)
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf.append(bytes, sizeof(bytes));
+}
+
+inline void put_u8(std::string& buf, std::uint8_t v) {
+  buf.push_back(static_cast<char>(v));
+}
+
+inline void put_f64(std::string& buf, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(buf, bits);
+}
+
+inline void put_str(std::string& buf, const std::string& s) {
+  put_u32(buf, s.size());
+  buf.append(s);
+}
+
+inline std::string to_hex(std::uint64_t h1, std::uint64_t h2) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[15 - i] = digits[(h1 >> (4 * i)) & 0xf];
+    out[31 - i] = digits[(h2 >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+/// 32-hex-digit digest of an encoded buffer — the one-call form every
+/// content-addressed key in the tree uses.
+inline std::string digest_hex(const std::string& buf) {
+  Hash2 h;
+  h.update(buf.data(), buf.size());
+  return to_hex(h.final1(), h.final2());
+}
+
+}  // namespace awe::enc

@@ -72,6 +72,19 @@ sweep::ThreadPool* resolve_pool(const BuildOptions& build_opts,
   return &*local;
 }
 
+/// Extraction knobs for a build: the resolved pool plus the per-cell
+/// block store directory (explicit partition_block_dir, or derived from
+/// cache_dir when the incremental flag is set).
+part::ExtractOptions resolve_extract_options(const BuildOptions& build_opts,
+                                             sweep::ThreadPool* pool) {
+  part::ExtractOptions eo;
+  eo.pool = pool;
+  eo.block_dir = build_opts.partition_block_dir;
+  if (eo.block_dir.empty() && build_opts.incremental && !build_opts.cache_dir.empty())
+    eo.block_dir = build_opts.cache_dir + "/blocks";
+  return eo;
+}
+
 }  // namespace
 
 CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
@@ -105,7 +118,8 @@ CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
 
   part::MomentPartitioner partitioner(netlist, std::move(symbol_elements), input_source,
                                       output_node);
-  part::SymbolicMoments sym = partitioner.compute(2 * opts.order, pool);
+  part::SymbolicMoments sym =
+      partitioner.compute(2 * opts.order, resolve_extract_options(build_opts, pool));
 
   // Lower [N_0 .. N_{2q-1}, det(Y0)] onto one shared DAG so the CSE pass
   // works across all moments, then compile.
@@ -408,7 +422,8 @@ MultiOutputModel MultiOutputModel::build(const circuit::Netlist& netlist,
   sweep::ThreadPool* pool = resolve_pool(build_opts, local_pool);
   part::MomentPartitioner partitioner(netlist, std::move(symbol_elements), input_source,
                                       std::move(output_nodes));
-  part::MultiSymbolicMoments sym = partitioner.compute_all(2 * opts.order, pool);
+  part::MultiSymbolicMoments sym =
+      partitioner.compute_all(2 * opts.order, resolve_extract_options(build_opts, pool));
 
   ExprGraph graph;
   std::vector<symbolic::NodeId> vars;

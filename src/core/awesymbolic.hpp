@@ -98,6 +98,17 @@ struct BuildOptions {
   /// written when this is kNative, keeping interpreter-run cache
   /// directories byte-identical across machines.
   EvalBackend backend = EvalBackend::kInterpreter;
+  /// Incremental partition-level rebuild (DESIGN.md §13): persist per-cell
+  /// port-moment blocks under <cache_dir>/blocks (or partition_block_dir
+  /// when set) and reuse the blocks of unedited cells on the next build.
+  /// The rebuilt model is bit-identical to a cold build either way — the
+  /// flag only trades disk for extraction time.  Default off: a plain
+  /// cache directory stays exactly one entry per model, byte-comparable
+  /// across runs.
+  bool incremental = false;
+  /// Explicit block-store directory for the incremental path; empty means
+  /// derive <cache_dir>/blocks when `incremental` is set.
+  std::string partition_block_dir;
 };
 
 class CompiledModel {

@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "circuit/content_hash.hpp"
 #include "core/model_format.hpp"
 #include "health/failpoints.hpp"
 #include "health/report.hpp"
@@ -20,97 +21,19 @@ namespace awe::core {
 
 namespace {
 
-// -- canonical request serialization + hashing --------------------------
+// -- canonical request serialization ------------------------------------
 //
-// The key is a pair of 64-bit multiply-xor lanes over an unambiguous byte
-// encoding of the build request (every variable-length field is
-// length-prefixed, so no two distinct requests share an encoding).  Two
-// independent lanes give a 128-bit key: accidental collisions are out of
-// reach for any realistic cache population, and the cache is a pure
-// optimization — a collision could at worst serve a stale model, never
-// corrupt state.
-//
-// Keying is on the warm path (it runs before every cache probe), so the
-// hash consumes the buffer a 64-bit word at a time and the encoding is
-// kept compact: element terminals are node IDs, not repeated name
-// strings — the node-name table, encoded once in id order, pins down what
-// each id means.
+// Hashing lives in circuit/content_hash.hpp (shared with the partition
+// block store); this file owns only the whole-model request encoding.
+// The encoding is compact: element terminals are node IDs, not repeated
+// name strings — the node-name table, encoded once in id order, pins
+// down what each id means.
 
-/// Murmur3-style finalizer: spreads a word-granular running hash so every
-/// input bit diffuses into every hex digit of the printed key.
-std::uint64_t mix64(std::uint64_t k) {
-  k ^= k >> 33;
-  k *= 0xff51afd7ed558ccdull;
-  k ^= k >> 33;
-  k *= 0xc4ceb9fe1a85ec53ull;
-  k ^= k >> 33;
-  return k;
-}
-
-struct Hash2 {
-  // Lane 1 uses the FNV-1a/64 basis and prime; lane 2 a distinct basis
-  // and odd multiplier, with lane 1 folded in each step to decorrelate.
-  std::uint64_t h1 = 0xcbf29ce484222325ull;
-  std::uint64_t h2 = 0x9e3779b97f4a7c15ull;
-
-  void update(const void* data, std::size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    std::size_t i = 0;
-    for (; i + 8 <= n; i += 8) {
-      std::uint64_t w;
-      std::memcpy(&w, p + i, sizeof(w));
-      h1 = (h1 ^ w) * 0x100000001b3ull;
-      h2 = (h2 ^ w) * 0xc4ceb9fe1a85ec53ull + (h1 >> 32);
-    }
-    for (; i < n; ++i) {
-      h1 = (h1 ^ p[i]) * 0x100000001b3ull;
-      h2 = (h2 ^ p[i]) * 0xc4ceb9fe1a85ec53ull + (h1 >> 32);
-    }
-  }
-
-  std::uint64_t final1() const { return mix64(h1); }
-  std::uint64_t final2() const { return mix64(h2 + 0x9e3779b97f4a7c15ull); }
-};
-
-void put_u64(std::string& buf, std::uint64_t v) {
-  char bytes[8];
-  for (std::size_t i = 0; i < 8; ++i)
-    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
-  buf.append(bytes, sizeof(bytes));
-}
-
-// Node ids and string lengths fit u32 (a netlist with 2^32 nodes is not
-// representable in memory); the narrower fixed width keeps the canonical
-// buffer — built and hashed on every cache probe — compact.
-void put_u32(std::string& buf, std::uint64_t v) {
-  char bytes[4];
-  for (std::size_t i = 0; i < 4; ++i)
-    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
-  buf.append(bytes, sizeof(bytes));
-}
-
-void put_u8(std::string& buf, std::uint8_t v) { buf.push_back(static_cast<char>(v)); }
-
-void put_f64(std::string& buf, double v) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  put_u64(buf, bits);
-}
-
-void put_str(std::string& buf, const std::string& s) {
-  put_u32(buf, s.size());
-  buf.append(s);
-}
-
-std::string to_hex(std::uint64_t h1, std::uint64_t h2) {
-  static const char* digits = "0123456789abcdef";
-  std::string out(32, '0');
-  for (std::size_t i = 0; i < 16; ++i) {
-    out[15 - i] = digits[(h1 >> (4 * i)) & 0xf];
-    out[31 - i] = digits[(h2 >> (4 * i)) & 0xf];
-  }
-  return out;
-}
+using enc::put_f64;
+using enc::put_str;
+using enc::put_u32;
+using enc::put_u64;
+using enc::put_u8;
 
 std::atomic<std::uint64_t> g_tmp_counter{0};
 
@@ -182,9 +105,7 @@ std::string model_cache_key(const circuit::Netlist& netlist,
   put_u8(buf, opts.allow_order_fallback ? 1 : 0);
   put_u8(buf, opts.with_gradients ? 1 : 0);
 
-  Hash2 h;
-  h.update(buf.data(), buf.size());
-  return to_hex(h.final1(), h.final2());
+  return enc::digest_hex(buf);
 }
 
 ModelCache::ModelCache(std::string cache_dir, std::size_t max_entries)
@@ -347,6 +268,11 @@ std::shared_ptr<const CompiledModel> ModelCache::get_or_build(
   // misses on one key build redundantly but harmlessly — the results are
   // byte-identical and the store is atomic.
   BuildOptions bo = build_opts;
+  // The per-cell block store rides inside this cache's directory; resolve
+  // it before cache_dir is cleared below.
+  if (bo.incremental && bo.partition_block_dir.empty() && !dir_.empty())
+    bo.partition_block_dir =
+        (std::filesystem::path(dir_) / "blocks").string();
   bo.cache_dir.clear();  // this cache is the cache layer; no recursion
   bo.backend = EvalBackend::kInterpreter;  // attached below, next to OUR entry
   CompiledModel built = CompiledModel::build(netlist, std::move(symbol_elements),

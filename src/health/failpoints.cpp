@@ -17,6 +17,7 @@ constexpr const char* kAllSites[] = {
     sites::kCacheStoreBitflip,  sites::kCacheStoreCrash,
     sites::kCacheLoadCorrupt,   sites::kThreadPoolTask,
     sites::kNativeCompile,      sites::kNativeDlopen,
+    sites::kPartitionBlock,
 };
 
 enum class Mode : std::uint8_t { kOff, kAlways, kOnce, kNth };

@@ -38,6 +38,7 @@ inline constexpr const char* kCacheStoreTruncate = "model_cache.store_truncate";
 inline constexpr const char* kCacheStoreBitflip = "model_cache.store_bitflip";
 inline constexpr const char* kCacheStoreCrash = "model_cache.store_crash";
 inline constexpr const char* kCacheLoadCorrupt = "model_cache.load_corrupt";
+inline constexpr const char* kPartitionBlock = "cache.partition";
 inline constexpr const char* kThreadPoolTask = "thread_pool.task";
 inline constexpr const char* kNativeCompile = "native.compile";
 inline constexpr const char* kNativeDlopen = "native.dlopen";

@@ -18,6 +18,9 @@ void HealthReport::merge(const HealthReport& other) {
   cache_rebuilds += other.cache_rebuilds;
   native_compiled += other.native_compiled;
   native_fallbacks += other.native_fallbacks;
+  partition_blocks_reused += other.partition_blocks_reused;
+  partition_blocks_built += other.partition_blocks_built;
+  partition_blocks_quarantined += other.partition_blocks_quarantined;
   failpoint_fires += other.failpoint_fires;
 }
 
@@ -37,6 +40,9 @@ std::string HealthReport::to_json(int indent) const {
      << ", \"rebuilds\": " << cache_rebuilds << "},\n";
   os << in1 << "\"native\": {\"compiled\": " << native_compiled
      << ", \"fallbacks\": " << native_fallbacks << "},\n";
+  os << in1 << "\"partition_blocks\": {\"reused\": " << partition_blocks_reused
+     << ", \"built\": " << partition_blocks_built
+     << ", \"quarantined\": " << partition_blocks_quarantined << "},\n";
   os << in1 << "\"failpoint_fires\": " << failpoint_fires << ",\n";
   os << in1 << "\"fail_classes\": {\n";
   // kNone is a non-event; every real class appears, fired or not.
@@ -62,6 +68,12 @@ void absorb_global_counters(HealthReport& report) {
   report.failpoint_fires = g.failpoint_fires.load(std::memory_order_relaxed);
   report.native_compiled = g.native_compiled.load(std::memory_order_relaxed);
   report.native_fallbacks = g.native_fallbacks.load(std::memory_order_relaxed);
+  report.partition_blocks_reused =
+      g.partition_blocks_reused.load(std::memory_order_relaxed);
+  report.partition_blocks_built =
+      g.partition_blocks_built.load(std::memory_order_relaxed);
+  report.partition_blocks_quarantined =
+      g.partition_blocks_quarantined.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < kFailClassCount; ++i)
     report.fail_counts[i] += g.native_fail_counts[i].load(std::memory_order_relaxed);
 }

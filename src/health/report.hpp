@@ -41,6 +41,11 @@ struct HealthReport {
   std::uint64_t native_compiled = 0;   ///< .so modules compiled or validated+loaded
   std::uint64_t native_fallbacks = 0;  ///< attach attempts that fell back to the interpreter
 
+  // Incremental partition-level rebuild (DESIGN.md §13).
+  std::uint64_t partition_blocks_reused = 0;       ///< cell blocks loaded from the store
+  std::uint64_t partition_blocks_built = 0;        ///< cell blocks extracted fresh
+  std::uint64_t partition_blocks_quarantined = 0;  ///< torn/corrupt blocks moved to .bad
+
   std::uint64_t failpoint_fires = 0;  ///< injected faults observed
 
   void record_failure(FailClass c) {
@@ -67,6 +72,9 @@ struct GlobalCounters {
   std::atomic<std::uint64_t> failpoint_fires{0};
   std::atomic<std::uint64_t> native_compiled{0};
   std::atomic<std::uint64_t> native_fallbacks{0};
+  std::atomic<std::uint64_t> partition_blocks_reused{0};
+  std::atomic<std::uint64_t> partition_blocks_built{0};
+  std::atomic<std::uint64_t> partition_blocks_quarantined{0};
   /// Terminal FailClass of each native fallback, indexed by FailClass
   /// (attach happens on static build paths with no HealthReport in scope).
   std::array<std::atomic<std::uint64_t>, kFailClassCount> native_fail_counts{};

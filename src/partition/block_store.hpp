@@ -1,0 +1,49 @@
+// Persistent content-addressed store of per-cell port-moment blocks —
+// the partition-level half of the compiled-model cache (DESIGN.md §13).
+//
+// Each entry is one cell's Maclaurin admittance blocks Y_0..Y_{count-1}
+// under its canonical cell key (see cells.hpp): a fixed binary layout
+// with a trailing content checksum, written tmp+rename so readers never
+// see a torn entry from a live writer.  A writer that died mid-store (or
+// media damage) is caught by the checksum on load: the entry is
+// quarantined to <entry>.bad and recomputed — a corrupt store can cost
+// time, never correctness.  Blocks hold the extraction's doubles
+// verbatim, so a reloaded block is bit-identical to a fresh one.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace awe::part {
+
+class BlockStore {
+ public:
+  /// `dir` is created lazily on the first store().
+  explicit BlockStore(std::string dir);
+
+  /// Load the blocks for `key`, expecting `nb` boundary nodes and `count`
+  /// moments.  Returns std::nullopt on miss; a present-but-invalid entry
+  /// (bad magic/shape/checksum — including the cache.partition failpoint's
+  /// torn writes) is quarantined to <entry>.bad, counted in
+  /// partition_blocks_quarantined, and reported as a miss.
+  std::optional<std::vector<std::vector<double>>> load(const std::string& key,
+                                                       std::size_t nb,
+                                                       std::size_t count);
+
+  /// Atomically store blocks under `key` (tmp + rename).  The
+  /// cache.partition failpoint simulates a mid-store crash here: half the
+  /// bytes land at the final path with no rename discipline.
+  void store(const std::string& key, std::size_t nb,
+             const std::vector<std::vector<double>>& blocks);
+
+  static std::string entry_path(const std::string& dir, const std::string& key);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace awe::part

@@ -1,0 +1,491 @@
+#include "partition/cells.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "circuit/content_hash.hpp"
+#include "linalg/lu.hpp"
+
+namespace awe::part {
+
+using circuit::Element;
+using circuit::ElementKind;
+using circuit::kGround;
+using circuit::Netlist;
+using circuit::NodeId;
+
+namespace {
+
+// Bumped whenever the canonical cell encoding changes layout, so stale
+// block-store entries from older code can never be mistaken for hits.
+constexpr std::uint64_t kCellEncodingVersion = 1;
+
+/// Node terminals of `e` in canonical scan order (mutual couplings have
+/// none: they reference their inductors by name).
+void element_nodes(const Element& e, std::vector<NodeId>& out) {
+  out.clear();
+  switch (e.kind) {
+    case ElementKind::kMutual:
+      return;
+    case ElementKind::kVccs:
+    case ElementKind::kVcvs:
+      out = {e.pos, e.neg, e.ctrl_pos, e.ctrl_neg};
+      return;
+    default:
+      out = {e.pos, e.neg};
+      return;
+  }
+}
+
+struct Dsu {
+  std::vector<std::size_t> parent;
+  explicit Dsu(std::size_t n) : parent(n) {
+    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[b] = a;
+  }
+};
+
+/// Union elements that must never be separated: a branch-current reference
+/// (CCCS/CCVS -> controlling V source, mutual -> both inductors) cannot
+/// cross a cell boundary, because only the owning cell solves that branch.
+void unite_name_refs(const Netlist& numeric, Dsu& dsu) {
+  const auto& elems = numeric.elements();
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    const Element& e = elems[i];
+    auto link = [&](const std::string& name) {
+      if (name.empty()) return;
+      if (const auto idx = numeric.find_element(name)) dsu.unite(i, *idx);
+    };
+    switch (e.kind) {
+      case ElementKind::kCccs:
+      case ElementKind::kCcvs:
+        link(e.ctrl_source);
+        break;
+      case ElementKind::kMutual:
+        link(e.ctrl_source);
+        link(e.ctrl_source2);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+CellPlan plan_cells(const Netlist& numeric, std::span<const NodeId> ports,
+                    std::size_t target_elements, bool allow_promotion) {
+  const auto& elems = numeric.elements();
+  const std::size_t num_nodes = numeric.num_nodes();
+  if (target_elements == 0) target_elements = kDefaultCellTargetElements;
+
+  std::vector<char> is_port(num_nodes + 1, 0);
+  for (const NodeId p : ports)
+    if (p != kGround && p <= num_nodes) is_port[p] = 1;
+
+  // ---- Pinned (AC-ground-equivalent) closure.  A zero-volt source whose
+  // far terminal already sits at AC ground pins its near terminal to AC
+  // ground too; iterate to closure through source chains.  Ports stay
+  // excitable and terminals of branch-referenced sources keep their KCL
+  // rows, so neither may be pinned.
+  CellPlan plan;
+  plan.pinned.assign(num_nodes + 1, 0);
+  {
+    std::unordered_set<std::string> referenced;
+    for (const Element& e : elems)
+      if (e.kind == ElementKind::kCccs || e.kind == ElementKind::kCcvs)
+        referenced.insert(e.ctrl_source);
+    std::vector<char> unpinnable(num_nodes + 1, 0);
+    for (NodeId n = 0; n <= num_nodes; ++n) unpinnable[n] = is_port[n];
+    for (const Element& e : elems) {
+      if (e.kind != ElementKind::kVoltageSource) continue;
+      if (referenced.find(e.name) == referenced.end()) continue;
+      unpinnable[e.pos] = 1;
+      unpinnable[e.neg] = 1;
+    }
+    auto at_ground = [&](NodeId n) { return n == kGround || plan.pinned[n]; };
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Element& e : elems) {
+        if (e.kind != ElementKind::kVoltageSource || e.value != 0.0) continue;
+        if (referenced.find(e.name) != referenced.end()) continue;
+        if (at_ground(e.pos) && !at_ground(e.neg) && !unpinnable[e.neg]) {
+          plan.pinned[e.neg] = 1;
+          changed = true;
+        }
+        if (at_ground(e.neg) && !at_ground(e.pos) && !unpinnable[e.pos]) {
+          plan.pinned[e.pos] = 1;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  auto internal_node = [&](NodeId n) {
+    return n != kGround && !is_port[n] && !plan.pinned[n];
+  };
+
+  // ---- Atoms (name-reference groups) and connected components.
+  Dsu atoms(elems.size());
+  unite_name_refs(numeric, atoms);
+  Dsu comp(elems.size());
+  unite_name_refs(numeric, comp);
+  {
+    std::vector<std::size_t> last_at_node(num_nodes + 1, SIZE_MAX);
+    std::vector<NodeId> nodes;
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+      element_nodes(elems[i], nodes);
+      for (const NodeId n : nodes) {
+        if (!internal_node(n)) continue;
+        if (last_at_node[n] != SIZE_MAX) comp.unite(last_at_node[n], i);
+        last_at_node[n] = i;
+      }
+    }
+  }
+
+  // Components keyed by their smallest element name, members name-sorted.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> by_root;
+  for (std::size_t i = 0; i < elems.size(); ++i) by_root[comp.find(i)].push_back(i);
+  // One global name sort up front; every later ordering compares integer
+  // ranks instead of strings (plan_cells is on the incremental hot path).
+  std::vector<std::size_t> name_rank(elems.size());
+  {
+    std::vector<std::size_t> order(elems.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return elems[a].name < elems[b].name;
+    });
+    for (std::size_t k = 0; k < order.size(); ++k) name_rank[order[k]] = k;
+  }
+  auto name_less = [&](std::size_t a, std::size_t b) {
+    return name_rank[a] < name_rank[b];
+  };
+  std::vector<std::vector<std::size_t>> components;
+  components.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    std::sort(members.begin(), members.end(), name_less);
+    components.push_back(std::move(members));
+  }
+
+  // ---- Split oversized components by a deterministic FIFO wavefront over
+  // atoms.  The wave expands in topological distance from the smallest-name
+  // seed and is carried across cell closings, so consecutive cells cover
+  // contiguous regions of the element graph and the seam (promoted-node)
+  // count stays proportional to the number of cuts, not to the cell size.
+  // (A best-name-first frontier is NOT local: name prefixes would steer
+  // the wave through one element family first and leave the rest of the
+  // component as one giant boundary.)
+  std::vector<std::vector<std::size_t>> cell_elems;
+  for (auto& component : components) {
+    if (!allow_promotion || component.size() <= target_elements) {
+      cell_elems.push_back(std::move(component));
+      continue;
+    }
+    // Atoms of this component, ordered by their smallest element name.
+    std::unordered_map<std::size_t, std::vector<std::size_t>> atom_by_root;
+    for (const std::size_t i : component) atom_by_root[atoms.find(i)].push_back(i);
+    std::vector<std::vector<std::size_t>> atom_list;
+    atom_list.reserve(atom_by_root.size());
+    for (auto& [root, members] : atom_by_root) atom_list.push_back(std::move(members));
+    for (auto& a : atom_list) std::sort(a.begin(), a.end(), name_less);
+    std::sort(atom_list.begin(), atom_list.end(),
+              [&](const auto& a, const auto& b) { return name_less(a[0], b[0]); });
+
+    std::unordered_map<NodeId, std::vector<std::size_t>> node_atoms;
+    std::vector<NodeId> nodes;
+    for (std::size_t ai = 0; ai < atom_list.size(); ++ai)
+      for (const std::size_t i : atom_list[ai]) {
+        element_nodes(elems[i], nodes);
+        for (const NodeId n : nodes)
+          if (internal_node(n)) node_atoms[n].push_back(ai);
+      }
+
+    const std::size_t n_elems = component.size();
+    const std::size_t n_cells = (n_elems + target_elements - 1) / target_elements;
+    const std::size_t per_cell = (n_elems + n_cells - 1) / n_cells;
+
+    // `queued` doubles as the visited mark: an atom enters the queue once,
+    // in the deterministic order the wave discovers it (neighbors of each
+    // expansion are pushed in atom-name order via node_atoms).
+    std::vector<char> queued(atom_list.size(), 0);
+    std::deque<std::size_t> frontier;
+    std::vector<std::size_t> cur;
+    std::size_t cur_size = 0;
+    std::size_t next_seed = 0;
+    std::size_t remaining = atom_list.size();
+    while (remaining > 0) {
+      std::size_t ai;
+      if (!frontier.empty()) {
+        ai = frontier.front();
+        frontier.pop_front();
+      } else {
+        while (queued[next_seed]) ++next_seed;
+        ai = next_seed;
+        queued[ai] = 1;
+      }
+      --remaining;
+      for (const std::size_t i : atom_list[ai]) {
+        cur.push_back(i);
+        element_nodes(elems[i], nodes);
+        for (const NodeId n : nodes) {
+          if (!internal_node(n)) continue;
+          for (const std::size_t nb : node_atoms[n]) {
+            if (queued[nb]) continue;
+            queued[nb] = 1;
+            frontier.push_back(nb);
+          }
+        }
+      }
+      cur_size += atom_list[ai].size();
+      if (cur_size >= per_cell) {
+        std::sort(cur.begin(), cur.end(), name_less);
+        cell_elems.push_back(std::move(cur));
+        cur.clear();
+        cur_size = 0;
+      }
+    }
+    if (!cur.empty()) {
+      std::sort(cur.begin(), cur.end(), name_less);
+      cell_elems.push_back(std::move(cur));
+    }
+  }
+  std::sort(cell_elems.begin(), cell_elems.end(),
+            [&](const auto& a, const auto& b) { return name_less(a[0], b[0]); });
+
+  // ---- Internal nodes shared by several cells (BFS seams) are promoted
+  // to boundary nodes: each touching cell grounds them like a port and the
+  // Schur complement eliminates them after summation.
+  {
+    std::unordered_map<NodeId, std::size_t> first_cell;
+    std::unordered_set<NodeId> promoted;
+    std::vector<NodeId> nodes;
+    for (std::size_t ci = 0; ci < cell_elems.size(); ++ci)
+      for (const std::size_t i : cell_elems[ci]) {
+        element_nodes(elems[i], nodes);
+        for (const NodeId n : nodes) {
+          if (!internal_node(n)) continue;
+          const auto [it, inserted] = first_cell.emplace(n, ci);
+          if (!inserted && it->second != ci) promoted.insert(n);
+        }
+      }
+    plan.promoted.assign(promoted.begin(), promoted.end());
+    std::sort(plan.promoted.begin(), plan.promoted.end());
+  }
+  std::vector<char> is_boundary(num_nodes + 1, 0);
+  for (NodeId n = 0; n <= num_nodes; ++n) is_boundary[n] = is_port[n];
+  for (const NodeId n : plan.promoted) is_boundary[n] = 1;
+
+  // ---- Canonical encoding per cell: scan elements in name order, label
+  // nodes by first encounter (ground and pinned nodes collapse to label
+  // 0), and append the boundary labels.  The encoding — and therefore the
+  // block-store key — is invariant under node renames and element
+  // addition order, and changes exactly when the cell's electrical
+  // content or boundary does.
+  plan.cells.reserve(cell_elems.size());
+  for (auto& members : cell_elems) {
+    Cell cell;
+    cell.elements = std::move(members);
+    std::string& buf = cell.encoding;
+    enc::put_u64(buf, kCellEncodingVersion);
+    std::unordered_map<NodeId, std::uint32_t> label;
+    std::vector<std::uint32_t> boundary_labels;
+    auto label_of = [&](NodeId n) -> std::uint32_t {
+      if (n == kGround || plan.pinned[n]) return 0;
+      const auto [it, inserted] =
+          label.emplace(n, static_cast<std::uint32_t>(label.size() + 1));
+      if (inserted && is_boundary[n]) {
+        cell.boundary.push_back(n);
+        boundary_labels.push_back(it->second);
+      }
+      return it->second;
+    };
+    enc::put_u64(buf, cell.elements.size());
+    std::vector<NodeId> nodes;
+    for (const std::size_t i : cell.elements) {
+      const Element& e = elems[i];
+      enc::put_u8(buf, static_cast<std::uint8_t>(e.kind));
+      enc::put_str(buf, e.name);
+      element_nodes(e, nodes);
+      for (const NodeId n : nodes) enc::put_u32(buf, label_of(n));
+      switch (e.kind) {
+        case ElementKind::kCccs:
+        case ElementKind::kCcvs:
+          enc::put_str(buf, e.ctrl_source);
+          break;
+        case ElementKind::kMutual:
+          enc::put_str(buf, e.ctrl_source);
+          enc::put_str(buf, e.ctrl_source2);
+          break;
+        default:
+          break;
+      }
+      cell.value_slots.emplace_back(i, buf.size());
+      enc::put_f64(buf, e.value);
+    }
+    enc::put_u32(buf, boundary_labels.size());
+    for (const std::uint32_t l : boundary_labels) enc::put_u32(buf, l);
+    plan.cells.push_back(std::move(cell));
+  }
+  return plan;
+}
+
+std::string cell_key(const Cell& cell, std::size_t moment_count) {
+  std::string buf = cell.encoding;
+  enc::put_u64(buf, moment_count);
+  return enc::digest_hex(buf);
+}
+
+std::string cell_encoding_with_values(const Cell& cell,
+                                      std::span<const double> values) {
+  std::string buf = cell.encoding;
+  for (const auto& [elem, offset] : cell.value_slots) {
+    std::string patch;
+    enc::put_f64(patch, values[elem]);
+    buf.replace(offset, patch.size(), patch);
+  }
+  return buf;
+}
+
+std::string cell_key_with_values(const Cell& cell, std::span<const double> values,
+                                 std::size_t moment_count) {
+  std::string buf = cell_encoding_with_values(cell, values);
+  enc::put_u64(buf, moment_count);
+  return enc::digest_hex(buf);
+}
+
+CellCircuit build_cell_circuit(const Netlist& numeric, const Cell& cell,
+                               const CellPlan& plan,
+                               std::span<const double> values) {
+  const auto& elems = numeric.elements();
+  CellCircuit out;
+  std::unordered_map<NodeId, NodeId> local;  // numeric id -> cell-local id
+  // Same first-encounter order as the encoding scan, but interned as
+  // "n<label>": the cell circuit is a function of the canonical labels
+  // alone, so a cached block is valid for any netlist with this encoding.
+  auto local_of = [&](NodeId n) -> NodeId {
+    if (n == kGround || plan.pinned[n]) return kGround;
+    const auto it = local.find(n);
+    if (it != local.end()) return it->second;
+    const NodeId id = out.circuit.node("n" + std::to_string(local.size() + 1));
+    local.emplace(n, id);
+    return id;
+  };
+  for (const std::size_t i : cell.elements) {
+    const Element& e = elems[i];
+    const double value = values.empty() ? e.value : values[i];
+    // Interning order must match the encoding's first-encounter label
+    // order exactly, so terminals are resolved in sequence before the
+    // add_* call (argument evaluation order is unspecified).
+    NodeId a = kGround, b = kGround, cp = kGround, cn = kGround;
+    if (e.kind != ElementKind::kMutual) {
+      a = local_of(e.pos);
+      b = local_of(e.neg);
+    }
+    if (e.kind == ElementKind::kVccs || e.kind == ElementKind::kVcvs) {
+      cp = local_of(e.ctrl_pos);
+      cn = local_of(e.ctrl_neg);
+    }
+    switch (e.kind) {
+      case ElementKind::kResistor:
+        out.circuit.add_resistor(e.name, a, b, value);
+        break;
+      case ElementKind::kConductance:
+        out.circuit.add_conductance(e.name, a, b, value);
+        break;
+      case ElementKind::kCapacitor:
+        out.circuit.add_capacitor(e.name, a, b, value);
+        break;
+      case ElementKind::kInductor:
+        out.circuit.add_inductor(e.name, a, b, value);
+        break;
+      case ElementKind::kVoltageSource:
+        out.circuit.add_voltage_source(e.name, a, b, value);
+        break;
+      case ElementKind::kCurrentSource:
+        out.circuit.add_current_source(e.name, a, b, value);
+        break;
+      case ElementKind::kVccs:
+        out.circuit.add_vccs(e.name, a, b, cp, cn, e.value);
+        break;
+      case ElementKind::kVcvs:
+        out.circuit.add_vcvs(e.name, a, b, cp, cn, e.value);
+        break;
+      case ElementKind::kCccs:
+        out.circuit.add_cccs(e.name, a, b, e.ctrl_source, e.value);
+        break;
+      case ElementKind::kCcvs:
+        out.circuit.add_ccvs(e.name, a, b, e.ctrl_source, e.value);
+        break;
+      case ElementKind::kMutual:
+        out.circuit.add_mutual(e.name, e.ctrl_source, e.ctrl_source2, e.value);
+        break;
+    }
+  }
+  out.boundary_local.reserve(cell.boundary.size());
+  for (const NodeId n : cell.boundary) out.boundary_local.push_back(local.at(n));
+  return out;
+}
+
+std::optional<std::vector<std::vector<double>>> schur_reduce_series(
+    const std::vector<std::vector<double>>& yk, std::size_t np, std::size_t count) {
+  if (yk.empty()) return yk;
+  const std::size_t dim_sq = yk[0].size();
+  std::size_t dim = np;
+  while (dim * dim < dim_sq) ++dim;
+  const std::size_t ne = dim - np;
+  if (ne == 0) return yk;
+
+  linalg::Matrix d0(ne, ne);
+  for (std::size_t r = 0; r < ne; ++r)
+    for (std::size_t c = 0; c < ne; ++c) d0(r, c) = yk[0][(np + r) * dim + (np + c)];
+  const auto lu = linalg::LuFactorization::factor(std::move(d0));
+  if (!lu) return std::nullopt;
+
+  // f[k] is the ne x np series of D^{-1} C, solved order by order against
+  // the single factored DC seam block (factor once, solve many).
+  std::vector<std::vector<double>> f(count, std::vector<double>(ne * np, 0.0));
+  std::vector<double> rhs(ne);
+  for (std::size_t k = 0; k < count; ++k) {
+    for (std::size_t c = 0; c < np; ++c) {
+      for (std::size_t r = 0; r < ne; ++r) rhs[r] = yk[k][(np + r) * dim + c];
+      for (std::size_t j = 1; j <= k; ++j) {
+        const std::vector<double>& fk = f[k - j];
+        for (std::size_t r = 0; r < ne; ++r) {
+          double acc = 0.0;
+          for (std::size_t e = 0; e < ne; ++e)
+            acc += yk[j][(np + r) * dim + (np + e)] * fk[e * np + c];
+          rhs[r] -= acc;
+        }
+      }
+      lu->solve_in_place(rhs);
+      for (std::size_t r = 0; r < ne; ++r) f[k][r * np + c] = rhs[r];
+    }
+  }
+
+  std::vector<std::vector<double>> out(count, std::vector<double>(np * np, 0.0));
+  for (std::size_t k = 0; k < count; ++k)
+    for (std::size_t i = 0; i < np; ++i)
+      for (std::size_t c = 0; c < np; ++c) {
+        double acc = yk[k][i * dim + c];
+        for (std::size_t j = 0; j <= k; ++j)
+          for (std::size_t e = 0; e < ne; ++e)
+            acc -= yk[j][i * dim + (np + e)] * f[k - j][e * np + c];
+        out[k][i * np + c] = acc;
+      }
+  return out;
+}
+
+}  // namespace awe::part

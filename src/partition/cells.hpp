@@ -1,0 +1,120 @@
+// Cell decomposition of the numeric partition — the unit of incremental
+// rebuild (DESIGN.md §13, after osrm-backend's extract/customize split).
+//
+// The numeric partition's port-admittance moment extraction is split into
+// independent *cells*: groups of elements whose internal nodes are shared
+// with no other cell.  With every boundary node grounded through the
+// zero-volt port sources, each cell's grounded-port admittance moments
+// superpose exactly — summing the per-cell blocks over the expanded
+// boundary space reproduces the whole-partition extraction, and a dense
+// series Schur complement eliminates the non-port boundary nodes again.
+//
+// Each cell owns a *canonical encoding* of its sub-circuit (topology +
+// values + boundary), invariant under node renames and element-addition
+// order; its content hash keys the persistent per-partition block store.
+// Editing one element therefore dirties exactly the cells containing it:
+// every other cell's moment blocks reload from the store bit-identically.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace awe::part {
+
+/// Cells above this many elements are split by a deterministic BFS over
+/// the element graph (the resulting internal seam nodes are promoted to
+/// boundary nodes).  The value trades cache granularity against the
+/// per-cell extraction and Schur overhead; ~a few hundred elements keeps
+/// a single-element edit to a small fraction of a large partition.
+inline constexpr std::size_t kDefaultCellTargetElements = 192;
+
+struct Cell {
+  /// Indices into the numeric netlist's element list, ordered by element
+  /// name (the canonical scan order).
+  std::vector<std::size_t> elements;
+  /// Boundary nodes (numeric-netlist ids) in canonical-label order: the
+  /// order the encoding scan first encounters them.  The cell's moment
+  /// blocks are indexed in exactly this order.
+  std::vector<circuit::NodeId> boundary;
+  /// Canonical byte encoding; content-hash it via cell_key().
+  std::string encoding;
+  /// (element index, byte offset into `encoding`) of each member's value
+  /// field — the only value-dependent bytes.  Lets an in-process plan
+  /// cache re-key an edited cell by patching 8 bytes per element instead
+  /// of re-planning the whole netlist.
+  std::vector<std::pair<std::size_t, std::size_t>> value_slots;
+};
+
+struct CellPlan {
+  /// Cells ordered by their smallest element name — the fixed summation
+  /// order that keeps the assembled blocks bit-stable.
+  std::vector<Cell> cells;
+  /// Internal nodes promoted to boundary by BFS splitting (sorted ids);
+  /// empty when every cell is a whole connected component.  The expanded
+  /// extraction space is [ports in caller order, then promoted].
+  std::vector<circuit::NodeId> promoted;
+  /// Nodes provably at AC ground (pinned through zero-volt sources);
+  /// indexed by NodeId.  They map to ground inside every cell.
+  std::vector<char> pinned;
+};
+
+/// Decompose `numeric` (the partitioner's numeric sub-netlist: V sources
+/// already zero-valued) against the cut set `ports`.  Elements coupled by
+/// name references (CCCS/CCVS -> controlling source, mutual -> both
+/// inductors) or by VCCS/VCVS control terminals always share a cell.
+/// With `allow_promotion` false, cells are exactly the connected
+/// components (no splitting, `promoted` stays empty) — the fallback plan
+/// when a promoted seam makes the Schur pivot singular.
+CellPlan plan_cells(const circuit::Netlist& numeric,
+                    std::span<const circuit::NodeId> ports,
+                    std::size_t target_elements = kDefaultCellTargetElements,
+                    bool allow_promotion = true);
+
+/// Content hash of a cell's canonical encoding at a given moment count —
+/// the persistent block-store key (32 hex digits).
+std::string cell_key(const Cell& cell, std::size_t moment_count);
+
+/// The cell's canonical encoding with every member's value replaced from
+/// `values` (indexed by numeric element id) — byte-identical to what
+/// plan_cells would emit for a netlist edited to those values.
+std::string cell_encoding_with_values(const Cell& cell,
+                                      std::span<const double> values);
+
+/// cell_key() over a patched encoding (see cell_encoding_with_values).
+std::string cell_key_with_values(const Cell& cell, std::span<const double> values,
+                                 std::size_t moment_count);
+
+/// A cell rebuilt as a standalone netlist purely from its canonical
+/// labels ("n1", "n2", ... — label 0 is ground), so the extraction input
+/// is a function of the encoding alone, never of the surrounding
+/// netlist's interning order.
+struct CellCircuit {
+  circuit::Netlist circuit;
+  /// Cell-local node ids of the boundary, aligned with Cell::boundary.
+  std::vector<circuit::NodeId> boundary_local;
+};
+
+/// With non-empty `values` (indexed by numeric element id), element values
+/// are taken from there instead of the netlist — so a cached structural
+/// plan can extract an edited cell without rebuilding the numeric netlist.
+CellCircuit build_cell_circuit(const circuit::Netlist& numeric, const Cell& cell,
+                               const CellPlan& plan,
+                               std::span<const double> values = {});
+
+/// Series Schur complement: reduce moment blocks over [ports, promoted]
+/// (dimension np + ne) to the leading np x np port block, eliminating the
+/// promoted seam nodes.  With Y(s) = [A B; C D], the reduced series is
+/// S(s) = A - B D^{-1} C, computed order by order through
+///   F_0 = D0^{-1} C_0,   F_k = D0^{-1} (C_k - sum_{j>=1} D_j F_{k-j}),
+///   S_k = A_k - sum_i B_i F_{k-i}.
+/// Returns std::nullopt when the DC seam block D0 is numerically singular
+/// (callers fall back to the unsplit component plan).
+std::optional<std::vector<std::vector<double>>> schur_reduce_series(
+    const std::vector<std::vector<double>>& yk, std::size_t np, std::size_t count);
+
+}  // namespace awe::part

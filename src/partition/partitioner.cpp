@@ -1,9 +1,22 @@
 #include "partition/partitioner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "circuit/content_hash.hpp"
 
 #include "circuit/mna.hpp"
+#include "engine/thread_pool.hpp"
+#include "health/report.hpp"
+#include "health/status.hpp"
+#include "partition/block_store.hpp"
+#include "partition/cells.hpp"
 #include "partition/port_moments.hpp"
 
 namespace awe::part {
@@ -203,16 +216,339 @@ std::size_t MomentPartitioner::port_index(NodeId node) const {
   return static_cast<std::size_t>(it - ports_.begin());
 }
 
+namespace {
+
+using CellBlocks = std::shared_ptr<const std::vector<std::vector<double>>>;
+
+/// Sum the per-cell blocks over the expanded boundary space
+/// [ports, promoted] in fixed cell order (superposition of grounded-
+/// boundary extractions is exact, and the fixed order keeps the
+/// floating-point sums bit-stable), then Schur-reduce back to the port
+/// space.  Returns an empty optional when the DC seam block is singular.
+std::optional<std::vector<std::vector<double>>> sum_and_reduce(
+    const CellPlan& plan, const std::vector<NodeId>& remapped_ports,
+    const std::vector<CellBlocks>& cell_blocks, std::size_t count) {
+  const std::size_t np = remapped_ports.size();
+  const std::size_t ne = plan.promoted.size();
+  const std::size_t dim = np + ne;
+
+  std::unordered_map<NodeId, std::size_t> global_index;
+  for (std::size_t p = 0; p < np; ++p) global_index.emplace(remapped_ports[p], p);
+  for (std::size_t e = 0; e < ne; ++e) global_index.emplace(plan.promoted[e], np + e);
+
+  std::vector<std::vector<double>> yk_full(count, std::vector<double>(dim * dim, 0.0));
+  for (std::size_t ci = 0; ci < plan.cells.size(); ++ci) {
+    const Cell& cell = plan.cells[ci];
+    const std::size_t nb = cell.boundary.size();
+    if (nb == 0) continue;
+    std::vector<std::size_t> gidx(nb);
+    for (std::size_t b = 0; b < nb; ++b) gidx[b] = global_index.at(cell.boundary[b]);
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::vector<double>& block = (*cell_blocks[ci])[k];
+      std::vector<double>& full = yk_full[k];
+      for (std::size_t i = 0; i < nb; ++i)
+        for (std::size_t j = 0; j < nb; ++j)
+          full[gidx[i] * dim + gidx[j]] += block[i * nb + j];
+    }
+  }
+  return schur_reduce_series(yk_full, np, count);
+}
+
+/// Extract every cell of `plan` (block-store-aware), sum the per-cell
+/// blocks over the expanded boundary space [ports, promoted] in fixed
+/// cell order, and Schur-reduce back to the port space.  Returns an empty
+/// optional when the Schur DC seam block is singular; rethrows the first
+/// cell extraction failure (by cell order) otherwise.  With `out_blocks`
+/// non-null, the per-cell blocks are handed out for the plan memo.
+std::optional<std::vector<std::vector<double>>> extract_plan(
+    circuit::Netlist& numeric, const CellPlan& plan,
+    const std::vector<NodeId>& remapped_ports, std::size_t count,
+    sweep::ThreadPool* pool, BlockStore* store,
+    std::vector<CellBlocks>* out_blocks = nullptr) {
+  std::vector<CellBlocks> cell_blocks(plan.cells.size());
+  std::atomic<std::uint64_t> reused{0}, built{0};
+  auto extract_cell = [&](std::size_t ci, sweep::ThreadPool* inner) {
+    const Cell& cell = plan.cells[ci];
+    const std::size_t nb = cell.boundary.size();
+    if (nb == 0) return;  // no boundary contact: zero contribution
+    std::string key;
+    if (store) {
+      key = cell_key(cell, count);
+      if (auto cached = store->load(key, nb, count)) {
+        cell_blocks[ci] =
+            std::make_shared<const std::vector<std::vector<double>>>(std::move(*cached));
+        reused.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    CellCircuit cc = build_cell_circuit(numeric, cell, plan);
+    auto fresh = std::make_shared<const std::vector<std::vector<double>>>(
+        port_admittance_moments_inplace(cc.circuit, cc.boundary_local, count, inner));
+    built.fetch_add(1, std::memory_order_relaxed);
+    if (store) store->store(key, nb, *fresh);
+    cell_blocks[ci] = std::move(fresh);
+  };
+
+  // One cell: the existing bit-identical column parallelism applies
+  // inside it.  Several cells: parallelize across cells with serial
+  // columns — each cell's blocks are computed by exactly one thread, so
+  // the result never depends on the split.
+  if (plan.cells.size() == 1 || pool == nullptr) {
+    for (std::size_t ci = 0; ci < plan.cells.size(); ++ci)
+      extract_cell(ci, plan.cells.size() == 1 ? pool : nullptr);
+  } else {
+    std::vector<std::exception_ptr> errors(plan.cells.size());
+    pool->parallel_chunks(plan.cells.size(),
+                          [&](std::size_t, std::size_t begin, std::size_t end) {
+                            for (std::size_t ci = begin; ci < end; ++ci) {
+                              try {
+                                extract_cell(ci, nullptr);
+                              } catch (...) {
+                                errors[ci] = std::current_exception();
+                              }
+                            }
+                          });
+    for (const auto& err : errors)
+      if (err) std::rethrow_exception(err);
+  }
+  // The reused/built counters describe block-store traffic, so they only
+  // move when a store is attached: plain builds stay counter-silent and
+  // run-twice health reports stay byte-identical.
+  if (store != nullptr) {
+    auto& counters = health::global_counters();
+    counters.partition_blocks_reused.fetch_add(reused.load(), std::memory_order_relaxed);
+    counters.partition_blocks_built.fetch_add(built.load(), std::memory_order_relaxed);
+  }
+
+  auto reduced = sum_and_reduce(plan, remapped_ports, cell_blocks, count);
+  if (reduced && out_blocks) *out_blocks = std::move(cell_blocks);
+  return reduced;
+}
+
+// ---- Process-wide plan/block memo.
+//
+// Planning, the numeric-netlist remap and the clean-cell disk round trip
+// are all O(circuit) — they would cap the incremental speedup no matter
+// how little actually changed.  The memo keys the *structure* of the
+// numeric partition (element kinds/names/terminals, ports, moment count,
+// cell target, block dir — everything except element values) and caches
+// the remapped netlist, the cell plan and the latest per-cell blocks.  A
+// rebuild after a value edit then reduces to: diff the value vectors,
+// re-key and re-extract only the dirty cells, and re-run the fixed-order
+// summation — identical arithmetic to a cold build of the edited netlist,
+// because clean blocks are the very vectors a cold build would reload
+// from the store and dirty cells are extracted from the same canonical
+// cell circuits.  Entries are immutable and shared; a hit installs a
+// fresh entry with updated values/blocks.
+
+struct PlanMemoStructure {
+  circuit::Netlist numeric;  ///< element values are the creation snapshot
+  std::vector<NodeId> remapped_ports;
+  CellPlan plan;
+  std::vector<std::size_t> cell_of;  ///< numeric element -> owning cell
+};
+
+struct PlanMemoEntry {
+  std::shared_ptr<const PlanMemoStructure> structure;
+  std::vector<double> values;  ///< per numeric element, netlist order
+  std::vector<CellBlocks> blocks;  ///< per cell; null when no boundary
+};
+
+std::mutex g_plan_memo_mu;
+/// Small LRU, most recently used last.  The memo holds whole numeric
+/// netlists and moment blocks, so the cap stays low; an evicted entry
+/// costs one re-plan, never correctness.
+std::vector<std::pair<std::string, std::shared_ptr<const PlanMemoEntry>>> g_plan_memo;
+constexpr std::size_t kPlanMemoCap = 8;
+
+std::shared_ptr<const PlanMemoEntry> plan_memo_find(const std::string& key) {
+  std::lock_guard<std::mutex> lock(g_plan_memo_mu);
+  for (auto it = g_plan_memo.begin(); it != g_plan_memo.end(); ++it) {
+    if (it->first != key) continue;
+    auto entry = it->second;
+    std::rotate(it, it + 1, g_plan_memo.end());
+    return entry;
+  }
+  return nullptr;
+}
+
+void plan_memo_put(const std::string& key, std::shared_ptr<const PlanMemoEntry> entry) {
+  std::lock_guard<std::mutex> lock(g_plan_memo_mu);
+  for (auto it = g_plan_memo.begin(); it != g_plan_memo.end(); ++it) {
+    if (it->first != key) continue;
+    it->second = std::move(entry);
+    std::rotate(it, it + 1, g_plan_memo.end());
+    return;
+  }
+  g_plan_memo.emplace_back(key, std::move(entry));
+  if (g_plan_memo.size() > kPlanMemoCap) g_plan_memo.erase(g_plan_memo.begin());
+}
+
+void plan_memo_insert(const std::string& key, circuit::Netlist numeric,
+                      std::vector<NodeId> remapped_ports, CellPlan plan,
+                      std::vector<double> values, std::vector<CellBlocks> blocks) {
+  auto structure = std::make_shared<PlanMemoStructure>();
+  structure->cell_of.assign(numeric.elements().size(), 0);
+  for (std::size_t ci = 0; ci < plan.cells.size(); ++ci)
+    for (const std::size_t i : plan.cells[ci].elements) structure->cell_of[i] = ci;
+  structure->numeric = std::move(numeric);
+  structure->remapped_ports = std::move(remapped_ports);
+  structure->plan = std::move(plan);
+  auto entry = std::make_shared<PlanMemoEntry>();
+  entry->structure = std::move(structure);
+  entry->values = std::move(values);
+  entry->blocks = std::move(blocks);
+  plan_memo_put(key, std::move(entry));
+}
+
+/// Rebuild from a memo entry: re-extract only the cells whose member
+/// values changed.  Returns an empty optional when the hit path cannot
+/// prove cold-equivalence cheaply — a dirty cell hits the singular-Y0
+/// ladder or the seam pivot degenerates — in which case the caller runs
+/// the full path, whose fallback ladder is a pure function of the edited
+/// netlist (exactly what a cold build would do).
+std::optional<std::vector<std::vector<double>>> plan_memo_rebuild(
+    const PlanMemoEntry& e, const std::string& memo_key,
+    const std::vector<double>& cur, std::size_t count, const ExtractOptions& opts) {
+  const PlanMemoStructure& s = *e.structure;
+  if (cur.size() != e.values.size()) return std::nullopt;
+
+  std::vector<char> dirty(s.plan.cells.size(), 0);
+  for (std::size_t i = 0; i < cur.size(); ++i)
+    if (cur[i] != e.values[i]) dirty[s.cell_of[i]] = 1;
+
+  BlockStore store(opts.block_dir);
+  std::vector<CellBlocks> blocks = e.blocks;
+  std::uint64_t reused = 0, built = 0;
+  // Mirror extract_plan's parallelism rule: the inner column pool is only
+  // used when the plan has a single cell, so hit and cold builds run the
+  // same arithmetic for any thread count.
+  sweep::ThreadPool* inner = s.plan.cells.size() == 1 ? opts.pool : nullptr;
+  try {
+    for (std::size_t ci = 0; ci < s.plan.cells.size(); ++ci) {
+      const Cell& cell = s.plan.cells[ci];
+      const std::size_t nb = cell.boundary.size();
+      if (nb == 0) continue;
+      if (!dirty[ci]) {
+        ++reused;
+        continue;
+      }
+      const std::string key = cell_key_with_values(cell, cur, count);
+      if (auto cached = store.load(key, nb, count)) {
+        blocks[ci] =
+            std::make_shared<const std::vector<std::vector<double>>>(std::move(*cached));
+        ++reused;
+        continue;
+      }
+      CellCircuit cc = build_cell_circuit(s.numeric, cell, s.plan, cur);
+      auto fresh = std::make_shared<const std::vector<std::vector<double>>>(
+          port_admittance_moments_inplace(cc.circuit, cc.boundary_local, count, inner));
+      store.store(key, nb, *fresh);
+      blocks[ci] = std::move(fresh);
+      ++built;
+    }
+  } catch (const health::FailError& err) {
+    if (err.fail_class() != health::FailClass::kSingularY0) throw;
+    return std::nullopt;
+  }
+
+  auto reduced = sum_and_reduce(s.plan, s.remapped_ports, blocks, count);
+  if (!reduced) return std::nullopt;
+
+  auto& counters = health::global_counters();
+  counters.partition_blocks_reused.fetch_add(reused, std::memory_order_relaxed);
+  counters.partition_blocks_built.fetch_add(built, std::memory_order_relaxed);
+
+  auto next = std::make_shared<PlanMemoEntry>();
+  next->structure = e.structure;
+  next->values = cur;
+  next->blocks = std::move(blocks);
+  plan_memo_put(memo_key, std::move(next));
+  return reduced;
+}
+
+}  // namespace
+
+void clear_plan_cache() {
+  std::lock_guard<std::mutex> lock(g_plan_memo_mu);
+  g_plan_memo.clear();
+}
+
 std::vector<std::vector<double>> MomentPartitioner::numeric_port_moments(
     std::size_t count, sweep::ThreadPool* pool) const {
+  ExtractOptions opts;
+  opts.pool = pool;
+  return numeric_port_moments(count, opts);
+}
+
+std::vector<std::vector<double>> MomentPartitioner::numeric_port_moments(
+    std::size_t count, const ExtractOptions& opts) const {
   const std::size_t m = ports_.size();
+
+  std::vector<bool> is_symbolic(netlist_->elements().size(), false);
+  for (const auto& s : symbols_) is_symbolic[s.element_index] = true;
+
+  // With a block store attached, try the process-wide plan memo first: a
+  // structural fingerprint of the numeric partition (values excluded)
+  // keyed against the cached plan lets a value edit skip the remap, the
+  // planning pass and every clean cell.  The fingerprint streams node
+  // *ids* rather than names — interning is per-name, so the id pattern
+  // pins the numeric netlist's structure, and cell extraction only ever
+  // sees canonical labels.
+  const bool use_memo = !opts.block_dir.empty();
+  std::string memo_key;
+  std::vector<double> cur_values;
+  if (use_memo) {
+    std::string buf;
+    buf.reserve(64 * netlist_->elements().size() + 256);
+    enc::put_str(buf, "plan-memo-v1");
+    enc::put_u64(buf, count);
+    enc::put_u64(buf, opts.cell_target);
+    enc::put_str(buf, opts.block_dir);
+    enc::put_u64(buf, netlist_->num_nodes());
+    enc::put_u64(buf, ports_.size());
+    for (const NodeId p : ports_) enc::put_u64(buf, p);
+    for (std::size_t i = 0; i < netlist_->elements().size(); ++i) {
+      if (is_symbolic[i] || i == input_element_) continue;
+      const Element& e = netlist_->elements()[i];
+      if (e.kind == ElementKind::kCurrentSource) continue;  // open in numeric
+      enc::put_u8(buf, static_cast<std::uint8_t>(e.kind));
+      enc::put_str(buf, e.name);
+      enc::put_u64(buf, e.pos);
+      enc::put_u64(buf, e.neg);
+      switch (e.kind) {
+        case ElementKind::kVccs:
+        case ElementKind::kVcvs:
+          enc::put_u64(buf, e.ctrl_pos);
+          enc::put_u64(buf, e.ctrl_neg);
+          break;
+        case ElementKind::kCccs:
+        case ElementKind::kCcvs:
+          enc::put_str(buf, e.ctrl_source);
+          break;
+        case ElementKind::kMutual:
+          enc::put_str(buf, e.ctrl_source);
+          enc::put_str(buf, e.ctrl_source2);
+          break;
+        default:
+          break;
+      }
+      // Values that survive into the numeric netlist, in its element
+      // order: non-input V sources are zeroed there, so a parent V-source
+      // value edit correctly dirties nothing.
+      cur_values.push_back(e.kind == ElementKind::kVoltageSource ? 0.0 : e.value);
+    }
+    memo_key = enc::digest_hex(buf);
+    if (const auto entry = plan_memo_find(memo_key)) {
+      if (auto reduced = plan_memo_rebuild(*entry, memo_key, cur_values, count, opts))
+        return std::move(*reduced);
+    }
+  }
 
   // Numeric partition: every element except the symbolic ones and the
   // input source, plus one grounding voltage source per port.  Node names
   // are re-interned, so ports are re-resolved by name.
   Netlist numeric;
-  std::vector<bool> is_symbolic(netlist_->elements().size(), false);
-  for (const auto& s : symbols_) is_symbolic[s.element_index] = true;
 
   auto remap = [&](NodeId n) { return numeric.node(netlist_->node_name(n)); };
   for (std::size_t i = 0; i < netlist_->elements().size(); ++i) {
@@ -260,21 +596,74 @@ std::vector<std::vector<double>> MomentPartitioner::numeric_port_moments(
   std::vector<NodeId> remapped_ports;
   remapped_ports.reserve(m);
   for (std::size_t p = 0; p < m; ++p) remapped_ports.push_back(remap(ports_[p]));
-  // `numeric` is already this call's private copy, so the in-place variant
-  // avoids a second O(circuit) deep copy inside the extraction.
-  return port_admittance_moments_inplace(numeric, remapped_ports, count, pool);
+
+  BlockStore store(opts.block_dir);
+  BlockStore* store_ptr = opts.block_dir.empty() ? nullptr : &store;
+
+  // Promoted plan first; when a BFS seam makes a cell extraction or the
+  // Schur DC pivot singular, fall back to whole connected components (no
+  // promotion) — the exact grounded-port system of the unsplit partition.
+  // Both decisions are pure functions of the netlist, never of the block
+  // cache (blocks are only stored after a successful extraction), so cold
+  // and incremental builds walk the same ladder.  Only a plan that
+  // succeeded without falling back is memoized: a hit replays that plan
+  // directly, and cold takes the same branch by purity.
+  std::vector<CellBlocks> memo_blocks;
+  auto memo_blocks_ptr = use_memo ? &memo_blocks : nullptr;
+  bool fell_back = false;
+  CellPlan plan =
+      plan_cells(numeric, remapped_ports, opts.cell_target, /*allow_promotion=*/true);
+  if (!plan.promoted.empty()) {
+    try {
+      if (auto reduced = extract_plan(numeric, plan, remapped_ports, count, opts.pool,
+                                      store_ptr, memo_blocks_ptr)) {
+        if (use_memo)
+          plan_memo_insert(memo_key, std::move(numeric), std::move(remapped_ports),
+                           std::move(plan), std::move(cur_values),
+                           std::move(memo_blocks));
+        return std::move(*reduced);
+      }
+    } catch (const health::FailError& e) {
+      if (e.fail_class() != health::FailClass::kSingularY0) throw;
+    }
+    fell_back = true;
+    plan = plan_cells(numeric, remapped_ports, opts.cell_target,
+                      /*allow_promotion=*/false);
+  }
+  const CellPlan& component_plan = plan;
+  auto reduced = extract_plan(numeric, component_plan, remapped_ports, count, opts.pool,
+                              store_ptr, fell_back ? nullptr : memo_blocks_ptr);
+  if (!reduced)
+    throw health::FailError(health::FailClass::kSingularY0,
+                            "numeric_port_moments: seam elimination is singular");
+  if (use_memo && !fell_back)
+    plan_memo_insert(memo_key, std::move(numeric), std::move(remapped_ports),
+                     std::move(plan), std::move(cur_values), std::move(memo_blocks));
+  return std::move(*reduced);
 }
 
 SymbolicMoments MomentPartitioner::compute(std::size_t count, sweep::ThreadPool* pool) const {
   return compute_all(count, pool).for_output(0);
 }
 
+SymbolicMoments MomentPartitioner::compute(std::size_t count,
+                                           const ExtractOptions& opts) const {
+  return compute_all(count, opts).for_output(0);
+}
+
 MultiSymbolicMoments MomentPartitioner::compute_all(std::size_t count,
                                                     sweep::ThreadPool* pool) const {
+  ExtractOptions opts;
+  opts.pool = pool;
+  return compute_all(count, opts);
+}
+
+MultiSymbolicMoments MomentPartitioner::compute_all(std::size_t count,
+                                                    const ExtractOptions& opts) const {
   if (count == 0) throw std::invalid_argument("MomentPartitioner: count must be >= 1");
   const std::size_t m = ports_.size();
   const std::size_t nvars = symbols_.size();
-  const auto yk_numeric = numeric_port_moments(count, pool);
+  const auto yk_numeric = numeric_port_moments(count, opts);
 
   // ---- Global layout: ports, then aux currents (input V source, symbolic
   // inductor branches).

@@ -30,6 +30,31 @@ class ThreadPool;
 
 namespace awe::part {
 
+/// Knobs for the numeric-partition extraction.  The extraction is always
+/// cell-based (see cells.hpp): the numeric partition is decomposed into
+/// canonical cells, each extracted independently, summed, and Schur-
+/// reduced back to the port space — so its result is a pure function of
+/// the netlist whatever the thread count or block-cache state.
+struct ExtractOptions {
+  /// Optional worker pool.  One cell in the plan parallelizes the
+  /// per-port excitation columns; several cells parallelize across cells
+  /// (serial columns inside each) — both bit-identical to serial.
+  sweep::ThreadPool* pool = nullptr;
+  /// Persistent per-cell block store directory; empty disables the store
+  /// (blocks are always recomputed).  Clean cells reload bit-identical
+  /// blocks, so an incremental rebuild equals a cold build byte for byte.
+  std::string block_dir;
+  /// Cell split target in elements; 0 means kDefaultCellTargetElements.
+  std::size_t cell_target = 0;
+};
+
+/// Drop the process-wide structural plan/block memo that accelerates
+/// repeated block-store builds of the same circuit structure.  Purely an
+/// optimization cache — clearing it never changes any result.  Test hook:
+/// lets a test force the next build through the on-disk block store (the
+/// memo serves clean cells from memory without re-probing the disk).
+void clear_plan_cache();
+
 /// How an element's netlist value maps onto its internal symbol variable.
 /// Resistors are represented internally by their conductance (the MNA
 /// stamp must stay linear in the symbol), so their transform is 1/value.
@@ -103,16 +128,22 @@ class MomentPartitioner {
   /// (optional) parallelizes the numeric-partition extraction; the result
   /// is bit-identical whatever the thread count.
   SymbolicMoments compute(std::size_t count, sweep::ThreadPool* pool = nullptr) const;
+  SymbolicMoments compute(std::size_t count, const ExtractOptions& opts) const;
 
   /// Compute moments for every output at once (shared adjugate work).
   MultiSymbolicMoments compute_all(std::size_t count,
                                    sweep::ThreadPool* pool = nullptr) const;
+  MultiSymbolicMoments compute_all(std::size_t count, const ExtractOptions& opts) const;
 
   /// Numeric-partition admittance moment blocks Y_0..Y_{count-1}
   /// (port_count x port_count, row-major), exposed for tests and the
-  /// partitioning ablation bench.
+  /// partitioning ablation bench.  Computed cell by cell (cells.hpp);
+  /// with ExtractOptions::block_dir set, clean cells reload their cached
+  /// blocks and only dirty cells are re-extracted.
   std::vector<std::vector<double>> numeric_port_moments(
       std::size_t count, sweep::ThreadPool* pool = nullptr) const;
+  std::vector<std::vector<double>> numeric_port_moments(
+      std::size_t count, const ExtractOptions& opts) const;
 
  private:
   struct GlobalLayout {

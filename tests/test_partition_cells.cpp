@@ -1,0 +1,205 @@
+// Property tests for partition-cell keying (DESIGN.md §13).
+//
+// The per-cell canonical encoding is the contract the incremental rebuild
+// stands on: keys must be invariant under everything that does not change
+// the circuit (node renames, element-addition order) and must move for
+// exactly the cells an edit touches.  A wrong key in either direction is
+// catastrophic — too sticky reuses stale blocks, too loose rebuilds the
+// world and the incremental path silently degenerates to cold builds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "partition/cells.hpp"
+#include "partition/partitioner.hpp"
+
+namespace awe::part {
+namespace {
+
+using circuit::kGround;
+using circuit::Netlist;
+using circuit::NodeId;
+
+std::vector<std::string> sorted_keys(const CellPlan& plan, std::size_t count) {
+  std::vector<std::string> keys;
+  keys.reserve(plan.cells.size());
+  for (const Cell& c : plan.cells) keys.push_back(cell_key(c, count));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(CellKeys, InvariantUnderNodeRenames) {
+  // Same circuit, every node (including the port) renamed and interned in
+  // a different order.  The encoding labels nodes by first-encounter
+  // order in the canonical element scan, so names must never leak in.
+  Netlist a;
+  const NodeId ap = a.node("p");
+  const NodeId ax = a.node("x");
+  a.add_resistor("r1", ap, ax, 100.0);
+  a.add_capacitor("c1", ax, kGround, 1e-12);
+
+  Netlist b;
+  const NodeId by = b.node("some_mid");   // interned before the port
+  const NodeId bp = b.node("the_port");
+  b.add_resistor("r1", bp, by, 100.0);
+  b.add_capacitor("c1", by, kGround, 1e-12);
+
+  const NodeId pa[] = {ap};
+  const NodeId pb[] = {bp};
+  const CellPlan plan_a = plan_cells(a, pa);
+  const CellPlan plan_b = plan_cells(b, pb);
+  ASSERT_EQ(plan_a.cells.size(), 1u);
+  ASSERT_EQ(plan_b.cells.size(), 1u);
+  EXPECT_EQ(cell_key(plan_a.cells[0], 4), cell_key(plan_b.cells[0], 4));
+  // The moment count is part of the key: blocks of different depth must
+  // never collide in the store.
+  EXPECT_NE(cell_key(plan_a.cells[0], 4), cell_key(plan_a.cells[0], 6));
+}
+
+TEST(CellKeys, InvariantUnderElementReorder) {
+  // Two components hanging off one port, elements added in opposite
+  // orders.  Cells scan elements by name, so addition order is invisible.
+  Netlist a;
+  const NodeId ap = a.node("p");
+  const NodeId ax = a.node("x");
+  const NodeId ay = a.node("y");
+  a.add_resistor("r1", ap, ax, 100.0);
+  a.add_capacitor("c1", ax, kGround, 1e-12);
+  a.add_resistor("r2", ap, ay, 200.0);
+  a.add_capacitor("c2", ay, kGround, 2e-12);
+
+  Netlist b;
+  const NodeId bp = b.node("p");
+  const NodeId by = b.node("y");
+  const NodeId bx = b.node("x");
+  b.add_capacitor("c2", by, kGround, 2e-12);
+  b.add_resistor("r2", bp, by, 200.0);
+  b.add_capacitor("c1", bx, kGround, 1e-12);
+  b.add_resistor("r1", bp, bx, 100.0);
+
+  const NodeId pa[] = {ap};
+  const NodeId pb[] = {bp};
+  const CellPlan plan_a = plan_cells(a, pa);
+  const CellPlan plan_b = plan_cells(b, pb);
+  ASSERT_EQ(plan_a.cells.size(), 2u);
+  EXPECT_EQ(sorted_keys(plan_a, 4), sorted_keys(plan_b, 4));
+}
+
+// One port feeding three disjoint RC branches — three cells, since the
+// branches share only the cut node.
+Netlist three_branch(NodeId* port, double r2 = 200.0) {
+  Netlist nl;
+  const NodeId p = nl.node("p");
+  const NodeId x = nl.node("x");
+  const NodeId y = nl.node("y");
+  const NodeId z = nl.node("z");
+  nl.add_resistor("r1", p, x, 100.0);
+  nl.add_capacitor("c1", x, kGround, 1e-12);
+  nl.add_resistor("r2", p, y, r2);
+  nl.add_capacitor("c2", y, kGround, 2e-12);
+  nl.add_resistor("r3", p, z, 300.0);
+  nl.add_capacitor("c3", z, kGround, 3e-12);
+  *port = p;
+  return nl;
+}
+
+TEST(CellKeys, ValueEditDirtiesExactlyOneCell) {
+  NodeId pa = 0;
+  NodeId pb = 0;
+  const Netlist base = three_branch(&pa);
+  const Netlist edited = three_branch(&pb, 250.0);  // r2 value changed
+
+  const NodeId ports_a[] = {pa};
+  const NodeId ports_b[] = {pb};
+  const auto keys_base = sorted_keys(plan_cells(base, ports_a), 4);
+  const auto keys_edit = sorted_keys(plan_cells(edited, ports_b), 4);
+  ASSERT_EQ(keys_base.size(), 3u);
+  ASSERT_EQ(keys_edit.size(), 3u);
+
+  std::vector<std::string> shared;
+  std::set_intersection(keys_base.begin(), keys_base.end(), keys_edit.begin(),
+                        keys_edit.end(), std::back_inserter(shared));
+  // Exactly the r2 cell is dirty: two of three keys survive the edit.
+  EXPECT_EQ(shared.size(), 2u);
+}
+
+TEST(CellKeys, TopologyEditAcrossBoundaryDirtiesBothCells) {
+  NodeId pa = 0;
+  NodeId pb = 0;
+  const Netlist base = three_branch(&pa);
+  Netlist bridged = three_branch(&pb);
+  // New resistor between branch-1 and branch-2 internals: the two cells
+  // merge, both old keys die, and branch 3 must be untouched.
+  bridged.add_resistor("rbridge", *bridged.find_node("x"), *bridged.find_node("y"),
+                       50.0);
+
+  const NodeId ports_a[] = {pa};
+  const NodeId ports_b[] = {pb};
+  const auto keys_base = sorted_keys(plan_cells(base, ports_a), 4);
+  const auto keys_new = sorted_keys(plan_cells(bridged, ports_b), 4);
+  ASSERT_EQ(keys_base.size(), 3u);
+  ASSERT_EQ(keys_new.size(), 2u);  // branches 1+2 merged, branch 3 alone
+
+  std::vector<std::string> shared;
+  std::set_intersection(keys_base.begin(), keys_base.end(), keys_new.begin(),
+                        keys_new.end(), std::back_inserter(shared));
+  EXPECT_EQ(shared.size(), 1u);  // only branch 3's key survives
+}
+
+TEST(CellKeys, CoupledElementsShareACell) {
+  // CCCS reads its controlling V source by name; they must land in one
+  // cell even with no shared internal node, or the cell sub-circuit could
+  // not resolve the reference.
+  Netlist nl;
+  const NodeId p = nl.node("p");
+  const NodeId x = nl.node("x");
+  const NodeId y = nl.node("y");
+  nl.add_voltage_source("vsense", p, x, 0.0);
+  nl.add_resistor("rin", x, kGround, 100.0);
+  nl.add_cccs("f1", y, kGround, "vsense", 2.0);
+  nl.add_resistor("rout", y, p, 500.0);
+  const NodeId ports[] = {p};
+  const CellPlan plan = plan_cells(nl, ports);
+  ASSERT_EQ(plan.cells.size(), 1u);
+  EXPECT_EQ(plan.cells[0].elements.size(), 4u);
+}
+
+TEST(CellExtraction, ForcedSplitMatchesUnsplitExtraction) {
+  // An RC ladder long enough that cell_target=2 forces BFS splitting with
+  // promoted seam nodes; the split-extract-Schur pipeline must agree with
+  // the unsplit single-cell extraction to fp-roundoff.
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  nl.add_voltage_source("vin", in, kGround, 1.0);
+  NodeId prev = in;
+  for (int i = 0; i < 12; ++i) {
+    const NodeId n = nl.node("m" + std::to_string(i));
+    nl.add_resistor("r" + std::to_string(i), prev, n, 100.0 + 7.0 * i);
+    nl.add_capacitor("c" + std::to_string(i), n, kGround, 1e-12 * (1 + i % 3));
+    prev = n;
+  }
+  nl.add_capacitor("csym", prev, kGround, 1e-12);  // symbolic -> port at prev
+
+  MomentPartitioner part(nl, {"csym"}, "vin", prev);
+  const auto whole = part.numeric_port_moments(6);
+
+  ExtractOptions split_opts;
+  split_opts.cell_target = 2;
+  const auto split = part.numeric_port_moments(6, split_opts);
+
+  ASSERT_EQ(split.size(), whole.size());
+  for (std::size_t k = 0; k < whole.size(); ++k) {
+    ASSERT_EQ(split[k].size(), whole[k].size());
+    for (std::size_t i = 0; i < whole[k].size(); ++i) {
+      const double scale = std::max(1e-30, std::abs(whole[k][i]));
+      EXPECT_NEAR(split[k][i], whole[k][i], 1e-9 * scale)
+          << "moment " << k << " entry " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace awe::part

@@ -21,8 +21,23 @@
 //                     none is available).  Never the default: interpreter
 //                     cache directories stay byte-comparable.
 //   --health-json F   write a HealthReport (cache quarantines, rebuilds,
-//                     failpoint fires) as JSON to F ("-" for stdout)
+//                     failpoint fires, partition-block traffic) as JSON
+//                     to F ("-" for stdout)
 //   --quiet           suppress the per-deck lines
+//   --incremental     keep a per-cell partition block store under
+//                     <cache-dir>/blocks (DESIGN.md §13): an edited deck
+//                     re-extracts only its dirty cells and re-links the
+//                     model from cached blocks — bit-identical to a cold
+//                     build of the edited deck
+//   --edit NAME=VAL   set element NAME to value VAL in every deck before
+//                     building (repeatable); unknown names fail the deck
+//   --edit-first-numeric FACTOR
+//                     multiply the value of the alphabetically first
+//                     numeric (non-symbolic, non-input) R/G/C/L element
+//                     by FACTOR — a deck-agnostic one-element edit for
+//                     the incremental-determinism CI job
+//   --save-model F    serialize the (last) built model to F, for
+//                     bit-identity comparison against another build
 //
 // Per deck, prints:  <cache-key>  <cold|warm>  <deck-path>
 // Exit status: 0 on success, 2 on bad usage or any failed deck.  A corrupt
@@ -33,6 +48,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "circuit/parser.hpp"
@@ -46,9 +62,33 @@ using namespace awe;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --cache-dir DIR [--order Q] [--threads N] [--gradients]\n"
-               "          [--native] [--health-json FILE] [--quiet] deck.sp [deck2.sp ...]\n",
+               "          [--native] [--incremental] [--edit NAME=VALUE ...]\n"
+               "          [--edit-first-numeric FACTOR] [--save-model FILE]\n"
+               "          [--health-json FILE] [--quiet] deck.sp [deck2.sp ...]\n",
                argv0);
   std::exit(2);
+}
+
+/// Alphabetically first numeric two-terminal R/G/C/L of the deck — the
+/// canonical "edit one element" target used by the CI determinism job.
+std::string first_numeric_element(const circuit::ParsedDeck& deck) {
+  std::string best;
+  for (const auto& e : deck.netlist.elements()) {
+    switch (e.kind) {
+      case circuit::ElementKind::kResistor:
+      case circuit::ElementKind::kConductance:
+      case circuit::ElementKind::kCapacitor:
+      case circuit::ElementKind::kInductor:
+        break;
+      default:
+        continue;
+    }
+    bool excluded = e.name == deck.input_source;
+    for (const auto& s : deck.symbol_elements) excluded = excluded || s == e.name;
+    if (excluded) continue;
+    if (best.empty() || e.name < best) best = e.name;
+  }
+  return best;
 }
 
 }  // namespace
@@ -59,6 +99,9 @@ int main(int argc, char** argv) {
   core::BuildOptions bopts;
   bool quiet = false;
   std::string health_json;
+  std::string save_model;
+  double edit_first_factor = 0.0;
+  std::vector<std::pair<std::string, double>> edits;
   std::vector<std::string> decks;
 
   for (int i = 1; i < argc; ++i) {
@@ -77,6 +120,19 @@ int main(int argc, char** argv) {
       mopts.with_gradients = true;
     } else if (arg == "--native") {
       bopts.backend = core::EvalBackend::kNative;
+    } else if (arg == "--incremental") {
+      bopts.incremental = true;
+    } else if (arg == "--edit") {
+      const std::string spec = next();
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) usage(argv[0]);
+      edits.emplace_back(spec.substr(0, eq),
+                         std::strtod(spec.c_str() + eq + 1, nullptr));
+    } else if (arg == "--edit-first-numeric") {
+      edit_first_factor = std::strtod(next(), nullptr);
+      if (edit_first_factor == 0.0) usage(argv[0]);
+    } else if (arg == "--save-model") {
+      save_model = next();
     } else if (arg == "--health-json") {
       health_json = next();
     } else if (arg == "--quiet") {
@@ -91,14 +147,32 @@ int main(int argc, char** argv) {
 
   core::ModelCache cache(cache_dir);
   int failures = 0;
+  std::shared_ptr<const core::CompiledModel> last_model;
   for (const std::string& path : decks) {
     try {
       std::ifstream in(path);
       if (!in) throw std::runtime_error("cannot open deck");
-      const circuit::ParsedDeck deck = circuit::parse_deck(in);
+      circuit::ParsedDeck deck = circuit::parse_deck(in);
       if (deck.symbol_elements.empty() || deck.input_source.empty() ||
           deck.output_node.empty())
         throw std::runtime_error("deck needs .symbol/.input/.output directives");
+
+      // Pre-build edits: the deck on disk stays pristine; the edited
+      // netlist is what gets keyed and built, exactly as if the file had
+      // been edited — so a cold build of the edited file and an
+      // incremental rebuild from here must byte-agree.
+      for (const auto& [name, value] : edits) deck.netlist.set_value(name, value);
+      if (edit_first_factor != 0.0) {
+        const std::string target = first_numeric_element(deck);
+        if (target.empty())
+          throw std::runtime_error("--edit-first-numeric: no numeric element");
+        const auto idx = deck.netlist.find_element(target);
+        deck.netlist.set_value(*idx, deck.netlist.elements()[*idx].value *
+                                         edit_first_factor);
+        if (!quiet)
+          std::printf("edit  %s *= %g  %s\n", target.c_str(), edit_first_factor,
+                      path.c_str());
+      }
 
       const auto out_node = deck.netlist.find_node(deck.output_node);
       if (!out_node) throw std::runtime_error("unknown output node");
@@ -107,8 +181,9 @@ int main(int argc, char** argv) {
           deck.netlist, deck.symbol_elements, deck.input_source, outs, mopts);
 
       const auto before = cache.stats();
-      (void)cache.get_or_build(deck.netlist, deck.symbol_elements, deck.input_source,
-                               deck.output_node, mopts, bopts);
+      last_model = cache.get_or_build(deck.netlist, deck.symbol_elements,
+                                      deck.input_source, deck.output_node, mopts,
+                                      bopts);
       const auto after = cache.stats();
       const char* how = after.misses > before.misses ? "cold" : "warm";
       if (!quiet) std::printf("%s  %s  %s\n", key.c_str(), how, path.c_str());
@@ -116,6 +191,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "awe_build: %s: %s\n", path.c_str(), e.what());
       ++failures;
     }
+  }
+
+  if (!save_model.empty()) {
+    if (!last_model) {
+      std::fprintf(stderr, "awe_build: --save-model: no model was built\n");
+      return 2;
+    }
+    std::ofstream out(save_model, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "awe_build: cannot write %s\n", save_model.c_str());
+      return 2;
+    }
+    last_model->save(out);
   }
 
   if (!quiet) {
