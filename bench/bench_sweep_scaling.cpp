@@ -39,16 +39,24 @@ using namespace awe;
 
 constexpr std::size_t kPoints = 100000;  // >= 1e5-point sweep
 
-core::CompiledModel build_opamp_model() {
+core::CompiledModel build_opamp_model(bool with_gradients = false) {
   auto amp = circuits::make_opamp741();
   return core::CompiledModel::build(
       amp.netlist,
       {circuits::Opamp741Circuit::kSymbolGout, circuits::Opamp741Circuit::kSymbolCcomp},
-      circuits::Opamp741Circuit::kInput, amp.out, {.order = 2});
+      circuits::Opamp741Circuit::kInput, amp.out,
+      {.order = 2, .with_gradients = with_gradients});
 }
 
 const core::CompiledModel& opamp_model() {
   static const core::CompiledModel model = build_opamp_model();
+  return model;
+}
+
+/// The same 741 model compiled with the reverse-mode gradient stream
+/// (DESIGN.md §14), for the gradient-sweep overhead rows.
+const core::CompiledModel& opamp_gradient_model() {
+  static const core::CompiledModel model = build_opamp_model(/*with_gradients=*/true);
   return model;
 }
 
@@ -247,6 +255,48 @@ BENCHMARK(BM_SweepEngine)
     ->Args({1, 64, 1, 1})
     ->Args({4, 64, 0, 1})
     ->Args({4, 64, 1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// Gradient-sweep overhead rows (DESIGN.md §14): the same Monte-Carlo
+/// workload with SweepOptions::gradients — one gradient-program run per
+/// lane block yields moments AND d(m_k)/d(symbol) for every symbol.  The
+/// perf CI gates pts_per_s here against the forward-only row at identical
+/// geometry via --dominates with factor 0.4, i.e. the full gradient sweep
+/// must cost at most 2.5x a forward-only sweep on this 2-symbol model.
+void BM_SweepGradients(benchmark::State& state) {
+  const auto& model = opamp_gradient_model();
+  const std::size_t n = 4096;
+  const auto pts = mc_points(n);
+  sweep::SweepOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  opts.batch_width = static_cast<std::size_t>(state.range(1));
+  opts.mode = state.range(2) ? core::EvalMode::kFast : core::EvalMode::kStrict;
+  opts.gradients = true;
+  sweep::ThreadPool pool(opts.threads);
+  opts.pool = &pool;
+  for (auto _ : state) {
+    const auto res = sweep::run_sweep(model, pts, n, opts);
+    benchmark::DoNotOptimize(res.gradients.data());
+    benchmark::DoNotOptimize(res.ok_count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  // pts_per_s feeds the dominance gate against the forward row.  The
+  // normalized work rate uses the GRADIENT stream's strict instruction
+  // count — the row measures the gradient interpreter's op throughput, so
+  // a longer adjoint stream must rescale the counter, not look like a
+  // regression.
+  const double pts_done =
+      static_cast<double>(state.iterations()) * static_cast<double>(n);
+  state.counters["pts_per_s"] = benchmark::Counter(pts_done, benchmark::Counter::kIsRate);
+  state.counters["norm_ops_per_s"] = benchmark::Counter(
+      pts_done * static_cast<double>(model.gradient_instruction_count()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepGradients)
+    ->ArgNames({"threads", "width", "fast"})
+    ->Args({4, 64, 0})
+    ->Args({4, 64, 1})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -77,10 +77,16 @@ MomentSensitivities moment_sensitivities(const MomentGenerator& gen,
 PoleZeroSensitivities pole_zero_sensitivities(std::span<const double> moments,
                                               const MomentSensitivities& ms,
                                               std::size_t order) {
+  return pole_zero_sensitivities_from_dm(moments, ms.dm, ms.differentiable, order);
+}
+
+PoleZeroSensitivities pole_zero_sensitivities_from_dm(
+    std::span<const double> moments, const std::vector<std::vector<double>>& dm,
+    const std::vector<bool>& active, std::size_t order) {
   const std::size_t q = order;
-  if (moments.size() < 2 * q || ms.dm.size() < 2 * q)
+  if (moments.size() < 2 * q || dm.size() < 2 * q)
     throw std::invalid_argument("pole_zero_sensitivities: need 2q moments + sensitivities");
-  const std::size_t ne = ms.dm.empty() ? 0 : ms.dm[0].size();
+  const std::size_t ne = dm.empty() ? 0 : dm[0].size();
 
   // Unscaled Hankel system:  sum_j b_j m_{k-j} = -m_k,  k = q..2q-1.
   linalg::Matrix h(q, q);
@@ -113,12 +119,12 @@ PoleZeroSensitivities pole_zero_sensitivities(std::span<const double> moments,
   //   sum_j db_j m_{k-j} = -dm_k - sum_j b_j dm_{k-j}.
   std::vector<linalg::Vector> db(ne, linalg::Vector(q, 0.0));
   for (std::size_t e = 0; e < ne; ++e) {
-    if (!ms.differentiable[e]) continue;
+    if (!active[e]) continue;
     linalg::Vector r(q);
     for (std::size_t row = 0; row < q; ++row) {
       const std::size_t k = q + row;
-      double s = -ms.dm[k][e];
-      for (std::size_t j = 1; j <= q; ++j) s -= b[j - 1] * ms.dm[k - j][e];
+      double s = -dm[k][e];
+      for (std::size_t j = 1; j <= q; ++j) s -= b[j - 1] * dm[k - j][e];
       r[row] = s;
     }
     db[e] = lu->solve(std::move(r));
@@ -132,7 +138,7 @@ PoleZeroSensitivities pole_zero_sensitivities(std::span<const double> moments,
     const auto dd = linalg::poly_eval_derivative(den, p);
     if (std::abs(dd) == 0.0) continue;  // repeated pole: sensitivity undefined
     for (std::size_t e = 0; e < ne; ++e) {
-      if (!ms.differentiable[e]) continue;
+      if (!active[e]) continue;
       std::complex<double> s{0.0, 0.0};
       std::complex<double> pw = p;
       for (std::size_t j = 1; j <= q; ++j) {
@@ -152,13 +158,13 @@ PoleZeroSensitivities pole_zero_sensitivities(std::span<const double> moments,
     const auto dn = linalg::poly_eval_derivative(num, z);
     if (std::abs(dn) == 0.0) continue;
     for (std::size_t e = 0; e < ne; ++e) {
-      if (!ms.differentiable[e]) continue;
+      if (!active[e]) continue;
       std::complex<double> s{0.0, 0.0};
       std::complex<double> pw{1.0, 0.0};
       for (std::size_t k = 0; k < q; ++k) {
-        double da = ms.dm[k][e];
+        double da = dm[k][e];
         for (std::size_t j = 1; j <= k; ++j)
-          da += db[e][j - 1] * moments[k - j] + b[j - 1] * ms.dm[k - j][e];
+          da += db[e][j - 1] * moments[k - j] + b[j - 1] * dm[k - j][e];
         s += da * pw;
         pw *= z;
       }

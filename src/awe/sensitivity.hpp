@@ -49,6 +49,17 @@ PoleZeroSensitivities pole_zero_sensitivities(std::span<const double> moments,
                                               const MomentSensitivities& ms,
                                               std::size_t order);
 
+/// Chain-rule core shared by the adjoint single-point path above and the
+/// compiled reverse-mode batch path (CompiledModel gradients, sweep
+/// engine — DESIGN.md §14): propagate d(moments)/dv for an arbitrary
+/// variable set through the Padé/Hankel system to pole and zero
+/// sensitivities.  `dm` is [moment k][variable v] with at least 2q rows;
+/// `active[v]` masks which columns to propagate (inactive columns return
+/// zero).  Throws std::runtime_error on a singular Hankel system.
+PoleZeroSensitivities pole_zero_sensitivities_from_dm(
+    std::span<const double> moments, const std::vector<std::vector<double>>& dm,
+    const std::vector<bool>& active, std::size_t order);
+
 /// One candidate for symbolic treatment.
 struct SymbolCandidate {
   std::size_t element_index = 0;

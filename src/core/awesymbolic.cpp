@@ -138,19 +138,21 @@ CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
 
   std::optional<CompiledProgram> grad_program;
   if (opts.with_gradients) {
-    // Exact polynomial differentiation of every root, lowered onto a
-    // fresh graph (gradients share plenty of structure among themselves).
-    ExprGraph ggraph;
-    std::vector<symbolic::NodeId> gvars;
+    // Reverse-mode differentiation over the SAME graph (DESIGN.md §14):
+    // one backward sweep per root yields its derivative with respect to
+    // every symbol at once, and hash-consing shares all primal subterms
+    // between the forward values and the adjoint expressions.  The
+    // gradient program's roots embed the primal block first, so a single
+    // run produces moments and gradients together:
+    //   [N_0..N_{2q-1}, det, per symbol i: dN_0/ds_i..dN_{2q-1}/ds_i,
+    //    d det/ds_i].
+    const std::vector<symbolic::NodeId> jac = symbolic::reverse_gradients(graph, roots);
+    std::vector<symbolic::NodeId> groots(roots.begin(), roots.end());
+    groots.reserve(roots.size() * (nvars + 1));
     for (std::size_t i = 0; i < nvars; ++i)
-      gvars.push_back(ggraph.input(static_cast<std::uint32_t>(i)));
-    std::vector<symbolic::NodeId> groots;
-    for (std::size_t i = 0; i < nvars; ++i) {
-      for (const auto& numerator : sym.numerators)
-        groots.push_back(lower_polynomial(ggraph, numerator.derivative(i), gvars));
-      groots.push_back(lower_polynomial(ggraph, sym.det_y0.derivative(i), gvars));
-    }
-    grad_program.emplace(ggraph, groots);
+      for (std::size_t r = 0; r < roots.size(); ++r)
+        groots.push_back(jac[r * nvars + i]);
+    grad_program.emplace(graph, groots);
   }
   CompiledModel model(std::move(sym), std::move(program), std::move(grad_program), opts);
   if (!cache_key.empty()) {
@@ -166,6 +168,14 @@ CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
 Status CompiledModel::attach_native(const std::string& dir) {
   Status why;
   native_ = native::load_or_compile(program_, dir, &why);
+  // The gradient program gets its own content-addressed module.  A failed
+  // gradient attach is not a model-level failure: gradient batches simply
+  // keep running through the interpreter (same fallback contract as the
+  // forward path), and the degradation is already counted at attach time.
+  if (grad_program_) {
+    Status grad_why;
+    native_grad_ = native::load_or_compile(*grad_program_, dir, &grad_why);
+  }
   return why;
 }
 
@@ -315,24 +325,23 @@ CompiledModel::MomentsAndGradients CompiledModel::moments_and_gradients(
     inputs[i] = v;
   }
 
-  std::vector<double> outputs(program_.output_count());
-  program_.run(inputs, outputs);
-  const double d = outputs.back();
-  if (d == 0.0) throw std::domain_error("CompiledModel: det(Y0) vanishes at this point");
-
+  // ONE run of the gradient program yields the primal block and every
+  // adjoint block (the primal roots are embedded first — DESIGN.md §14).
   std::vector<double> goutputs(grad_program_->output_count());
   grad_program_->run(inputs, goutputs);
+  const double d = goutputs[count];  // det(Y0) closes the primal block
+  if (d == 0.0) throw std::domain_error("CompiledModel: det(Y0) vanishes at this point");
 
   MomentsAndGradients out;
   out.moments.resize(count);
   double dp = d;
   for (std::size_t k = 0; k < count; ++k) {
-    out.moments[k] = outputs[k] / dp;
+    out.moments[k] = goutputs[k] / dp;
     dp *= d;
   }
   out.dm.assign(count, std::vector<double>(nvars, 0.0));
   for (std::size_t i = 0; i < nvars; ++i) {
-    const double* per_sym = goutputs.data() + i * (count + 1);
+    const double* per_sym = goutputs.data() + (i + 1) * (count + 1);
     const double dd = per_sym[count];  // d det / d symbol_i
     double dpk = d;                    // d^{k+1}
     for (std::size_t k = 0; k < count; ++k) {
@@ -345,6 +354,95 @@ CompiledModel::MomentsAndGradients CompiledModel::moments_and_gradients(
     }
   }
   return out;
+}
+
+BatchWorkspace CompiledModel::make_gradient_batch_workspace(std::size_t width) const {
+  if (!grad_program_)
+    throw std::logic_error(
+        "CompiledModel: build with ModelOptions::with_gradients for gradients");
+  if (width == 0) throw std::invalid_argument("make_gradient_batch_workspace: width must be >= 1");
+  BatchWorkspace ws;
+  ws.width = width;
+  ws.symbol_values.resize(sym_.symbols.size() * width);
+  ws.program_outputs.resize(grad_program_->output_count() * width);
+  ws.registers.resize(grad_program_->register_count() * width);
+  return ws;
+}
+
+void CompiledModel::moments_and_gradients_batch(
+    std::span<const double> element_values, std::size_t stride, std::size_t count,
+    BatchWorkspace& ws, std::span<double> moments_out, std::size_t out_stride,
+    std::span<double> grads_out, std::size_t grad_stride, std::span<unsigned char> ok,
+    EvalMode mode, EvalBackend backend) const {
+  if (!grad_program_)
+    throw std::logic_error(
+        "CompiledModel: build with ModelOptions::with_gradients for gradients");
+  if (count == 0) return;
+  const std::size_t nsym = sym_.symbols.size();
+  const std::size_t nm = sym_.count();
+  check_batch_args(nsym, nm, element_values, stride, count, ws, moments_out, out_stride, ok);
+  if (grad_stride < count)
+    throw std::invalid_argument("moments_and_gradients_batch: grad_stride smaller than count");
+  if (nsym * nm > 0 && grads_out.size() < (nsym * nm - 1) * grad_stride + count)
+    throw std::invalid_argument("moments_and_gradients_batch: grads_out span too small");
+  if (ws.symbol_values.size() < nsym * count ||
+      ws.program_outputs.size() < grad_program_->output_count() * count ||
+      ws.registers.size() < grad_program_->register_count() * count)
+    throw std::invalid_argument(
+        "CompiledModel: batch workspace does not match the gradient program (use "
+        "make_gradient_batch_workspace())");
+
+  pack_symbol_block(sym_.symbols, element_values, stride, count, ws, ok);
+  if (backend == EvalBackend::kNative && native_grad_) {
+    native_grad_->run_batch(
+        std::span<const double>(ws.symbol_values.data(), nsym * count),
+        std::span<double>(ws.program_outputs.data(), grad_program_->output_count() * count),
+        count, mode);
+  } else {
+    grad_program_->run_batch(
+        std::span<const double>(ws.symbol_values.data(), nsym * count),
+        std::span<double>(ws.program_outputs.data(), grad_program_->output_count() * count),
+        std::span<double>(ws.registers.data(), grad_program_->register_count() * count),
+        count, mode);
+  }
+
+  const double* const det = ws.program_outputs.data() + nm * count;
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t p = 0; p < count; ++p) {
+    if (det[p] == 0.0) ok[p] = 0;
+    if (!ok[p]) {
+      for (std::size_t k = 0; k < nm; ++k) moments_out[k * out_stride + p] = kNaN;
+      for (std::size_t row = 0; row < nsym * nm; ++row)
+        grads_out[row * grad_stride + p] = kNaN;
+      continue;
+    }
+    const double d = det[p];
+    double dp = d;
+    for (std::size_t k = 0; k < nm; ++k) {
+      moments_out[k * out_stride + p] = ws.program_outputs[k * count + p] / dp;
+      dp *= d;
+    }
+    for (std::size_t i = 0; i < nsym; ++i) {
+      // Chain factor d(symbol)/d(element value), computed from the element
+      // value with the EXACT expression the scalar path uses, so strict
+      // lanes bit-agree with moments_and_gradients().
+      double chain = 1.0;
+      if (sym_.symbols[i].reciprocal) {
+        const double v = element_values[i * stride + p];
+        chain = -1.0 / (v * v);
+      }
+      const double* const per_sym = ws.program_outputs.data() + (i + 1) * (nm + 1) * count;
+      const double dd = per_sym[nm * count + p];  // d det / d symbol_i
+      double dpk = d;
+      for (std::size_t k = 0; k < nm; ++k) {
+        const double m_k = moments_out[k * out_stride + p];
+        const double dm_sym =
+            per_sym[k * count + p] / dpk - static_cast<double>(k + 1) * m_k * (dd / d);
+        grads_out[(i * nm + k) * grad_stride + p] = dm_sym * chain;
+        dpk *= d;
+      }
+    }
+  }
 }
 
 std::vector<double> CompiledModel::moments_uncompiled(

@@ -63,10 +63,13 @@ struct ModelOptions {
   std::size_t order = 2;
   bool enforce_stability = true;
   bool allow_order_fallback = true;
-  /// Also compile the exact symbolic gradients dN_k/de (polynomial
-  /// differentiation + the same CSE pass), enabling
-  /// moments_and_gradients() — sensitivity information over the whole
-  /// symbol range at compiled-evaluation cost.
+  /// Also compile the exact symbolic gradients via reverse-mode
+  /// differentiation over the compiled DAG (DESIGN.md §14): one backward
+  /// sweep per moment root yields dN_k/de for ALL symbols at once, appended
+  /// to the same hash-consed graph so the gradient program shares every
+  /// primal subterm.  Enables moments_and_gradients() and
+  /// moments_and_gradients_batch() — sensitivity information over the
+  /// whole symbol range at compiled-evaluation cost.
   bool with_gradients = false;
 };
 
@@ -195,6 +198,35 @@ class CompiledModel {
       std::span<const double> element_values) const;
   bool has_gradients() const { return grad_program_.has_value(); }
 
+  /// Batched structure-of-arrays scratch sized for the GRADIENT program
+  /// (same shape as make_batch_workspace, but with the gradient stream's
+  /// larger output block and register file).  Requires with_gradients.
+  BatchWorkspace make_gradient_batch_workspace(std::size_t width) const;
+
+  /// Batched moments AND gradients: ONE gradient-program run per lane
+  /// block evaluates the primal moments and d(moments)/d(element value)
+  /// for every symbol simultaneously (the gradient stream embeds the
+  /// primal outputs — DESIGN.md §14).  Same layout contract as
+  /// moments_batch for element_values/moments_out/ok; gradient (k, i) of
+  /// point p lands at grads_out[(i*moment_count() + k)*grad_stride + p],
+  /// chain-ruled to ELEMENT values (reciprocal symbols included) exactly
+  /// as moments_and_gradients().  Failed lanes (ok[p] == 0) get NaN
+  /// moments and gradients.  In EvalMode::kStrict every lane is
+  /// bit-identical to the scalar moments_and_gradients() regardless of
+  /// count, thread, or backend.  Requires with_gradients (throws
+  /// std::logic_error otherwise).
+  void moments_and_gradients_batch(std::span<const double> element_values,
+                                   std::size_t stride, std::size_t count,
+                                   BatchWorkspace& ws, std::span<double> moments_out,
+                                   std::size_t out_stride, std::span<double> grads_out,
+                                   std::size_t grad_stride, std::span<unsigned char> ok,
+                                   EvalMode mode = EvalMode::kStrict,
+                                   EvalBackend backend = EvalBackend::kInterpreter) const;
+
+  /// True when a validated native module is attached for the gradient
+  /// program as well (kNative gradient batches run machine code).
+  bool has_native_gradients() const { return native_grad_ != nullptr; }
+
   /// Reference (uncompiled) moment evaluation — term-by-term polynomial
   /// evaluation; used by tests and the compilation ablation bench.
   std::vector<double> moments_uncompiled(std::span<const double> element_values) const;
@@ -217,6 +249,12 @@ class CompiledModel {
   std::size_t instruction_count() const { return program_.instruction_count(); }
   std::size_t fused_instruction_count() const { return program_.fused_instruction_count(); }
   std::size_t register_count() const { return program_.register_count(); }
+  /// Strict-stream length of the reverse-mode gradient program (0 when the
+  /// model was built without gradients) — the work-rate normalizer for the
+  /// gradient-sweep bench rows.
+  std::size_t gradient_instruction_count() const {
+    return grad_program_ ? grad_program_->instruction_count() : 0;
+  }
   std::size_t port_count() const { return sym_.port_count; }
 
   /// Export the compiled moment program as standalone C source:
@@ -253,14 +291,22 @@ class CompiledModel {
 
   part::SymbolicMoments sym_;
   symbolic::CompiledProgram program_;  // outputs: [N_0 .. N_{2q-1}, det(Y0)]
-  /// Gradient program outputs: per symbol i: [dN_0/de_i .. dN_{2q-1}/de_i,
-  /// d det/de_i] (internal symbol variables).
+  /// Reverse-mode gradient program (DESIGN.md §14).  Outputs embed the
+  /// primal block first, then one adjoint block per symbol:
+  ///   [N_0 .. N_{2q-1}, det,
+  ///    per symbol i: dN_0/ds_i .. dN_{2q-1}/ds_i, d det/ds_i]
+  /// over the INTERNAL symbol variables s (resistors enter as
+  /// conductances; the element-value chain rule is applied at evaluation
+  /// time).  One run yields moments and all gradients.
   std::optional<symbolic::CompiledProgram> grad_program_;
   /// AOT module for program_, when attach_native succeeded (shared: copies
   /// of the model share one dlopen handle).  Never required for
   /// correctness — every kNative call path falls back to the interpreter
   /// when this is null.
   std::shared_ptr<const native::NativeModule> native_;
+  /// AOT module for grad_program_, attached alongside native_ when the
+  /// model carries gradients.  Same fallback contract.
+  std::shared_ptr<const native::NativeModule> native_grad_;
   ModelOptions opts_;
 };
 

@@ -9,6 +9,11 @@
 namespace awe::core {
 
 inline constexpr char kModelMagic[4] = {'A', 'W', 'E', 'M'};
-inline constexpr std::uint32_t kModelFormatVersion = 2;
+// v3: the optional gradient section switched from the forward-mode
+// derivative-only layout to the reverse-mode stream (primal block embedded
+// first, then one adjoint block per symbol — DESIGN.md §14).  The section
+// framing is unchanged; the bump exists to reject v2 gradient programs,
+// whose outputs a v3 reader would misinterpret.
+inline constexpr std::uint32_t kModelFormatVersion = 3;
 
 }  // namespace awe::core

@@ -8,6 +8,9 @@
 //                      det_y0; u64 port_count, u64 global_dim},
 //     CompiledProgram (see symbolic/compile_io.cpp),
 //     u8 has_gradients [, CompiledProgram gradient].
+// The v3 gradient program is the reverse-mode stream (DESIGN.md §14): its
+// outputs are [primal block, per symbol i: adjoint block], so its output
+// count must equal (nsym + 1) * (2*order + 1) — validated below.
 // Every container is ordered and every double is written bit-exact, so
 // save -> load -> save round trips byte-identically (asserted by
 // test_model_cache and the CI cache-determinism job).  The checksum makes
@@ -138,6 +141,11 @@ CompiledModel CompiledModel::load_payload(std::istream& is) {
     throw std::runtime_error("CompiledModel::load: program/moments mismatch");
   if (opts.with_gradients != grad_program.has_value())
     throw std::runtime_error("CompiledModel::load: gradient flag mismatch");
+  if (grad_program &&
+      (grad_program->input_count() != sym.symbols.size() ||
+       grad_program->output_count() !=
+           (sym.symbols.size() + 1) * (sym.numerators.size() + 1)))
+    throw std::runtime_error("CompiledModel::load: gradient program layout mismatch");
   if (sym.numerators.size() != 2 * opts.order)
     throw std::runtime_error("CompiledModel::load: moment count mismatch");
 

@@ -1,0 +1,185 @@
+#include "engine/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace awe::opt {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Measure + gradient from a MomentsAndGradients evaluation.  All three
+/// measures are smooth functions of (m_0, m_1) wherever they are defined;
+/// division by a vanishing m_0/m_1 surfaces as inf/NaN and is handled by
+/// the callers' residual checks.
+MeasureValue measure_from(const core::CompiledModel::MomentsAndGradients& mg,
+                          Measure measure, std::size_t nsym) {
+  MeasureValue out;
+  out.gradient.assign(nsym, 0.0);
+  const double m0 = mg.moments.at(0);
+  const double m1 = mg.moments.at(1);
+  switch (measure) {
+    case Measure::kDcGain:
+      out.value = m0;
+      for (std::size_t i = 0; i < nsym; ++i) out.gradient[i] = mg.dm[0][i];
+      break;
+    case Measure::kElmoreDelay:
+      out.value = -m1 / m0;
+      for (std::size_t i = 0; i < nsym; ++i)
+        out.gradient[i] = -mg.dm[1][i] / m0 + m1 * mg.dm[0][i] / (m0 * m0);
+      break;
+    case Measure::kPole1Hz: {
+      const double r = m0 / m1;  // first-order pole magnitude estimate
+      out.value = std::abs(r) / kTwoPi;
+      const double sign = r < 0.0 ? -1.0 : 1.0;
+      for (std::size_t i = 0; i < nsym; ++i) {
+        const double dr = mg.dm[0][i] / m1 - m0 * mg.dm[1][i] / (m1 * m1);
+        out.gradient[i] = sign * dr / kTwoPi;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(Measure m) {
+  switch (m) {
+    case Measure::kDcGain: return "dcgain";
+    case Measure::kElmoreDelay: return "elmore";
+    case Measure::kPole1Hz: return "pole1";
+  }
+  return "?";
+}
+
+bool parse_measure(const std::string& name, Measure& out) {
+  if (name == "dcgain") out = Measure::kDcGain;
+  else if (name == "elmore") out = Measure::kElmoreDelay;
+  else if (name == "pole1") out = Measure::kPole1Hz;
+  else return false;
+  return true;
+}
+
+MeasureValue eval_measure(const core::CompiledModel& model, Measure measure,
+                          std::span<const double> x) {
+  return measure_from(model.moments_and_gradients(x), measure, model.symbol_count());
+}
+
+RecenterResult recenter_nominal(const core::CompiledModel& model,
+                                const RecenterOptions& opts, std::span<const double> x0) {
+  const std::size_t nsym = model.symbol_count();
+  if (x0.size() != nsym)
+    throw std::invalid_argument("recenter_nominal: one starting value per symbol");
+  for (const double v : x0)
+    if (!(v > 0.0))
+      throw std::invalid_argument("recenter_nominal: starting values must be positive");
+
+  RecenterResult res;
+  res.x.assign(x0.begin(), x0.end());
+
+  const auto residual_of = [&](double value) {
+    const double scale = std::max(std::abs(opts.target), std::abs(value));
+    return scale > 0.0 ? std::abs(value - opts.target) / scale
+                       : std::abs(value - opts.target);
+  };
+
+  MeasureValue mv = eval_measure(model, opts.measure, res.x);
+  res.value = mv.value;
+  res.residual = residual_of(mv.value);
+  const double max_log_step = std::log1p(opts.max_step);
+
+  for (std::size_t it = 0; it < opts.max_iters; ++it) {
+    if (!std::isfinite(res.residual)) break;
+    if (res.residual <= opts.tol) {
+      res.converged = true;
+      break;
+    }
+    // Log-space gradient: u_i = ln x_i, df/du_i = g_i * x_i.
+    std::vector<double> gu(nsym);
+    double gnorm2 = 0.0;
+    for (std::size_t i = 0; i < nsym; ++i) {
+      gu[i] = mv.gradient[i] * res.x[i];
+      gnorm2 += gu[i] * gu[i];
+    }
+    if (!(gnorm2 > 0.0) || !std::isfinite(gnorm2)) break;  // flat or broken
+
+    // Gauss-Newton step for the scalar residual f(x) - target, clamped to
+    // a relative box so one iteration never jumps further than max_step.
+    const double r = mv.value - opts.target;
+    std::vector<double> du(nsym);
+    for (std::size_t i = 0; i < nsym; ++i) {
+      du[i] = -r * gu[i] / gnorm2;
+      du[i] = std::clamp(du[i], -max_log_step, max_log_step);
+    }
+
+    // Backtracking: halve the step until the residual actually shrinks.
+    double scale = 1.0;
+    bool improved = false;
+    std::vector<double> trial(nsym);
+    MeasureValue trial_mv;
+    for (int bt = 0; bt < 8; ++bt, scale *= 0.5) {
+      for (std::size_t i = 0; i < nsym; ++i)
+        trial[i] = res.x[i] * std::exp(scale * du[i]);
+      trial_mv = eval_measure(model, opts.measure, trial);
+      const double trial_res = residual_of(trial_mv.value);
+      if (std::isfinite(trial_res) && trial_res < res.residual) {
+        res.x = trial;
+        mv = std::move(trial_mv);
+        res.value = mv.value;
+        res.residual = trial_res;
+        improved = true;
+        break;
+      }
+    }
+    ++res.iterations;
+    res.residual_history.push_back(res.residual);
+    if (!improved) break;  // stalled: every backtracked step made it worse
+  }
+  if (res.residual <= opts.tol) res.converged = true;
+  return res;
+}
+
+CornerSearchResult worst_case_corner(const core::CompiledModel& model,
+                                     const CornerSearchOptions& opts) {
+  const std::size_t nsym = model.symbol_count();
+  if (opts.lo.size() != nsym || opts.hi.size() != nsym)
+    throw std::invalid_argument("worst_case_corner: one lo/hi pair per symbol");
+  for (std::size_t i = 0; i < nsym; ++i)
+    if (!(opts.lo[i] <= opts.hi[i]))
+      throw std::invalid_argument("worst_case_corner: lo must be <= hi");
+
+  CornerSearchResult res;
+  // Start at the box midpoint: its gradient signs pick the first corner.
+  res.corner.resize(nsym);
+  std::vector<double> x(nsym);
+  for (std::size_t i = 0; i < nsym; ++i) x[i] = 0.5 * (opts.lo[i] + opts.hi[i]);
+
+  const double dir = opts.maximize ? 1.0 : -1.0;
+  for (std::size_t it = 0; it < opts.max_iters; ++it) {
+    ++res.iterations;
+    const MeasureValue mv = eval_measure(model, opts.measure, x);
+    bool moved = false;
+    for (std::size_t i = 0; i < nsym; ++i) {
+      // Move toward the face the (signed) gradient points at; a zero
+      // gradient keeps the symbol where it is (deterministic tie-break).
+      const double g = dir * mv.gradient[i];
+      const double next = g > 0.0 ? opts.hi[i] : g < 0.0 ? opts.lo[i] : x[i];
+      if (next != x[i]) {
+        x[i] = next;
+        moved = true;
+      }
+    }
+    if (!moved) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.corner = x;
+  res.value = eval_measure(model, opts.measure, x).value;
+  return res;
+}
+
+}  // namespace awe::opt

@@ -1,6 +1,8 @@
 #include "engine/sweep.hpp"
 
 #include <algorithm>
+
+#include "awe/sensitivity.hpp"
 #include <cmath>
 #include <limits>
 #include <optional>
@@ -265,6 +267,12 @@ SweepResult run_sweep(const core::CompiledModel& model, std::vector<double> poin
   if (points.size() != nsym * num_points)
     throw std::invalid_argument("run_sweep: points.size() must be symbol_count*num_points");
 
+  const bool want_grads = opts.gradients || opts.pole_sensitivities;
+  if (want_grads && !model.has_gradients())
+    throw std::invalid_argument(
+        "run_sweep: SweepOptions::gradients requires a model built with "
+        "ModelOptions::with_gradients");
+
   SweepResult res;
   res.num_points = num_points;
   res.num_symbols = nsym;
@@ -277,6 +285,14 @@ SweepResult run_sweep(const core::CompiledModel& model, std::vector<double> poin
   const bool need_rom = opts.with_rom || static_cast<bool>(opts.pass_predicate);
   if (need_rom) res.rom = make_rom_samples(num_points, model.order());
   if (opts.pass_predicate) res.pass.assign(num_points, 0);
+  if (want_grads) res.gradients.assign(nsym * nm * num_points, 0.0);
+  if (opts.pole_sensitivities) {
+    res.sensitivities.emplace();
+    res.sensitivities->max_order = model.order();
+    res.sensitivities->num_symbols = nsym;
+    res.sensitivities->ok.assign(num_points, 0);
+    res.sensitivities->dpole.assign(num_points * model.order() * nsym, {kNaN, kNaN});
+  }
   if (num_points == 0) {
     finalize_result(res);
     return res;
@@ -297,16 +313,35 @@ SweepResult run_sweep(const core::CompiledModel& model, std::vector<double> poin
   try {
     pool->parallel_chunks(n, [&](std::size_t worker, std::size_t begin, std::size_t end) {
       health::HealthReport& hr = worker_health[worker];
-      core::BatchWorkspace ws = model.make_batch_workspace(width);
+      core::BatchWorkspace ws = want_grads ? model.make_gradient_batch_workspace(width)
+                                           : model.make_batch_workspace(width);
       std::optional<core::BatchWorkspace> ws1;
       std::vector<double> lane(nm);
       std::vector<engine::PadeResult> pre;
+      // Per-point chain-rule scratch for the pole-sensitivity pass.
+      std::vector<std::vector<double>> dm_point;
+      std::vector<bool> all_active;
+      if (opts.pole_sensitivities) {
+        dm_point.assign(nm, std::vector<double>(nsym, 0.0));
+        all_active.assign(nsym, true);
+      }
       for (std::size_t b = begin; b < end; b += width) {
         const std::size_t w = std::min(width, end - b);
-        model.moments_batch(
-            std::span<const double>(res.points.data() + b, res.points.size() - b), n, w, ws,
-            std::span<double>(res.moments.data() + b, res.moments.size() - b), n,
-            std::span<unsigned char>(res.ok.data() + b, w), opts.mode, opts.backend);
+        if (want_grads) {
+          // One gradient-program run yields moments AND all gradients (the
+          // stream embeds the primal outputs), keeping the forward path's
+          // disjoint-slot writes and strict bit-identity.
+          model.moments_and_gradients_batch(
+              std::span<const double>(res.points.data() + b, res.points.size() - b), n, w, ws,
+              std::span<double>(res.moments.data() + b, res.moments.size() - b), n,
+              std::span<double>(res.gradients.data() + b, res.gradients.size() - b), n,
+              std::span<unsigned char>(res.ok.data() + b, w), opts.mode, opts.backend);
+        } else {
+          model.moments_batch(
+              std::span<const double>(res.points.data() + b, res.points.size() - b), n, w, ws,
+              std::span<double>(res.moments.data() + b, res.moments.size() - b), n,
+              std::span<unsigned char>(res.ok.data() + b, w), opts.mode, opts.backend);
+        }
         if (need_rom) {
           // Batched q x q Padé solves straight off the SoA moment block.
           // A fast-mode strict re-eval below rewrites the lane, so the
@@ -331,6 +366,38 @@ SweepResult run_sweep(const core::CompiledModel& model, std::vector<double> poin
               out = fit;
             } else {
               out.stage = std::max(out.stage, fit.stage);
+            }
+          }
+          if (opts.pole_sensitivities && out.fail == health::FailClass::kNone) {
+            // Chain this point's moment gradients through the Padé/Hankel
+            // system.  Pure per-point work on disjoint slots, so the sweep
+            // determinism guarantee is untouched; a singular Hankel system
+            // or non-finite gradients leave NaN rows and a 0 flag.
+            bool finite = lanes_finite(res.moments, nm, n, p);
+            for (std::size_t i = 0; i < nsym && finite; ++i)
+              for (std::size_t k = 0; k < nm; ++k) {
+                const double g = res.gradients[(i * nm + k) * n + p];
+                if (!std::isfinite(g)) {
+                  finite = false;
+                  break;
+                }
+                dm_point[k][i] = g;
+              }
+            if (finite) {
+              for (std::size_t k = 0; k < nm; ++k) lane[k] = res.moments[k * n + p];
+              try {
+                const auto pz = engine::pole_zero_sensitivities_from_dm(
+                    lane, dm_point, all_active, ropts.order);
+                SensitivitySamples& ss = *res.sensitivities;
+                const std::size_t nj = std::min(pz.poles.size(), ss.max_order);
+                for (std::size_t j = 0; j < nj; ++j)
+                  for (std::size_t i = 0; i < nsym; ++i)
+                    ss.dpole[(p * ss.max_order + j) * nsym + i] = pz.dpole[j][i];
+                ss.ok[p] = 1;
+              } catch (const std::runtime_error&) {
+                // Singular Hankel system: the flag stays 0 and the point's
+                // rows stay NaN — skip-not-fail, like the fuzz oracles.
+              }
             }
           }
           res.ladder_stage[p] = static_cast<std::uint8_t>(out.stage);
@@ -359,6 +426,9 @@ std::vector<SweepResult> run_sweep(const core::MultiOutputModel& model,
   const std::size_t nout = model.output_count();
   if (points.size() != nsym * num_points)
     throw std::invalid_argument("run_sweep: points.size() must be symbol_count*num_points");
+  if (opts.gradients || opts.pole_sensitivities)
+    throw std::invalid_argument(
+        "run_sweep: gradients are supported for single-output models only");
   const std::size_t n = num_points;
 
   std::vector<SweepResult> results(nout);

@@ -69,6 +69,22 @@ struct SweepOptions {
   /// pole-location criterion for yield).  Setting it implies per-point ROM
   /// extraction; points whose evaluation or ROM fit fails count as fails.
   std::function<bool(const engine::ReducedOrderModel&)> pass_predicate;
+  /// Evaluate d(moments)/d(element value) for all symbols at every point
+  /// through the model's reverse-mode gradient program (requires a model
+  /// built with ModelOptions::with_gradients; throws std::invalid_argument
+  /// otherwise).  Fills SweepResult::gradients.  The gradient stream
+  /// embeds the primal outputs, so this replaces — not duplicates — the
+  /// forward program run; in kStrict the moments AND gradients are
+  /// bit-identical across thread counts and batch widths, exactly like the
+  /// forward path (DESIGN.md §14).
+  bool gradients = false;
+  /// With `gradients`: additionally chain each point's moment gradients
+  /// through the Padé/Hankel system (pole_zero_sensitivities_from_dm) to
+  /// per-point pole sensitivities, filling SweepResult::sensitivities.
+  /// Per-point and cross-point-state-free, so the determinism guarantee is
+  /// preserved.  Points whose Hankel system is singular get NaN rows and a
+  /// 0 flag — never a sweep failure.
+  bool pole_sensitivities = false;
   /// Reuse an existing pool across sweeps (overrides `threads`).
   ThreadPool* pool = nullptr;
 };
@@ -90,6 +106,18 @@ struct RomSamples {
   std::vector<double> dc_gain;               ///< per point (NaN on failure)
 };
 
+/// Per-point pole sensitivities (SweepOptions::pole_sensitivities),
+/// flattened SoA-style like RomSamples.  Points whose chain-rule solve
+/// failed (singular Hankel system, non-finite gradients) keep NaN slots
+/// and a 0 ok flag.
+struct SensitivitySamples {
+  std::size_t max_order = 0;
+  std::size_t num_symbols = 0;
+  std::vector<std::uint8_t> ok;  ///< per point: chain rule succeeded
+  /// d p_j / d v_i at point p: dpole[(p*max_order + j)*num_symbols + i].
+  std::vector<std::complex<double>> dpole;
+};
+
 struct SweepResult {
   std::size_t num_points = 0;
   std::size_t num_symbols = 0;
@@ -101,6 +129,12 @@ struct SweepResult {
   std::vector<Stats> moment_stats;  ///< one per moment, over ok points
   std::optional<RomSamples> rom;    ///< filled when SweepOptions::with_rom
   std::optional<Stats> dc_gain_stats;  ///< filled alongside rom/predicate
+  /// SoA moment gradients (SweepOptions::gradients): d m_k / d v_i at
+  /// point p sits at [(i*num_moments + k)*num_points + p], chain-ruled to
+  /// ELEMENT values.  NaN for failed points; empty without the option.
+  std::vector<double> gradients;
+  /// Per-point pole sensitivities (SweepOptions::pole_sensitivities).
+  std::optional<SensitivitySamples> sensitivities;
   std::size_t ok_count = 0;
   std::size_t pass_count = 0;
   /// Per point: deepest LadderStage that ran for it (values of LadderStage).
@@ -113,6 +147,9 @@ struct SweepResult {
 
   double point(std::size_t symbol, std::size_t p) const { return points[symbol * num_points + p]; }
   double moment(std::size_t k, std::size_t p) const { return moments[k * num_points + p]; }
+  double gradient(std::size_t symbol, std::size_t k, std::size_t p) const {
+    return gradients[(symbol * num_moments + k) * num_points + p];
+  }
   LadderStage point_stage(std::size_t p) const {
     return static_cast<LadderStage>(ladder_stage[p]);
   }

@@ -677,6 +677,92 @@ std::string CompiledProgram::to_c_source_batch(std::string_view function_name,
   return src;
 }
 
+std::vector<NodeId> reverse_gradients(ExprGraph& graph, std::span<const NodeId> roots) {
+  constexpr NodeId kNone = 0xffffffffu;
+  const std::uint32_t ninputs = graph.input_count();
+
+  // Map input index -> defining node.  Scanned once up front: the adjoint
+  // nodes appended below never introduce new inputs.
+  const std::size_t primal_nodes = graph.node_count();
+  std::vector<NodeId> input_node(ninputs, kNone);
+  for (NodeId id = 0; id < primal_nodes; ++id) {
+    const ExprNode& n = graph.node(id);
+    if (n.op == OpCode::kInput) input_node[n.a] = id;
+  }
+  const NodeId zero = graph.constant(0.0);
+  const NodeId one = graph.constant(1.0);
+
+  std::vector<NodeId> jac(roots.size() * ninputs, zero);
+  std::vector<NodeId> adj(primal_nodes, kNone);
+  std::vector<NodeId> touched;  // adjoint slots to reset between roots
+  for (std::size_t r = 0; r < roots.size(); ++r) {
+    const NodeId root = roots[r];
+    if (root >= primal_nodes)
+      throw std::invalid_argument("reverse_gradients: root is not a primal node");
+    for (const NodeId id : touched) adj[id] = kNone;
+    touched.clear();
+    adj[root] = one;
+    touched.push_back(root);
+
+    auto accumulate = [&](NodeId x, NodeId g) {
+      if (adj[x] == kNone) {
+        adj[x] = g;
+        touched.push_back(x);
+      } else {
+        adj[x] = graph.add(adj[x], g);
+      }
+    };
+
+    // Operand ids are strictly smaller than their consumer's id, so one
+    // descending sweep from the root reaches every node only after all of
+    // its consumers: each adjoint is final at the moment it is propagated.
+    for (NodeId id = root + 1; id-- > 0;) {
+      if (adj[id] == kNone) continue;
+      const NodeId g = adj[id];
+      // Copied BY VALUE: the graph.add/mul/div/neg calls below append nodes
+      // and may reallocate the node store, which would leave a reference
+      // dangling mid-case and propagate garbage operand ids.
+      const ExprNode n = graph.node(id);
+      switch (n.op) {
+        case OpCode::kConst:
+        case OpCode::kInput:
+          break;
+        case OpCode::kAdd:
+          accumulate(n.a, g);
+          accumulate(n.b, g);
+          break;
+        case OpCode::kSub:
+          accumulate(n.a, g);
+          accumulate(n.b, graph.neg(g));
+          break;
+        case OpCode::kMul:
+          accumulate(n.a, graph.mul(g, n.b));
+          accumulate(n.b, graph.mul(g, n.a));
+          break;
+        case OpCode::kDiv:
+          // q = a/b: dq/da = 1/b, dq/db = -q/b.  Expressing db's term
+          // through the primal quotient node `id` (instead of a/b^2) lets
+          // hash-consing share it with the forward value.
+          accumulate(n.a, graph.div(g, n.b));
+          accumulate(n.b, graph.neg(graph.div(graph.mul(g, id), n.b)));
+          break;
+        case OpCode::kNeg:
+          accumulate(n.a, graph.neg(g));
+          break;
+        case OpCode::kFma:
+        case OpCode::kFms:
+          throw std::invalid_argument("reverse_gradients: fused node in graph");
+      }
+    }
+
+    for (std::uint32_t i = 0; i < ninputs; ++i) {
+      const NodeId in = input_node[i];
+      if (in != kNone && adj[in] != kNone) jac[r * ninputs + i] = adj[in];
+    }
+  }
+  return jac;
+}
+
 namespace {
 
 /// Recursive Horner lowering. `terms` all share the ambient nvars.

@@ -147,6 +147,22 @@ class CompiledProgram {
   std::size_t input_count_ = 0;
 };
 
+/// Reverse-mode differentiation over the DAG (DESIGN.md §14): for each
+/// root, one backward sweep appends adjoint expression nodes computing
+/// d(root)/d(input i) for ALL inputs simultaneously, into the SAME graph —
+/// hash-consing shares every primal subterm with the forward pass and CSEs
+/// adjoint terms across roots, so compiling [roots..., jac...] as one
+/// CompiledProgram evaluates primals and gradients in a single stream.
+///
+/// Returns jac with jac[r * graph.input_count() + i] = node for
+/// d(roots[r])/d(input i); inputs a root does not depend on map to the
+/// constant-0 node.  Operand ids are always smaller than their consumer's
+/// id (nodes are interned bottom-up), so one descending id sweep per root
+/// is a valid reverse-topological order even while adjoint nodes are being
+/// appended.  Throws std::invalid_argument if the graph contains fused ops
+/// (kFma/kFms never appear in an ExprGraph).
+std::vector<NodeId> reverse_gradients(ExprGraph& graph, std::span<const NodeId> roots);
+
 /// Lower a polynomial into the DAG with recursive Horner factoring:
 /// repeatedly pull out the variable of highest degree, emitting
 /// (((c_d x + c_{d-1}) x + ...) x + c_0) with polynomial coefficients

@@ -52,6 +52,8 @@ std::string FuzzSummary::to_json() const {
   os << "  \"pade_flagged\": " << pade_flagged << ",\n";
   os << "  \"native_checked\": " << native_checked << ",\n";
   os << "  \"native_skipped\": " << native_skipped << ",\n";
+  os << "  \"gradients_checked\": " << gradients_checked << ",\n";
+  os << "  \"gradients_skipped\": " << gradients_skipped << ",\n";
   os << "  \"moments_compared\": " << moments_compared << ",\n";
   os << "  \"moments_skipped\": " << moments_skipped << ",\n";
   os << "  \"elements_generated\": " << elements_generated << ",\n";
@@ -98,6 +100,8 @@ FuzzSummary run_fuzz(const FuzzOptions& opts) {
     sum.moments_skipped += r.moments_skipped;
     if (!r.pade_ok) ++sum.pade_flagged;
     if (opts.oracle.native) ++(r.native_ran ? sum.native_checked : sum.native_skipped);
+    if (opts.oracle.gradients)
+      ++(r.gradients_ran ? sum.gradients_checked : sum.gradients_skipped);
     switch (r.status) {
       case OracleStatus::kAgree:
         ++sum.agree;

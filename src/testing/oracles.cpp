@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "awe/moments.hpp"
+#include "awe/sensitivity.hpp"
 #include "core/awesymbolic.hpp"
 #include "engine/sweep.hpp"
 #include "exact/exact_symbolic.hpp"
@@ -411,6 +412,109 @@ OracleResult run_oracles(const circuit::ParsedDeck& deck, const OracleOptions& o
   if (native_attached) {
     require_ok(native_strict_path, "native-strict");
     require_ok(native_fast_path, "native-fast");
+  }
+
+  // -- path 8: reverse-mode gradients (only on cleanly agreeing cases) ---
+  if (opts.gradients && res.status == OracleStatus::kAgree && !ill &&
+      strict_path.ok) {
+    try {
+      const auto gmodel = core::CompiledModel::build(
+          deck.netlist, deck.symbol_elements, deck.input_source, *out_node,
+          {.order = opts.order, .with_gradients = true});
+      const auto names = gmodel.symbol_names();
+      std::vector<double> gvalues(names.size());
+      for (std::size_t i = 0; i < names.size(); ++i)
+        gvalues[i] =
+            deck.netlist.elements()[*deck.netlist.find_element(names[i])].value;
+
+      const auto mg = gmodel.moments_and_gradients(gvalues);
+      // The gradient stream embeds the primal outputs and computes them in
+      // the same strict instruction order as the forward program, so the
+      // moments of the gradient run must be BIT-identical to the strict
+      // path — no tolerance (DESIGN.md §14).
+      for (std::size_t k = 0; k < nm; ++k) {
+        if (mg.moments[k] == strict_path.m[k]) continue;
+        res.status = OracleStatus::kMismatch;
+        res.mismatch_kind = "gradient primal not bit-identical";
+        res.detail = "gradient program's embedded moment " + std::to_string(k) +
+                     " differs from forward strict: " + fmt(mg.moments[k]) +
+                     " vs " + fmt(strict_path.m[k]);
+        return res;
+      }
+
+      engine::MomentGenerator gen(deck.netlist);
+      const auto ms =
+          engine::moment_sensitivities(gen, deck.input_source, *out_node, nm);
+      for (std::size_t i = 0;
+           i < names.size() && res.status == OracleStatus::kAgree; ++i) {
+        const std::size_t eidx = *deck.netlist.find_element(names[i]);
+        if (!ms.differentiable[eidx]) {
+          // Skip, never fail: the adjoint declares this element's value
+          // non-differentiable (e.g. a controlled-source gain outside the
+          // supported set), so there is no second mechanism to check the
+          // reverse-mode number against.
+          res.gradient_skips += nm;
+          continue;
+        }
+        // Central FD of the forward strict path, relative step.
+        const double h = 1e-6 * std::abs(gvalues[i]);
+        auto hi = gvalues, lo = gvalues;
+        hi[i] += h;
+        lo[i] -= h;
+        const auto mh = gmodel.moments_at(hi);
+        const auto mlo = gmodel.moments_at(lo);
+        for (std::size_t k = 0; k < nm; ++k) {
+          // Gradient noise floor: the moment floor divided by the value,
+          // i.e. the same scale the gradient inherits by dimensions.
+          const double gfloor = floor[k] / std::max(std::abs(gvalues[i]), 1e-300);
+          const double c = k < cancel.size() ? cancel[k] : 1.0;
+          const double rev = mg.dm[k][i];
+          const double adj = ms.dm[k][eidx];
+          const double fd = (mh[k] - mlo[k]) / (2.0 * h);
+          const double denom_a = std::max(std::abs(rev), std::abs(adj));
+          if (denom_a <= gfloor || c > opts.cancel_skip) {
+            ++res.gradient_skips;
+            continue;
+          }
+          ++res.gradient_checks;
+          // Reverse vs adjoint: two machine-precision machineries, held to
+          // the cross-path tolerance widened by the moment's cancellation.
+          const double err_a = std::abs(rev - adj) / denom_a;
+          if (err_a > opts.cross_tol * std::clamp(c, 1.0, opts.ill_limit)) {
+            res.status = OracleStatus::kMismatch;
+            res.mismatch_kind = "gradient reverse vs adjoint";
+            std::ostringstream why;
+            why << "reverse-mode vs adjoint d(m_" << k << ")/d(" << names[i]
+                << "): " << fmt(rev) << " vs " << fmt(adj) << " (rel err "
+                << fmt(err_a) << ", cancellation " << fmt(c) << ")";
+            res.detail = why.str();
+            break;
+          }
+          // Reverse vs FD: truncation + subtraction noise dominate, so the
+          // tolerance is loose and floor-padded — FD is the independent
+          // sanity check, not the precision reference.
+          const double err_f =
+              std::abs(rev - fd) / std::max(denom_a, std::abs(fd));
+          if (err_f > 1e-3 * std::clamp(c, 1.0, opts.ill_limit) &&
+              std::abs(rev - fd) > 1e3 * gfloor) {
+            res.status = OracleStatus::kMismatch;
+            res.mismatch_kind = "gradient reverse vs fd";
+            std::ostringstream why;
+            why << "reverse-mode vs central FD d(m_" << k << ")/d(" << names[i]
+                << "): " << fmt(rev) << " vs " << fmt(fd) << " (rel err "
+                << fmt(err_f) << ", cancellation " << fmt(c) << ")";
+            res.detail = why.str();
+            break;
+          }
+        }
+      }
+      res.gradients_ran = true;
+    } catch (const std::exception& e) {
+      // Build/eval failure of the gradient rebuild on a deck every other
+      // path accepted: skip-not-fail, but leave the reason visible.
+      res.gradients_error = e.what();
+      res.health.record_failure(health::fail_class_of(e));
+    }
   }
 
   if (res.status == OracleStatus::kAgree && ill) {

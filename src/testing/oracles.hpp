@@ -70,6 +70,17 @@ struct OracleOptions {
   /// recorded in the health report as kNativeBackend and the native paths
   /// are SKIPPED, never reported as a mismatch.
   bool native = false;
+  /// Run the reverse-mode gradient program as an EIGHTH oracle: the deck is
+  /// rebuilt with ModelOptions::with_gradients and every d(m_k)/d(value) is
+  /// cross-checked three ways — reverse-mode vs central finite differences
+  /// of the strict path, reverse-mode vs the adjoint numeric
+  /// moment_sensitivities, and the gradient program's embedded primal
+  /// moments vs the forward program BIT-EXACTLY.  Non-differentiable
+  /// symbol elements (per the adjoint's `differentiable` mask) and
+  /// cancellation-dominated gradients are SKIPPED, never failed; a case
+  /// whose classification already isn't kAgree skips the oracle entirely
+  /// (OracleResult::gradients_ran stays false).
+  bool gradients = false;
 };
 
 struct OracleResult {
@@ -92,6 +103,15 @@ struct OracleResult {
   std::vector<double> native_strict, native_fast;
   bool native_ran = false;
   std::string native_error;
+  /// Eighth-oracle outcome (only with OracleOptions::gradients):
+  /// gradients_ran is false when the case was skipped wholesale (non-agree
+  /// classification, gradient build failure — gradients_error says why);
+  /// gradient_checks counts (symbol, moment) pairs compared and
+  /// gradient_skips the non-differentiable / cancellation-dominated pairs.
+  bool gradients_ran = false;
+  std::string gradients_error;
+  std::size_t gradient_checks = 0;
+  std::size_t gradient_skips = 0;
   double max_rel_err = 0.0;       ///< worst pairwise rel error over compared moments
   double worst_cancellation = 1.0;///< max c_k observed
   bool pade_ok = true;            ///< classification only, never a failure

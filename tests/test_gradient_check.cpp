@@ -1,0 +1,350 @@
+// End-to-end gradient checking of the reverse-mode subsystem (DESIGN.md
+// §14): every compiled gradient is validated by at least two independent
+// mechanisms —
+//   * a finite-difference property harness (central differences with a
+//     step-size sweep and Richardson extrapolation) on golden circuits
+//     AND on a population of generated well-posed netlists, with
+//     tolerances scaled by the moments' cancellation condition;
+//   * tight cross-validation against the adjoint numeric
+//     moment_sensitivities machinery (a completely separate derivation:
+//     numeric MNA recursion vs compiled symbolic DAG);
+//   * bit-identity of the batched gradient path against the scalar path,
+//     and of sweep gradients across thread counts and batch widths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "awe/sensitivity.hpp"
+#include "circuits/fig1_rc.hpp"
+#include "circuits/ladders.hpp"
+#include "circuits/opamp741.hpp"
+#include "core/awesymbolic.hpp"
+#include "engine/sweep.hpp"
+#include "testing/netlist_gen.hpp"
+
+namespace awe {
+namespace {
+
+struct GoldenCase {
+  std::string name;
+  circuit::Netlist netlist;
+  std::vector<std::string> symbols;
+  std::string input;
+  circuit::NodeId out = 0;
+};
+
+std::vector<GoldenCase> golden_cases() {
+  std::vector<GoldenCase> cases;
+  {
+    auto fig = circuits::make_fig1();
+    cases.push_back({"fig1", fig.netlist, {"g2", "c2"},
+                     circuits::Fig1Circuit::kInput, fig.v2});
+  }
+  {
+    auto ladder = circuits::make_rc_ladder({.segments = 6});
+    cases.push_back({"ladder6", ladder.netlist, {"rdrv", "r2", "c3"},
+                     circuits::LadderCircuit::kInput, ladder.out});
+  }
+  {
+    auto amp = circuits::make_opamp741();
+    cases.push_back({"opamp741", amp.netlist,
+                     {circuits::Opamp741Circuit::kSymbolGout,
+                      circuits::Opamp741Circuit::kSymbolCcomp},
+                     circuits::Opamp741Circuit::kInput, amp.out});
+  }
+  return cases;
+}
+
+std::vector<double> nominal_values(const GoldenCase& c) {
+  std::vector<double> values;
+  for (const auto& name : c.symbols)
+    values.push_back(c.netlist.elements()[*c.netlist.find_element(name)].value);
+  return values;
+}
+
+/// Cancellation factor of moment k against its natural magnitude
+/// |m_0| tau^k (tau from the dominant moment ratio): how many digits the
+/// recursion lost to subtraction, hence how much tolerance it has earned.
+double cancellation(const std::vector<double>& m, std::size_t k) {
+  if (m.empty() || m[0] == 0.0 || m[k] == 0.0) return 1.0;
+  const double tau = m.size() > 1 && m[1] != 0.0 ? std::abs(m[1] / m[0]) : 1.0;
+  const double natural = std::abs(m[0]) * std::pow(tau, static_cast<double>(k));
+  return std::max(1.0, natural / std::abs(m[k]));
+}
+
+/// Central difference of moment k w.r.t. symbol i at relative step h_rel.
+double central_fd(const core::CompiledModel& model, std::vector<double> values,
+                  std::size_t i, std::size_t k, double h_rel) {
+  const double h = h_rel * std::abs(values[i]);
+  auto hi = values, lo = values;
+  hi[i] += h;
+  lo[i] -= h;
+  return (model.moments_at(hi)[k] - model.moments_at(lo)[k]) / (2.0 * h);
+}
+
+/// Richardson-extrapolated central difference: the O(h^2) truncation terms
+/// of D(h) and D(h/2) cancel, leaving O(h^4) + roundoff noise.
+double richardson_fd(const core::CompiledModel& model, const std::vector<double>& values,
+                     std::size_t i, std::size_t k, double h_rel) {
+  const double d1 = central_fd(model, values, i, k, h_rel);
+  const double d2 = central_fd(model, values, i, k, 0.5 * h_rel);
+  return (4.0 * d2 - d1) / 3.0;
+}
+
+TEST(GradientCheck, FiniteDifferenceRichardsonOnGoldenCircuits) {
+  for (const auto& c : golden_cases()) {
+    const auto model =
+        core::CompiledModel::build(c.netlist, c.symbols, c.input, c.out,
+                                   {.order = 2, .with_gradients = true});
+    const auto values = nominal_values(c);
+    const auto mg = model.moments_and_gradients(values);
+    const std::size_t nm = mg.moments.size();
+    for (std::size_t i = 0; i < c.symbols.size(); ++i) {
+      for (std::size_t k = 0; k < nm; ++k) {
+        const double rev = mg.dm[k][i];
+        // Step-size sweep: FD noise is step-dependent, so the check is
+        // "SOME step in the sweep confirms the analytic value", never a
+        // single-step lottery.
+        double best_err = HUGE_VAL, best_scale = 0.0;
+        for (const double h_rel : {1e-3, 1e-4, 1e-5}) {
+          const double fd = richardson_fd(model, values, i, k, h_rel);
+          const double err = std::abs(rev - fd);
+          if (err < best_err) {
+            best_err = err;
+            best_scale = std::max(std::abs(rev), std::abs(fd));
+          }
+        }
+        // Condition-scaled tolerance: the gradient inherits the moment's
+        // cancellation, and the absolute floor is the moment's own scale
+        // divided by the value (what "zero gradient" means dimensionally).
+        const double cond = cancellation(mg.moments, k);
+        const double floor =
+            1e-9 * std::abs(mg.moments[k]) / std::max(std::abs(values[i]), 1e-300);
+        EXPECT_LE(best_err, 1e-6 * cond * best_scale + floor)
+            << c.name << " symbol " << c.symbols[i] << " moment " << k
+            << " rev=" << rev << " cond=" << cond;
+      }
+    }
+  }
+}
+
+TEST(GradientCheck, FiniteDifferenceOnGeneratedNetlists) {
+  // The same property over 50 generated well-posed decks: reverse-mode
+  // agrees with BOTH the adjoint machinery and a Richardson FD on every
+  // differentiable symbol, condition-permitting.  Skips are counted and
+  // bounded so the test cannot silently degenerate into a no-op.
+  std::size_t decks_checked = 0, pairs_checked = 0, pairs_skipped = 0;
+  for (std::size_t case_i = 0; case_i < 50; ++case_i) {
+    testing::GenOptions gen;
+    gen.seed = testing::case_seed(20260808, case_i);
+    const auto deck = testing::generate_deck(gen);
+    const auto out_node = deck.parsed.netlist.find_node(deck.parsed.output_node);
+    ASSERT_TRUE(out_node) << deck.text;
+
+    core::CompiledModel model = [&] {
+      return core::CompiledModel::build(
+          deck.parsed.netlist, deck.parsed.symbol_elements,
+          deck.parsed.input_source, *out_node, {.order = 2, .with_gradients = true});
+    }();
+    const auto names = model.symbol_names();
+    std::vector<double> values(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+      values[i] = deck.parsed.netlist.elements()[*deck.parsed.netlist.find_element(names[i])]
+                      .value;
+
+    const auto mg = model.moments_and_gradients(values);
+    const std::size_t nm = mg.moments.size();
+    bool finite = true;
+    for (const double m : mg.moments)
+      finite = finite && std::isfinite(m) && std::abs(m) < 1e100;
+    if (!finite) {
+      pairs_skipped += names.size() * nm;
+      continue;  // near-singular deck: no meaningful gradient to check
+    }
+    ++decks_checked;
+
+    engine::MomentGenerator mgen(deck.parsed.netlist);
+    const auto ms = engine::moment_sensitivities(mgen, deck.parsed.input_source,
+                                                 *out_node, nm);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const std::size_t eidx = *deck.parsed.netlist.find_element(names[i]);
+      if (!ms.differentiable[eidx]) {
+        pairs_skipped += nm;
+        continue;
+      }
+      for (std::size_t k = 0; k < nm; ++k) {
+        const double cond = cancellation(mg.moments, k);
+        if (cond > 1e9) {
+          ++pairs_skipped;  // the moment itself is cancellation noise
+          continue;
+        }
+        const double rev = mg.dm[k][i];
+        const double adj = ms.dm[k][eidx];
+        const double floor =
+            1e-12 * std::abs(mg.moments[k]) / std::max(std::abs(values[i]), 1e-300);
+        const double scale_a = std::max(std::abs(rev), std::abs(adj));
+        EXPECT_LE(std::abs(rev - adj), 1e-9 * cond * scale_a + floor)
+            << "seed " << gen.seed << " symbol " << names[i] << " moment " << k
+            << "\n" << deck.text;
+        const double fd = richardson_fd(model, values, i, k, 1e-5);
+        const double scale_f = std::max(scale_a, std::abs(fd));
+        EXPECT_LE(std::abs(rev - fd), 1e-4 * cond * scale_f + 1e3 * floor)
+            << "seed " << gen.seed << " symbol " << names[i] << " moment " << k
+            << "\n" << deck.text;
+        ++pairs_checked;
+      }
+    }
+  }
+  // The generator must keep producing decks this harness can actually
+  // check; these bounds fail loudly if the population drifts degenerate.
+  EXPECT_GE(decks_checked, 35u);
+  EXPECT_GE(pairs_checked, 200u);
+  EXPECT_LE(pairs_skipped, pairs_checked);
+}
+
+TEST(GradientCheck, AdjointCrossValidationIsTight) {
+  // Reverse-mode (compiled symbolic DAG) vs adjoint (numeric MNA
+  // recursion): two machine-precision derivations of the same quantity
+  // must agree to ~1e-12 RELATIVE on every differentiable element of the
+  // golden circuits, with only the moment's own cancellation as slack.
+  for (const auto& c : golden_cases()) {
+    const auto model =
+        core::CompiledModel::build(c.netlist, c.symbols, c.input, c.out,
+                                   {.order = 2, .with_gradients = true});
+    const auto values = nominal_values(c);
+    const auto mg = model.moments_and_gradients(values);
+    const std::size_t nm = mg.moments.size();
+    engine::MomentGenerator gen(c.netlist);
+    const auto ms = engine::moment_sensitivities(gen, c.input, c.out, nm);
+    for (std::size_t i = 0; i < c.symbols.size(); ++i) {
+      const std::size_t eidx = *c.netlist.find_element(c.symbols[i]);
+      ASSERT_TRUE(ms.differentiable[eidx]) << c.name << " " << c.symbols[i];
+      for (std::size_t k = 0; k < nm; ++k) {
+        const double rev = mg.dm[k][i];
+        const double adj = ms.dm[k][eidx];
+        const double cond = cancellation(mg.moments, k);
+        const double floor =
+            1e-15 * std::abs(mg.moments[k]) / std::max(std::abs(values[i]), 1e-300);
+        EXPECT_LE(std::abs(rev - adj),
+                  1e-12 * cond * std::max(std::abs(rev), std::abs(adj)) + floor)
+            << c.name << " symbol " << c.symbols[i] << " moment " << k
+            << " rev=" << rev << " adj=" << adj << " cond=" << cond;
+      }
+    }
+  }
+}
+
+TEST(GradientCheck, BatchGradientsBitIdenticalToScalar) {
+  for (const auto& c : golden_cases()) {
+    const auto model =
+        core::CompiledModel::build(c.netlist, c.symbols, c.input, c.out,
+                                   {.order = 2, .with_gradients = true});
+    const auto nominal = nominal_values(c);
+    const std::size_t nsym = nominal.size();
+    const std::size_t nm = 2 * model.order();
+
+    // A small SoA batch of scaled design points around the nominal.
+    const std::vector<double> factors{0.5, 0.9, 1.0, 1.3, 2.0};
+    const std::size_t n = factors.size();
+    std::vector<double> points(nsym * n);
+    for (std::size_t i = 0; i < nsym; ++i)
+      for (std::size_t p = 0; p < n; ++p)
+        points[i * n + p] = nominal[i] * factors[p];
+
+    auto ws = model.make_gradient_batch_workspace(n);
+    std::vector<double> moments(nm * n), grads(nsym * nm * n);
+    std::vector<unsigned char> ok(n, 0);
+    model.moments_and_gradients_batch(points, n, n, ws, moments, n, grads, n, ok);
+
+    for (std::size_t p = 0; p < n; ++p) {
+      ASSERT_TRUE(ok[p]) << c.name << " point " << p;
+      std::vector<double> values(nsym);
+      for (std::size_t i = 0; i < nsym; ++i) values[i] = points[i * n + p];
+      const auto mg = model.moments_and_gradients(values);
+      for (std::size_t k = 0; k < nm; ++k) {
+        // Strict batch lanes run the scalar instruction order: bit-equal.
+        EXPECT_EQ(moments[k * n + p], mg.moments[k]) << c.name << " k=" << k;
+        for (std::size_t i = 0; i < nsym; ++i)
+          EXPECT_EQ(grads[(i * nm + k) * n + p], mg.dm[k][i])
+              << c.name << " k=" << k << " i=" << i << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(GradientCheck, SweepGradientsBitIdenticalAcrossThreadCounts) {
+  auto ladder = circuits::make_rc_ladder({.segments = 6});
+  const auto model = core::CompiledModel::build(
+      ladder.netlist, {"rdrv", "r2", "c3"}, circuits::LadderCircuit::kInput,
+      ladder.out, {.order = 2, .with_gradients = true});
+
+  std::vector<sweep::Distribution> process;
+  for (const double v : nominal_values({"", ladder.netlist, {"rdrv", "r2", "c3"}, "", 0}))
+    process.push_back(sweep::Distribution::lognormal(v, 0.25));
+
+  const std::size_t n = 64;
+  auto run = [&](std::size_t threads, std::size_t width) {
+    sweep::SweepOptions opts;
+    opts.threads = threads;
+    opts.batch_width = width;
+    opts.gradients = true;
+    opts.pole_sensitivities = true;
+    return sweep::monte_carlo(model, process, n, 4242, opts);
+  };
+
+  const auto base = run(1, 64);
+  ASSERT_EQ(base.gradients.size(), 3 * base.num_moments * n);
+  ASSERT_TRUE(base.sensitivities.has_value());
+  std::size_t sens_ok = 0;
+  for (const auto f : base.sensitivities->ok) sens_ok += f;
+  EXPECT_GE(sens_ok, n / 2) << "pole sensitivity chain should mostly succeed";
+
+  for (const auto& [threads, width] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{4, 16}, {8, 5}}) {
+    const auto other = run(threads, width);
+    ASSERT_EQ(other.gradients.size(), base.gradients.size());
+    // memcmp, not EXPECT_DOUBLE_EQ: the determinism contract is BYTES.
+    EXPECT_EQ(std::memcmp(base.gradients.data(), other.gradients.data(),
+                          base.gradients.size() * sizeof(double)),
+              0)
+        << "threads=" << threads << " width=" << width;
+    EXPECT_EQ(std::memcmp(base.moments.data(), other.moments.data(),
+                          base.moments.size() * sizeof(double)),
+              0);
+    ASSERT_TRUE(other.sensitivities.has_value());
+    EXPECT_EQ(base.sensitivities->ok, other.sensitivities->ok);
+    EXPECT_EQ(std::memcmp(base.sensitivities->dpole.data(),
+                          other.sensitivities->dpole.data(),
+                          base.sensitivities->dpole.size() *
+                              sizeof(std::complex<double>)),
+              0)
+        << "threads=" << threads << " width=" << width;
+  }
+
+  // And the sweep's gradients are the scalar path's, bit-for-bit.
+  for (std::size_t p = 0; p < n; p += 7) {
+    if (!base.ok[p]) continue;
+    std::vector<double> values(3);
+    for (std::size_t i = 0; i < 3; ++i) values[i] = base.point(i, p);
+    const auto mg = model.moments_and_gradients(values);
+    for (std::size_t k = 0; k < base.num_moments; ++k)
+      for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(base.gradient(i, k, p), mg.dm[k][i]) << "p=" << p;
+  }
+}
+
+TEST(GradientCheck, SweepGradientsRequireGradientModel) {
+  auto fig = circuits::make_fig1();
+  const auto model =
+      core::CompiledModel::build(fig.netlist, {"g2"}, circuits::Fig1Circuit::kInput,
+                                 fig.v2, {.order = 2});
+  sweep::SweepOptions opts;
+  opts.gradients = true;
+  EXPECT_THROW(sweep::run_sweep(model, {1.0}, 1, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace awe

@@ -142,5 +142,38 @@ TEST(SymbolRanking, OpampPicksThePaperSymbols) {
     EXPECT_GE(ranked[i - 1].normalized_sensitivity, ranked[i].normalized_sensitivity);
 }
 
+TEST(SymbolRanking, NeverRanksNonDifferentiableElements) {
+  // Regression pin: the candidate list must contain ONLY elements whose
+  // value the sensitivity machinery can actually differentiate — an
+  // independent source or a VCVS gain must never appear, however sensitive
+  // the transfer function is to it.  (The compiled gradient subsystem
+  // relies on this filter: every ranked candidate is a legal .symbol for a
+  // with_gradients build.)
+  circuit::Netlist nl;
+  const auto in = nl.node("in");
+  const auto mid = nl.node("mid");
+  const auto amp_out = nl.node("ampout");
+  const auto out = nl.node("out");
+  nl.add_voltage_source("vin", in, circuit::kGround, 1.0);
+  nl.add_resistor("r1", in, mid, 1e3);
+  nl.add_capacitor("c1", mid, circuit::kGround, 1e-9);
+  nl.add_vcvs("e1", amp_out, circuit::kGround, mid, circuit::kGround, 10.0);
+  nl.add_resistor("r2", amp_out, out, 2e3);
+  nl.add_capacitor("c2", out, circuit::kGround, 0.5e-9);
+
+  MomentGenerator gen(nl);
+  const auto ms = moment_sensitivities(gen, "vin", out, 4);
+  const auto ranked = rank_symbol_candidates(nl, "vin", out, 2);
+  ASSERT_FALSE(ranked.empty());
+  for (const auto& cand : ranked) {
+    EXPECT_TRUE(ms.differentiable[cand.element_index])
+        << cand.name << " ranked despite being non-differentiable";
+    EXPECT_NE(cand.name, "e1");
+    EXPECT_NE(cand.name, "vin");
+  }
+  // The differentiable R/C population is all present and accounted for.
+  EXPECT_EQ(ranked.size(), 4u);
+}
+
 }  // namespace
 }  // namespace awe::engine

@@ -32,6 +32,13 @@
 //                        a seventh oracle.  Without a C compiler the
 //                        backend degrades to the interpreter and the
 //                        native lanes are skipped (never a mismatch).
+//   --gradients          rebuild each agreeing case with compiled
+//                        reverse-mode gradients and cross-check every
+//                        d(moment)/d(value) against central finite
+//                        differences AND the adjoint numeric
+//                        sensitivities — the gradient subsystem becomes
+//                        an eighth oracle.  Non-differentiable symbol
+//                        elements are skipped (never a mismatch).
 //   --quiet              summary line only
 //
 // Exit status: 0 = no mismatches, 1 = mismatches found, 2 = bad usage.
@@ -53,7 +60,7 @@ using namespace awe;
                "usage: %s [--count N] [--seed S] [--order Q] [--max-dim D]\n"
                "          [--max-nodes N] [--fault none|perturb-fast] [--no-shrink]\n"
                "          [--json FILE] [--minimized-out DIR] [--emit-corpus DIR]\n"
-               "          [--cache-dir DIR] [--native] [--quiet]\n",
+               "          [--cache-dir DIR] [--native] [--gradients] [--quiet]\n",
                argv0);
   std::exit(2);
 }
@@ -111,6 +118,8 @@ int main(int argc, char** argv) {
       opts.oracle.cache_dir = next();
     } else if (arg == "--native") {
       opts.oracle.native = true;
+    } else if (arg == "--gradients") {
+      opts.oracle.gradients = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {

@@ -1,0 +1,310 @@
+// awe_opt — gradient-driven design optimization over compiled models
+// (DESIGN.md §14).
+//
+// Built on the reverse-mode gradient subsystem: the deck's symbolic
+// elements are the design variables, their exact compiled gradients drive
+// nominal re-centering (hit a performance target) and worst-case corner
+// search, and the batched sweep engine scores the result statistically
+// (Monte Carlo yield before vs after).  Also the workhorse behind the
+// gradient-determinism CI job: --grad-dump writes every sweep gradient as
+// deterministic text, byte-compared across thread counts and backends.
+//
+// Usage:
+//   awe_opt [options] deck.sp
+// Options:
+//   --order Q         Padé order (default 2)
+//   --measure M       dcgain | elmore | pole1 (default pole1)
+//   --target V        re-center the nominal so the measure hits V
+//                     (log-space Gauss-Newton on the exact gradients)
+//   --corners FRAC    worst/best-case corner search over the box
+//                     [value*(1-FRAC), value*(1+FRAC)] per symbol
+//   --mc N            Monte Carlo sample count for the yield study
+//                     (lognormal around the nominal; with --target the
+//                     yield is reported before AND after re-centering)
+//   --sigma S         lognormal sigma for --mc (default 0.2)
+//   --seed S          Monte Carlo seed (default 1992)
+//   --spec-pole-hz F  yield spec: stable AND |Re p1|/2pi < F
+//   --grad-dump FILE  run a gradient sweep over the --mc points and write
+//                     moments, gradients and pole sensitivities as
+//                     deterministic text ("-" for stdout) — byte-identical
+//                     across thread counts in strict mode
+//   --threads N       sweep workers, 0 = hardware (default 1)
+//   --width W         sweep lane-block width (default 64)
+//   --fast            EvalMode::kFast (default strict)
+//   --native          AOT-compile the model and run kNative batches
+//   --cache-dir DIR   persistent model cache to build through
+//   --health-json F   write a HealthReport as JSON to F ("-" for stdout)
+//   --quiet           suppress the narrative lines
+// Exit status: 0 on success, 1 when a requested optimization failed to
+// improve/converge, 2 on bad usage or deck errors.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/parser.hpp"
+#include "core/model_cache.hpp"
+#include "engine/optimize.hpp"
+#include "engine/sweep.hpp"
+#include "health/report.hpp"
+
+namespace {
+
+using namespace awe;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--order Q] [--measure dcgain|elmore|pole1] [--target V]\n"
+               "          [--corners FRAC] [--mc N] [--sigma S] [--seed S]\n"
+               "          [--spec-pole-hz F] [--grad-dump FILE] [--threads N]\n"
+               "          [--width W] [--fast] [--native] [--cache-dir DIR]\n"
+               "          [--health-json FILE] [--quiet] deck.sp\n",
+               argv0);
+  std::exit(2);
+}
+
+/// Deterministic text serialization of a gradient sweep: every value
+/// printed with %.17g (round-trips doubles exactly), rows in a fixed
+/// order — so strict-mode runs byte-agree whatever the thread count.
+void dump_gradients(std::FILE* out, const sweep::SweepResult& res) {
+  std::fprintf(out, "# awe_opt grad dump points=%zu symbols=%zu moments=%zu\n",
+               res.num_points, res.num_symbols, res.num_moments);
+  for (std::size_t p = 0; p < res.num_points; ++p)
+    std::fprintf(out, "ok %zu %u\n", p, static_cast<unsigned>(res.ok[p]));
+  for (std::size_t k = 0; k < res.num_moments; ++k)
+    for (std::size_t p = 0; p < res.num_points; ++p)
+      std::fprintf(out, "m %zu %zu %.17g\n", k, p, res.moment(k, p));
+  for (std::size_t i = 0; i < res.num_symbols; ++i)
+    for (std::size_t k = 0; k < res.num_moments; ++k)
+      for (std::size_t p = 0; p < res.num_points; ++p)
+        std::fprintf(out, "g %zu %zu %zu %.17g\n", i, k, p, res.gradient(i, k, p));
+  if (res.sensitivities) {
+    const sweep::SensitivitySamples& ss = *res.sensitivities;
+    for (std::size_t p = 0; p < res.num_points; ++p) {
+      std::fprintf(out, "sok %zu %u\n", p, static_cast<unsigned>(ss.ok[p]));
+      for (std::size_t j = 0; j < ss.max_order; ++j)
+        for (std::size_t i = 0; i < ss.num_symbols; ++i) {
+          const auto d = ss.dpole[(p * ss.max_order + j) * ss.num_symbols + i];
+          std::fprintf(out, "s %zu %zu %zu %.17g %.17g\n", p, j, i, d.real(), d.imag());
+        }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ModelOptions mopts;
+  mopts.with_gradients = true;
+  core::BuildOptions bopts;
+  sweep::SweepOptions sopts;
+  sopts.threads = 1;
+  opt::Measure measure = opt::Measure::kPole1Hz;
+  std::optional<double> target;
+  std::optional<double> corners_frac;
+  std::size_t mc_n = 0;
+  double mc_sigma = 0.2;
+  std::uint64_t mc_seed = 1992;
+  std::optional<double> spec_pole_hz;
+  std::string grad_dump, cache_dir, health_json, deck_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--order") {
+      mopts.order = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--measure") {
+      if (!opt::parse_measure(next(), measure)) usage(argv[0]);
+    } else if (arg == "--target") {
+      target = std::strtod(next(), nullptr);
+    } else if (arg == "--corners") {
+      corners_frac = std::strtod(next(), nullptr);
+      if (!(*corners_frac > 0.0 && *corners_frac < 1.0)) usage(argv[0]);
+    } else if (arg == "--mc") {
+      mc_n = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--sigma") {
+      mc_sigma = std::strtod(next(), nullptr);
+    } else if (arg == "--seed") {
+      mc_seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--spec-pole-hz") {
+      spec_pole_hz = std::strtod(next(), nullptr);
+    } else if (arg == "--grad-dump") {
+      grad_dump = next();
+    } else if (arg == "--threads") {
+      sopts.threads = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--width") {
+      sopts.batch_width = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--fast") {
+      sopts.mode = core::EvalMode::kFast;
+    } else if (arg == "--native") {
+      bopts.backend = core::EvalBackend::kNative;
+      sopts.backend = core::EvalBackend::kNative;
+    } else if (arg == "--cache-dir") {
+      cache_dir = next();
+    } else if (arg == "--health-json") {
+      health_json = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else if (deck_path.empty()) {
+      deck_path = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (deck_path.empty() || mopts.order < 1) usage(argv[0]);
+  bopts.cache_dir = cache_dir;
+
+  int exit_code = 0;
+  try {
+    std::ifstream in(deck_path);
+    if (!in) throw std::runtime_error("cannot open deck");
+    const circuit::ParsedDeck deck = circuit::parse_deck(in);
+    if (deck.symbol_elements.empty() || deck.input_source.empty() ||
+        deck.output_node.empty())
+      throw std::runtime_error("deck needs .symbol/.input/.output directives");
+
+    const auto model =
+        core::CompiledModel::build(deck.netlist, deck.symbol_elements, deck.input_source,
+                                   deck.output_node, mopts, bopts);
+    const std::size_t nsym = model.symbol_count();
+
+    // The deck's symbol element values are the nominal design point.
+    std::vector<double> nominal(nsym);
+    {
+      const auto names = model.symbol_names();
+      for (std::size_t i = 0; i < nsym; ++i) {
+        const auto idx = deck.netlist.find_element(names[i]);
+        if (!idx) throw std::runtime_error("symbol element not in netlist");
+        nominal[i] = deck.netlist.elements()[*idx].value;
+      }
+    }
+
+    const auto m0 = opt::eval_measure(model, measure, nominal);
+    if (!quiet) {
+      std::printf("model: %zu symbols, %zu instructions (grad program attached)\n",
+                  nsym, model.instruction_count());
+      std::printf("nominal %s = %.6g  gradient [", opt::to_string(measure), m0.value);
+      for (std::size_t i = 0; i < nsym; ++i)
+        std::printf("%s%.6g", i ? ", " : "", m0.gradient[i]);
+      std::printf("]\n");
+    }
+
+    const auto yield_of = [&](std::span<const double> center) {
+      std::vector<sweep::Distribution> process;
+      for (std::size_t i = 0; i < nsym; ++i)
+        process.push_back(sweep::Distribution::lognormal(center[i], mc_sigma));
+      sweep::SweepOptions yopts = sopts;
+      yopts.with_rom = true;
+      const double limit = *spec_pole_hz;
+      yopts.pass_predicate = [limit](const engine::ReducedOrderModel& rom) {
+        const auto p1 = rom.dominant_pole();
+        return rom.is_stable() && p1.has_value() &&
+               std::abs(p1->real()) / (2.0 * M_PI) < limit;
+      };
+      return sweep::monte_carlo(model, process, mc_n, mc_seed, yopts).yield();
+    };
+
+    std::vector<double> center = nominal;
+    double yield_before = -1.0;
+    if (mc_n > 0 && spec_pole_hz) {
+      yield_before = yield_of(center);
+      if (!quiet) std::printf("yield at nominal: %.2f%%\n", 100.0 * yield_before);
+    }
+
+    if (target) {
+      opt::RecenterOptions ropts;
+      ropts.measure = measure;
+      ropts.target = *target;
+      const auto rec = opt::recenter_nominal(model, ropts, nominal);
+      if (!quiet) {
+        std::printf("recenter: %s %.6g -> %.6g (target %.6g) in %zu iters, %s\n",
+                    opt::to_string(measure), m0.value, rec.value, *target,
+                    rec.iterations, rec.converged ? "converged" : "NOT converged");
+        std::printf("recentered nominal [");
+        for (std::size_t i = 0; i < nsym; ++i)
+          std::printf("%s%.6g", i ? ", " : "", rec.x[i]);
+        std::printf("]\n");
+      }
+      if (!rec.converged) exit_code = 1;
+      center = rec.x;
+      if (mc_n > 0 && spec_pole_hz) {
+        const double yield_after = yield_of(center);
+        if (!quiet)
+          std::printf("yield after recenter: %.2f%% (was %.2f%%)\n",
+                      100.0 * yield_after, 100.0 * yield_before);
+        if (yield_after < yield_before) exit_code = 1;
+      }
+    }
+
+    if (corners_frac) {
+      opt::CornerSearchOptions copts;
+      copts.measure = measure;
+      copts.lo.resize(nsym);
+      copts.hi.resize(nsym);
+      for (std::size_t i = 0; i < nsym; ++i) {
+        copts.lo[i] = center[i] * (1.0 - *corners_frac);
+        copts.hi[i] = center[i] * (1.0 + *corners_frac);
+      }
+      for (const bool maximize : {true, false}) {
+        copts.maximize = maximize;
+        const auto cr = opt::worst_case_corner(model, copts);
+        if (!quiet) {
+          std::printf("%s-case corner: %s = %.6g at [", maximize ? "max" : "min",
+                      opt::to_string(measure), cr.value);
+          for (std::size_t i = 0; i < nsym; ++i)
+            std::printf("%s%.6g", i ? ", " : "", cr.corner[i]);
+          std::printf("] (%zu iters, %s)\n", cr.iterations,
+                      cr.converged ? "fixed point" : "iteration limit");
+        }
+      }
+    }
+
+    if (!grad_dump.empty()) {
+      const std::size_t n = mc_n > 0 ? mc_n : 256;
+      std::vector<sweep::Distribution> process;
+      for (std::size_t i = 0; i < nsym; ++i)
+        process.push_back(sweep::Distribution::lognormal(center[i], mc_sigma));
+      sweep::SweepOptions gopts = sopts;
+      gopts.gradients = true;
+      gopts.pole_sensitivities = true;
+      const auto res = sweep::monte_carlo(model, process, n, mc_seed, gopts);
+      std::FILE* out = grad_dump == "-" ? stdout : std::fopen(grad_dump.c_str(), "w");
+      if (!out) throw std::runtime_error("cannot write " + grad_dump);
+      dump_gradients(out, res);
+      if (out != stdout) std::fclose(out);
+      if (!quiet)
+        std::printf("grad dump: %zu points x %zu symbols x %zu moments -> %s\n", n,
+                    nsym, res.num_moments, grad_dump.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "awe_opt: %s: %s\n", deck_path.c_str(), e.what());
+    return 2;
+  }
+
+  if (!health_json.empty()) {
+    health::HealthReport report;
+    health::absorb_global_counters(report);
+    const std::string json = report.to_json() + "\n";
+    if (health_json == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(health_json);
+      if (!out) {
+        std::fprintf(stderr, "awe_opt: cannot write %s\n", health_json.c_str());
+        return 2;
+      }
+      out << json;
+    }
+  }
+  return exit_code;
+}
