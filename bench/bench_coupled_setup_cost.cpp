@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -292,6 +293,112 @@ void BM_BuildIncrementalEdit(benchmark::State& state) {
   std::filesystem::remove_all(opts.partition_block_dir);
 }
 BENCHMARK(BM_BuildIncrementalEdit)->Unit(benchmark::kMillisecond);
+
+// -- model open: v3 stream parse vs v4 zero-copy map --------------------
+//
+// The format-v4 acceptance series (DESIGN.md §15): ONE model serialized
+// once into a temp directory as both the legacy v3 stream and the v4
+// blob, then re-opened cold every iteration.  The gated quantity
+// (check_bench_gate.py --dominates) is models_per_s of
+// BM_ModelOpenV4MapFirstBatch over BM_ModelOpenV3Parse: the mmap open
+// must beat the full parse by >= 10x EVEN WHEN it also pays for the
+// first width-64 batch evaluation — i.e. "open and start sweeping" went
+// from O(model size) to O(pages touched).
+//
+// The fixture deliberately carries the sections a moments-only first
+// batch never touches — the gradient stream, the strict stream, and the
+// serialized symbolic closed forms — because that asymmetry IS the
+// measured claim: the v3 loader materializes all of them eagerly (the
+// symbolic section as node-by-node expression trees), while the v4 open
+// bounds-checks their section table entries and never faults their
+// pages.  Ten symbols over a 200-segment coupled pair puts the blob near
+// a megabyte, far past the fixed open/validate overheads.
+
+struct OpenFixture {
+  std::string dir;
+  std::string v3_path;
+  std::string v4_path;
+  std::vector<double> nominals;  // per-symbol, in model symbol order
+
+  OpenFixture() {
+    circuits::CoupledLineValues v;
+    v.segments = 200;
+    auto c = circuits::make_coupled_lines(v);
+    std::vector<std::string> syms = kSymbols;
+    for (std::size_t i = 1; syms.size() < 10; ++i) {
+      syms.push_back("r1_" + std::to_string(i));
+      if (syms.size() < 10) syms.push_back("cg2_" + std::to_string(i));
+    }
+    const auto model = core::CompiledModel::build(
+        c.netlist, syms, circuits::CoupledLinesCircuit::kInput, c.line2_out,
+        {.order = 2, .with_gradients = true});
+    for (const auto& name : model.symbol_names())
+      nominals.push_back(
+          c.netlist.elements()[*c.netlist.find_element(name)].value);
+    dir = fresh_cache_dir("open");
+    v3_path = dir + "/model_v3.awemodel";
+    v4_path = dir + "/model_v4.awemodel";
+    std::ofstream v3(v3_path, std::ios::binary);
+    model.save_legacy_v3(v3);
+    std::ofstream v4(v4_path, std::ios::binary);
+    model.save(v4);
+  }
+  ~OpenFixture() { std::filesystem::remove_all(dir); }
+
+  static const OpenFixture& instance() {
+    static OpenFixture fixture;
+    return fixture;
+  }
+};
+
+void BM_ModelOpenV3Parse(benchmark::State& state) {
+  const auto& fx = OpenFixture::instance();
+  for (auto _ : state) {
+    std::ifstream in(fx.v3_path, std::ios::binary);
+    const auto model = core::CompiledModel::load(in);
+    benchmark::DoNotOptimize(model.instruction_count());
+  }
+  state.counters["models_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ModelOpenV3Parse)->Unit(benchmark::kMillisecond);
+
+void BM_ModelOpenV4Map(benchmark::State& state) {
+  const auto& fx = OpenFixture::instance();
+  for (auto _ : state) {
+    const auto model = core::CompiledModel::map_file(fx.v4_path);
+    benchmark::DoNotOptimize(model.instruction_count());
+  }
+  state.counters["models_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ModelOpenV4Map)->Unit(benchmark::kMillisecond);
+
+void BM_ModelOpenV4MapFirstBatch(benchmark::State& state) {
+  const auto& fx = OpenFixture::instance();
+  constexpr std::size_t kWidth = 64;
+  // SoA points: symbol i of point p at [i*kWidth + p], each a small
+  // perturbation of the element's netlist value.
+  std::vector<double> points(fx.nominals.size() * kWidth);
+  for (std::size_t i = 0; i < fx.nominals.size(); ++i)
+    for (std::size_t p = 0; p < kWidth; ++p)
+      points[i * kWidth + p] =
+          fx.nominals[i] * (1.0 + 0.002 * static_cast<double>(p));
+  for (auto _ : state) {
+    const auto model = core::CompiledModel::map_file(fx.v4_path);
+    auto ws = model.make_batch_workspace(kWidth);
+    std::vector<double> moments(model.moment_count() * kWidth);
+    std::vector<unsigned char> ok(kWidth);
+    model.moments_batch(points, kWidth, kWidth, ws, moments, kWidth, ok);
+    benchmark::DoNotOptimize(moments.data());
+  }
+  state.counters["models_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ModelOpenV4MapFirstBatch)->Unit(benchmark::kMillisecond);
 
 // The multi-partition series: 8 bus sections reduced per iteration via
 // PortMacromodel::build_many.  builds_per_s counts PARTITION builds, so

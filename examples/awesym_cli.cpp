@@ -28,6 +28,17 @@
 //                          when no C compiler is available
 //   --cache-dir DIR        build through the persistent model cache under
 //                          DIR (also where --backend native keeps its .so)
+//   --mmap                 with --cache-dir: mmap a v4 cache hit in place
+//                          (CompiledModel::map_file) instead of stream-
+//                          parsing it — the zero-copy warm-open path
+//   --shm NAME             publish the built model into a SharedModelStore
+//                          backed by POSIX shared memory ("/NAME.g1") and
+//                          evaluate through the pinned view — exercises
+//                          the cross-process hot-swap path end to end
+//   --dump-moments FILE    with --mc: write every point's ok flag and raw
+//                          moments as deterministic text ("-" for stdout);
+//                          byte-identical across thread counts, backings
+//                          (heap/mmap/shm) and backends in strict mode
 //   --health-json FILE     write the run's HealthReport as JSON
 //                          ("-" for stdout)
 //   --measure M            dc | p1 | funity | pm | t50   (default dc)
@@ -42,6 +53,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -64,6 +76,7 @@ using namespace awe;
                "usage: %s <deck.sp> [--order N] [--symbols a,b] [--auto-symbols K]\n"
                "          [--at v1,v2] [--sweep name=lo:hi:n] [--mc N] [--seed S]\n"
                "          [--threads N] [--backend interpreter|native] [--cache-dir DIR]\n"
+               "          [--mmap] [--shm NAME] [--dump-moments FILE]\n"
                "          [--health-json FILE] [--measure M]\n"
                "          [--transient T:N] [--ac f0:f1:N] [--closed-forms]\n"
                "          [--emit-c FILE]\n",
@@ -142,6 +155,9 @@ int main(int argc, char** argv) {
   core::EvalBackend backend = core::EvalBackend::kInterpreter;
   std::string cache_dir;
   std::string health_json;
+  std::string shm_name;
+  std::string dump_moments;
+  bool use_mmap = false;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -179,6 +195,12 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--cache-dir") {
         cache_dir = next();
+      } else if (arg == "--mmap") {
+        use_mmap = true;
+      } else if (arg == "--shm") {
+        shm_name = next();
+      } else if (arg == "--dump-moments") {
+        dump_moments = next();
       } else if (arg == "--health-json") {
         health_json = next();
       } else if (arg == "--measure") {
@@ -238,15 +260,35 @@ int main(int argc, char** argv) {
     core::BuildOptions build_opts;
     build_opts.cache_dir = cache_dir;
     build_opts.backend = backend;
-    const auto model = core::CompiledModel::build(deck.netlist, symbols,
-                                                  deck.input_source, *out_node,
-                                                  {.order = order}, build_opts);
+    build_opts.map_model = use_mmap;
+    core::CompiledModel built = core::CompiledModel::build(deck.netlist, symbols,
+                                                           deck.input_source, *out_node,
+                                                           {.order = order}, build_opts);
+
+    // --shm: publish into a shared-memory hot-swap store and evaluate
+    // through a pinned view of the published generation — every downstream
+    // query below runs against the shm region, not the heap build.  (The
+    // pinned copy shares the region; attaching the native backend to it is
+    // a local property of this process, not of the published bytes.)
+    std::optional<core::SharedModelStore> store;
+    std::shared_ptr<core::CompiledModel> shared;
+    if (!shm_name.empty()) {
+      store.emplace(shm_name, core::SharedModelStore::Backing::kShm);
+      store->publish(built);
+      shared = std::make_shared<core::CompiledModel>(*store->acquire());
+      if (backend == core::EvalBackend::kNative)
+        (void)shared->attach_native(cache_dir);
+    } else {
+      shared = std::make_shared<core::CompiledModel>(std::move(built));
+    }
+    const core::CompiledModel& model = *shared;
     std::printf("model: order %zu, symbols", order);
     for (const auto& s : model.symbol_names()) std::printf(" %s", s.c_str());
     std::printf(", %zu ports, %zu compiled instructions", model.port_count(),
                 model.instruction_count());
     if (backend == core::EvalBackend::kNative)
       std::printf(", native backend %s", model.has_native() ? "attached" : "fallback");
+    if (model.view_backed()) std::printf(", view-backed [%s]", model.blob_origin().c_str());
     std::printf("\n\n");
 
     // Nominal values.
@@ -324,6 +366,25 @@ int main(int argc, char** argv) {
         std::printf("  dc gain: mean %.8g, stddev %.8g over %zu fitted points\n",
                     sr.dc_gain_stats->mean, sr.dc_gain_stats->stddev,
                     sr.dc_gain_stats->count);
+      if (!dump_moments.empty()) {
+        // Deterministic text for the CI byte-compare: per point, the ok
+        // flag and every raw moment at full precision.  %.17g round-trips
+        // IEEE doubles exactly, so bit-identical moments produce
+        // byte-identical dumps — across thread counts, heap/mmap/shm
+        // backings and backends (strict mode).
+        std::FILE* out =
+            dump_moments == "-" ? stdout : std::fopen(dump_moments.c_str(), "w");
+        if (!out) throw std::runtime_error("cannot write " + dump_moments);
+        std::fprintf(out, "# awesym_cli moment dump points=%zu symbols=%zu moments=%zu\n",
+                     sr.num_points, sr.num_symbols, sr.num_moments);
+        for (std::size_t p = 0; p < sr.num_points; ++p) {
+          std::fprintf(out, "%zu %u", p, static_cast<unsigned>(sr.ok[p]));
+          for (std::size_t k = 0; k < sr.num_moments; ++k)
+            std::fprintf(out, " %.17g", sr.moment(k, p));
+          std::fprintf(out, "\n");
+        }
+        if (out != stdout) std::fclose(out);
+      }
       if (!health_json.empty()) {
         health::HealthReport report = sr.health;
         health::absorb_global_counters(report);

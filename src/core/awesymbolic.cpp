@@ -9,6 +9,7 @@
 #include "core/native_backend.hpp"
 #include "engine/thread_pool.hpp"
 #include "health/report.hpp"
+#include "symbolic/serialize.hpp"
 
 namespace awe::core {
 
@@ -103,8 +104,13 @@ CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
   if (!build_opts.cache_dir.empty()) {
     const circuit::NodeId outs[] = {output_node};
     cache_key = model_cache_key(netlist, symbol_elements, input_source, outs, opts);
-    if (auto cached = ModelCache::load_file(
-            ModelCache::entry_path(build_opts.cache_dir, cache_key), &cache_quarantined)) {
+    const std::string path = ModelCache::entry_path(build_opts.cache_dir, cache_key);
+    // map_model mmap-opens a v4 hit in place (O(pages touched)) instead of
+    // stream-parsing it; corrupt or legacy entries degrade exactly like
+    // the parsing path.
+    auto cached = build_opts.map_model ? ModelCache::map_file(path, &cache_quarantined)
+                                       : ModelCache::load_file(path, &cache_quarantined);
+    if (cached) {
       // Attach outcome deliberately ignored: a failed attach degrades to
       // the interpreter and is already counted in global_counters().
       if (build_opts.backend == EvalBackend::kNative)
@@ -167,16 +173,113 @@ CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
 
 Status CompiledModel::attach_native(const std::string& dir) {
   Status why;
-  native_ = native::load_or_compile(program_, dir, &why);
+  // View-backed models carry the program checksums in the mapped v4 meta,
+  // so content-addressing the .so needs no re-serialization of the mapped
+  // streams (attach stays O(1) in model size).
+  const auto known = [](std::uint64_t c) {
+    return c != 0 ? std::optional<std::uint64_t>(c) : std::nullopt;
+  };
+  native_ = native::load_or_compile(program_, dir, &why, known(program_checksum_));
   // The gradient program gets its own content-addressed module.  A failed
   // gradient attach is not a model-level failure: gradient batches simply
   // keep running through the interpreter (same fallback contract as the
   // forward path), and the degradation is already counted at attach time.
   if (grad_program_) {
     Status grad_why;
-    native_grad_ = native::load_or_compile(*grad_program_, dir, &grad_why);
+    native_grad_ = native::load_or_compile(*grad_program_, dir, &grad_why,
+                                           known(gradient_checksum_));
   }
   return why;
+}
+
+// ---- model format v4: zero-copy open (DESIGN.md §15) ---------------------
+
+CompiledModel CompiledModel::from_blob(std::shared_ptr<const ModelBlob> blob,
+                                       bool verify_checksum) {
+  const ModelView view = ModelView::open(blob->bytes());
+  if (verify_checksum && !view.verify_checksum())
+    throw health::FailError(health::FailClass::kCacheCorrupt,
+                            "CompiledModel::load: payload checksum mismatch");
+  const v4::Meta& meta = view.meta();
+  if (meta.order == 0 || meta.order > (1u << 16))
+    throw std::runtime_error("CompiledModel::load: bad model order");
+
+  ModelOptions opts;
+  opts.order = static_cast<std::size_t>(meta.order);
+  opts.enforce_stability = meta.enforce_stability != 0;
+  opts.allow_order_fallback = meta.allow_order_fallback != 0;
+  opts.with_gradients = meta.with_gradients != 0;
+
+  // Eager side: the tiny symbol table (needed by every batch for the
+  // reciprocal transforms).  The polynomial side stays raw until full_sym().
+  part::SymbolicMoments sym;
+  sym.port_count = static_cast<std::size_t>(meta.port_count);
+  sym.global_dim = static_cast<std::size_t>(meta.global_dim);
+  sym.symbols.reserve(view.symbols().size());
+  for (const v4::SymbolEntry& s : view.symbols()) {
+    part::SymbolSpec spec;
+    spec.element_index = static_cast<std::size_t>(s.element_index);
+    spec.name = std::string(view.symbol_name(s));
+    spec.reciprocal = s.reciprocal != 0;
+    sym.symbols.push_back(std::move(spec));
+  }
+
+  // from_code validates register/constant/input bounds over the mapped
+  // streams — a damaged region throws here, it can never index out of the
+  // register file at run time.
+  CompiledProgram program = CompiledProgram::from_code(view.program_code());
+  std::optional<CompiledProgram> grad_program;
+  if (view.has_gradient())
+    grad_program.emplace(CompiledProgram::from_code(view.gradient_code()));
+
+  // Cross-field consistency, mirroring the v3 stream loader.
+  if (meta.numerator_count != 2 * meta.order)
+    throw std::runtime_error("CompiledModel::load: moment count mismatch");
+  if (program.input_count() != sym.symbols.size() ||
+      program.output_count() != meta.numerator_count + 1)
+    throw std::runtime_error("CompiledModel::load: program/moments mismatch");
+  if (grad_program &&
+      (grad_program->input_count() != sym.symbols.size() ||
+       grad_program->output_count() !=
+           (sym.symbols.size() + 1) * (meta.numerator_count + 1)))
+    throw std::runtime_error("CompiledModel::load: gradient program layout mismatch");
+
+  CompiledModel model(std::move(sym), std::move(program), std::move(grad_program), opts);
+  model.symbolics_raw_ = view.symbolics_blob();
+  model.program_checksum_ = meta.program_checksum;
+  model.gradient_checksum_ = meta.gradient_checksum;
+  model.lazy_ = std::make_shared<LazySymbolics>();
+  model.blob_ = std::move(blob);  // pin the region last: nothing above escapes it
+  return model;
+}
+
+CompiledModel CompiledModel::map_file(const std::filesystem::path& path,
+                                      bool verify_checksum) {
+  return from_blob(map_file_blob(path), verify_checksum);
+}
+
+const part::SymbolicMoments& CompiledModel::full_sym() const {
+  if (!lazy_) return sym_;
+  std::lock_guard<std::mutex> lock(lazy_->mu);
+  if (!lazy_->parsed) {
+    namespace io = symbolic::io;
+    io::imemstream is(reinterpret_cast<const char*>(symbolics_raw_.data()),
+                      symbolics_raw_.size());
+    part::SymbolicMoments full;
+    full.symbols = sym_.symbols;
+    full.port_count = sym_.port_count;
+    full.global_dim = sym_.global_dim;
+    const std::uint64_t nnum = io::read_count(is);
+    if (nnum != moment_count())
+      throw std::runtime_error("CompiledModel::load: moment count mismatch");
+    full.numerators.reserve(nnum);
+    for (std::uint64_t k = 0; k < nnum; ++k)
+      full.numerators.push_back(io::load_polynomial(is));
+    full.det_y0 = io::load_polynomial(is);
+    lazy_->full = std::move(full);
+    lazy_->parsed = true;
+  }
+  return lazy_->full;
 }
 
 CompiledModel CompiledModel::build(const circuit::Netlist& netlist,
@@ -195,7 +298,7 @@ CompiledModel::Workspace CompiledModel::make_workspace() const {
   ws.symbol_values.resize(sym_.symbols.size());
   ws.program_outputs.resize(program_.output_count());
   ws.registers.resize(program_.register_count());
-  ws.moments.resize(sym_.count());
+  ws.moments.resize(moment_count());
   return ws;
 }
 
@@ -207,7 +310,7 @@ void CompiledModel::moments_at(std::span<const double> element_values, Workspace
   // the writes below run out of bounds, so reject it outright.
   if (ws.symbol_values.size() != sym_.symbols.size() ||
       ws.program_outputs.size() != program_.output_count() ||
-      ws.registers.size() < program_.register_count() || ws.moments.size() != sym_.count())
+      ws.registers.size() < program_.register_count() || ws.moments.size() != moment_count())
     throw std::invalid_argument(
         "CompiledModel: workspace does not match this model (use make_workspace())");
   for (std::size_t i = 0; i < sym_.symbols.size(); ++i) {
@@ -222,7 +325,7 @@ void CompiledModel::moments_at(std::span<const double> element_values, Workspace
   const double d = ws.program_outputs.back();
   if (d == 0.0) throw std::domain_error("CompiledModel: det(Y0) vanishes at this point");
   double dp = d;
-  for (std::size_t k = 0; k < sym_.count(); ++k) {
+  for (std::size_t k = 0; k < moment_count(); ++k) {
     ws.moments[k] = ws.program_outputs[k] / dp;
     dp *= d;
   }
@@ -251,7 +354,7 @@ void CompiledModel::moments_batch(std::span<const double> element_values, std::s
                                   EvalBackend backend) const {
   if (count == 0) return;
   const std::size_t nsym = sym_.symbols.size();
-  const std::size_t nm = sym_.count();
+  const std::size_t nm = moment_count();
   check_batch_args(nsym, nm, element_values, stride, count, ws, moments_out, out_stride, ok);
   if (ws.symbol_values.size() < nsym * count ||
       ws.program_outputs.size() < program_.output_count() * count ||
@@ -309,7 +412,7 @@ CompiledModel::MomentsAndGradients CompiledModel::moments_and_gradients(
     throw std::logic_error(
         "CompiledModel: build with ModelOptions::with_gradients for gradients");
   const std::size_t nvars = sym_.symbols.size();
-  const std::size_t count = sym_.count();
+  const std::size_t count = moment_count();
   if (element_values.size() != nvars)
     throw std::invalid_argument("CompiledModel: wrong number of element values");
 
@@ -379,7 +482,7 @@ void CompiledModel::moments_and_gradients_batch(
         "CompiledModel: build with ModelOptions::with_gradients for gradients");
   if (count == 0) return;
   const std::size_t nsym = sym_.symbols.size();
-  const std::size_t nm = sym_.count();
+  const std::size_t nm = moment_count();
   check_batch_args(nsym, nm, element_values, stride, count, ws, moments_out, out_stride, ok);
   if (grad_stride < count)
     throw std::invalid_argument("moments_and_gradients_batch: grad_stride smaller than count");
@@ -447,18 +550,19 @@ void CompiledModel::moments_and_gradients_batch(
 
 std::vector<double> CompiledModel::moments_uncompiled(
     std::span<const double> element_values) const {
-  return sym_.evaluate(element_values);
+  return full_sym().evaluate(element_values);
 }
 
 symbolic::RationalFunction CompiledModel::dc_gain_expression() const {
-  return sym_.moment(0).normalized();
+  return full_sym().moment(0).normalized();
 }
 
 symbolic::RationalFunction CompiledModel::first_order_pole_expression() const {
   // Order-1 Padé: H(s) = m0 / (1 - (m1/m0) s), pole p1 = m0 / m1.
   // With m_k = N_k / d^{k+1} this cancels to  p1 = N_0 d / N_1.
-  const auto& n = sym_.numerators;
-  return symbolic::RationalFunction(n.at(0) * sym_.det_y0, n.at(1)).normalized();
+  const part::SymbolicMoments& sym = full_sym();
+  const auto& n = sym.numerators;
+  return symbolic::RationalFunction(n.at(0) * sym.det_y0, n.at(1)).normalized();
 }
 
 std::vector<symbolic::RationalFunction> CompiledModel::symbolic_denominator() const {
@@ -467,8 +571,9 @@ std::vector<symbolic::RationalFunction> CompiledModel::symbolic_denominator() co
   // blind d^k factors through generic rational arithmetic.
   using symbolic::Polynomial;
   using symbolic::RationalFunction;
-  const auto& n = sym_.numerators;
-  const Polynomial& d = sym_.det_y0;
+  const part::SymbolicMoments& sym = full_sym();
+  const auto& n = sym.numerators;
+  const Polynomial& d = sym.det_y0;
   const RationalFunction one = RationalFunction::constant(sym_.symbols.size(), 1.0);
   if (opts_.order == 1) {
     // b1 = -m1/m0 = -N1 / (d N0).
@@ -492,8 +597,9 @@ std::vector<symbolic::RationalFunction> CompiledModel::symbolic_denominator() co
 std::vector<symbolic::RationalFunction> CompiledModel::symbolic_numerator() const {
   using symbolic::Polynomial;
   using symbolic::RationalFunction;
-  const auto& n = sym_.numerators;
-  const Polynomial& d = sym_.det_y0;
+  const part::SymbolicMoments& sym = full_sym();
+  const auto& n = sym.numerators;
+  const Polynomial& d = sym.det_y0;
   if (opts_.order == 1) return {RationalFunction(n.at(0), d).normalized()};
   if (opts_.order == 2) {
     // a0 = m0 = N0/d;
@@ -641,8 +747,8 @@ std::string CompiledModel::export_c_source(std::string_view function_name) const
     if (s.reciprocal) src += " (as conductance 1/value)";
     src += "  ";
   }
-  src += "\n * outputs: N_0..N_" + std::to_string(sym_.count() - 1) +
-         ", det(Y0); moment k = out[k] / out[" + std::to_string(sym_.count()) +
+  src += "\n * outputs: N_0..N_" + std::to_string(moment_count() - 1) +
+         ", det(Y0); moment k = out[k] / out[" + std::to_string(moment_count()) +
          "]^(k+1)\n */\n";
   return src + program_.to_c_source(function_name);
 }

@@ -9,8 +9,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -18,6 +20,7 @@
 
 #include "awe/rom.hpp"
 #include "circuit/netlist.hpp"
+#include "core/model_blob.hpp"
 #include "health/status.hpp"
 #include "partition/partitioner.hpp"
 #include "symbolic/compile.hpp"
@@ -112,6 +115,13 @@ struct BuildOptions {
   /// Explicit block-store directory for the incremental path; empty means
   /// derive <cache_dir>/blocks when `incremental` is set.
   std::string partition_block_dir;
+  /// When set (requires cache_dir): satisfy a warm cache hit by
+  /// mmap-opening the v4 entry in place (CompiledModel::map_file) instead
+  /// of stream-parsing it — O(pages touched) instead of O(model size).
+  /// Evaluation results are bit-identical either way (asserted by the
+  /// mmap-determinism CI job); a v3 or corrupt entry transparently falls
+  /// back to the parse-load/quarantine path.
+  bool map_model = false;
 };
 
 class CompiledModel {
@@ -131,9 +141,15 @@ class CompiledModel {
 
   std::size_t order() const { return opts_.order; }
   const ModelOptions& options() const { return opts_; }
-  std::size_t moment_count() const { return sym_.count(); }
+  /// 2*order — NOT derived from the polynomial side, which view-backed
+  /// models parse lazily (see full_sym()).
+  std::size_t moment_count() const { return 2 * opts_.order; }
   std::size_t symbol_count() const { return sym_.symbols.size(); }
-  const part::SymbolicMoments& symbolic_moments() const { return sym_; }
+  /// The full symbolic side (numerator/denominator polynomials included).
+  /// For a view-backed model this parses the cold kSymbolics section on
+  /// first use (thread-safe, shared across copies); evaluation never needs
+  /// it.
+  const part::SymbolicMoments& symbolic_moments() const { return full_sym(); }
   std::vector<std::string> symbol_names() const { return sym_.symbol_names(); }
 
   /// Reusable allocation-free evaluation scratch for the hot path.
@@ -275,12 +291,54 @@ class CompiledModel {
   /// build does not understand, and FailError(kCacheCorrupt) when the
   /// payload checksum does not match (bit damage on otherwise well-formed
   /// bytes).  The cache layer turns either into quarantine + miss.
+  /// Understands both the current v4 blob (read whole, checksum verified)
+  /// and the legacy v3 stream.
   static CompiledModel load(std::istream& is);
 
+  /// Serialize in the legacy v3 stream layout (kept for the
+  /// cross-version fixtures and the v3-vs-v4 open benchmark; save()
+  /// always writes v4).
+  void save_legacy_v3(std::ostream& os) const;
+
+  /// Open a v4 blob IN PLACE: structural validation + program views over
+  /// the region, no stream parsing, no per-instruction allocation.  The
+  /// blob is pinned by the returned model (and all its copies) via
+  /// shared_ptr.  `verify_checksum` additionally recomputes the payload
+  /// FNV — O(model size), publish/audit paths only.  Throws like load(),
+  /// plus FailError(kModelFormat) for endianness/alignment guard trips.
+  static CompiledModel from_blob(std::shared_ptr<const ModelBlob> blob,
+                                 bool verify_checksum = false);
+  /// mmap(MAP_PRIVATE) `path` and from_blob() it: the zero-copy open path
+  /// (O(pages touched)).  Same validation/throw contract as from_blob.
+  static CompiledModel map_file(const std::filesystem::path& path,
+                                bool verify_checksum = false);
+  /// True when this model executes out of an external region (mmap/shm/
+  /// heap blob) rather than owned vectors.
+  bool view_backed() const { return blob_ != nullptr; }
+  /// Region provenance for health/audit output ("heap", file path, or
+  /// "shm:/name"); empty for built/parsed models.
+  std::string blob_origin() const { return blob_ ? blob_->origin() : std::string(); }
+
  private:
-  /// Header-less body shared by save/load: the checksummed payload.
+  /// Header-less body shared by save_legacy_v3/load: the v3 checksummed
+  /// payload.
   void save_payload(std::ostream& os) const;
   static CompiledModel load_payload(std::istream& is);
+  static CompiledModel load_v4(std::istream& is);
+
+  /// Serialize the kSymbolics section payload ({u64 nnum, polynomial[nnum],
+  /// polynomial det_y0}); view-backed models copy the raw section instead
+  /// of parse+reserialize, preserving byte determinism for free.
+  std::string symbolics_payload() const;
+
+  /// Lazily-parsed polynomial side for view-backed models.  Shared across
+  /// copies of the model: the cold section is parsed at most once.
+  struct LazySymbolics {
+    std::mutex mu;
+    bool parsed = false;
+    part::SymbolicMoments full;
+  };
+  const part::SymbolicMoments& full_sym() const;
 
   CompiledModel(part::SymbolicMoments sym, symbolic::CompiledProgram program,
                 std::optional<symbolic::CompiledProgram> grad_program, ModelOptions opts)
@@ -308,6 +366,18 @@ class CompiledModel {
   /// model carries gradients.  Same fallback contract.
   std::shared_ptr<const native::NativeModule> native_grad_;
   ModelOptions opts_;
+  /// v4 region this model executes out of (null for built/parsed models).
+  /// Keeps the mapped/shared pages alive for as long as any copy of the
+  /// model exists — the hot-swap retirement contract of SharedModelStore.
+  std::shared_ptr<const ModelBlob> blob_;
+  /// Lazy polynomial side + raw section for view-backed models.
+  std::shared_ptr<LazySymbolics> lazy_;
+  std::span<const std::byte> symbolics_raw_;  ///< into *blob_
+  /// fnv1a64(program.save()) carried in the v4 meta: lets attach_native
+  /// content-address the .so without re-serializing the mapped program.
+  /// 0 = unknown (owned models compute it on demand).
+  std::uint64_t program_checksum_ = 0;
+  std::uint64_t gradient_checksum_ = 0;
 };
 
 /// Several outputs compiled from ONE partition: the numeric reduction,

@@ -37,6 +37,19 @@ using enc::put_u8;
 
 std::atomic<std::uint64_t> g_tmp_counter{0};
 
+/// Quarantine a damaged entry to "<path>.bad" and count it.  Best-effort:
+/// a quarantine that cannot rename still surfaces as a miss, never as an
+/// exception.
+void quarantine_entry(const std::string& path, bool* corrupt_quarantined) {
+  std::error_code ec;
+  std::filesystem::remove(ModelCache::quarantine_path(path), ec);
+  std::filesystem::rename(path, ModelCache::quarantine_path(path), ec);
+  if (ec) std::filesystem::remove(path, ec);
+  health::global_counters().cache_corrupt_quarantined.fetch_add(
+      1, std::memory_order_relaxed);
+  if (corrupt_quarantined) *corrupt_quarantined = true;
+}
+
 }  // namespace
 
 std::string model_cache_key(const circuit::Netlist& netlist,
@@ -136,16 +149,38 @@ std::optional<CompiledModel> ModelCache::load_file(const std::string& path,
   in.close();
   // Corrupt/truncated/foreign-version entry: quarantine it to <path>.bad
   // (evidence preserved, never re-probed) and report a miss; the cold
-  // build that follows stores a fresh entry at the original path.  Every
-  // failure here is best-effort — a quarantine that cannot rename still
-  // must surface as a miss, never as an exception.
-  std::error_code ec;
-  std::filesystem::remove(quarantine_path(path), ec);
-  std::filesystem::rename(path, quarantine_path(path), ec);
-  if (ec) std::filesystem::remove(path, ec);
-  health::global_counters().cache_corrupt_quarantined.fetch_add(
-      1, std::memory_order_relaxed);
-  if (corrupt_quarantined) *corrupt_quarantined = true;
+  // build that follows stores a fresh entry at the original path.
+  quarantine_entry(path, corrupt_quarantined);
+  return std::nullopt;
+}
+
+std::optional<CompiledModel> ModelCache::map_file(const std::string& path,
+                                                  bool* corrupt_quarantined) {
+  namespace fp = health::failpoints;
+  if (corrupt_quarantined) *corrupt_quarantined = false;
+  // Peek magic + version only; anything that is not a well-formed v4
+  // header falls through to the parsing loader, which owns the legacy-v3
+  // path and the quarantine policy for malformed files.
+  char head[8] = {};
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    in.read(head, sizeof(head));
+    if (static_cast<std::size_t>(in.gcount()) != sizeof(head) ||
+        std::memcmp(head, kModelMagic, sizeof(kModelMagic)) != 0)
+      return load_file(path, corrupt_quarantined);
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, head + 4, sizeof(version));
+  if (version != kModelFormatVersion) return load_file(path, corrupt_quarantined);
+  if (!fp::fires(fp::sites::kCacheLoadCorrupt)) {
+    try {
+      return CompiledModel::map_file(path);
+    } catch (const std::exception&) {
+      // fall through to quarantine
+    }
+  }
+  quarantine_entry(path, corrupt_quarantined);
   return std::nullopt;
 }
 
@@ -248,7 +283,10 @@ std::shared_ptr<const CompiledModel> ModelCache::get_or_build(
 
   bool quarantined = false;
   if (!dir_.empty()) {
-    if (auto loaded = load_file(entry_path(dir_, key), &quarantined)) {
+    const std::string path = entry_path(dir_, key);
+    auto loaded = build_opts.map_model ? map_file(path, &quarantined)
+                                       : load_file(path, &quarantined);
+    if (loaded) {
       if (build_opts.backend == EvalBackend::kNative) (void)loaded->attach_native(dir_);
       auto model = std::make_shared<const CompiledModel>(std::move(*loaded));
       {

@@ -73,6 +73,20 @@ class ModelCache {
   /// "<path>.bad" — where a corrupt entry gets quarantined.
   static std::string quarantine_path(const std::string& path) { return path + ".bad"; }
 
+  /// Zero-copy variant of load_file: peek the version field and, for a v4
+  /// entry, mmap it in place (CompiledModel::map_file) instead of parsing
+  /// the stream — O(pages touched) instead of O(model size).  A v3 entry
+  /// silently falls back to the parsing path, so a cache directory mixing
+  /// generations keeps working.  The miss/quarantine contract is identical
+  /// to load_file: any damage (truncated publish, bad section table,
+  /// foreign version) quarantines the entry to "<path>.bad" and reports a
+  /// miss.  The mapped open skips the full-payload checksum by design
+  /// (DESIGN.md §15.2) — structural validation still bounds-checks every
+  /// section and instruction, so a damaged entry can fail wrong only
+  /// within its own numbers, never out of its region.
+  static std::optional<CompiledModel> map_file(const std::string& path,
+                                               bool* corrupt_quarantined = nullptr);
+
   /// Persist `model` as `dir`/<key>.awemodel, creating `dir` on demand.
   /// Writes to a unique temp file then renames — concurrent builders can
   /// race on the same key and readers still only ever see complete files.

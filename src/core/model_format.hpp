@@ -14,6 +14,11 @@ inline constexpr char kModelMagic[4] = {'A', 'W', 'E', 'M'};
 // first, then one adjoint block per symbol — DESIGN.md §14).  The section
 // framing is unchanged; the bump exists to reject v2 gradient programs,
 // whose outputs a v3 reader would misinterpret.
-inline constexpr std::uint32_t kModelFormatVersion = 3;
+// v4: offset-based, 64-byte-aligned, mmap-executable blob (DESIGN.md §15,
+// core/model_blob.hpp).  save() writes v4; load() still reads the v3
+// stream, and the cache-key version bump means v3 entries are simply
+// never looked up again (awe_build --pack-v4 upgrades a directory in
+// place).
+inline constexpr std::uint32_t kModelFormatVersion = 4;
 
 }  // namespace awe::core

@@ -1,0 +1,87 @@
+#include "core/model_store.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "core/model_blob.hpp"
+
+namespace awe::core {
+
+SharedModelStore::SharedModelStore(std::string name, Backing backing)
+    : name_(std::move(name)), backing_(backing) {}
+
+SharedModelStore::~SharedModelStore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (backing_ == Backing::kShm && generation_ != 0)
+    unlink_shm_blob(shm_name(generation_));
+}
+
+std::string SharedModelStore::shm_name(std::uint64_t gen) const {
+  return name_ + ".g" + std::to_string(gen);
+}
+
+std::uint64_t SharedModelStore::publish(const CompiledModel& model) {
+  std::ostringstream os;
+  model.save(os);
+  return publish_packed(os.str());
+}
+
+std::uint64_t SharedModelStore::publish_packed(std::string_view blob) {
+  // Region creation, the copy, and checksum verification all happen
+  // before the lock: a failed publish leaves the store on its previous
+  // generation, and concurrent acquire()s only ever wait for the swap.
+  std::uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    gen = generation_ + 1;
+  }
+  const auto bytes = std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(blob.data()), blob.size());
+  std::shared_ptr<const ModelBlob> region =
+      backing_ == Backing::kShm ? create_shm_blob(shm_name(gen), bytes)
+                                : make_heap_blob(blob);
+  auto model = std::make_shared<const CompiledModel>(
+      CompiledModel::from_blob(region, /*verify_checksum=*/true));
+
+  std::shared_ptr<const CompiledModel> prev;
+  std::uint64_t prev_gen = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    prev = std::move(current_);
+    prev_gen = generation_;
+    if (prev) retired_.push_back(prev);
+    // Another publisher may have raced past our reserved number; stay
+    // monotonic either way.
+    gen = std::max(gen, generation_ + 1);
+    current_ = std::move(model);
+    generation_ = gen;
+    std::erase_if(retired_, [](const std::weak_ptr<const CompiledModel>& w) {
+      return w.expired();
+    });
+  }
+  // Unlink the retired NAME outside the lock: its pages stay mapped for
+  // readers still pinning `prev` (POSIX shm semantics), but no new
+  // reader can open it and the name cannot collide with a future store.
+  if (backing_ == Backing::kShm && prev_gen != 0) unlink_shm_blob(shm_name(prev_gen));
+  return gen;
+}
+
+std::shared_ptr<const CompiledModel> SharedModelStore::acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::uint64_t SharedModelStore::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+std::size_t SharedModelStore::live_generations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t live = current_ ? 1 : 0;
+  for (const auto& w : retired_)
+    if (!w.expired()) ++live;
+  return live;
+}
+
+}  // namespace awe::core

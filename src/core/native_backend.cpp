@@ -190,7 +190,7 @@ void NativeModule::run_batch(std::span<const double> inputs, std::span<double> o
 
 std::shared_ptr<const NativeModule> load_or_compile(
     const symbolic::CompiledProgram& program, const std::string& dir,
-    health::Status* why) {
+    health::Status* why, std::optional<std::uint64_t> known_checksum) {
   namespace failpoints = health::failpoints;
   health::Status local;
   if (!why) why = &local;
@@ -209,7 +209,8 @@ std::shared_ptr<const NativeModule> load_or_compile(
     return std::shared_ptr<const NativeModule>(std::move(m));
   };
 
-  const std::uint64_t checksum = program_checksum(program);
+  const std::uint64_t checksum =
+      known_checksum ? *known_checksum : program_checksum(program);
   const std::string d = dir.empty() ? default_scratch_dir() : dir;
   std::error_code ec;
   fs::create_directories(d, ec);

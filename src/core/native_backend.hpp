@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 
@@ -115,8 +116,13 @@ class NativeModule {
 /// explains why in `why` (FailClass::kNativeBackend, or kInjectedFault for
 /// failpoints).  Success/fallback counters land in
 /// health::global_counters() here — exactly once per attach attempt.
+/// `known_checksum`: the program's checksum when the caller already has it
+/// (model format v4 carries it in the mapped header) — skips the
+/// re-serialization that program_checksum() would otherwise pay, keeping
+/// the mapped-model attach path O(1) in model size.
 std::shared_ptr<const NativeModule> load_or_compile(
     const symbolic::CompiledProgram& program, const std::string& dir,
-    health::Status* why = nullptr);
+    health::Status* why = nullptr,
+    std::optional<std::uint64_t> known_checksum = std::nullopt);
 
 }  // namespace awe::core::native

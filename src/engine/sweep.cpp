@@ -418,6 +418,18 @@ SweepResult run_sweep(const core::CompiledModel& model, std::vector<double> poin
   return res;
 }
 
+SweepResult run_sweep(const core::SharedModelStore& store, std::vector<double> points,
+                      std::size_t num_points, const SweepOptions& opts) {
+  // One pin for the whole sweep: every batch of every worker evaluates the
+  // same generation, and the pin keeps its region mapped even if any
+  // number of publishes land while we run.
+  const std::shared_ptr<const core::CompiledModel> pinned = store.acquire();
+  if (!pinned)
+    throw std::runtime_error("run_sweep: model store '" + store.name() +
+                             "' has no published model");
+  return run_sweep(*pinned, std::move(points), num_points, opts);
+}
+
 std::vector<SweepResult> run_sweep(const core::MultiOutputModel& model,
                                    std::vector<double> points, std::size_t num_points,
                                    const SweepOptions& opts) {

@@ -26,6 +26,7 @@
 
 #include "awe/rom.hpp"
 #include "core/awesymbolic.hpp"
+#include "core/model_store.hpp"
 #include "engine/thread_pool.hpp"
 #include "health/report.hpp"
 #include "health/status.hpp"
@@ -174,6 +175,15 @@ SweepResult run_sweep(const core::CompiledModel& model, std::vector<double> poin
 std::vector<SweepResult> run_sweep(const core::MultiOutputModel& model,
                                    std::vector<double> points, std::size_t num_points,
                                    const SweepOptions& opts = {});
+
+/// Hot-swap-safe variant: pins the store's current generation ONCE (one
+/// shared_ptr copy) and runs the entire sweep against it.  A publish that
+/// lands mid-sweep affects only LATER sweeps — this one completes
+/// bit-identically on the pinned generation, whose mapped region the pin
+/// keeps alive (core/model_store.hpp).  Throws std::runtime_error when
+/// nothing has been published yet.
+SweepResult run_sweep(const core::SharedModelStore& store, std::vector<double> points,
+                      std::size_t num_points, const SweepOptions& opts = {});
 
 // -- drivers -------------------------------------------------------------
 

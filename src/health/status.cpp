@@ -15,6 +15,7 @@ const char* to_string(FailClass c) {
     case FailClass::kTaskException: return "task exception";
     case FailClass::kUnknown: return "unknown failure";
     case FailClass::kNativeBackend: return "native backend unavailable";
+    case FailClass::kModelFormat: return "model format rejected";
   }
   return "?";
 }
@@ -32,6 +33,7 @@ const char* code(FailClass c) {
     case FailClass::kTaskException: return "task-exception";
     case FailClass::kUnknown: return "unknown";
     case FailClass::kNativeBackend: return "native-backend";
+    case FailClass::kModelFormat: return "model-format";
   }
   return "?";
 }

@@ -33,9 +33,10 @@ enum class FailClass : std::uint8_t {
   kTaskException = 8,     ///< a thread-pool task died; point never processed
   kUnknown = 9,           ///< classified failure of unrecognized origin
   kNativeBackend = 10,    ///< native .so compile/load/validate failed; interpreter used
+  kModelFormat = 11,      ///< model blob rejected: endianness/alignment/layout guard
 };
 
-inline constexpr std::size_t kFailClassCount = 11;
+inline constexpr std::size_t kFailClassCount = 12;
 
 /// Long human-readable name ("Hankel system ill-conditioned").
 const char* to_string(FailClass c);

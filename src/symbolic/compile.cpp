@@ -152,11 +152,11 @@ CompiledProgram::CompiledProgram(const ExprGraph& graph, std::span<const NodeId>
   }
 
   auto const_index = [&](double v) -> std::uint32_t {
-    const auto it = std::find(constants_.begin(), constants_.end(), v);
-    if (it != constants_.end())
-      return static_cast<std::uint32_t>(it - constants_.begin());
-    constants_.push_back(v);
-    return static_cast<std::uint32_t>(constants_.size() - 1);
+    const auto it = std::find(own_constants_.begin(), own_constants_.end(), v);
+    if (it != own_constants_.end())
+      return static_cast<std::uint32_t>(it - own_constants_.begin());
+    own_constants_.push_back(v);
+    return static_cast<std::uint32_t>(own_constants_.size() - 1);
   };
 
   // ---- strict stream: one VInstr per reachable node, scalar op order ----
@@ -182,8 +182,8 @@ CompiledProgram::CompiledProgram(const ExprGraph& graph, std::span<const NodeId>
     strict_seq.push_back(v);
   }
   AllocResult strict = allocate_registers(strict_seq, roots, nnodes);
-  instrs_ = std::move(strict.instrs);
-  output_regs_ = std::move(strict.output_regs);
+  own_instrs_ = std::move(strict.instrs);
+  own_output_regs_ = std::move(strict.output_regs);
 
   // ---- peephole fusion for the fast stream ------------------------------
   // Operand-occurrence counts over the reachable subgraph (roots count as
@@ -290,11 +290,96 @@ CompiledProgram::CompiledProgram(const ExprGraph& graph, std::span<const NodeId>
     fused_seq.push_back(v);
   }
   AllocResult fused = allocate_registers(fused_seq, roots, nnodes);
-  fused_instrs_ = std::move(fused.instrs);
-  fused_output_regs_ = std::move(fused.output_regs);
+  own_fused_instrs_ = std::move(fused.instrs);
+  own_fused_output_regs_ = std::move(fused.output_regs);
 
   // One scratch allocation serves either stream.
   register_count_ = std::max(strict.register_count, fused.register_count);
+  rebind();
+}
+
+void CompiledProgram::rebind() {
+  instrs_ = own_instrs_;
+  fused_instrs_ = own_fused_instrs_;
+  constants_ = own_constants_;
+  output_regs_ = own_output_regs_;
+  fused_output_regs_ = own_fused_output_regs_;
+}
+
+CompiledProgram::CompiledProgram(const CompiledProgram& other)
+    : own_instrs_(other.own_instrs_),
+      own_fused_instrs_(other.own_fused_instrs_),
+      own_constants_(other.own_constants_),
+      own_output_regs_(other.own_output_regs_),
+      own_fused_output_regs_(other.own_fused_output_regs_),
+      instrs_(other.instrs_),
+      fused_instrs_(other.fused_instrs_),
+      constants_(other.constants_),
+      output_regs_(other.output_regs_),
+      fused_output_regs_(other.fused_output_regs_),
+      register_count_(other.register_count_),
+      input_count_(other.input_count_),
+      external_(other.external_) {
+  if (!external_) rebind();
+}
+
+CompiledProgram::CompiledProgram(CompiledProgram&& other) noexcept
+    : own_instrs_(std::move(other.own_instrs_)),
+      own_fused_instrs_(std::move(other.own_fused_instrs_)),
+      own_constants_(std::move(other.own_constants_)),
+      own_output_regs_(std::move(other.own_output_regs_)),
+      own_fused_output_regs_(std::move(other.own_fused_output_regs_)),
+      instrs_(other.instrs_),
+      fused_instrs_(other.fused_instrs_),
+      constants_(other.constants_),
+      output_regs_(other.output_regs_),
+      fused_output_regs_(other.fused_output_regs_),
+      register_count_(other.register_count_),
+      input_count_(other.input_count_),
+      external_(other.external_) {
+  // vector move transfers the heap buffer, so the copied spans still alias
+  // valid storage; rebind anyway to keep the invariant trivially auditable.
+  if (!external_) rebind();
+}
+
+CompiledProgram& CompiledProgram::operator=(const CompiledProgram& other) {
+  if (this == &other) return *this;
+  CompiledProgram tmp(other);
+  *this = std::move(tmp);
+  return *this;
+}
+
+CompiledProgram& CompiledProgram::operator=(CompiledProgram&& other) noexcept {
+  if (this == &other) return *this;
+  own_instrs_ = std::move(other.own_instrs_);
+  own_fused_instrs_ = std::move(other.own_fused_instrs_);
+  own_constants_ = std::move(other.own_constants_);
+  own_output_regs_ = std::move(other.own_output_regs_);
+  own_fused_output_regs_ = std::move(other.own_fused_output_regs_);
+  instrs_ = other.instrs_;
+  fused_instrs_ = other.fused_instrs_;
+  constants_ = other.constants_;
+  output_regs_ = other.output_regs_;
+  fused_output_regs_ = other.fused_output_regs_;
+  register_count_ = other.register_count_;
+  input_count_ = other.input_count_;
+  external_ = other.external_;
+  if (!external_) rebind();
+  return *this;
+}
+
+CompiledProgram CompiledProgram::from_code(const ProgramCode& code) {
+  CompiledProgram p;
+  p.instrs_ = code.strict;
+  p.fused_instrs_ = code.fused;
+  p.constants_ = code.constants;
+  p.output_regs_ = code.outputs;
+  p.fused_output_regs_ = code.fused_outputs;
+  p.input_count_ = code.input_count;
+  p.register_count_ = code.register_count;
+  p.external_ = true;
+  p.validate();
+  return p;
 }
 
 void CompiledProgram::run(std::span<const double> inputs, std::span<double> outputs) const {
@@ -559,9 +644,9 @@ std::string c_literal(double v) {
 
 std::string CompiledProgram::to_c_source(std::string_view function_name,
                                          EvalMode mode) const {
-  const std::vector<Instr>& stream =
+  const std::span<const Instr> stream =
       mode == EvalMode::kFast ? fused_instrs_ : instrs_;
-  const std::vector<std::uint32_t>& out_regs =
+  const std::span<const std::uint32_t> out_regs =
       mode == EvalMode::kFast ? fused_output_regs_ : output_regs_;
 
   std::string src;
@@ -616,9 +701,9 @@ std::string CompiledProgram::to_c_source(std::string_view function_name,
 
 std::string CompiledProgram::to_c_source_batch(std::string_view function_name,
                                                EvalMode mode) const {
-  const std::vector<Instr>& stream =
+  const std::span<const Instr> stream =
       mode == EvalMode::kFast ? fused_instrs_ : instrs_;
-  const std::vector<std::uint32_t>& out_regs =
+  const std::span<const std::uint32_t> out_regs =
       mode == EvalMode::kFast ? fused_output_regs_ : output_regs_;
 
   // Per-point loop with a per-iteration register file: the registers are

@@ -20,10 +20,12 @@
 // evaluation and the strict/fast contract".
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <span>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "symbolic/expr.hpp"
@@ -38,6 +40,24 @@ struct Instr {
   std::uint32_t a = 0;  // register, input index (kInput) or constant index (kConst)
   std::uint32_t b = 0;
   std::uint32_t c = 0;  // third operand register (kFma/kFms only)
+};
+
+/// Non-owning executable view of a compiled program: the exact spans the
+/// interpreter and the C emitters read.  For an owning CompiledProgram the
+/// spans alias its internal vectors; for a view-backed one (model format
+/// v4, DESIGN.md §15) they point straight into a mapped file or shared
+/// memory region — the region's records ARE the instruction stream, so
+/// opening a model touches no per-instruction allocation at all.  The
+/// backing region must outlive every program built over it (CompiledModel
+/// pins it with a shared handle).
+struct ProgramCode {
+  std::span<const Instr> strict;
+  std::span<const Instr> fused;
+  std::span<const double> constants;
+  std::span<const std::uint32_t> outputs;        ///< strict-stream output registers
+  std::span<const std::uint32_t> fused_outputs;  ///< fused-stream output registers
+  std::size_t input_count = 0;
+  std::size_t register_count = 0;  ///< max of the two streams' register files
 };
 
 /// Numeric evaluation contract for the batched interpreter.
@@ -130,22 +150,81 @@ class CompiledProgram {
   /// version this build does not understand.
   static CompiledProgram load(std::istream& is);
 
+  /// The executable view of this program.  For an owning program the spans
+  /// alias internal storage and stay valid as long as the program lives;
+  /// for a view-backed program they alias the external region it was built
+  /// over.
+  ProgramCode code() const {
+    return {instrs_,      fused_instrs_, constants_,     output_regs_,
+            fused_output_regs_, input_count_,  register_count_};
+  }
+
+  /// Construct a program that executes directly out of `code` without
+  /// copying any stream — the model-format-v4 zero-copy path.  The caller
+  /// owns the backing region and must keep it alive and immutable for the
+  /// program's lifetime.  Runs the same structural validation as load()
+  /// (register/constant/input bounds on every instruction); throws
+  /// std::runtime_error on violation so a corrupt mapped file can never
+  /// index out of the register file.
+  static CompiledProgram from_code(const ProgramCode& code);
+
+  /// True when the instruction streams alias an external region (mapped
+  /// file / shared memory) rather than internal storage.
+  bool view_backed() const { return external_; }
+
  private:
-  CompiledProgram() = default;  // for load()
+  CompiledProgram() = default;  // for load() / from_code()
+
+  /// Structural validation of the current streams: every operand register,
+  /// constant index and input index in bounds, output maps in bounds.
+  /// Throws std::runtime_error with a "CompiledProgram::load:" message.
+  void validate() const;
+  /// Point the execution spans at the owned vectors (after the owned
+  /// storage has been (re)filled or copied/moved).
+  void rebind();
 
   void run_batch_strict(std::span<const double> inputs, std::span<double> outputs,
                         std::span<double> scratch, std::size_t count) const;
   void run_batch_fast(std::span<const double> inputs, std::span<double> outputs,
                       std::span<double> scratch, std::size_t count) const;
 
-  std::vector<Instr> instrs_;        // strict stream
-  std::vector<Instr> fused_instrs_;  // peephole-fused stream
-  std::vector<double> constants_;
-  std::vector<std::uint32_t> output_regs_;        // strict stream
-  std::vector<std::uint32_t> fused_output_regs_;  // fused stream
+  // Owned storage.  Empty for view-backed programs (external_ == true),
+  // where the execution spans below alias a caller-owned region instead.
+  std::vector<Instr> own_instrs_;
+  std::vector<Instr> own_fused_instrs_;
+  std::vector<double> own_constants_;
+  std::vector<std::uint32_t> own_output_regs_;
+  std::vector<std::uint32_t> own_fused_output_regs_;
+
+  // Execution views — the only thing the run/emit paths ever read.
+  std::span<const Instr> instrs_;        // strict stream
+  std::span<const Instr> fused_instrs_;  // peephole-fused stream
+  std::span<const double> constants_;
+  std::span<const std::uint32_t> output_regs_;        // strict stream
+  std::span<const std::uint32_t> fused_output_regs_;  // fused stream
   std::size_t register_count_ = 0;  // max of the two streams' register files
   std::size_t input_count_ = 0;
+  bool external_ = false;
+
+ public:
+  // Copy/move must re-point the spans at the destination's own_* storage
+  // (or keep aliasing the external region for view-backed programs);
+  // defaulted versions would leave a copy's spans dangling into the source.
+  CompiledProgram(const CompiledProgram& other);
+  CompiledProgram(CompiledProgram&& other) noexcept;
+  CompiledProgram& operator=(const CompiledProgram& other);
+  CompiledProgram& operator=(CompiledProgram&& other) noexcept;
+  ~CompiledProgram() = default;
 };
+
+static_assert(sizeof(Instr) == 20, "Instr layout is part of model format v4");
+static_assert(alignof(Instr) == 4, "Instr alignment is part of model format v4");
+static_assert(offsetof(Instr, op) == 0 && offsetof(Instr, dst) == 4 &&
+                  offsetof(Instr, a) == 8 && offsetof(Instr, b) == 12 &&
+                  offsetof(Instr, c) == 16,
+              "Instr field offsets are part of model format v4");
+static_assert(std::is_trivially_copyable_v<Instr>,
+              "mapped instruction streams are reinterpreted in place");
 
 /// Reverse-mode differentiation over the DAG (DESIGN.md §14): for each
 /// root, one backward sweep appends adjoint expression nodes computing

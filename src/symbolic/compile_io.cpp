@@ -21,7 +21,7 @@ namespace {
 constexpr char kMagic[4] = {'A', 'W', 'E', 'P'};
 constexpr std::uint32_t kVersion = 1;
 
-void save_stream(std::ostream& os, const std::vector<Instr>& instrs) {
+void save_stream(std::ostream& os, std::span<const Instr> instrs) {
   io::write_u64(os, instrs.size());
   for (const Instr& in : instrs) {
     io::write_u8(os, static_cast<std::uint8_t>(in.op));
@@ -48,7 +48,7 @@ std::vector<Instr> load_stream(std::istream& is) {
   return instrs;
 }
 
-void save_regs(std::ostream& os, const std::vector<std::uint32_t>& regs) {
+void save_regs(std::ostream& os, std::span<const std::uint32_t> regs) {
   io::write_u64(os, regs.size());
   for (std::uint32_t r : regs) io::write_u32(os, r);
 }
@@ -89,30 +89,37 @@ CompiledProgram CompiledProgram::load(std::istream& is) {
   p.input_count_ = io::read_count(is);
   p.register_count_ = io::read_count(is);
   const std::uint64_t nconst = io::read_count(is);
-  p.constants_.resize(nconst);
-  for (double& c : p.constants_) c = io::read_f64(is);
-  p.instrs_ = load_stream(is);
-  p.fused_instrs_ = load_stream(is);
-  p.output_regs_ = load_regs(is);
-  p.fused_output_regs_ = load_regs(is);
+  p.own_constants_.resize(nconst);
+  for (double& c : p.own_constants_) c = io::read_f64(is);
+  p.own_instrs_ = load_stream(is);
+  p.own_fused_instrs_ = load_stream(is);
+  p.own_output_regs_ = load_regs(is);
+  p.own_fused_output_regs_ = load_regs(is);
+  p.rebind();
+  p.validate();
+  return p;
+}
 
+void CompiledProgram::validate() const {
   // Structural validation: every operand must stay inside the loaded
-  // register/constant/input bounds so a corrupt file cannot make run()
-  // read out of range.
+  // register/constant/input bounds so a corrupt file (or mapped region)
+  // cannot make run() read out of range.
   auto check_reg = [&](std::uint32_t r) {
-    if (r >= p.register_count_)
+    if (r >= register_count_)
       throw std::runtime_error("CompiledProgram::load: register out of range");
   };
-  auto check_stream = [&](const std::vector<Instr>& instrs) {
+  auto check_stream = [&](std::span<const Instr> instrs) {
     for (const Instr& in : instrs) {
+      if (static_cast<std::uint8_t>(in.op) > static_cast<std::uint8_t>(OpCode::kFms))
+        throw std::runtime_error("CompiledProgram::load: unknown opcode");
       check_reg(in.dst);
       switch (in.op) {
         case OpCode::kConst:
-          if (in.a >= p.constants_.size())
+          if (in.a >= constants_.size())
             throw std::runtime_error("CompiledProgram::load: constant out of range");
           break;
         case OpCode::kInput:
-          if (in.a >= p.input_count_)
+          if (in.a >= input_count_)
             throw std::runtime_error("CompiledProgram::load: input out of range");
           break;
         case OpCode::kNeg:
@@ -129,13 +136,12 @@ CompiledProgram CompiledProgram::load(std::istream& is) {
       }
     }
   };
-  check_stream(p.instrs_);
-  check_stream(p.fused_instrs_);
-  for (std::uint32_t r : p.output_regs_) check_reg(r);
-  for (std::uint32_t r : p.fused_output_regs_) check_reg(r);
-  if (p.output_regs_.size() != p.fused_output_regs_.size())
+  check_stream(instrs_);
+  check_stream(fused_instrs_);
+  for (std::uint32_t r : output_regs_) check_reg(r);
+  for (std::uint32_t r : fused_output_regs_) check_reg(r);
+  if (output_regs_.size() != fused_output_regs_.size())
     throw std::runtime_error("CompiledProgram::load: output count mismatch");
-  return p;
 }
 
 }  // namespace awe::symbolic

@@ -16,12 +16,31 @@
 #pragma once
 
 #include <cstdint>
-#include <iosfwd>
+#include <istream>
+#include <streambuf>
 #include <string>
 
 #include "symbolic/polynomial.hpp"
 
 namespace awe::symbolic::io {
+
+/// Read-only istream over an external byte range — parse in place, no
+/// copy into an istringstream.  The caller keeps the range alive for the
+/// stream's lifetime.  Used by the legacy model loader (single-read
+/// in-place parse) and the lazy v4 symbolics section.
+class imembuf : public std::streambuf {
+ public:
+  imembuf(const char* data, std::size_t size) {
+    char* p = const_cast<char*>(data);  // std::streambuf API; never written
+    setg(p, p, p + size);
+  }
+};
+
+class imemstream : private imembuf, public std::istream {
+ public:
+  imemstream(const char* data, std::size_t size)
+      : imembuf(data, size), std::istream(static_cast<std::streambuf*>(this)) {}
+};
 
 /// Upper bound accepted for any length prefix (elements, not bytes); a
 /// corrupt file fails fast instead of attempting a multi-GB allocation.

@@ -38,6 +38,22 @@
 //                     the incremental-determinism CI job
 //   --save-model F    serialize the (last) built model to F, for
 //                     bit-identity comparison against another build
+//   --mmap            warm loads mmap the v4 cache entry in place
+//                     (CompiledModel::map_file, O(pages touched)) instead
+//                     of stream-parsing it; cold builds are unaffected
+//   --pack-v4 DIR     maintenance mode (no decks needed): rewrite every
+//                     *.awemodel under DIR as model format v4 via the
+//                     atomic tmp+rename discipline.  Entries already in
+//                     canonical v4 form are left byte-untouched; legacy v3
+//                     entries are upgraded in place so an old cache
+//                     becomes mmap-servable without rebuilding
+//   --map-audit DIR   maintenance mode: mmap-open every v4 *.awemodel
+//                     under DIR with FULL payload-checksum and structural
+//                     verification (the audit pays the page faults the
+//                     fast path skips — DESIGN.md §15.2); legacy v3
+//                     entries get the equivalent stream verification.
+//                     Damaged entries are quarantined to <entry>.bad;
+//                     exit 2 if any were
 //
 // Per deck, prints:  <cache-key>  <cold|warm>  <deck-path>
 // Exit status: 0 on success, 2 on bad usage or any failed deck.  A corrupt
@@ -46,14 +62,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "circuit/parser.hpp"
+#include "core/model_blob.hpp"
 #include "core/model_cache.hpp"
+#include "core/model_format.hpp"
 #include "health/report.hpp"
+#include "symbolic/serialize.hpp"
 
 namespace {
 
@@ -62,11 +83,105 @@ using namespace awe;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --cache-dir DIR [--order Q] [--threads N] [--gradients]\n"
-               "          [--native] [--incremental] [--edit NAME=VALUE ...]\n"
+               "          [--native] [--incremental] [--mmap] [--edit NAME=VALUE ...]\n"
                "          [--edit-first-numeric FACTOR] [--save-model FILE]\n"
-               "          [--health-json FILE] [--quiet] deck.sp [deck2.sp ...]\n",
-               argv0);
+               "          [--health-json FILE] [--quiet] deck.sp [deck2.sp ...]\n"
+               "       %s --pack-v4 DIR | --map-audit DIR\n",
+               argv0, argv0);
   std::exit(2);
+}
+
+/// --pack-v4: upgrade every *.awemodel under `dir` to format v4 in place.
+/// Byte-deterministic: an entry already in canonical v4 form is detected
+/// by comparing the repacked bytes and left untouched (no mtime churn, a
+/// second run is a no-op), so repack . load . repack is a fixed point.
+int pack_v4_dir(const std::string& dir, bool quiet) {
+  namespace fs = std::filesystem;
+  std::size_t upgraded = 0, unchanged = 0, failed = 0;
+  for (const auto& ent : fs::directory_iterator(dir)) {
+    if (!ent.is_regular_file() || ent.path().extension() != ".awemodel") continue;
+    const std::string path = ent.path().string();
+    try {
+      std::ifstream in(path, std::ios::binary);
+      std::ostringstream raw;
+      raw << in.rdbuf();
+      const std::string original = raw.str();
+      awe::symbolic::io::imemstream is(original.data(), original.size());
+      const awe::core::CompiledModel model = awe::core::CompiledModel::load(is);
+      std::ostringstream repacked;
+      model.save(repacked);
+      const std::string packed = repacked.str();
+      if (packed == original) {
+        ++unchanged;
+        continue;
+      }
+      const std::string tmp = path + ".pack.tmp";
+      {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out.write(packed.data(), static_cast<std::streamsize>(packed.size()));
+        if (!out) throw std::runtime_error("cannot write " + tmp);
+      }
+      fs::rename(tmp, path);
+      ++upgraded;
+      if (!quiet) std::printf("pack  v4  %s\n", path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "awe_build: --pack-v4: %s: %s\n", path.c_str(), e.what());
+      ++failed;
+    }
+  }
+  if (!quiet)
+    std::printf("awe_build: --pack-v4: %zu upgraded, %zu already v4, %zu failed\n",
+                upgraded, unchanged, failed);
+  return failed == 0 ? 0 : 2;
+}
+
+/// --map-audit: the integrity pass the mmap fast path deliberately skips.
+/// v4 entries are mapped and verified fully (payload checksum + every
+/// structural/cross-field check in from_blob); v3 entries get the stream
+/// loader's equivalent verification.  Damage quarantines to <entry>.bad.
+int map_audit_dir(const std::string& dir, bool quiet) {
+  namespace fs = std::filesystem;
+  std::size_t ok_v4 = 0, ok_v3 = 0, quarantined = 0;
+  for (const auto& ent : fs::directory_iterator(dir)) {
+    if (!ent.is_regular_file() || ent.path().extension() != ".awemodel") continue;
+    const std::string path = ent.path().string();
+    bool legacy = false;
+    try {
+      char head[8] = {};
+      {
+        std::ifstream in(path, std::ios::binary);
+        in.read(head, sizeof(head));
+        if (static_cast<std::size_t>(in.gcount()) != sizeof(head))
+          throw std::runtime_error("truncated header");
+      }
+      std::uint32_t version = 0;
+      std::memcpy(&version, head + 4, sizeof(version));
+      if (version == awe::core::kModelFormatVersion) {
+        (void)awe::core::CompiledModel::from_blob(awe::core::map_file_blob(path),
+                                                  /*verify_checksum=*/true);
+        ++ok_v4;
+      } else {
+        legacy = true;
+        std::ifstream in(path, std::ios::binary);
+        (void)awe::core::CompiledModel::load(in);
+        ++ok_v3;
+      }
+      if (!quiet) std::printf("audit ok   %s %s\n", legacy ? "v3" : "v4", path.c_str());
+    } catch (const std::exception& e) {
+      std::error_code ec;
+      const std::string bad = awe::core::ModelCache::quarantine_path(path);
+      fs::remove(bad, ec);
+      fs::rename(path, bad, ec);
+      if (ec) fs::remove(path, ec);
+      ++quarantined;
+      std::fprintf(stderr, "awe_build: --map-audit: %s: %s (quarantined)\n",
+                   path.c_str(), e.what());
+    }
+  }
+  if (!quiet)
+    std::printf("awe_build: --map-audit: %zu v4 ok, %zu v3 ok, %zu quarantined\n",
+                ok_v4, ok_v3, quarantined);
+  return quarantined == 0 ? 0 : 2;
 }
 
 /// Alphabetically first numeric two-terminal R/G/C/L of the deck — the
@@ -95,6 +210,8 @@ std::string first_numeric_element(const circuit::ParsedDeck& deck) {
 
 int main(int argc, char** argv) {
   std::string cache_dir;
+  std::string pack_dir;
+  std::string audit_dir;
   core::ModelOptions mopts;
   core::BuildOptions bopts;
   bool quiet = false;
@@ -122,6 +239,12 @@ int main(int argc, char** argv) {
       bopts.backend = core::EvalBackend::kNative;
     } else if (arg == "--incremental") {
       bopts.incremental = true;
+    } else if (arg == "--mmap") {
+      bopts.map_model = true;
+    } else if (arg == "--pack-v4") {
+      pack_dir = next();
+    } else if (arg == "--map-audit") {
+      audit_dir = next();
     } else if (arg == "--edit") {
       const std::string spec = next();
       const auto eq = spec.find('=');
@@ -142,6 +265,14 @@ int main(int argc, char** argv) {
     } else {
       decks.push_back(arg);
     }
+  }
+  // Maintenance modes run standalone: no decks, no cache instance.
+  if (!pack_dir.empty() || !audit_dir.empty()) {
+    if (!decks.empty() || !cache_dir.empty()) usage(argv[0]);
+    int rc = 0;
+    if (!pack_dir.empty()) rc = pack_v4_dir(pack_dir, quiet);
+    if (rc == 0 && !audit_dir.empty()) rc = map_audit_dir(audit_dir, quiet);
+    return rc;
   }
   if (cache_dir.empty() || decks.empty() || mopts.order < 1) usage(argv[0]);
 

@@ -33,6 +33,8 @@
 //   --fast            EvalMode::kFast (default strict)
 //   --native          AOT-compile the model and run kNative batches
 //   --cache-dir DIR   persistent model cache to build through
+//   --mmap            with --cache-dir: mmap a v4 cache hit in place
+//                     instead of stream-parsing it (zero-copy warm open)
 //   --health-json F   write a HealthReport as JSON to F ("-" for stdout)
 //   --quiet           suppress the narrative lines
 // Exit status: 0 on success, 1 when a requested optimization failed to
@@ -61,7 +63,7 @@ using namespace awe;
                "usage: %s [--order Q] [--measure dcgain|elmore|pole1] [--target V]\n"
                "          [--corners FRAC] [--mc N] [--sigma S] [--seed S]\n"
                "          [--spec-pole-hz F] [--grad-dump FILE] [--threads N]\n"
-               "          [--width W] [--fast] [--native] [--cache-dir DIR]\n"
+               "          [--width W] [--fast] [--native] [--cache-dir DIR] [--mmap]\n"
                "          [--health-json FILE] [--quiet] deck.sp\n",
                argv0);
   std::exit(2);
@@ -149,6 +151,8 @@ int main(int argc, char** argv) {
       sopts.backend = core::EvalBackend::kNative;
     } else if (arg == "--cache-dir") {
       cache_dir = next();
+    } else if (arg == "--mmap") {
+      bopts.map_model = true;
     } else if (arg == "--health-json") {
       health_json = next();
     } else if (arg == "--quiet") {
