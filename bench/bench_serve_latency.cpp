@@ -1,0 +1,134 @@
+// Request latency and throughput of the awe_serve evaluation daemon
+// (DESIGN.md §16.6): an in-process Server on a unix socket, driven by the
+// SAME serve::loadgen campaign the awe_loadgen CLI runs, so the committed
+// baseline measures exactly what operators measure.
+//
+// Rows:
+//   BM_ServePing/connections:1   protocol floor — one connection, ping
+//                                round-trips (no eval work).  The ANCHOR:
+//                                every serve counter is gated relative to
+//                                it, so the baseline transfers across
+//                                machines of different absolute speed.
+//   BM_ServeEval/connections:N   eval mc=64 summary requests over N
+//                                concurrent connections against 2 workers.
+//
+// Perf-CI contract: every row exports
+//   serve_requests_per_s  completed requests/sec (throughput)
+//   inv_p50_per_s         1e6 / p50_us  — inverse latency percentiles,
+//   inv_p99_per_s         1e6 / p99_us    so "bigger is better" holds and
+//                                         check_bench_gate.py's drop-below
+//                                         threshold gates tail latency
+//   p50_us, p99_us        the raw percentiles (informational, not gated)
+// bench/check_bench_gate.py gates the first three against
+// BENCH_baseline.json, anchored to BM_ServePing/connections:1.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace awe;
+namespace fs = std::filesystem;
+
+constexpr const char* kDeck = R"(* serve latency deck
+Vin in 0 1
+R1 in a 1k
+C1 a 0 10p
+R2 a out 2k
+C2 out 0 5p
+.symbol R2
+.symbol C2
+.input vin
+.output out
+.end
+)";
+
+/// One daemon on a unix socket in a self-cleaning temp dir.
+class ServerHarness {
+ public:
+  ServerHarness() {
+    dir_ = fs::temp_directory_path() /
+           ("awe_bench_serve_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    const std::string deck = (dir_ / "deck.sp").string();
+    std::ofstream(deck) << kDeck;
+    serve::ServerConfig cfg;
+    cfg.deck_path = deck;
+    cfg.unix_path = (dir_ / "s.sock").string();
+    cfg.workers = 2;
+    server_ = std::make_unique<serve::Server>(cfg);
+    server_->start();
+    unix_path_ = cfg.unix_path;
+  }
+  ~ServerHarness() {
+    server_.reset();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  const std::string& unix_path() const { return unix_path_; }
+
+ private:
+  fs::path dir_;
+  std::string unix_path_;
+  std::unique_ptr<serve::Server> server_;
+};
+
+/// Time one campaign per iteration (manual time: the campaign's own wall
+/// clock, so multi-connection rows report true end-to-end throughput) and
+/// export the latency-distribution counters.
+void run_case(benchmark::State& state, const char* op, std::size_t mc,
+              std::size_t connections) {
+  ServerHarness harness;
+  serve::loadgen::CampaignOptions opt;
+  opt.unix_path = harness.unix_path();
+  opt.connections = connections;
+  opt.requests = 64;
+  opt.op = op;
+  opt.mc = mc;
+  opt.summary = true;
+
+  std::uint64_t total = 0;
+  double p50_us = 0.0, p99_us = 0.0;
+  for (auto _ : state) {
+    const serve::loadgen::CampaignResult res = serve::loadgen::run_campaign(opt);
+    if (res.transport_error || res.errors > 0) {
+      state.SkipWithError("campaign hit transport/protocol errors");
+      return;
+    }
+    state.SetIterationTime(res.elapsed_s);
+    total += res.requests();
+    p50_us = res.percentile_us(50);
+    p99_us = res.percentile_us(99);
+  }
+  state.counters["serve_requests_per_s"] =
+      benchmark::Counter(static_cast<double>(total), benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = p50_us;
+  state.counters["p99_us"] = p99_us;
+  state.counters["inv_p50_per_s"] = p50_us > 0 ? 1e6 / p50_us : 0.0;
+  state.counters["inv_p99_per_s"] = p99_us > 0 ? 1e6 / p99_us : 0.0;
+}
+
+void BM_ServePing(benchmark::State& state) {
+  run_case(state, "ping", 0, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_ServePing)->ArgName("connections")->Arg(1)->UseManualTime();
+
+void BM_ServeEval(benchmark::State& state) {
+  run_case(state, "eval", 64, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_ServeEval)
+    ->ArgName("connections")
+    ->Arg(1)
+    ->Arg(4)
+    ->UseManualTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

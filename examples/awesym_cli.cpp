@@ -63,6 +63,7 @@
 #include "awe/sensitivity.hpp"
 #include "circuit/parser.hpp"
 #include "core/awesymbolic.hpp"
+#include "core/cli_support.hpp"
 #include "engine/sweep.hpp"
 #include "exact/exact_symbolic.hpp"
 #include "health/report.hpp"
@@ -70,6 +71,10 @@
 namespace {
 
 using namespace awe;
+
+/// Set before argument parsing so even the usage() exit can flush a valid
+/// --health-json report (DESIGN.md §16.5).
+const cli::HealthJsonSink* g_health_sink = nullptr;
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
@@ -81,6 +86,7 @@ using namespace awe;
                "          [--transient T:N] [--ac f0:f1:N] [--closed-forms]\n"
                "          [--emit-c FILE]\n",
                argv0);
+  if (g_health_sink) g_health_sink->flush();
   std::exit(2);
 }
 
@@ -136,6 +142,9 @@ double measure(const engine::ReducedOrderModel& rom, const std::string& what) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  cli::install_sigpipe_guard();
+  const cli::HealthJsonSink sink = cli::HealthJsonSink::from_argv(argc, argv);
+  g_health_sink = &sink;
   if (argc < 2) usage(argv[0]);
   std::string deck_path;
   std::size_t order = 2;
@@ -231,6 +240,7 @@ int main(int argc, char** argv) {
     std::ifstream in(deck_path);
     if (!in) {
       std::fprintf(stderr, "cannot open deck '%s'\n", deck_path.c_str());
+      sink.flush();
       return 1;
     }
     auto deck = circuit::parse_deck(in);
@@ -238,11 +248,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "warning: %s\n", problem.c_str());
     if (deck.input_source.empty() || deck.output_node.empty()) {
       std::fprintf(stderr, "deck needs .input and .output directives\n");
+      sink.flush();
       return 1;
     }
     const auto out_node = deck.netlist.find_node(deck.output_node);
     if (!out_node) {
       std::fprintf(stderr, "unknown .output node '%s'\n", deck.output_node.c_str());
+      sink.flush();
       return 1;
     }
 
@@ -254,6 +266,7 @@ int main(int argc, char** argv) {
     if (symbols.empty()) {
       std::fprintf(stderr,
                    "no symbols: use .symbol directives, --symbols or --auto-symbols\n");
+      sink.flush();
       return 1;
     }
 
@@ -297,6 +310,7 @@ int main(int argc, char** argv) {
       values = *at_values;
       if (values.size() != symbols.size()) {
         std::fprintf(stderr, "--at needs %zu values\n", symbols.size());
+        sink.flush();
         return 1;
       }
     } else {
@@ -382,21 +396,19 @@ int main(int argc, char** argv) {
           for (std::size_t k = 0; k < sr.num_moments; ++k)
             std::fprintf(out, " %.17g", sr.moment(k, p));
           std::fprintf(out, "\n");
+          // A dump piped into "| head" closes stdout early; with SIGPIPE
+          // ignored that shows up as a stream error.  The consumer got
+          // what it wanted — stop writing and exit 0, not die.
+          if (out == stdout && !cli::stdout_alive()) break;
         }
-        if (out != stdout) std::fclose(out);
-      }
-      if (!health_json.empty()) {
-        health::HealthReport report = sr.health;
-        health::absorb_global_counters(report);
-        const std::string json = report.to_json() + "\n";
-        if (health_json == "-") {
-          std::fputs(json.c_str(), stdout);
+        if (out != stdout) {
+          if (std::ferror(out) || std::fclose(out) != 0)
+            throw std::runtime_error("short write to " + dump_moments);
         } else {
-          std::ofstream out(health_json);
-          if (!out) throw std::runtime_error("cannot write " + health_json);
-          out << json;
+          std::clearerr(stdout);
         }
       }
+      sink.flush_report(sr.health);
       return 0;
     }
 
@@ -418,6 +430,7 @@ int main(int argc, char** argv) {
           std::printf("  %12.5e Hz  |H|=%12.6g  phase=%8.2f deg\n", f, rom.magnitude(f),
                       rom.phase_deg(f));
       }
+      sink.flush();
       return 0;
     }
 
@@ -456,7 +469,11 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    health::HealthReport report;
+    report.record_failure(health::fail_class_of(e));
+    sink.flush_report(report);
     return 1;
   }
+  sink.flush();
   return 0;
 }

@@ -30,10 +30,15 @@ std::uint64_t SharedModelStore::publish_packed(std::string_view blob) {
   // Region creation, the copy, and checksum verification all happen
   // before the lock: a failed publish leaves the store on its previous
   // generation, and concurrent acquire()s only ever wait for the swap.
+  // The generation number is RESERVED (next_generation_ incremented) up
+  // front so concurrent publishers each build into a uniquely named
+  // region — reserving with `generation_ + 1` would hand two racing
+  // publishers the same shm name, where the second create's replace-
+  // stale-object unlink would rip the name out from under the first.
   std::uint64_t gen;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    gen = generation_ + 1;
+    gen = ++next_generation_;
   }
   const auto bytes = std::span<const std::byte>(
       reinterpret_cast<const std::byte*>(blob.data()), blob.size());
@@ -43,31 +48,39 @@ std::uint64_t SharedModelStore::publish_packed(std::string_view blob) {
   auto model = std::make_shared<const CompiledModel>(
       CompiledModel::from_blob(region, /*verify_checksum=*/true));
 
-  std::shared_ptr<const CompiledModel> prev;
-  std::uint64_t prev_gen = 0;
+  std::shared_ptr<const CompiledModel> retired_model;
+  std::uint64_t retired_gen = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    prev = std::move(current_);
-    prev_gen = generation_;
-    if (prev) retired_.push_back(prev);
-    // Another publisher may have raced past our reserved number; stay
-    // monotonic either way.
-    gen = std::max(gen, generation_ + 1);
-    current_ = std::move(model);
-    generation_ = gen;
+    if (gen > generation_) {
+      retired_model = std::move(current_);
+      retired_gen = generation_;
+      current_ = std::move(model);
+      generation_ = gen;
+    } else {
+      // A publisher with a later reservation already swapped in: our
+      // freshly verified generation was obsolete on arrival.  Retire it
+      // without ever exposing it — generations stay monotonic for readers.
+      retired_model = std::move(model);
+      retired_gen = gen;
+    }
+    if (retired_model) retired_.push_back(retired_model);
     std::erase_if(retired_, [](const std::weak_ptr<const CompiledModel>& w) {
       return w.expired();
     });
   }
   // Unlink the retired NAME outside the lock: its pages stay mapped for
-  // readers still pinning `prev` (POSIX shm semantics), but no new
-  // reader can open it and the name cannot collide with a future store.
-  if (backing_ == Backing::kShm && prev_gen != 0) unlink_shm_blob(shm_name(prev_gen));
+  // readers still pinning it (POSIX shm semantics), but no new reader can
+  // open it and the name cannot collide with a future store.
+  if (backing_ == Backing::kShm && retired_gen != 0)
+    unlink_shm_blob(shm_name(retired_gen));
   return gen;
 }
 
-std::shared_ptr<const CompiledModel> SharedModelStore::acquire() const {
+std::shared_ptr<const CompiledModel> SharedModelStore::acquire(
+    std::uint64_t* generation_out) const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (generation_out) *generation_out = generation_;
   return current_;
 }
 

@@ -67,7 +67,11 @@ class SharedModelStore {
   /// Pin and return the current generation's model, or nullptr when
   /// nothing has been published yet.  Never blocks a publish; the result
   /// keeps its generation's region alive independent of later swaps.
-  std::shared_ptr<const CompiledModel> acquire() const;
+  /// `generation_out` (optional) receives the pinned generation number in
+  /// the same atomic step — a separate generation() call could race a
+  /// concurrent publish and report a generation the pin doesn't hold.
+  std::shared_ptr<const CompiledModel> acquire(
+      std::uint64_t* generation_out = nullptr) const;
 
   /// Monotonic generation counter; 0 until the first publish.
   std::uint64_t generation() const;
@@ -86,6 +90,12 @@ class SharedModelStore {
   std::string name_;
   Backing backing_;
   mutable std::mutex mu_;
+  /// Reservation counter for publishers: each publish_packed takes a
+  /// UNIQUE generation (and therefore a unique shm name) up front, so
+  /// concurrent publishers never race on one region name.  generation_
+  /// below tracks which reserved generation is currently serving; a
+  /// publisher that loses the swap race retires its own region instead.
+  std::uint64_t next_generation_ = 0;
   std::uint64_t generation_ = 0;
   std::shared_ptr<const CompiledModel> current_;
   /// Retired generations, weakly held so live_generations() can count

@@ -1,0 +1,77 @@
+// Cooperative cancellation for batched evaluation (DESIGN.md §16).
+//
+// A serving path cannot afford a sweep that outlives its request: a
+// timed-out client has already been answered (or evicted), so every cycle
+// spent finishing its points is a cycle stolen from live requests.  A
+// CancelToken is the engine-side half of a request deadline — the sweep
+// engine polls it once per SoA batch (width points, so the check cost is
+// amortized to nothing) and, once it reports cancelled, marks every
+// not-yet-evaluated point FailClass::kDeadline and returns.  Points that
+// finished before the cancellation keep their results: the caller gets a
+// partial, honestly-accounted SweepResult, never a torn one.
+//
+// Cancellation is latching and monotone: once cancelled() has returned
+// true it returns true forever, from any thread.  Three triggers compose
+// (any one suffices): an explicit cancel() call, a steady-clock deadline,
+// and a check-count trigger (cancel_after_checks) that gives tests a
+// deterministic "expire exactly mid-sweep" without wall-clock races.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace awe::sweep {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Token that expires at `deadline` (steady clock).
+  explicit CancelToken(std::chrono::steady_clock::time_point deadline)
+      : deadline_ns_(deadline.time_since_epoch().count()) {}
+
+  /// Token that expires `budget` from now (steady clock).  Guaranteed
+  /// prvalue elision — CancelToken itself is neither copyable nor movable
+  /// (it holds atomics that concurrent pollers may already be watching).
+  static CancelToken after(std::chrono::nanoseconds budget) {
+    return CancelToken(std::chrono::steady_clock::now() + budget);
+  }
+
+  void set_deadline(std::chrono::steady_clock::time_point tp) {
+    deadline_ns_.store(tp.time_since_epoch().count(), std::memory_order_relaxed);
+  }
+
+  /// Deterministic testing trigger: cancelled() latches true on the n-th
+  /// call (1-based, counted across all threads).
+  void cancel_after_checks(std::uint64_t n) {
+    trigger_checks_.store(n, std::memory_order_relaxed);
+  }
+
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    const std::uint64_t trigger = trigger_checks_.load(std::memory_order_relaxed);
+    if (trigger != 0 &&
+        checks_.fetch_add(1, std::memory_order_relaxed) + 1 >= trigger) {
+      cancelled_.store(true, std::memory_order_release);
+      return true;
+    }
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != 0 &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >= d) {
+      cancelled_.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  ///< steady-epoch ns; 0 = none
+  std::atomic<std::uint64_t> trigger_checks_{0};
+  mutable std::atomic<std::uint64_t> checks_{0};
+};
+
+}  // namespace awe::sweep

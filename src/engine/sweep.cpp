@@ -244,6 +244,21 @@ void finalize_result(SweepResult& res) {
   }
 }
 
+/// Deadline cancellation for one chunk: quarantine every remaining point
+/// [b, end) of the chunk as FailClass::kDeadline.  Points the chunk (or
+/// other chunks) already evaluated keep their results — the sweep returns
+/// partial, honestly-accounted output, never a torn one.
+void mark_deadline_points(std::size_t b, std::size_t end,
+                          std::vector<std::uint8_t>& ok,
+                          std::vector<std::uint8_t>& ladder_stage,
+                          std::vector<std::uint8_t>& fail_class) {
+  for (std::size_t p = b; p < end; ++p) {
+    ok[p] = 0;
+    ladder_stage[p] = static_cast<std::uint8_t>(LadderStage::kQuarantined);
+    fail_class[p] = static_cast<std::uint8_t>(health::FailClass::kDeadline);
+  }
+}
+
 /// A pool task died outside any point's ladder (e.g. an injected
 /// thread_pool.task fault).  Results already written stand; every point
 /// the dead task never reached is quarantined as a task casualty.
@@ -326,6 +341,13 @@ SweepResult run_sweep(const core::CompiledModel& model, std::vector<double> poin
         all_active.assign(nsym, true);
       }
       for (std::size_t b = begin; b < end; b += width) {
+        // Deadline check once per batch: a cancelled sweep stops doing new
+        // work here, quarantines the rest of its chunk as kDeadline, and
+        // frees its pool slot instead of running to completion.
+        if (opts.cancel && opts.cancel->cancelled()) {
+          mark_deadline_points(b, end, res.ok, res.ladder_stage, res.fail_class);
+          break;
+        }
         const std::size_t w = std::min(width, end - b);
         if (want_grads) {
           // One gradient-program run yields moments AND all gradients (the
@@ -486,6 +508,12 @@ std::vector<SweepResult> run_sweep(const core::MultiOutputModel& model,
         std::optional<core::BatchWorkspace> ws1;
         std::vector<double> lane(nm);
         for (std::size_t b = begin; b < end; b += width) {
+          if (opts.cancel && opts.cancel->cancelled()) {
+            for (std::size_t o = 0; o < nout; ++o)
+              mark_deadline_points(b, end, ok, results[o].ladder_stage,
+                                   results[o].fail_class);
+            break;
+          }
           const std::size_t w = std::min(width, end - b);
           // Multi-output programs are not AOT-compiled; the backend knob is
           // forwarded for signature symmetry and interprets regardless.

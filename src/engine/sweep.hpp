@@ -27,6 +27,7 @@
 #include "awe/rom.hpp"
 #include "core/awesymbolic.hpp"
 #include "core/model_store.hpp"
+#include "engine/cancel.hpp"
 #include "engine/thread_pool.hpp"
 #include "health/report.hpp"
 #include "health/status.hpp"
@@ -88,6 +89,12 @@ struct SweepOptions {
   bool pole_sensitivities = false;
   /// Reuse an existing pool across sweeps (overrides `threads`).
   ThreadPool* pool = nullptr;
+  /// Cooperative cancellation (engine/cancel.hpp): checked once per SoA
+  /// batch by every worker.  Once it reports cancelled, points not yet
+  /// evaluated are quarantined with FailClass::kDeadline and the sweep
+  /// returns early with partial — but fully accounted — results; the pool
+  /// and its workspaces stay reusable.  nullptr = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Summary statistics over the successfully evaluated points.

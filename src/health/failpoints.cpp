@@ -17,7 +17,8 @@ constexpr const char* kAllSites[] = {
     sites::kCacheStoreBitflip,  sites::kCacheStoreCrash,
     sites::kCacheLoadCorrupt,   sites::kThreadPoolTask,
     sites::kNativeCompile,      sites::kNativeDlopen,
-    sites::kPartitionBlock,
+    sites::kPartitionBlock,     sites::kServeAccept,
+    sites::kServeRead,          sites::kServeSwap,
 };
 
 enum class Mode : std::uint8_t { kOff, kAlways, kOnce, kNth };

@@ -21,6 +21,11 @@ void HealthReport::merge(const HealthReport& other) {
   partition_blocks_reused += other.partition_blocks_reused;
   partition_blocks_built += other.partition_blocks_built;
   partition_blocks_quarantined += other.partition_blocks_quarantined;
+  serve_requests += other.serve_requests;
+  serve_shed += other.serve_shed;
+  serve_deadline_expired += other.serve_deadline_expired;
+  serve_evicted += other.serve_evicted;
+  serve_reload_failures += other.serve_reload_failures;
   failpoint_fires += other.failpoint_fires;
 }
 
@@ -43,6 +48,11 @@ std::string HealthReport::to_json(int indent) const {
   os << in1 << "\"partition_blocks\": {\"reused\": " << partition_blocks_reused
      << ", \"built\": " << partition_blocks_built
      << ", \"quarantined\": " << partition_blocks_quarantined << "},\n";
+  os << in1 << "\"serve\": {\"requests\": " << serve_requests
+     << ", \"shed\": " << serve_shed
+     << ", \"deadline_expired\": " << serve_deadline_expired
+     << ", \"evicted\": " << serve_evicted
+     << ", \"reload_failures\": " << serve_reload_failures << "},\n";
   os << in1 << "\"failpoint_fires\": " << failpoint_fires << ",\n";
   os << in1 << "\"fail_classes\": {\n";
   // kNone is a non-event; every real class appears, fired or not.

@@ -46,6 +46,15 @@ struct HealthReport {
   std::uint64_t partition_blocks_built = 0;        ///< cell blocks extracted fresh
   std::uint64_t partition_blocks_quarantined = 0;  ///< torn/corrupt blocks moved to .bad
 
+  // Evaluation daemon (DESIGN.md §16).  Filled by awe_serve's ServeStats
+  // snapshot; always present (zero) in reports from other tools so the
+  // JSON shape stays fixed.
+  std::uint64_t serve_requests = 0;        ///< eval requests admitted
+  std::uint64_t serve_shed = 0;            ///< requests rejected by admission control
+  std::uint64_t serve_deadline_expired = 0;///< requests that hit their deadline
+  std::uint64_t serve_evicted = 0;         ///< slow/oversized clients disconnected
+  std::uint64_t serve_reload_failures = 0; ///< model reload attempts that failed
+
   std::uint64_t failpoint_fires = 0;  ///< injected faults observed
 
   void record_failure(FailClass c) {

@@ -16,6 +16,8 @@ const char* to_string(FailClass c) {
     case FailClass::kUnknown: return "unknown failure";
     case FailClass::kNativeBackend: return "native backend unavailable";
     case FailClass::kModelFormat: return "model format rejected";
+    case FailClass::kDeadline: return "request deadline expired";
+    case FailClass::kOverload: return "request shed under overload";
   }
   return "?";
 }
@@ -34,6 +36,8 @@ const char* code(FailClass c) {
     case FailClass::kUnknown: return "unknown";
     case FailClass::kNativeBackend: return "native-backend";
     case FailClass::kModelFormat: return "model-format";
+    case FailClass::kDeadline: return "deadline";
+    case FailClass::kOverload: return "overloaded";
   }
   return "?";
 }

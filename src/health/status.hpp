@@ -34,9 +34,11 @@ enum class FailClass : std::uint8_t {
   kUnknown = 9,           ///< classified failure of unrecognized origin
   kNativeBackend = 10,    ///< native .so compile/load/validate failed; interpreter used
   kModelFormat = 11,      ///< model blob rejected: endianness/alignment/layout guard
+  kDeadline = 12,         ///< request deadline expired; evaluation cancelled mid-sweep
+  kOverload = 13,         ///< request shed by admission control (queue/byte limits)
 };
 
-inline constexpr std::size_t kFailClassCount = 12;
+inline constexpr std::size_t kFailClassCount = 14;
 
 /// Long human-readable name ("Hankel system ill-conditioned").
 const char* to_string(FailClass c);

@@ -1,0 +1,777 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "circuit/parser.hpp"
+#include "core/model_cache.hpp"
+#include "health/failpoints.hpp"
+#include "health/status.hpp"
+
+namespace awe::serve {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+std::int64_t now_ns() { return clock::now().time_since_epoch().count(); }
+
+/// Sleep in ticks so a stop flag interrupts promptly.
+void interruptible_sleep(std::chrono::milliseconds total, const std::atomic<bool>& stop) {
+  const auto until = clock::now() + total;
+  while (clock::now() < until && !stop.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+std::string stats_json(const ServeStats::Snapshot& s) {
+  std::string out = "{";
+  out += "\"accepted\":" + std::to_string(s.accepted);
+  out += ",\"accept_faults\":" + std::to_string(s.accept_faults);
+  out += ",\"evicted\":" + std::to_string(s.evicted);
+  out += ",\"requests\":" + std::to_string(s.requests);
+  out += ",\"responses\":" + std::to_string(s.responses);
+  out += ",\"shed\":" + std::to_string(s.shed);
+  out += ",\"bad_requests\":" + std::to_string(s.bad_requests);
+  out += ",\"deadline_expired\":" + std::to_string(s.deadline_expired);
+  out += ",\"watchdog_kicks\":" + std::to_string(s.watchdog_kicks);
+  out += ",\"unavailable\":" + std::to_string(s.unavailable);
+  out += ",\"reloads_ok\":" + std::to_string(s.reloads_ok);
+  out += ",\"reload_failures\":" + std::to_string(s.reload_failures);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+ServeStats::Snapshot ServeStats::snapshot() const {
+  return Snapshot{
+      accepted.load(),        accept_faults.load(), evicted.load(),
+      requests.load(),        responses.load(),     shed.load(),
+      bad_requests.load(),    deadline_expired.load(),
+      watchdog_kicks.load(),  unavailable.load(),   reloads_ok.load(),
+      reload_failures.load(),
+  };
+}
+
+Server::Conn::~Conn() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)),
+      store_(cfg_.store_name.empty() ? "awe_serve" : cfg_.store_name,
+             cfg_.store_name.empty() ? core::SharedModelStore::Backing::kHeap
+                                     : core::SharedModelStore::Backing::kShm) {}
+
+Server::~Server() {
+  stop();
+  if (drain_thread_.joinable()) drain_thread_.join();
+}
+
+core::CompiledModel Server::build_model() const {
+  std::ifstream in(cfg_.deck_path);
+  if (!in) throw std::runtime_error("cannot open deck " + cfg_.deck_path);
+  circuit::ParsedDeck deck = circuit::parse_deck(in);
+  if (deck.symbol_elements.empty() || deck.input_source.empty() ||
+      deck.output_node.empty())
+    throw std::runtime_error("deck needs .symbol/.input/.output directives");
+  if (!cfg_.cache_dir.empty()) {
+    // Through the persistent cache: a corrupt entry quarantines to .bad and
+    // rebuilds (core/model_cache) instead of failing the reload.
+    core::ModelCache cache(cfg_.cache_dir);
+    const auto model = cache.get_or_build(deck.netlist, deck.symbol_elements,
+                                          deck.input_source, deck.output_node,
+                                          cfg_.model, {});
+    return *model;
+  }
+  return core::CompiledModel::build(deck.netlist, deck.symbol_elements,
+                                    deck.input_source, deck.output_node, cfg_.model);
+}
+
+std::shared_ptr<const Server::ModelMeta> Server::meta() const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  return meta_;
+}
+
+void Server::set_meta(std::shared_ptr<const ModelMeta> m) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  meta_ = std::move(m);
+}
+
+void Server::start() {
+  // Build + publish generation 1 before binding: a daemon that cannot
+  // serve its first request should fail its start, not its clients.
+  {
+    const core::CompiledModel model = build_model();
+    auto m = std::make_shared<ModelMeta>();
+    m->symbols = model.symbol_names();
+    m->order = model.order();
+    // Nominal deck values for server-side Monte Carlo sampling.
+    std::ifstream in(cfg_.deck_path);
+    const circuit::ParsedDeck deck = circuit::parse_deck(in);
+    for (const auto& s : m->symbols) {
+      const auto idx = deck.netlist.find_element(s);
+      m->nominal.push_back(idx ? deck.netlist.elements()[*idx].value : 0.0);
+    }
+    store_.publish(model);
+    set_meta(std::move(m));
+  }
+
+  if (cfg_.tcp) {
+    listen_fd_ = net::listen_tcp(cfg_.host, cfg_.port, bound_port_);
+  } else {
+    if (cfg_.unix_path.empty())
+      throw std::runtime_error("server needs a unix socket path or --tcp");
+    listen_fd_ = net::listen_unix(cfg_.unix_path);
+  }
+
+  worker_slots_.clear();
+  for (std::size_t i = 0; i < cfg_.workers; ++i)
+    worker_slots_.push_back(std::make_unique<WorkerSlot>());
+  for (std::size_t i = 0; i < cfg_.workers; ++i)
+    worker_threads_.emplace_back([this, i] { worker_loop(i); });
+  if (cfg_.watchdog) watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfds[2] = {{listen_fd_, POLLIN, 0}, {wake_.read_fd(), POLLIN, 0}};
+    const int pr = ::poll(pfds, 2, 200);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    wake_.drain();
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (!(pfds[0].revents & POLLIN)) continue;
+
+    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    if (cfd < 0) continue;
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(cfd);
+      continue;
+    }
+    if (health::failpoints::fires(health::failpoints::sites::kServeAccept)) {
+      // Injected accept-path fault: drop this connection, keep serving.
+      stats_.accept_faults.fetch_add(1, std::memory_order_relaxed);
+      ::close(cfd);
+      continue;
+    }
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+
+    auto conn = std::make_shared<Conn>();
+    conn->fd = cfd;
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conn->id = ++next_conn_id_;
+      // Reap readers that already exited so a churn of short connections
+      // doesn't accumulate thread handles forever.
+      std::erase_if(reader_threads_, [](ReaderEntry& e) {
+        if (!e.done->load(std::memory_order_acquire)) return false;
+        e.thread.join();
+        return true;
+      });
+      reader_threads_.push_back(ReaderEntry{
+          std::thread([this, conn, done] {
+            reader_loop(conn);
+            done->store(true, std::memory_order_release);
+          }),
+          done});
+    }
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Conn> conn) {
+  net::LineReader reader(conn->fd, cfg_.max_line_bytes);
+  std::string line;
+  while (!stop_.load(std::memory_order_acquire) && !conn->dead.load()) {
+    if (draining_.load(std::memory_order_acquire)) break;  // no new requests
+    const net::ReadStatus st =
+        reader.read_line(line, cfg_.idle_timeout, cfg_.read_stall_timeout, stop_);
+    if (st == net::ReadStatus::kIdle) {
+      if (cfg_.idle_timeout.count() < 0) continue;  // idleness is free
+      evict(conn);
+      break;
+    }
+    if (st == net::ReadStatus::kStalled || st == net::ReadStatus::kTooLong) {
+      // Slow-loris / oversized line: answer if the pipe still works, evict.
+      respond(conn, error_response("?", errors::kBadRequest,
+                                   st == net::ReadStatus::kTooLong
+                                       ? "request line too long"
+                                       : "request stalled mid-line"));
+      evict(conn);
+      break;
+    }
+    if (st != net::ReadStatus::kLine) break;  // kClosed / kStopped / kError
+
+    if (health::failpoints::fires(health::failpoints::sites::kServeRead)) {
+      // Injected read-path fault: treat as an unreadable connection.
+      evict(conn);
+      break;
+    }
+
+    const auto m = meta();
+    Request req;
+    try {
+      req = parse_request(line, m->symbols.size(), cfg_.max_points);
+    } catch (const ProtocolError& e) {
+      stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+      respond(conn, error_response("?", errors::kBadRequest, e.what()));
+      continue;  // a malformed request poisons nothing; keep the connection
+    }
+
+    switch (req.op) {
+      case Op::kPing:
+        respond(conn, ok_response("ping", req.id, ""));
+        continue;
+      case Op::kInfo:
+        respond(conn, ok_response("info", req.id, info_body()));
+        continue;
+      case Op::kStatus:
+        respond(conn, ok_response("status", req.id, status_body()));
+        continue;
+      case Op::kSleep:
+        if (!cfg_.debug_ops) {
+          stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+          respond(conn, error_response("sleep", errors::kBadRequest,
+                                       "sleep requires --debug-ops", req.id));
+          continue;
+        }
+        break;
+      case Op::kEval:
+      case Op::kReload:
+        break;
+    }
+
+    Job job;
+    job.conn = conn;
+    job.bytes = line.size();
+    job.req = std::move(req);
+    admit(std::move(job));
+  }
+}
+
+bool Server::admit(Job job) {
+  const char* op = to_string(job.req.op);
+  if (draining_.load(std::memory_order_acquire)) {
+    stats_.unavailable.fetch_add(1, std::memory_order_relaxed);
+    respond(job.conn,
+            error_response(op, errors::kUnavailable, "server is draining", job.req.id));
+    return false;
+  }
+  bool shed_queue_full = false;
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    shed_queue_full = queue_.size() >= cfg_.max_queue;
+    shed = shed_queue_full || inflight_bytes_ + job.bytes > cfg_.max_inflight_bytes;
+    if (!shed) {
+      inflight_bytes_ += job.bytes;
+      if (job.req.op == Op::kEval)
+        stats_.requests.fetch_add(1, std::memory_order_relaxed);
+      queue_.push_back(std::move(job));
+    }
+  }
+  if (shed) {
+    // Respond OUTSIDE the queue lock: shedding must never block workers
+    // behind a slow client's write timeout.
+    stats_.shed.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> hlock(health_mu_);
+      health_.record_failure(health::FailClass::kOverload);
+    }
+    respond(job.conn,
+            error_response(op, errors::kOverloaded,
+                           shed_queue_full ? "request queue full"
+                                           : "in-flight byte budget full",
+                           job.req.id, cfg_.retry_after_ms));
+    return false;
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+void Server::fail_queue(const char* code, const std::string& message) {
+  std::deque<Job> failed;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    failed.swap(queue_);
+    for (const Job& j : failed) inflight_bytes_ -= j.bytes;
+  }
+  for (Job& j : failed) {
+    stats_.unavailable.fetch_add(1, std::memory_order_relaxed);
+    respond(j.conn, error_response(to_string(j.req.op), code, message, j.req.id));
+  }
+  if (!failed.empty()) queue_cv_.notify_all();
+}
+
+void Server::worker_loop(std::size_t index) {
+  // Each worker owns its pool: ThreadPool::parallel_chunks is not
+  // concurrently reentrant, and per-worker pools keep eval latency
+  // independent across concurrent requests.
+  sweep::ThreadPool pool(std::max<std::size_t>(1, cfg_.threads_per_worker));
+  WorkerSlot& slot = *worker_slots_[index];
+
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      // Hard stop fails fast: whatever is still queued gets an
+      // "unavailable" answer from fail_queue() in stop(), not a worker.
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (queue_.empty()) continue;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++executing_;
+    }
+
+    slot.kicked.store(false, std::memory_order_relaxed);
+    slot.busy_since_ns.store(now_ns(), std::memory_order_release);
+    switch (job.req.op) {
+      case Op::kEval: handle_eval(job, slot, pool); break;
+      case Op::kReload: handle_reload(job); break;
+      case Op::kSleep: handle_sleep(job, slot); break;
+      default: break;  // inline ops never reach the queue
+    }
+    slot.busy_since_ns.store(0, std::memory_order_release);
+    slot.deadline_ns.store(0, std::memory_order_relaxed);
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --executing_;
+      inflight_bytes_ -= job.bytes;
+    }
+    queue_cv_.notify_all();  // wake the drain waiter and byte-budget shedders
+  }
+}
+
+void Server::handle_eval(const Job& job, WorkerSlot& slot, sweep::ThreadPool& pool) {
+  const EvalRequest& ev = job.req.eval;
+  const auto m = meta();
+
+  if (ev.cancel_after_checks != 0 && !cfg_.debug_ops) {
+    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    respond(job.conn, error_response("eval", errors::kBadRequest,
+                                     "cancel_after_checks requires --debug-ops",
+                                     job.req.id));
+    return;
+  }
+
+  std::uint64_t gen = 0;
+  const auto model = store_.acquire(&gen);
+  if (!model) {
+    stats_.unavailable.fetch_add(1, std::memory_order_relaxed);
+    respond(job.conn, error_response("eval", errors::kUnavailable,
+                                     "no model published", job.req.id));
+    return;
+  }
+
+  std::vector<double> points;
+  std::size_t n = 0;
+  if (ev.mc != 0) {
+    // Server-side Monte Carlo: normal(nominal, 5% of |nominal|) per
+    // symbol, seeded — the same (mc, seed) always evaluates the same
+    // points whatever worker or thread count handles it.
+    std::vector<sweep::Distribution> dists;
+    dists.reserve(m->nominal.size());
+    for (const double v : m->nominal)
+      dists.push_back(sweep::Distribution::normal(v, 0.05 * std::abs(v)));
+    points = sweep::sample_points(dists, ev.mc, ev.seed);
+    n = ev.mc;
+  } else {
+    points = ev.points_soa;
+    n = ev.num_points;
+  }
+
+  sweep::CancelToken token;
+  std::uint64_t deadline_ms = ev.deadline_ms ? ev.deadline_ms : cfg_.default_deadline_ms;
+  if (cfg_.max_deadline_ms && deadline_ms)
+    deadline_ms = std::min(deadline_ms, cfg_.max_deadline_ms);
+  if (deadline_ms)
+    token.set_deadline(clock::now() + std::chrono::milliseconds(deadline_ms));
+  if (ev.cancel_after_checks) token.cancel_after_checks(ev.cancel_after_checks);
+
+  // Register with the watchdog for the duration of the sweep.
+  slot.deadline_ns.store(
+      deadline_ms ? now_ns() + static_cast<std::int64_t>(deadline_ms) * 1'000'000 : 0,
+      std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(slot.token_mu);
+    slot.token = &token;
+  }
+
+  sweep::SweepOptions opts;
+  opts.pool = &pool;
+  opts.cancel = &token;
+
+  sweep::SweepResult res;
+  bool failed = false;
+  health::FailClass fail_cls = health::FailClass::kUnknown;
+  std::string fail_code;
+  std::string fail_msg;
+  try {
+    res = sweep::run_sweep(*model, std::move(points), n, opts);
+  } catch (const std::exception& e) {
+    // Request-level containment: whatever a poisoned deck or injected
+    // fault threw stays inside this response; the worker and its pool are
+    // intact for the next request.
+    failed = true;
+    fail_cls = health::fail_class_of(e);
+    fail_code = health::code(fail_cls);
+    fail_msg = e.what();
+  }
+  {
+    std::lock_guard<std::mutex> lock(slot.token_mu);
+    slot.token = nullptr;
+  }
+
+  if (failed) {
+    {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      health_.record_failure(fail_cls);
+    }
+    respond(job.conn, error_response("eval", errors::kInternal,
+                                     fail_code + ": " + fail_msg, job.req.id));
+    return;
+  }
+
+  const std::uint64_t deadline_points = res.health.failures(health::FailClass::kDeadline);
+  if (deadline_points > 0)
+    stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_.merge(res.health);
+  }
+
+  std::string body;
+  body += ",\"generation\":" + std::to_string(gen);
+  // Echo the EFFECTIVE deadline (request override, else server default,
+  // clamped to max_deadline_ms) so clients can see what limit applied.
+  body += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  body += ",\"num_points\":" + std::to_string(res.num_points);
+  body += ",\"ok_points\":" + std::to_string(res.ok_count);
+  body += ",\"degraded\":" + std::to_string(res.health.points_degraded);
+  body += ",\"quarantined\":" + std::to_string(res.health.points_quarantined);
+  body += ",\"deadline_points\":" + std::to_string(deadline_points);
+  body += ",\"deadline_expired\":";
+  body += deadline_points > 0 ? "true" : "false";
+  body += ",\"moment_stats\":[";
+  for (std::size_t k = 0; k < res.moment_stats.size(); ++k) {
+    const sweep::Stats& s = res.moment_stats[k];
+    if (k) body += ",";
+    body += "{\"min\":" + json::number_to_string(s.min);
+    body += ",\"max\":" + json::number_to_string(s.max);
+    body += ",\"mean\":" + json::number_to_string(s.mean);
+    body += ",\"stddev\":" + json::number_to_string(s.stddev);
+    body += ",\"count\":" + std::to_string(s.count) + "}";
+  }
+  body += "]";
+  if (!ev.summary) {
+    body += ",\"moments\":[";
+    for (std::size_t p = 0; p < res.num_points; ++p) {
+      if (p) body += ",";
+      body += "[";
+      for (std::size_t k = 0; k < res.num_moments; ++k) {
+        if (k) body += ",";
+        body += res.ok[p] ? json::number_to_string(res.moment(k, p)) : "null";
+      }
+      body += "]";
+    }
+    body += "],\"point_ok\":[";
+    for (std::size_t p = 0; p < res.num_points; ++p) {
+      if (p) body += ",";
+      body += res.ok[p] ? "1" : "0";
+    }
+    body += "],\"point_fail\":[";
+    for (std::size_t p = 0; p < res.num_points; ++p) {
+      if (p) body += ",";
+      body += json::quote(health::code(res.point_fail_class(p)));
+    }
+    body += "]";
+  }
+  respond(job.conn, ok_response("eval", job.req.id, body));
+}
+
+void Server::handle_reload(const Job& job) {
+  std::chrono::milliseconds backoff = cfg_.reload_backoff;
+  std::string last_error;
+  for (std::size_t attempt = 1; attempt <= std::max<std::size_t>(1, cfg_.reload_attempts);
+       ++attempt) {
+    try {
+      // The swap failpoint sits INSIDE the retry loop: serve.swap=once
+      // fails exactly the first attempt, proving the backoff path.
+      health::failpoints::maybe_fail(health::failpoints::sites::kServeSwap);
+      const core::CompiledModel model = build_model();
+      auto m = std::make_shared<ModelMeta>();
+      m->symbols = model.symbol_names();
+      m->order = model.order();
+      std::ifstream in(cfg_.deck_path);
+      const circuit::ParsedDeck deck = circuit::parse_deck(in);
+      for (const auto& s : m->symbols) {
+        const auto idx = deck.netlist.find_element(s);
+        m->nominal.push_back(idx ? deck.netlist.elements()[*idx].value : 0.0);
+      }
+      const std::uint64_t gen = store_.publish(model);
+      set_meta(std::move(m));
+      stats_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
+      respond(job.conn,
+              ok_response("reload", job.req.id,
+                          ",\"generation\":" + std::to_string(gen) +
+                              ",\"attempts\":" + std::to_string(attempt)));
+      return;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+      stats_.reload_failures.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(health_mu_);
+        health_.record_failure(health::fail_class_of(e));
+      }
+      if (attempt < cfg_.reload_attempts) {
+        interruptible_sleep(backoff, stop_);
+        backoff *= 2;  // bounded exponential backoff between attempts
+      }
+    }
+  }
+  // Every attempt failed: the PREVIOUS generation keeps serving — a bad
+  // deck on disk degrades reload, never evaluation.
+  respond(job.conn, error_response("reload", errors::kReloadFailed, last_error,
+                                   job.req.id));
+}
+
+void Server::handle_sleep(const Job& job, WorkerSlot& slot) {
+  // Debug op: simulate a wedged worker.  The slot's deadline is set to
+  // "now", so an armed watchdog sees it overdue after one grace period and
+  // force-cancels — the sleep wakes early and the slot frees.
+  sweep::CancelToken token;
+  slot.deadline_ns.store(now_ns(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(slot.token_mu);
+    slot.token = &token;
+  }
+  const auto until = clock::now() + std::chrono::milliseconds(job.req.sleep_ms);
+  while (clock::now() < until && !token.cancelled() &&
+         !stop_.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  {
+    std::lock_guard<std::mutex> lock(slot.token_mu);
+    slot.token = nullptr;
+  }
+  respond(job.conn,
+          ok_response("sleep", job.req.id,
+                      std::string(",\"cancelled\":") + (token.cancelled() ? "true" : "false")));
+}
+
+void Server::watchdog_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    interruptible_sleep(cfg_.watchdog_interval, stop_);
+    const std::int64_t now = now_ns();
+    const std::int64_t grace_ns =
+        static_cast<std::int64_t>(cfg_.watchdog_grace.count()) * 1'000'000;
+    std::size_t busy = 0, wedged = 0;
+    for (const auto& slot : worker_slots_) {
+      const std::int64_t since = slot->busy_since_ns.load(std::memory_order_acquire);
+      if (since == 0) continue;
+      ++busy;
+      const std::int64_t deadline = slot->deadline_ns.load(std::memory_order_relaxed);
+      if (deadline == 0 || now < deadline + grace_ns) continue;
+      if (!slot->kicked.exchange(true, std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(slot->token_mu);
+        if (slot->token) {
+          slot->token->cancel();
+          stats_.watchdog_kicks.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      ++wedged;
+    }
+    // Fail fast instead of hanging: with every worker wedged, queued
+    // requests would only go stale waiting for slots that may never free.
+    if (!worker_slots_.empty() && busy == worker_slots_.size() &&
+        wedged == worker_slots_.size())
+      fail_queue(errors::kUnavailable, "all workers wedged past deadline");
+  }
+}
+
+std::string Server::info_body() const {
+  const auto m = meta();
+  std::string body;
+  body += ",\"deck\":" + json::quote(cfg_.deck_path);
+  body += ",\"order\":" + std::to_string(m->order);
+  body += ",\"moment_count\":" + std::to_string(2 * m->order);
+  body += ",\"generation\":" + std::to_string(store_.generation());
+  body += ",\"symbols\":[";
+  for (std::size_t i = 0; i < m->symbols.size(); ++i) {
+    if (i) body += ",";
+    body += json::quote(m->symbols[i]);
+  }
+  body += "],\"nominal\":[";
+  for (std::size_t i = 0; i < m->nominal.size(); ++i) {
+    if (i) body += ",";
+    body += json::number_to_string(m->nominal[i]);
+  }
+  body += "]";
+  return body;
+}
+
+std::string Server::status_body() const {
+  std::size_t depth = 0, executing = 0, inflight_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    depth = queue_.size();
+    executing = executing_;
+    inflight_bytes = inflight_bytes_;
+  }
+  health::HealthReport h;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    h = health_;
+  }
+  std::string body;
+  body += ",\"generation\":" + std::to_string(store_.generation());
+  body += ",\"live_generations\":" + std::to_string(store_.live_generations());
+  body += ",\"queue_depth\":" + std::to_string(depth);
+  body += ",\"executing\":" + std::to_string(executing);
+  body += ",\"inflight_bytes\":" + std::to_string(inflight_bytes);
+  body += ",\"workers\":" + std::to_string(cfg_.workers);
+  body += ",\"draining\":";
+  body += draining_.load(std::memory_order_acquire) ? "true" : "false";
+  body += ",\"stats\":" + stats_json(stats_.snapshot());
+  body += ",\"points\":{\"total\":" + std::to_string(h.points_total);
+  body += ",\"ok\":" + std::to_string(h.points_ok);
+  body += ",\"degraded\":" + std::to_string(h.points_degraded);
+  body += ",\"quarantined\":" + std::to_string(h.points_quarantined) + "}";
+  body += ",\"fail_classes\":{";
+  for (std::size_t c = 0; c < health::kFailClassCount; ++c) {
+    if (c) body += ",";
+    body += json::quote(health::code(static_cast<health::FailClass>(c)));
+    body += ":" + std::to_string(h.fail_counts[c]);
+  }
+  body += "}";
+  return body;
+}
+
+void Server::respond(const std::shared_ptr<Conn>& conn, std::string line) {
+  if (conn->dead.load(std::memory_order_acquire)) return;
+  line.push_back('\n');
+  bool ok;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    ok = net::write_all(conn->fd, line, cfg_.write_timeout, stop_);
+  }
+  if (!ok) {
+    evict(conn);
+    return;
+  }
+  stats_.responses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::evict(const std::shared_ptr<Conn>& conn) {
+  if (conn->dead.exchange(true, std::memory_order_acq_rel)) return;
+  stats_.evicted.fetch_add(1, std::memory_order_relaxed);
+  // Shutdown (not close): the reader and any in-flight worker still hold
+  // the fd; the Conn destructor closes it when the last holder drops.
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void Server::request_drain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  wake_.notify();
+  drain_thread_ = std::thread([this] {
+    const auto deadline = clock::now() + cfg_.drain_timeout;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait_until(lock, deadline, [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               (queue_.empty() && executing_ == 0);
+      });
+    }
+    // Budget exhausted (or met): force-cancel stragglers so in-flight
+    // evals deadline out with partial results rather than block the exit.
+    for (const auto& slot : worker_slots_) {
+      std::lock_guard<std::mutex> lock(slot->token_mu);
+      if (slot->token) slot->token->cancel();
+    }
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait_for(lock, std::chrono::seconds(2), [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               (queue_.empty() && executing_ == 0);
+      });
+    }
+    stop();
+  });
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(finished_mu_);
+    if (stop_.exchange(true, std::memory_order_acq_rel)) {
+      return;  // first caller does the teardown
+    }
+  }
+  draining_.store(true, std::memory_order_release);
+  // Force-cancel in-flight evals: a hard stop must not wait a full sweep.
+  for (const auto& slot : worker_slots_) {
+    std::lock_guard<std::mutex> lock(slot->token_mu);
+    if (slot->token) slot->token->cancel();
+  }
+  wake_.notify();
+  queue_cv_.notify_all();
+
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+  for (auto& t : worker_threads_) t.join();
+  worker_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& e : reader_threads_) e.thread.join();
+    reader_threads_.clear();
+  }
+  fail_queue(errors::kUnavailable, "server stopped");
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (!cfg_.tcp && !cfg_.unix_path.empty()) ::unlink(cfg_.unix_path.c_str());
+  }
+  {
+    std::lock_guard<std::mutex> lock(finished_mu_);
+    finished_.store(true, std::memory_order_release);
+  }
+  finished_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(finished_mu_);
+  finished_cv_.wait(lock, [&] { return finished_.load(std::memory_order_acquire); });
+}
+
+health::HealthReport Server::health_snapshot() const {
+  health::HealthReport report;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    report = health_;
+  }
+  const auto s = stats_.snapshot();
+  report.serve_requests = s.requests;
+  report.serve_shed = s.shed;
+  report.serve_deadline_expired = s.deadline_expired;
+  report.serve_evicted = s.evicted;
+  report.serve_reload_failures = s.reload_failures;
+  return report;
+}
+
+}  // namespace awe::serve

@@ -70,6 +70,7 @@
 #include <vector>
 
 #include "circuit/parser.hpp"
+#include "core/cli_support.hpp"
 #include "core/model_blob.hpp"
 #include "core/model_cache.hpp"
 #include "core/model_format.hpp"
@@ -80,6 +81,10 @@ namespace {
 
 using namespace awe;
 
+/// Bound before argument parsing so usage() and every early exit still
+/// flush a valid --health-json report (DESIGN.md §16.5).
+const cli::HealthJsonSink* g_health_sink = nullptr;
+
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --cache-dir DIR [--order Q] [--threads N] [--gradients]\n"
@@ -88,6 +93,7 @@ using namespace awe;
                "          [--health-json FILE] [--quiet] deck.sp [deck2.sp ...]\n"
                "       %s --pack-v4 DIR | --map-audit DIR\n",
                argv0, argv0);
+  if (g_health_sink) g_health_sink->flush();
   std::exit(2);
 }
 
@@ -209,6 +215,9 @@ std::string first_numeric_element(const circuit::ParsedDeck& deck) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  cli::install_sigpipe_guard();
+  const cli::HealthJsonSink sink = cli::HealthJsonSink::from_argv(argc, argv);
+  g_health_sink = &sink;
   std::string cache_dir;
   std::string pack_dir;
   std::string audit_dir;
@@ -272,6 +281,7 @@ int main(int argc, char** argv) {
     int rc = 0;
     if (!pack_dir.empty()) rc = pack_v4_dir(pack_dir, quiet);
     if (rc == 0 && !audit_dir.empty()) rc = map_audit_dir(audit_dir, quiet);
+    sink.flush();
     return rc;
   }
   if (cache_dir.empty() || decks.empty() || mopts.order < 1) usage(argv[0]);
@@ -327,11 +337,13 @@ int main(int argc, char** argv) {
   if (!save_model.empty()) {
     if (!last_model) {
       std::fprintf(stderr, "awe_build: --save-model: no model was built\n");
+      sink.flush();
       return 2;
     }
     std::ofstream out(save_model, std::ios::binary | std::ios::trunc);
     if (!out) {
       std::fprintf(stderr, "awe_build: cannot write %s\n", save_model.c_str());
+      sink.flush();
       return 2;
     }
     last_model->save(out);
@@ -343,20 +355,9 @@ int main(int argc, char** argv) {
                 decks.size(), s.misses, s.disk_hits, s.memory_hits);
   }
 
-  if (!health_json.empty()) {
-    health::HealthReport report;
-    health::absorb_global_counters(report);
-    const std::string json = report.to_json() + "\n";
-    if (health_json == "-") {
-      std::fputs(json.c_str(), stdout);
-    } else {
-      std::ofstream out(health_json);
-      if (!out) {
-        std::fprintf(stderr, "awe_build: cannot write %s\n", health_json.c_str());
-        return 2;
-      }
-      out << json;
-    }
-  }
+  // Under the SIGPIPE guard a consumer that closed stdout early (e.g.
+  // "--health-json - | head") makes this write fail with EPIPE instead of
+  // killing the process; that still exits 0 — the consumer chose to stop.
+  sink.flush();
   return failures == 0 ? 0 : 2;
 }

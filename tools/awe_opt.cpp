@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "circuit/parser.hpp"
+#include "core/cli_support.hpp"
 #include "core/model_cache.hpp"
 #include "engine/optimize.hpp"
 #include "engine/sweep.hpp"
@@ -58,6 +59,10 @@ namespace {
 
 using namespace awe;
 
+/// Bound before argument parsing so usage() and every early exit still
+/// flush a valid --health-json report (DESIGN.md §16.5).
+const cli::HealthJsonSink* g_health_sink = nullptr;
+
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--order Q] [--measure dcgain|elmore|pole1] [--target V]\n"
@@ -66,6 +71,7 @@ using namespace awe;
                "          [--width W] [--fast] [--native] [--cache-dir DIR] [--mmap]\n"
                "          [--health-json FILE] [--quiet] deck.sp\n",
                argv0);
+  if (g_health_sink) g_health_sink->flush();
   std::exit(2);
 }
 
@@ -73,17 +79,27 @@ using namespace awe;
 /// printed with %.17g (round-trips doubles exactly), rows in a fixed
 /// order — so strict-mode runs byte-agree whatever the thread count.
 void dump_gradients(std::FILE* out, const sweep::SweepResult& res) {
+  // When dumping to stdout a downstream "| head" may close the pipe at any
+  // row; under the SIGPIPE guard that surfaces as a stream error — stop
+  // emitting (the consumer is done), don't die mid-dump.
+  const bool to_stdout = out == stdout;
+  const auto gone = [to_stdout] { return to_stdout && !cli::stdout_alive(); };
   std::fprintf(out, "# awe_opt grad dump points=%zu symbols=%zu moments=%zu\n",
                res.num_points, res.num_symbols, res.num_moments);
   for (std::size_t p = 0; p < res.num_points; ++p)
     std::fprintf(out, "ok %zu %u\n", p, static_cast<unsigned>(res.ok[p]));
-  for (std::size_t k = 0; k < res.num_moments; ++k)
+  if (gone()) return;
+  for (std::size_t k = 0; k < res.num_moments; ++k) {
     for (std::size_t p = 0; p < res.num_points; ++p)
       std::fprintf(out, "m %zu %zu %.17g\n", k, p, res.moment(k, p));
-  for (std::size_t i = 0; i < res.num_symbols; ++i)
+    if (gone()) return;
+  }
+  for (std::size_t i = 0; i < res.num_symbols; ++i) {
     for (std::size_t k = 0; k < res.num_moments; ++k)
       for (std::size_t p = 0; p < res.num_points; ++p)
         std::fprintf(out, "g %zu %zu %zu %.17g\n", i, k, p, res.gradient(i, k, p));
+    if (gone()) return;
+  }
   if (res.sensitivities) {
     const sweep::SensitivitySamples& ss = *res.sensitivities;
     for (std::size_t p = 0; p < res.num_points; ++p) {
@@ -93,6 +109,7 @@ void dump_gradients(std::FILE* out, const sweep::SweepResult& res) {
           const auto d = ss.dpole[(p * ss.max_order + j) * ss.num_symbols + i];
           std::fprintf(out, "s %zu %zu %zu %.17g %.17g\n", p, j, i, d.real(), d.imag());
         }
+      if (gone()) return;
     }
   }
 }
@@ -100,6 +117,9 @@ void dump_gradients(std::FILE* out, const sweep::SweepResult& res) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  cli::install_sigpipe_guard();
+  const cli::HealthJsonSink sink = cli::HealthJsonSink::from_argv(argc, argv);
+  g_health_sink = &sink;
   core::ModelOptions mopts;
   mopts.with_gradients = true;
   core::BuildOptions bopts;
@@ -285,30 +305,24 @@ int main(int argc, char** argv) {
       std::FILE* out = grad_dump == "-" ? stdout : std::fopen(grad_dump.c_str(), "w");
       if (!out) throw std::runtime_error("cannot write " + grad_dump);
       dump_gradients(out, res);
-      if (out != stdout) std::fclose(out);
+      if (out != stdout) {
+        if (std::ferror(out) || std::fclose(out) != 0)
+          throw std::runtime_error("short write to " + grad_dump);
+      } else {
+        std::clearerr(stdout);
+      }
       if (!quiet)
         std::printf("grad dump: %zu points x %zu symbols x %zu moments -> %s\n", n,
                     nsym, res.num_moments, grad_dump.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "awe_opt: %s: %s\n", deck_path.c_str(), e.what());
+    health::HealthReport report;
+    report.record_failure(health::fail_class_of(e));
+    sink.flush_report(report);
     return 2;
   }
 
-  if (!health_json.empty()) {
-    health::HealthReport report;
-    health::absorb_global_counters(report);
-    const std::string json = report.to_json() + "\n";
-    if (health_json == "-") {
-      std::fputs(json.c_str(), stdout);
-    } else {
-      std::ofstream out(health_json);
-      if (!out) {
-        std::fprintf(stderr, "awe_opt: cannot write %s\n", health_json.c_str());
-        return 2;
-      }
-      out << json;
-    }
-  }
+  sink.flush();
   return exit_code;
 }

@@ -1,0 +1,239 @@
+// awe_serve — fault-tolerant evaluation daemon (DESIGN.md §16).
+//
+// Serves line-delimited JSON eval requests for ONE deck's compiled model
+// over a unix or TCP socket, with per-request deadlines, admission
+// control, slow-client eviction, watchdog supervision, crash-safe hot
+// reload over the shared model store, and a graceful SIGTERM drain.
+//
+// Usage:
+//   awe_serve --deck FILE (--unix PATH | --tcp [--host H] [--port P]) [options]
+// Options:
+//   --deck FILE             circuit deck with .symbol/.input/.output
+//   --order Q               Padé order (default 2)
+//   --cache-dir DIR         build/reload through the persistent model
+//                           cache (corrupt entries quarantine to .bad and
+//                           rebuild instead of failing the reload)
+//   --shm NAME              back the model store with POSIX shared memory
+//                           ("/NAME.g<gen>"); default is private heap.  A
+//                           kill -9'd predecessor's stale region names are
+//                           replaced on startup — restart needs no cleanup
+//   --workers N             eval worker threads (default 2)
+//   --threads-per-worker N  sweep pool width per worker (default 1)
+//   --max-queue N           queued requests before shedding (default 16)
+//   --max-line-bytes N      request line cap; longer evicts (default 1MiB)
+//   --max-inflight-bytes N  queued request bytes before shedding (default 8MiB)
+//   --max-points N          per-request point cap (default 1Mi)
+//   --default-deadline-ms N deadline applied when a request names none (0 = none)
+//   --max-deadline-ms N     clamp for requested deadlines (default 60000)
+//   --idle-timeout-ms N     evict silent connections after N ms (default: never)
+//   --read-stall-ms N       mid-line stall eviction (default 2000)
+//   --write-timeout-ms N    response write stall eviction (default 2000)
+//   --drain-timeout-ms N    SIGTERM drain budget (default 10000)
+//   --watchdog              monitor worker heartbeats; force-cancel a
+//                           worker wedged past its request deadline and
+//                           fail the queue fast when all workers wedge
+//   --watchdog-interval-ms N / --watchdog-grace-ms N   (defaults 100 / 500)
+//   --reload-attempts N     reload retry budget (default 3)
+//   --reload-backoff-ms N   first retry backoff, doubling (default 25)
+//   --debug-ops             enable the "sleep" op and eval.cancel_after_checks
+//                           (deterministic fault-matrix testing only)
+//   --health-json FILE      flush the server-lifetime HealthReport on exit
+//                           ("-" for stdout).  Written on EVERY exit path,
+//                           startup failures and bad usage included
+//   --ready-file FILE       write "unix PATH\n" or "tcp HOST PORT\n" once
+//                           listening (CI wait-for-ready handshake)
+//   --quiet                 suppress the startup/shutdown lines
+//
+// Signals: SIGTERM starts a graceful drain (stop accepting, finish or
+// deadline-out in-flight work, flush health, exit 0); SIGINT hard-stops.
+// SIGPIPE is ignored — a vanished client is an eviction, not a death.
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/cli_support.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+std::atomic<int> g_signal{0};
+int g_signal_pipe_write = -1;
+
+void on_signal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  const char b = 1;
+  // Async-signal-safe wake-up; a full pipe already has a wake-up pending.
+  [[maybe_unused]] const ssize_t rc = ::write(g_signal_pipe_write, &b, 1);
+}
+
+int usage(const char* argv0, const awe::cli::HealthJsonSink& sink) {
+  std::fprintf(stderr,
+               "usage: %s --deck FILE (--unix PATH | --tcp [--host H] [--port P])\n"
+               "          [--order Q] [--cache-dir DIR] [--shm NAME] [--workers N]\n"
+               "          [--threads-per-worker N] [--max-queue N] [--max-line-bytes N]\n"
+               "          [--max-inflight-bytes N] [--max-points N]\n"
+               "          [--default-deadline-ms N] [--max-deadline-ms N]\n"
+               "          [--idle-timeout-ms N] [--read-stall-ms N] [--write-timeout-ms N]\n"
+               "          [--drain-timeout-ms N] [--watchdog] [--watchdog-interval-ms N]\n"
+               "          [--watchdog-grace-ms N] [--reload-attempts N]\n"
+               "          [--reload-backoff-ms N] [--debug-ops] [--health-json FILE]\n"
+               "          [--ready-file FILE] [--quiet]\n",
+               argv0);
+  sink.flush();
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace awe;
+  cli::install_sigpipe_guard();
+  const cli::HealthJsonSink sink = cli::HealthJsonSink::from_argv(argc, argv);
+
+  serve::ServerConfig cfg;
+  std::string ready_file;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "awe_serve: %s needs a value\n", arg.c_str());
+        std::exit(usage(argv[0], sink));
+      }
+      return argv[++i];
+    };
+    auto next_u64 = [&] { return std::strtoull(next(), nullptr, 10); };
+    if (arg == "--deck") cfg.deck_path = next();
+    else if (arg == "--unix") cfg.unix_path = next();
+    else if (arg == "--tcp") cfg.tcp = true;
+    else if (arg == "--host") cfg.host = next();
+    else if (arg == "--port") cfg.port = static_cast<std::uint16_t>(next_u64());
+    else if (arg == "--order") cfg.model.order = next_u64();
+    else if (arg == "--cache-dir") cfg.cache_dir = next();
+    else if (arg == "--shm") cfg.store_name = next();
+    else if (arg == "--workers") cfg.workers = next_u64();
+    else if (arg == "--threads-per-worker") cfg.threads_per_worker = next_u64();
+    else if (arg == "--max-queue") cfg.max_queue = next_u64();
+    else if (arg == "--max-line-bytes") cfg.max_line_bytes = next_u64();
+    else if (arg == "--max-inflight-bytes") cfg.max_inflight_bytes = next_u64();
+    else if (arg == "--max-points") cfg.max_points = next_u64();
+    else if (arg == "--default-deadline-ms") cfg.default_deadline_ms = next_u64();
+    else if (arg == "--max-deadline-ms") cfg.max_deadline_ms = next_u64();
+    else if (arg == "--idle-timeout-ms")
+      cfg.idle_timeout = std::chrono::milliseconds(next_u64());
+    else if (arg == "--read-stall-ms")
+      cfg.read_stall_timeout = std::chrono::milliseconds(next_u64());
+    else if (arg == "--write-timeout-ms")
+      cfg.write_timeout = std::chrono::milliseconds(next_u64());
+    else if (arg == "--drain-timeout-ms")
+      cfg.drain_timeout = std::chrono::milliseconds(next_u64());
+    else if (arg == "--watchdog") cfg.watchdog = true;
+    else if (arg == "--watchdog-interval-ms")
+      cfg.watchdog_interval = std::chrono::milliseconds(next_u64());
+    else if (arg == "--watchdog-grace-ms")
+      cfg.watchdog_grace = std::chrono::milliseconds(next_u64());
+    else if (arg == "--reload-attempts") cfg.reload_attempts = next_u64();
+    else if (arg == "--reload-backoff-ms")
+      cfg.reload_backoff = std::chrono::milliseconds(next_u64());
+    else if (arg == "--debug-ops") cfg.debug_ops = true;
+    else if (arg == "--health-json") (void)next();  // consumed by the sink
+    else if (arg == "--ready-file") ready_file = next();
+    else if (arg == "--quiet") quiet = true;
+    else {
+      std::fprintf(stderr, "awe_serve: unknown argument %s\n", arg.c_str());
+      return usage(argv[0], sink);
+    }
+  }
+  if (cfg.deck_path.empty() || (cfg.unix_path.empty() && !cfg.tcp) ||
+      (!cfg.unix_path.empty() && cfg.tcp) || cfg.workers == 0 ||
+      cfg.model.order < 1)
+    return usage(argv[0], sink);
+
+  serve::Server server(std::move(cfg));
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    // Startup failure still reports health: the JSON names the fail class
+    // (bad deck, unbindable socket) so supervisors need not scrape stderr.
+    std::fprintf(stderr, "awe_serve: startup failed: %s\n", e.what());
+    sink.flush();
+    return 2;
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    std::fprintf(stderr, "awe_serve: pipe: %s\n", std::strerror(errno));
+    server.stop();
+    sink.flush();
+    return 2;
+  }
+  ::fcntl(pipe_fds[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(pipe_fds[1], F_SETFL, O_NONBLOCK);
+  g_signal_pipe_write = pipe_fds[1];
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  if (!quiet) {
+    if (server.bound_port() != 0)
+      std::fprintf(stderr, "awe_serve: listening on tcp port %u\n",
+                   server.bound_port());
+    else
+      std::fprintf(stderr, "awe_serve: listening\n");
+  }
+  if (!ready_file.empty()) {
+    const std::string tmp = ready_file + ".tmp";
+    if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
+      if (server.bound_port() != 0)
+        std::fprintf(f, "tcp 127.0.0.1 %u\n", server.bound_port());
+      else
+        std::fprintf(f, "unix\n");
+      std::fclose(f);
+      std::rename(tmp.c_str(), ready_file.c_str());  // atomic ready signal
+    }
+  }
+
+  // Wait for a signal; SIGTERM drains gracefully, SIGINT hard-stops.
+  for (;;) {
+    pollfd pfd{pipe_fds[0], POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 500);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0) continue;
+    char buf[16];
+    while (::read(pipe_fds[0], buf, sizeof(buf)) > 0) {
+    }
+    const int sig = g_signal.exchange(0, std::memory_order_relaxed);
+    if (sig == SIGTERM) {
+      if (!quiet) std::fprintf(stderr, "awe_serve: draining\n");
+      server.request_drain();
+      break;
+    }
+    if (sig != 0) {
+      server.stop();
+      break;
+    }
+  }
+  server.wait();
+  ::close(pipe_fds[0]);
+  ::close(pipe_fds[1]);
+
+  const auto s = server.stats().snapshot();
+  if (!quiet)
+    std::fprintf(stderr,
+                 "awe_serve: exiting — %llu requests, %llu shed, %llu deadline-expired, "
+                 "%llu evicted, %llu reload failures\n",
+                 static_cast<unsigned long long>(s.requests),
+                 static_cast<unsigned long long>(s.shed),
+                 static_cast<unsigned long long>(s.deadline_expired),
+                 static_cast<unsigned long long>(s.evicted),
+                 static_cast<unsigned long long>(s.reload_failures));
+  sink.flush_report(server.health_snapshot());
+  return 0;
+}
